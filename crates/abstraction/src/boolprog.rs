@@ -1,0 +1,871 @@
+//! The boolean-program transform for SCMP-style certification (Fig. 6).
+
+use std::collections::HashMap;
+
+use canvas_easl::Spec;
+use canvas_logic::{models, Formula, Var};
+use canvas_minijava::{Instr, MethodId, MethodIr, Program, Site, VarId};
+use canvas_wp::{Derived, FamilyId, RuleRhs, RuleVar, StmtAbstraction, UpdateRule};
+
+/// One nullary instrumentation-predicate instance: a family applied to a
+/// tuple of client variables (e.g. `mutx_{i1,i2}`).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct PredInstance {
+    /// The family.
+    pub family: FamilyId,
+    /// The client variables the family parameters are bound to.
+    pub args: Vec<VarId>,
+}
+
+/// An operand of a boolean assignment or check.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Operand {
+    /// A constant.
+    Const(bool),
+    /// The pre-state value of a predicate instance (index into
+    /// [`BoolProgram::preds`]).
+    Var(usize),
+}
+
+/// The right-hand side of one parallel assignment.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Rhs {
+    /// Disjunction of operands (empty = constant 0).
+    Disj(Vec<Operand>),
+    /// Unknown value (both 0 and 1 possible) — used for effects the nullary
+    /// abstraction cannot track (heap loads, unknown callees).
+    Havoc,
+}
+
+/// An edge of the boolean program: all assignments read the pre-state
+/// (parallel assignment), mirroring the simultaneous update semantics of the
+/// derived method abstractions.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BoolEdge {
+    /// Source node (same numbering as the method CFG).
+    pub from: usize,
+    /// Target node.
+    pub to: usize,
+    /// Parallel assignments `pred := rhs`.
+    pub assigns: Vec<(usize, Rhs)>,
+}
+
+/// A `requires` check site: evaluated in the state at `node`; the call may
+/// violate its precondition iff some operand may be 1.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CheckSite {
+    /// The node whose dataflow state the check reads (the call's pre-state).
+    pub node: usize,
+    /// The source location, for reporting.
+    pub site: Site,
+    /// Violation disjuncts.
+    pub preds: Vec<Operand>,
+}
+
+/// The transformed client method (paper Fig. 6): a boolean program over
+/// predicate instances.
+#[derive(Clone, PartialEq, Debug)]
+pub struct BoolProgram {
+    /// The method this program was built from.
+    pub method: MethodId,
+    /// Predicate instances; indices are the boolean variable ids.
+    pub preds: Vec<PredInstance>,
+    /// Number of nodes (same ids as the source CFG).
+    pub node_count: usize,
+    /// Entry node.
+    pub entry: usize,
+    /// Edges with parallel assignments.
+    pub edges: Vec<BoolEdge>,
+    /// `requires` check sites.
+    pub checks: Vec<CheckSite>,
+    /// Predicates unknown at entry (instances over parameters and statics
+    /// when the method is analysed out of context).
+    pub entry_unknown: Vec<usize>,
+    /// Instances folded to constants (e.g. `mutx(x,x) ≡ 0`, `same(v,v) ≡ 1`).
+    pub consts: HashMap<(FamilyId, Vec<VarId>), bool>,
+}
+
+impl BoolProgram {
+    /// The index of an instance, if it is tracked (non-constant).
+    pub fn pred_index(&self, family: FamilyId, args: &[VarId]) -> Option<usize> {
+        self.preds.iter().position(|p| p.family == family && p.args == args)
+    }
+
+    /// A human-readable name for predicate `i`, e.g. `stale{i1}`.
+    pub fn pred_name(&self, i: usize, program: &Program, derived: &Derived) -> String {
+        let p = &self.preds[i];
+        let args: Vec<String> =
+            p.args.iter().map(|v| program.var(*v).name.clone()).collect();
+        format!("{}{{{}}}", derived.family(p.family).name(), args.join(","))
+    }
+}
+
+/// Context options for the transform.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EntryAssumption {
+    /// Parameters and statics hold unknown component states (sound when a
+    /// method is certified out of context).
+    Unknown,
+    /// Everything starts definite-0 (suitable for `main`: statics are null,
+    /// there are no parameters).
+    Clean,
+}
+
+/// How client-to-client calls are reflected in the boolean program.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ClientCallPolicy {
+    /// Conservative intraprocedural treatment: havoc every instance the
+    /// callee could affect (mutable-dependent ones, statics, the result).
+    Havoc,
+    /// Emit no assignments for client calls; the interprocedural engine
+    /// applies callee summaries itself (the boolean edges stay aligned 1:1
+    /// with the method's IR edges, so the engine can intercept them).
+    Defer,
+}
+
+/// Builds the boolean program for one client method.
+///
+/// Instances are enumerated over the method's in-scope component variables
+/// (locals, params, temps, statics, return slot). Instances whose defining
+/// formula is constant under repeated arguments (`mutx(x,x) ≡ 0`,
+/// `same(v,v) ≡ 1`) are folded away.
+pub fn transform_method(
+    program: &Program,
+    method: &MethodIr,
+    spec: &Spec,
+    derived: &Derived,
+    entry: EntryAssumption,
+) -> BoolProgram {
+    transform_method_with(program, method, spec, derived, entry, ClientCallPolicy::Havoc)
+}
+
+/// [`transform_method`] with an explicit client-call policy.
+pub fn transform_method_with(
+    program: &Program,
+    method: &MethodIr,
+    spec: &Spec,
+    derived: &Derived,
+    entry: EntryAssumption,
+    policy: ClientCallPolicy,
+) -> BoolProgram {
+    let b = Builder::new(program, method, spec, derived, entry, policy);
+    b.run()
+}
+
+struct Builder<'a> {
+    program: &'a Program,
+    method: &'a MethodIr,
+    spec: &'a Spec,
+    derived: &'a Derived,
+    entry: EntryAssumption,
+    policy: ClientCallPolicy,
+    vars: Vec<VarId>,
+    preds: Vec<PredInstance>,
+    index: HashMap<(FamilyId, Vec<VarId>), usize>,
+    /// constant value of folded instances
+    consts: HashMap<(FamilyId, Vec<VarId>), bool>,
+    /// memo of repeat-pattern constancy per family
+    diag_memo: HashMap<(FamilyId, Vec<usize>), Option<bool>>,
+}
+
+impl<'a> Builder<'a> {
+    fn new(
+        program: &'a Program,
+        method: &'a MethodIr,
+        spec: &'a Spec,
+        derived: &'a Derived,
+        entry: EntryAssumption,
+        policy: ClientCallPolicy,
+    ) -> Self {
+        Builder {
+            program,
+            method,
+            spec,
+            derived,
+            entry,
+            policy,
+            vars: program.component_vars_in_scope(method.id, spec),
+            preds: Vec::new(),
+            index: HashMap::new(),
+            consts: HashMap::new(),
+            diag_memo: HashMap::new(),
+        }
+    }
+
+    fn run(mut self) -> BoolProgram {
+        // enumerate all type-correct instances
+        for fid in 0..self.derived.families().len() {
+            let fam = self.derived.family(fid);
+            let arity = fam.params().len();
+            let mut tuple = vec![VarId(0); arity];
+            self.enumerate(fid, 0, &mut tuple);
+        }
+
+        let mut edges = Vec::new();
+        let mut checks = Vec::new();
+        for e in self.method.cfg.edges() {
+            let (assigns, check) = self.translate(&e.instr);
+            if let Some(c) = check {
+                checks.push(CheckSite { node: e.from.0, site: c.0, preds: c.1 });
+            }
+            edges.push(BoolEdge { from: e.from.0, to: e.to.0, assigns });
+        }
+
+        // entry assumptions
+        let mut entry_unknown = Vec::new();
+        if self.entry == EntryAssumption::Unknown {
+            for (k, p) in self.preds.iter().enumerate() {
+                let exposed = p.args.iter().any(|v| {
+                    let var = self.program.var(*v);
+                    var.owner.is_none() || matches!(var.kind, canvas_minijava::VarKind::Param(_))
+                });
+                if exposed {
+                    entry_unknown.push(k);
+                }
+            }
+        }
+
+        BoolProgram {
+            method: self.method.id,
+            preds: self.preds,
+            node_count: self.method.cfg.node_count(),
+            entry: self.method.cfg.entry().0,
+            edges,
+            checks,
+            entry_unknown,
+            consts: self.consts,
+        }
+    }
+
+    fn enumerate(&mut self, fid: FamilyId, k: usize, tuple: &mut Vec<VarId>) {
+        let fam = self.derived.family(fid);
+        if k == fam.params().len() {
+            let key = (fid, tuple.clone());
+            if self.index.contains_key(&key) || self.consts.contains_key(&key) {
+                return;
+            }
+            match self.tuple_const(fid, tuple) {
+                Some(c) => {
+                    self.consts.insert(key, c);
+                }
+                None => {
+                    let idx = self.preds.len();
+                    self.preds.push(PredInstance { family: fid, args: tuple.clone() });
+                    self.index.insert(key, idx);
+                }
+            }
+            return;
+        }
+        let want_ty = fam.params()[k].ty().clone();
+        let vars = self.vars.clone();
+        for v in vars {
+            if self.program.var(v).ty == want_ty {
+                tuple[k] = v;
+                self.enumerate(fid, k + 1, tuple);
+            }
+        }
+    }
+
+    /// Whether an instance with this repeat pattern folds to a constant.
+    fn tuple_const(&mut self, fid: FamilyId, tuple: &[VarId]) -> Option<bool> {
+        // canonical repeat pattern, e.g. (a,a) → [0,0], (a,b) → [0,1]
+        let mut pattern = Vec::with_capacity(tuple.len());
+        let mut seen: Vec<VarId> = Vec::new();
+        for v in tuple {
+            match seen.iter().position(|w| w == v) {
+                Some(k) => pattern.push(k),
+                None => {
+                    pattern.push(seen.len());
+                    seen.push(*v);
+                }
+            }
+        }
+        let key = (fid, pattern.clone());
+        if let Some(c) = self.diag_memo.get(&key) {
+            return *c;
+        }
+        let fam = self.derived.family(fid);
+        // instantiate with pattern-canonical variables
+        let args: Vec<Var> = fam
+            .params()
+            .iter()
+            .zip(&pattern)
+            .map(|(p, k)| Var::new(format!("c{k}"), p.ty().clone()))
+            .collect();
+        let inst = fam.instantiate(&args);
+        let oracle = self.spec.oracle();
+        let c = if models::equivalent(&oracle, &Formula::True, &inst, &Formula::True) {
+            Some(true)
+        } else if models::equivalent(&oracle, &Formula::True, &inst, &Formula::False) {
+            Some(false)
+        } else {
+            None
+        };
+        self.diag_memo.insert(key, c);
+        c
+    }
+
+    /// Resolves an instance to an operand (constant or variable); `None`
+    /// when a referenced variable is not in scope/type-mismatched (treated
+    /// as "no tracked object", i.e. 0).
+    fn operand(&self, fid: FamilyId, args: &[VarId]) -> Operand {
+        let key = (fid, args.to_vec());
+        if let Some(&c) = self.consts.get(&key) {
+            return Operand::Const(c);
+        }
+        match self.index.get(&key) {
+            Some(&i) => Operand::Var(i),
+            None => Operand::Const(false),
+        }
+    }
+
+    /// Resolves a rule variable against a concrete statement instance.
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_rule_var(
+        rv: RuleVar,
+        recv: Option<VarId>,
+        args: &[VarId],
+        lhs: Option<VarId>,
+        univ: &[Option<VarId>],
+    ) -> Option<VarId> {
+        match rv {
+            RuleVar::Recv => recv,
+            RuleVar::Arg(k) => args.get(k).copied(),
+            RuleVar::Lhs => lhs,
+            RuleVar::Univ(k) => univ.get(k).copied().flatten(),
+        }
+    }
+
+    /// Expands a statement abstraction at a concrete statement.
+    fn expand(
+        &self,
+        sa: &StmtAbstraction,
+        recv: Option<VarId>,
+        args: &[VarId],
+        lhs: Option<VarId>,
+    ) -> Vec<(usize, Rhs)> {
+        let mut out = Vec::new();
+        for rule in &sa.rules {
+            self.expand_rule(rule, recv, args, lhs, &mut out);
+        }
+        out
+    }
+
+    fn expand_rule(
+        &self,
+        rule: &UpdateRule,
+        recv: Option<VarId>,
+        args: &[VarId],
+        lhs: Option<VarId>,
+        out: &mut Vec<(usize, Rhs)>,
+    ) {
+        let fam = self.derived.family(rule.family);
+        // does the rule involve Lhs? then a concrete lhs must exist
+        let needs_lhs = rule.target_args.iter().any(|a| matches!(a, RuleVar::Lhs));
+        if needs_lhs && lhs.is_none() {
+            return;
+        }
+        // enumerate universal slots (skipping the statement's own lhs: those
+        // tuples are served by the Lhs-bound rules)
+        let arity = fam.params().len();
+        let mut univ: Vec<Option<VarId>> = vec![None; arity];
+        self.expand_univ(rule, 0, recv, args, lhs, &mut univ, out);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn expand_univ(
+        &self,
+        rule: &UpdateRule,
+        k: usize,
+        recv: Option<VarId>,
+        args: &[VarId],
+        lhs: Option<VarId>,
+        univ: &mut Vec<Option<VarId>>,
+        out: &mut Vec<(usize, Rhs)>,
+    ) {
+        let fam = self.derived.family(rule.family);
+        if k == rule.target_args.len() {
+            // resolve target tuple
+            let mut tuple = Vec::with_capacity(rule.target_args.len());
+            for &ta in &rule.target_args {
+                match Self::resolve_rule_var(ta, recv, args, lhs, univ) {
+                    Some(v) => tuple.push(v),
+                    None => return,
+                }
+            }
+            let Some(&idx) = self.index.get(&(rule.family, tuple.clone())) else {
+                return; // constant or untracked instance: no assignment
+            };
+            // resolve rhs
+            let mut ops = Vec::new();
+            let mut havoc = false;
+            for r in &rule.rhs {
+                match r {
+                    RuleRhs::Const(true) => ops.push(Operand::Const(true)),
+                    RuleRhs::Const(false) => {}
+                    RuleRhs::Unknown => havoc = true,
+                    RuleRhs::Inst(g, rvs) => {
+                        let mut iargs = Vec::with_capacity(rvs.len());
+                        let mut ok = true;
+                        for &rv in rvs {
+                            match Self::resolve_rule_var(rv, recv, args, lhs, univ) {
+                                Some(v) => iargs.push(v),
+                                None => {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                        }
+                        if ok {
+                            match self.operand(*g, &iargs) {
+                                Operand::Const(false) => {}
+                                op => ops.push(op),
+                            }
+                        }
+                    }
+                }
+            }
+            out.push((idx, if havoc { Rhs::Havoc } else { Rhs::Disj(ops) }));
+            return;
+        }
+        match rule.target_args[k] {
+            RuleVar::Univ(slot) => {
+                let want_ty = fam.params()[k].ty().clone();
+                for &v in &self.vars {
+                    if self.program.var(v).ty != want_ty {
+                        continue;
+                    }
+                    if Some(v) == lhs {
+                        continue; // served by the Lhs-bound rule
+                    }
+                    univ[slot] = Some(v);
+                    self.expand_univ(rule, k + 1, recv, args, lhs, univ, out);
+                }
+                univ[slot] = None;
+            }
+            _ => self.expand_univ(rule, k + 1, recv, args, lhs, univ, out),
+        }
+    }
+
+    /// Sets every instance involving `v` to the given rhs.
+    fn smash_var(&self, v: VarId, rhs: &Rhs, out: &mut Vec<(usize, Rhs)>) {
+        for (k, p) in self.preds.iter().enumerate() {
+            if p.args.contains(&v) {
+                out.push((k, rhs.clone()));
+            }
+        }
+    }
+
+    /// Translates one IR instruction to assignments and an optional check.
+    #[allow(clippy::type_complexity)]
+    fn translate(&self, instr: &Instr) -> (Vec<(usize, Rhs)>, Option<(Site, Vec<Operand>)>) {
+        let mut assigns = Vec::new();
+        let mut check = None;
+        match instr {
+            Instr::Nop => {}
+            Instr::Copy { dst, src } => {
+                let dty = &self.program.var(*dst).ty;
+                if self.spec.is_component_type(dty) {
+                    if self.program.var(*src).ty == *dty {
+                        if let Some(sa) = self.derived.for_copy(dty) {
+                            assigns = self.expand(sa, None, &[*src], Some(*dst));
+                        }
+                    } else {
+                        self.smash_var(*dst, &Rhs::Havoc, &mut assigns);
+                    }
+                }
+            }
+            Instr::Nullify { dst } => {
+                if self.spec.is_component_type(&self.program.var(*dst).ty) {
+                    self.smash_var(*dst, &Rhs::Disj(vec![]), &mut assigns);
+                }
+            }
+            Instr::New { dst, ty, args, .. } => {
+                if self.spec.is_component_type(ty) {
+                    if let Some(sa) = self.derived.for_new(ty) {
+                        assigns = self.expand(sa, None, args, Some(*dst));
+                        if !sa.checks.is_empty() {
+                            // constructors with requires: check in pre-state
+                            let ops =
+                                self.resolve_checks(&sa.checks, None, args, Some(*dst));
+                            if let Instr::New { at, .. } = instr {
+                                check = Some((at.clone(), ops));
+                            }
+                        }
+                    }
+                }
+            }
+            Instr::CallComponent { dst, recv, method, args, known, at } => {
+                if !known {
+                    return (assigns, None);
+                }
+                let rty = self.program.var(*recv).ty.clone();
+                if let Some(sa) = self.derived.for_call(&rty, method) {
+                    assigns = self.expand(sa, Some(*recv), args, *dst);
+                    if !sa.checks.is_empty() {
+                        let ops = self.resolve_checks(&sa.checks, Some(*recv), args, *dst);
+                        check = Some((at.clone(), ops));
+                    }
+                }
+            }
+            Instr::CallClient { dst, .. } => {
+                if self.policy == ClientCallPolicy::Defer {
+                    return (assigns, None);
+                }
+                // intraprocedural conservatism: the callee may mutate any
+                // component state it can reach (through statics or passed
+                // references) — havoc every mutable-dependent instance, every
+                // instance involving a static, and everything involving the
+                // returned value.
+                for (k, p) in self.preds.iter().enumerate() {
+                    let fam = self.derived.family(p.family);
+                    let involves_static =
+                        p.args.iter().any(|v| self.program.var(*v).owner.is_none());
+                    let involves_ret = dst.is_some_and(|d| p.args.contains(&d));
+                    if fam.mutable_dep() || involves_static || involves_ret {
+                        assigns.push((k, Rhs::Havoc));
+                    }
+                }
+            }
+            Instr::Load { dst, .. } => {
+                // a component reference read from the heap: untracked by the
+                // nullary abstraction
+                if self.spec.is_component_type(&self.program.var(*dst).ty) {
+                    self.smash_var(*dst, &Rhs::Havoc, &mut assigns);
+                }
+            }
+            Instr::Store { .. } => {
+                // storing a reference does not change any instance over
+                // variables; heap-held aliases are handled by HCMP
+            }
+        }
+        (assigns, check)
+    }
+
+    fn resolve_checks(
+        &self,
+        checks: &[RuleRhs],
+        recv: Option<VarId>,
+        args: &[VarId],
+        lhs: Option<VarId>,
+    ) -> Vec<Operand> {
+        let mut ops = Vec::new();
+        for c in checks {
+            match c {
+                RuleRhs::Const(true) | RuleRhs::Unknown => ops.push(Operand::Const(true)),
+                RuleRhs::Const(false) => {}
+                RuleRhs::Inst(g, rvs) => {
+                    let mut iargs = Vec::with_capacity(rvs.len());
+                    let mut ok = true;
+                    for &rv in rvs {
+                        match Self::resolve_rule_var(rv, recv, args, lhs, &[]) {
+                            Some(v) => iargs.push(v),
+                            None => {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    if ok {
+                        match self.operand(*g, &iargs) {
+                            Operand::Const(false) => {}
+                            op => ops.push(op),
+                        }
+                    }
+                }
+            }
+        }
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canvas_easl::builtin;
+    use canvas_wp::derive_abstraction;
+
+    fn setup(src: &str) -> (Program, canvas_easl::Spec, Derived) {
+        let spec = builtin::cmp();
+        let program = Program::parse(src, &spec).unwrap();
+        let derived = derive_abstraction(&spec).unwrap();
+        (program, spec, derived)
+    }
+
+    #[test]
+    fn fig3_transform_shape() {
+        let (program, spec, derived) = setup(
+            r#"
+            class Main {
+                static void main() {
+                    Set v = new Set();
+                    Iterator i1 = v.iterator();
+                    Iterator i2 = v.iterator();
+                    Iterator i3 = i1;
+                    i1.next();
+                    i1.remove();
+                    if (c()) { i2.next(); }
+                    if (c()) { i3.next(); }
+                    v.add("x");
+                    if (c()) { i1.next(); }
+                }
+                static boolean c() { return true; }
+            }
+            "#,
+        );
+        let main = program.method_named("Main.main").unwrap();
+        let bp = transform_method(&program, main, &spec, &derived, EntryAssumption::Clean);
+        // variables: v (Set), i1,i2,i3 (Iterator)
+        // stale: 3, iterof: 3, mutx: 3*3-3diag=6, same: 1 set var → same(v,v) const
+        let stale_count = bp.preds.iter().filter(|p| p.family == 0).count();
+        let iterof_count = bp.preds.iter().filter(|p| p.family == 1).count();
+        let mutx_count = bp.preds.iter().filter(|p| p.family == 2).count();
+        let same_count = bp.preds.iter().filter(|p| p.family == 3).count();
+        assert_eq!(stale_count, 3);
+        assert_eq!(iterof_count, 3);
+        assert_eq!(mutx_count, 6);
+        assert_eq!(same_count, 0); // same(v,v) folded to constant 1
+        // 6 next/remove checks? next x4 (incl remove? remove has its own):
+        // i1.next, i1.remove, i2.next, i3.next, i1.next = 5 checks
+        assert_eq!(bp.checks.len(), 5);
+        // clean entry: nothing unknown
+        assert!(bp.entry_unknown.is_empty());
+    }
+
+    #[test]
+    fn unknown_entry_for_params_and_statics() {
+        let (program, spec, derived) = setup(
+            r#"
+            class A {
+                static Set shared;
+                void m(Iterator it) { it.next(); }
+            }
+            "#,
+        );
+        let m = program.method_named("A.m").unwrap();
+        let bp = transform_method(&program, m, &spec, &derived, EntryAssumption::Unknown);
+        assert!(!bp.entry_unknown.is_empty());
+        // stale(it) must be among the unknowns
+        let it = program.vars().iter().find(|v| v.name == "it").unwrap().id;
+        let stale_it = bp.pred_index(0, &[it]).unwrap();
+        assert!(bp.entry_unknown.contains(&stale_it));
+    }
+
+    #[test]
+    fn client_call_havocs_mutable_only() {
+        let (program, spec, derived) = setup(
+            r#"
+            class Main {
+                static void main() {
+                    Set v = new Set();
+                    Iterator i = v.iterator();
+                    help();
+                    i.next();
+                }
+                static void help() { }
+            }
+            "#,
+        );
+        let main = program.method_named("Main.main").unwrap();
+        let bp = transform_method(&program, main, &spec, &derived, EntryAssumption::Clean);
+        let call_edge = bp
+            .edges
+            .iter()
+            .find(|e| e.assigns.iter().any(|(_, r)| matches!(r, Rhs::Havoc)))
+            .expect("client call havocs something");
+        // havocked predicates must all be stale (mutable dep), not iterof/mutx
+        for (p, r) in &call_edge.assigns {
+            if matches!(r, Rhs::Havoc) {
+                assert_eq!(bp.preds[*p].family, 0, "only stale instances havoc");
+            }
+        }
+    }
+
+    #[test]
+    fn pred_names_render() {
+        let (program, spec, derived) = setup(
+            "class Main { static void main() { Set v = new Set(); Iterator i = v.iterator(); i.next(); } }",
+        );
+        let main = program.method_named("Main.main").unwrap();
+        let bp = transform_method(&program, main, &spec, &derived, EntryAssumption::Clean);
+        let names: Vec<String> =
+            (0..bp.preds.len()).map(|k| bp.pred_name(k, &program, &derived)).collect();
+        assert!(names.iter().any(|n| n == "stale{i}"), "{names:?}");
+        assert!(names.iter().any(|n| n == "iterof{i,v}"), "{names:?}");
+    }
+}
+
+impl BoolProgram {
+    /// Renders the transformed client (the paper's Fig. 6) as text: every
+    /// edge's parallel assignments plus the `requires` check sites.
+    pub fn dump(&self, program: &Program, derived: &Derived) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let name = |k: usize| self.pred_name(k, program, derived);
+        let _ = writeln!(
+            out,
+            "boolean program for {} ({} predicate instances)",
+            program.method(self.method).qualified_name(),
+            self.preds.len()
+        );
+        for c in &self.checks {
+            let ops: Vec<String> = c
+                .preds
+                .iter()
+                .map(|op| match op {
+                    Operand::Const(b) => b.to_string(),
+                    Operand::Var(v) => name(*v),
+                })
+                .collect();
+            let _ = writeln!(
+                out,
+                "  check @ node {} ({}): requires !({})",
+                c.node,
+                c.site,
+                ops.join(" || ")
+            );
+        }
+        for e in &self.edges {
+            if e.assigns.is_empty() {
+                continue;
+            }
+            let stmts: Vec<String> = e
+                .assigns
+                .iter()
+                .map(|(dst, rhs)| {
+                    let rhs = match rhs {
+                        Rhs::Havoc => "havoc".to_string(),
+                        Rhs::Disj(ops) if ops.is_empty() => "0".to_string(),
+                        Rhs::Disj(ops) => ops
+                            .iter()
+                            .map(|op| match op {
+                                Operand::Const(b) => if *b { "1" } else { "0" }.to_string(),
+                                Operand::Var(v) => name(*v),
+                            })
+                            .collect::<Vec<_>>()
+                            .join(" | "),
+                    };
+                    format!("{} := {}", name(*dst), rhs)
+                })
+                .collect();
+            let _ = writeln!(out, "  {:>3} -> {:<3} {}", e.from, e.to, stmts.join("; "));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod expansion_tests {
+    use super::*;
+    use canvas_easl::builtin;
+    use canvas_wp::derive_abstraction;
+
+    fn setup2(src: &str) -> (Program, canvas_easl::Spec, Derived) {
+        let spec = builtin::cmp();
+        let program = Program::parse(src, &spec).unwrap();
+        let derived = derive_abstraction(&spec).unwrap();
+        (program, spec, derived)
+    }
+
+    #[test]
+    fn diagonal_instances_fold_to_constants() {
+        let (program, spec, derived) = setup2(
+            "class Main { static void main() { Set v = new Set(); Set w = v; Iterator i = v.iterator(); } }",
+        );
+        let main = program.main_method().unwrap();
+        let bp = transform_method(&program, main, &spec, &derived, EntryAssumption::Clean);
+        // same(v,v) and mutx over a single iterator never become variables
+        for p in &bp.preds {
+            let fam = derived.family(p.family);
+            if fam.name() == "same" {
+                assert_ne!(p.args[0], p.args[1], "diagonal same must fold");
+            }
+            if fam.name() == "mutx" {
+                assert_ne!(p.args[0], p.args[1], "diagonal mutx must fold");
+            }
+        }
+        // the folded constants are recorded
+        assert!(bp.consts.values().any(|&v| v), "same(v,v)=1 recorded");
+        assert!(bp.consts.values().any(|&v| !v), "mutx(i,i)=0 recorded");
+    }
+
+    #[test]
+    fn load_havocs_only_the_loaded_var() {
+        let (program, spec, derived) = setup2(
+            r#"
+class Box { Iterator it; Box() { } }
+class Main {
+    static void main() {
+        Set s = new Set();
+        Iterator i = s.iterator();
+        Box b = new Box();
+        b.it = i;
+        Iterator j = b.it;
+    }
+}
+"#,
+        );
+        let main = program.main_method().unwrap();
+        let bp = transform_method(&program, main, &spec, &derived, EntryAssumption::Clean);
+        // find the Load edge (bool edges are index-aligned with IR edges);
+        // the lowering loads into a temporary, then copies into `j`
+        let (load_idx, loaded) = main
+            .cfg
+            .edges()
+            .iter()
+            .enumerate()
+            .find_map(|(k, e)| match e.instr {
+                canvas_minijava::Instr::Load { dst, .. } => Some((k, dst)),
+                _ => None,
+            })
+            .expect("program loads b.it");
+        let load_edge = &bp.edges[load_idx];
+        assert!(!load_edge.assigns.is_empty(), "load must havoc something");
+        for (dst, rhs) in &load_edge.assigns {
+            assert!(matches!(rhs, Rhs::Havoc));
+            assert!(
+                bp.preds[*dst].args.contains(&loaded),
+                "load havoc must only hit instances involving the loaded var"
+            );
+        }
+    }
+
+    #[test]
+    fn opaque_argument_instances_resolve_to_zero() {
+        // passing a null/opaque where a component value could flow: the
+        // check instance over the mismatched var resolves to constant 0
+        let spec = canvas_easl::builtin::imp();
+        let derived = derive_abstraction(&spec).unwrap();
+        let program = Program::parse(
+            r#"
+class Main {
+    static void main() {
+        Factory f = new Factory();
+        Widget a = f.makeWidget();
+        f.combine(a, a);
+    }
+}
+"#,
+            &spec,
+        )
+        .unwrap();
+        let main = program.main_method().unwrap();
+        let bp = transform_method(&program, main, &spec, &derived, EntryAssumption::Clean);
+        assert_eq!(bp.checks.len(), 1);
+        // with both args the same valid widget, no operand can fire
+        let res_ok = bp.checks[0].preds.iter().all(|op| !matches!(op, Operand::Const(true)));
+        assert!(res_ok);
+    }
+
+    #[test]
+    fn dump_is_readable() {
+        let (program, spec, derived) = setup2(
+            "class Main { static void main() { Set s = new Set(); Iterator i = s.iterator(); s.add(\"x\"); i.next(); } }",
+        );
+        let main = program.main_method().unwrap();
+        let bp = transform_method(&program, main, &spec, &derived, EntryAssumption::Clean);
+        let text = bp.dump(&program, &derived);
+        assert!(text.contains("stale{i} := "), "{text}");
+        assert!(text.contains("requires !("), "{text}");
+    }
+}

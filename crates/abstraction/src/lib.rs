@@ -1,0 +1,22 @@
+//! Client-side instantiation of derived abstractions (paper §4.3).
+//!
+//! Given the [`canvas_wp::Derived`] abstraction of a component and a
+//! mini-Java client, this crate produces the *transformed client program*:
+//! a [`BoolProgram`] over nullary instrumentation-predicate instances (the
+//! paper's Fig. 6) in which
+//!
+//! * every component-relevant statement became a batch of parallel boolean
+//!   assignments `p := p₁ ∨ … ∨ pₖ | 0 | 1 | havoc`, instantiated from the
+//!   derived method abstractions, and
+//! * every `requires` became a check site: the call may violate its
+//!   precondition iff one of the check predicates may be `1`.
+//!
+//! The boolean program is then analysed by `canvas-dataflow`'s engines.
+
+mod boolprog;
+
+pub use boolprog::{
+    transform_method_with, ClientCallPolicy,
+    transform_method, BoolEdge, BoolProgram, CheckSite, EntryAssumption, Operand, PredInstance,
+    Rhs,
+};

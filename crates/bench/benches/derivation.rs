@@ -1,0 +1,20 @@
+//! Benchmarks the abstraction-derivation stage (certifier-generation time,
+//! paper §1.3 stage 2) for every built-in specification.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn derivation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("derive");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for spec in canvas_easl::builtin::all() {
+        group.bench_function(spec.name(), |b| {
+            b.iter(|| canvas_wp::derive_abstraction(std::hint::black_box(&spec)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, derivation);
+criterion_main!(benches);

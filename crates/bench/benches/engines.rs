@@ -1,0 +1,41 @@
+//! Benchmarks every certification engine on the paper's Fig. 3 running
+//! example (the E5 timing comparison: FDS ≪ TVLA; independent-attribute ≤
+//! relational).
+
+use canvas_core::{Certifier, Engine};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const FIG3: &str = r#"
+class Main {
+    static void main() {
+        Set v = new Set();
+        Iterator i1 = v.iterator();
+        Iterator i2 = v.iterator();
+        Iterator i3 = i1;
+        i1.next();
+        i1.remove();
+        if (true) { i2.next(); }
+        if (true) { i3.next(); }
+        v.add("x");
+        if (true) { i1.next(); }
+    }
+}
+"#;
+
+fn engines(c: &mut Criterion) {
+    let certifier = Certifier::from_spec(canvas_easl::builtin::cmp()).unwrap();
+    let program = canvas_minijava::Program::parse(FIG3, certifier.spec()).unwrap();
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for engine in Engine::all() {
+        group.bench_function(engine.to_string(), |b| {
+            b.iter(|| certifier.certify(&program, engine).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, engines);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Benchmarks the polynomial SCMP certifier across client sizes (the E7
+//! scaling figure): time should grow polynomially in E and B.
+
+use canvas_core::{Certifier, Engine};
+use canvas_suite::generators;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn scaling(c: &mut Criterion) {
+    let certifier = Certifier::from_spec(canvas_easl::builtin::cmp()).unwrap();
+
+    let mut group = c.benchmark_group("scmp-fds/blocks");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for blocks in [4usize, 16, 64] {
+        let g = generators::scmp_blocks(blocks, 2, 0.0, 1);
+        let program = canvas_minijava::Program::parse(&g.source, certifier.spec()).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(blocks), &program, |b, p| {
+            b.iter(|| certifier.certify(p, Engine::ScmpFds).unwrap())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("scmp-fds/vars");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for n in [4usize, 8, 16] {
+        let g = generators::iterator_ring(n, false);
+        let program = canvas_minijava::Program::parse(&g.source, certifier.spec()).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &program, |b, p| {
+            b.iter(|| certifier.certify(p, Engine::ScmpFds).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scaling);
+criterion_main!(benches);

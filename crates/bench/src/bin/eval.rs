@@ -1,0 +1,421 @@
+//! Regenerates the paper's evaluation tables and figures (DESIGN.md E1–E9).
+//!
+//! Usage: `eval [derive|fig3|generic-vs-specialized|precision|timing|modes|
+//! scaling|specs|interproc|all]` (default `all`).
+
+use std::collections::BTreeMap;
+use std::env;
+
+use canvas_bench::{
+    derivation_table, fmt_duration, precision_table, scaling_blocks, scaling_vars, PrecisionCell,
+};
+use canvas_core::{Certifier, Engine};
+
+fn main() {
+    let what = env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    match what.as_str() {
+        "derive" => table_derive(),
+        "fig3" => table_fig3(),
+        "fig6" => figure_fig6(),
+        "fig7" => figure_fig7(),
+        "fig8" => figure_fig8(),
+        "generic-vs-specialized" => table_generic_vs_specialized(),
+        "precision" => table_precision(),
+        "timing" => table_timing(),
+        "modes" => table_modes(),
+        "scaling" => figure_scaling(),
+        "specs" => table_specs(),
+        "interproc" => table_interproc(),
+        "all" => {
+            table_derive();
+            table_fig3();
+            figure_fig6();
+            figure_fig7();
+            figure_fig8();
+            table_generic_vs_specialized();
+            table_precision();
+            table_timing();
+            table_modes();
+            figure_scaling();
+            table_specs();
+            table_interproc();
+        }
+        other => {
+            eprintln!("unknown table {other:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn header(title: &str) {
+    println!();
+    println!("== {title} ==");
+    println!();
+}
+
+/// E1: the derived abstraction for CMP (paper Figs. 4–5).
+fn table_derive() {
+    header("E1: derived abstractions (paper Fig. 4 / Fig. 5; Table D rows for E8)");
+    for row in derivation_table() {
+        println!(
+            "spec {:<4} class={:?} wp={} equiv-checks={} rounds={:?}",
+            row.spec, row.class, row.wp_count, row.equiv_checks, row.rounds
+        );
+        for f in &row.families {
+            println!("    {f}");
+        }
+    }
+}
+
+const FIG3: &str = r#"
+class Main {
+    static void main() {
+        Set v = new Set();
+        Iterator i1 = v.iterator();
+        Iterator i2 = v.iterator();
+        Iterator i3 = i1;
+        i1.next();
+        i1.remove();
+        if (true) { i2.next(); }
+        if (true) { i3.next(); }
+        v.add("...");
+        if (true) { i1.next(); }
+    }
+}
+"#;
+
+/// E2: the Fig. 3 walkthrough.
+fn table_fig3() {
+    header("E2: Fig. 3 walkthrough (real errors at lines 10 and 13; line 11 is safe)");
+    let c = Certifier::from_spec(canvas_easl::builtin::cmp()).expect("cmp derives");
+    for engine in Engine::all() {
+        match c.certify_source(FIG3, engine) {
+            Ok(r) => println!("{:<26} -> lines {:?}", engine.to_string(), r.lines()),
+            Err(e) => println!("{:<26} -> {e}", engine.to_string()),
+        }
+    }
+}
+
+/// The paper's Fig. 6: the transformed boolean client program for Fig. 3.
+fn figure_fig6() {
+    header("Fig. 6: the transformed (boolean) client program for Fig. 3");
+    let spec = canvas_easl::builtin::cmp();
+    let derived = canvas_wp::derive_abstraction(&spec).expect("cmp derives");
+    let program = canvas_minijava::Program::parse(FIG3, &spec).expect("fig3 parses");
+    let main = program.main_method().expect("main");
+    let bp = canvas_abstraction::transform_method(
+        &program,
+        main,
+        &spec,
+        &derived,
+        canvas_abstraction::EntryAssumption::Clean,
+    );
+    print!("{}", bp.dump(&program, &derived));
+}
+
+/// The paper's Fig. 7: storage shape graphs before/after `i1.remove()`
+/// under the *generic* translation — the two version objects merge.
+fn figure_fig7() {
+    header("Fig. 7: generic shape graphs around i1.remove() (version objects merge)");
+    let spec = canvas_easl::builtin::cmp();
+    let program = canvas_minijava::Program::parse(FIG3, &spec).expect("fig3 parses");
+    let main = program.main_method().expect("main");
+    let tvp = canvas_tvla::translate_generic(&program, main, &spec);
+    let (_, states) = canvas_tvla::run_collect(&tvp, canvas_tvla::EngineMode::Relational, 50_000);
+    // locate the remove edge in the IR (same node ids as the TVP prefix)
+    let (before, after) = remove_nodes(&program);
+    println!("before i1.remove() ({} structure(s)):", states[before].len());
+    for s in &states[before] {
+        print!("{}", canvas_tvla::render_structure(s, &tvp.preds));
+        println!("  --");
+    }
+    println!("after i1.remove() ({} structure(s)):", states[after].len());
+    for s in &states[after] {
+        print!("{}", canvas_tvla::render_structure(s, &tvp.preds));
+        println!("  --");
+    }
+}
+
+/// The paper's Fig. 8: the nullary abstract state before/after
+/// `i1.remove()` under the *specialized* certifier.
+fn figure_fig8() {
+    header("Fig. 8: specialized abstract state around i1.remove()");
+    let spec = canvas_easl::builtin::cmp();
+    let derived = canvas_wp::derive_abstraction(&spec).expect("cmp derives");
+    let program = canvas_minijava::Program::parse(FIG3, &spec).expect("fig3 parses");
+    let main = program.main_method().expect("main");
+    let bp = canvas_abstraction::transform_method(
+        &program,
+        main,
+        &spec,
+        &derived,
+        canvas_abstraction::EntryAssumption::Clean,
+    );
+    let rel = canvas_dataflow::relational::analyze(&bp, 1 << 14).expect("fig3 is tiny");
+    let (before, after) = remove_nodes(&program);
+    for (label, node) in [("before", before), ("after", after)] {
+        println!("{label} i1.remove():");
+        for val in &rel.states[node] {
+            let mut parts = Vec::new();
+            for k in 0..bp.preds.len() {
+                parts.push(format!(
+                    "{}={}",
+                    bp.pred_name(k, &program, &derived),
+                    u8::from(val.get(k))
+                ));
+            }
+            println!("  {}", parts.join("  "));
+        }
+    }
+}
+
+/// The CFG nodes immediately before and after the `i1.remove()` call.
+fn remove_nodes(program: &canvas_minijava::Program) -> (usize, usize) {
+    let main = program.main_method().expect("main");
+    for e in main.cfg.edges() {
+        if let canvas_minijava::Instr::CallComponent { method, at, .. } = &e.instr {
+            if method == "remove" && at.what.starts_with("i1") {
+                return (e.from.0, e.to.0);
+            }
+        }
+    }
+    unreachable!("fig3 contains i1.remove()")
+}
+
+/// E3: generic vs specialized on the two killer examples.
+fn table_generic_vs_specialized() {
+    header("E3: generic baselines vs the specialized certifier (§3, §4.4)");
+    let c = Certifier::from_spec(canvas_easl::builtin::cmp()).expect("cmp derives");
+    let loop_src = r#"
+class Main {
+    static void main() {
+        Set s = new Set();
+        while (true) {
+            s.add("x");
+            for (Iterator i = s.iterator(); i.hasNext(); ) { i.next(); }
+        }
+    }
+}
+"#;
+    println!("version-loop (safe):");
+    for engine in [Engine::ScmpFds, Engine::GenericAllocSite, Engine::GenericSsgRelational] {
+        let r = c.certify_source(loop_src, engine).expect("runs");
+        println!(
+            "  {:<26} -> {} false alarm(s)",
+            engine.to_string(),
+            r.violations.len()
+        );
+    }
+    println!("fig3 line 11 (safe use of i3):");
+    for engine in [Engine::ScmpFds, Engine::GenericAllocSite, Engine::GenericSsgRelational] {
+        let r = c.certify_source(FIG3, engine).expect("runs");
+        let fa = r.lines().contains(&11);
+        println!(
+            "  {:<26} -> {}",
+            engine.to_string(),
+            if fa { "FALSE ALARM" } else { "exact" }
+        );
+    }
+}
+
+fn cells_by_engine(cells: &[PrecisionCell]) -> BTreeMap<String, Vec<&PrecisionCell>> {
+    let mut out: BTreeMap<String, Vec<&PrecisionCell>> = BTreeMap::new();
+    for c in cells {
+        out.entry(c.engine.to_string()).or_default().push(c);
+    }
+    out
+}
+
+/// E4: the precision table.
+fn table_precision() {
+    header("E4: precision per benchmark x engine (reported / real / false alarms)");
+    let cells = precision_table();
+    // wide table: benchmarks as rows, engines as columns (abbreviated)
+    let engines: Vec<Engine> = Engine::all().to_vec();
+    print!("{:<20} {:>5}", "benchmark", "real");
+    for e in &engines {
+        print!(" {:>12}", abbrev(*e));
+    }
+    println!();
+    let mut names: Vec<&'static str> = cells.iter().map(|c| c.benchmark).collect();
+    names.dedup();
+    for name in names {
+        let real =
+            cells.iter().find(|c| c.benchmark == name).map(|c| c.real).unwrap_or_default();
+        print!("{name:<20} {real:>5}");
+        for e in &engines {
+            let cell = cells
+                .iter()
+                .find(|c| c.benchmark == name && c.engine == *e)
+                .expect("every cell present");
+            let s = match &cell.failed {
+                Some(_) => "budget".to_string(),
+                None => format!("{}+{}fa", cell.reported - cell.false_alarms, cell.false_alarms),
+            };
+            print!(" {s:>12}");
+        }
+        println!();
+    }
+    // summary
+    println!();
+    for (engine, cs) in cells_by_engine(&cells) {
+        let ok: Vec<_> = cs.iter().filter(|c| c.failed.is_none()).collect();
+        let fa: usize = ok.iter().map(|c| c.false_alarms).sum();
+        let missed: usize = ok.iter().map(|c| c.missed).sum();
+        let failed = cs.len() - ok.len();
+        println!(
+            "{engine:<26} false alarms: {fa:>3}   missed: {missed:>2}   budget failures: {failed}"
+        );
+    }
+}
+
+fn abbrev(e: Engine) -> &'static str {
+    match e {
+        Engine::ScmpFds => "fds",
+        Engine::ScmpRelational => "rel",
+        Engine::ScmpInterproc => "inter",
+        Engine::TvlaRelational => "tvla-r",
+        Engine::TvlaIndependent => "tvla-i",
+        Engine::GenericSsgRelational => "ssg-r",
+        Engine::GenericSsgIndependent => "ssg-i",
+        Engine::GenericAllocSite => "alloc",
+    }
+}
+
+/// E5: the timing table.
+fn table_timing() {
+    header("E5: analysis time per benchmark x engine");
+    let cells = precision_table();
+    let engines: Vec<Engine> = Engine::all().to_vec();
+    print!("{:<20}", "benchmark");
+    for e in &engines {
+        print!(" {:>10}", abbrev(*e));
+    }
+    println!();
+    let mut names: Vec<&'static str> = cells.iter().map(|c| c.benchmark).collect();
+    names.dedup();
+    for name in names {
+        print!("{name:<20}");
+        for e in &engines {
+            let cell = cells
+                .iter()
+                .find(|c| c.benchmark == name && c.engine == *e)
+                .expect("every cell present");
+            let s = match &cell.failed {
+                Some(_) => "-".to_string(),
+                None => fmt_duration(cell.time),
+            };
+            print!(" {s:>10}");
+        }
+        println!();
+    }
+}
+
+/// E6: relational vs independent-attribute TVLA (the §7 observation).
+fn table_modes() {
+    header("E6: TVLA relational vs independent-attribute (same precision per §7)");
+    let cells = precision_table();
+    let mut names: Vec<&'static str> = cells.iter().map(|c| c.benchmark).collect();
+    names.dedup();
+    let mut diff = 0;
+    for name in names {
+        let rel = cells
+            .iter()
+            .find(|c| c.benchmark == name && c.engine == Engine::TvlaRelational)
+            .expect("cell");
+        let ind = cells
+            .iter()
+            .find(|c| c.benchmark == name && c.engine == Engine::TvlaIndependent)
+            .expect("cell");
+        let same = rel.reported == ind.reported && rel.false_alarms == ind.false_alarms;
+        if !same {
+            diff += 1;
+        }
+        println!(
+            "{name:<20} relational {} ({}fa, {})  independent {} ({}fa, {})  {}",
+            rel.reported,
+            rel.false_alarms,
+            fmt_duration(rel.time),
+            ind.reported,
+            ind.false_alarms,
+            fmt_duration(ind.time),
+            if same { "same" } else { "DIFFER" }
+        );
+    }
+    println!("\nbenchmarks where the modes differ in precision: {diff}");
+}
+
+/// E7: the scaling figure (printed series).
+fn figure_scaling() {
+    header("E7: FDS certifier scaling (polynomial in E and B)");
+    println!("sweep client size (blocks of sets+iterators):");
+    println!("{:>8} {:>8} {:>8} {:>10} {:>10}", "blocks", "edges", "preds", "work", "time");
+    for p in scaling_blocks(&[2, 4, 8, 16, 32, 64, 128]) {
+        println!(
+            "{:>8} {:>8} {:>8} {:>10} {:>10}",
+            p.param,
+            p.edges,
+            p.predicates,
+            p.work,
+            fmt_duration(p.time)
+        );
+    }
+    println!("\nsweep component variables (iterator ring; preds grow ~B^2):");
+    println!("{:>8} {:>8} {:>8} {:>10} {:>10}", "vars", "edges", "preds", "work", "time");
+    for p in scaling_vars(&[2, 4, 8, 16, 32, 64]) {
+        println!(
+            "{:>8} {:>8} {:>8} {:>10} {:>10}",
+            p.param,
+            p.edges,
+            p.predicates,
+            p.work,
+            fmt_duration(p.time)
+        );
+    }
+}
+
+/// E8: derivation convergence and the mutation-restricted class.
+fn table_specs() {
+    header("E8: spec classification and derivation convergence (§6)");
+    for row in derivation_table() {
+        println!(
+            "{:<4} {:?}: {} families, converged (rounds: {:?})",
+            row.spec,
+            row.class,
+            row.families.len(),
+            row.rounds
+        );
+    }
+    let unbounded = canvas_easl::builtin::unbounded();
+    println!(
+        "unbounded (adversarial) {:?}: derivation -> {}",
+        canvas_easl::classify(&unbounded),
+        match canvas_wp::derive_with_budget(&unbounded, 8) {
+            Ok(_) => "converged (unexpected!)".to_string(),
+            Err(e) => format!("{e}"),
+        }
+    );
+}
+
+/// E9: interprocedural certification.
+fn table_interproc() {
+    header("E9: context-sensitive interprocedural SCMP (§8)");
+    let cells = precision_table();
+    for name in ["make-worklist", "interproc-grow", "interproc-other-set", "interproc-returned", "app-cache"] {
+        for engine in [Engine::ScmpFds, Engine::ScmpInterproc] {
+            if let Some(cell) =
+                cells.iter().find(|c| c.benchmark == name && c.engine == engine)
+            {
+                println!(
+                    "{name:<22} {:<16} real {}  reported {}  false alarms {}",
+                    engine.to_string(),
+                    cell.real,
+                    cell.reported,
+                    cell.false_alarms
+                );
+            }
+        }
+    }
+    println!("\n(the intraprocedural engine is sound but must havoc across calls;");
+    println!(" the §8 engine removes exactly those false alarms)");
+}

@@ -1,0 +1,243 @@
+//! Evaluation tables and figures (paper §7; experiment index in DESIGN.md).
+//!
+//! Each function regenerates one table/figure of the evaluation as plain
+//! data; the `eval` binary renders them as text tables, and EXPERIMENTS.md
+//! records the measured outcomes against the paper's claims.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use canvas_core::{Certifier, CertifyError, Engine};
+use canvas_suite::{corpus, generators, Benchmark};
+
+/// One row of the precision table (experiment E4): a benchmark × engine
+/// cell with the usual soundness/precision accounting.
+#[derive(Clone, Debug)]
+pub struct PrecisionCell {
+    /// Benchmark name.
+    pub benchmark: &'static str,
+    /// Engine.
+    pub engine: Engine,
+    /// Number of potential violations reported.
+    pub reported: usize,
+    /// Ground-truth errors in the benchmark.
+    pub real: usize,
+    /// Real errors *not* reported (must be 0 for a sound engine).
+    pub missed: usize,
+    /// Reports at non-error lines.
+    pub false_alarms: usize,
+    /// Analysis time.
+    pub time: Duration,
+    /// `None` when the engine errored (e.g. state budget).
+    pub failed: Option<String>,
+}
+
+/// Runs one engine on one benchmark, with whole-program coverage.
+pub fn run_cell(certifier: &Certifier, b: &Benchmark, engine: Engine) -> PrecisionCell {
+    let truth: BTreeSet<u32> = b.truth().into_iter().collect();
+    match certifier
+        .certify_source_program(b.source, engine)
+    {
+        Ok(report) => {
+            let reported: BTreeSet<u32> = report.lines().into_iter().collect();
+            PrecisionCell {
+                benchmark: b.name,
+                engine,
+                reported: reported.len(),
+                real: truth.len(),
+                missed: truth.difference(&reported).count(),
+                false_alarms: reported.difference(&truth).count(),
+                time: report.stats.duration,
+                failed: None,
+            }
+        }
+        Err(e) => PrecisionCell {
+            benchmark: b.name,
+            engine,
+            reported: 0,
+            real: truth.len(),
+            missed: truth.len(),
+            false_alarms: 0,
+            time: Duration::ZERO,
+            failed: Some(e.to_string()),
+        },
+    }
+}
+
+/// Extension: whole-program certify directly from source.
+trait CertifyProgramSource {
+    fn certify_source_program(
+        &self,
+        src: &str,
+        engine: Engine,
+    ) -> Result<canvas_core::Report, CertifyError>;
+}
+
+impl CertifyProgramSource for Certifier {
+    fn certify_source_program(
+        &self,
+        src: &str,
+        engine: Engine,
+    ) -> Result<canvas_core::Report, CertifyError> {
+        let program = canvas_minijava::Program::parse(src, self.spec())?;
+        self.certify_program(&program, engine)
+    }
+}
+
+/// The full precision table (E4): all benchmarks × all engines.
+pub fn precision_table() -> Vec<PrecisionCell> {
+    let mut out = Vec::new();
+    let mut certifiers: Vec<(canvas_suite::SpecKind, Certifier)> = Vec::new();
+    for b in corpus() {
+        let certifier = match certifiers.iter().find(|(k, _)| *k == b.spec) {
+            Some((_, c)) => c.clone(),
+            None => {
+                let c = Certifier::from_spec(b.spec.spec()).expect("built-in specs derive");
+                certifiers.push((b.spec, c.clone()));
+                c
+            }
+        };
+        for engine in Engine::all() {
+            out.push(run_cell(&certifier, &b, engine));
+        }
+    }
+    out
+}
+
+/// One point of the scaling figure (E7).
+#[derive(Clone, Debug)]
+pub struct ScalingPoint {
+    /// Sweep dimension value.
+    pub param: usize,
+    /// Control-flow edges of the generated client.
+    pub edges: usize,
+    /// Predicate instances (`B²`-ish).
+    pub predicates: usize,
+    /// FDS analysis time.
+    pub time: Duration,
+    /// FDS work units (edge visits).
+    pub work: usize,
+}
+
+/// Sweeps the client size (number of blocks) at fixed variable count.
+pub fn scaling_blocks(points: &[usize]) -> Vec<ScalingPoint> {
+    let certifier = Certifier::from_spec(canvas_easl::builtin::cmp()).expect("cmp derives");
+    points
+        .iter()
+        .map(|&blocks| {
+            let g = generators::scmp_blocks(blocks, 2, 0.0, 1);
+            let program =
+                canvas_minijava::Program::parse(&g.source, certifier.spec()).expect("generated");
+            let report = certifier.certify(&program, Engine::ScmpFds).expect("fds");
+            ScalingPoint {
+                param: blocks,
+                edges: program.edge_count(),
+                predicates: report.stats.predicates,
+                time: report.stats.duration,
+                work: report.stats.work,
+            }
+        })
+        .collect()
+}
+
+/// Sweeps the component-variable count (iterator ring) at fixed block count.
+pub fn scaling_vars(points: &[usize]) -> Vec<ScalingPoint> {
+    let certifier = Certifier::from_spec(canvas_easl::builtin::cmp()).expect("cmp derives");
+    points
+        .iter()
+        .map(|&n| {
+            let g = generators::iterator_ring(n, false);
+            let program =
+                canvas_minijava::Program::parse(&g.source, certifier.spec()).expect("generated");
+            let report = certifier.certify(&program, Engine::ScmpFds).expect("fds");
+            ScalingPoint {
+                param: n,
+                edges: program.edge_count(),
+                predicates: report.stats.predicates,
+                time: report.stats.duration,
+                work: report.stats.work,
+            }
+        })
+        .collect()
+}
+
+/// One row of the derivation table (E1/E8).
+#[derive(Clone, Debug)]
+pub struct DerivationRow {
+    /// Specification name.
+    pub spec: String,
+    /// §6 classification.
+    pub class: canvas_easl::SpecClass,
+    /// Derived family signatures, in discovery order.
+    pub families: Vec<String>,
+    /// WP computations performed.
+    pub wp_count: usize,
+    /// Family-equivalence checks performed.
+    pub equiv_checks: usize,
+    /// Families known after each worklist round (convergence trace).
+    pub rounds: Vec<usize>,
+}
+
+/// The derivation table for all built-in specs.
+pub fn derivation_table() -> Vec<DerivationRow> {
+    canvas_easl::builtin::all()
+        .into_iter()
+        .map(|spec| {
+            let class = canvas_easl::classify(&spec);
+            let derived = canvas_wp::derive_abstraction(&spec).expect("built-ins derive");
+            DerivationRow {
+                spec: spec.name().to_string(),
+                class,
+                families: derived.families().iter().map(|f| f.to_string()).collect(),
+                wp_count: derived.stats().wp_count,
+                equiv_checks: derived.stats().equiv_checks,
+                rounds: derived.stats().families_discovered.clone(),
+            }
+        })
+        .collect()
+}
+
+/// Renders a duration compactly.
+pub fn fmt_duration(d: Duration) -> String {
+    if d.as_millis() >= 10 {
+        format!("{:.0}ms", d.as_secs_f64() * 1e3)
+    } else {
+        format!("{:.2}ms", d.as_secs_f64() * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derivation_table_shape() {
+        let rows = derivation_table();
+        assert_eq!(rows.len(), 4);
+        let cmp = &rows[0];
+        assert_eq!(cmp.spec, "cmp");
+        assert_eq!(cmp.families.len(), 4);
+        assert!(cmp.families[0].starts_with("stale"));
+    }
+
+    #[test]
+    fn scaling_monotone_in_size() {
+        let pts = scaling_blocks(&[2, 8]);
+        assert!(pts[1].edges > pts[0].edges);
+        assert!(pts[1].work >= pts[0].work);
+    }
+
+    #[test]
+    fn specialized_engines_sound_on_corpus() {
+        // soundness: no specialized engine may miss a real error
+        for cell in precision_table() {
+            if cell.engine.specialized() && cell.failed.is_none() {
+                assert_eq!(
+                    cell.missed, 0,
+                    "{} missed {} error(s) on {}",
+                    cell.engine, cell.missed, cell.benchmark
+                );
+            }
+        }
+    }
+}

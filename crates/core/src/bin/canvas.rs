@@ -1,0 +1,153 @@
+//! `canvas` — the command-line certifier.
+//!
+//! ```text
+//! canvas derive  --spec <cmp|grp|imp|aop|PATH.easl>
+//! canvas certify --spec <...> [--engine <name>] [--whole-program|--inline] CLIENT.mj
+//! canvas engines
+//! ```
+//!
+//! Exit status: 0 = certified conformant, 1 = potential violations found,
+//! 2 = usage/spec/client error.
+
+use std::process::ExitCode;
+
+use canvas_core::{Certifier, Engine};
+use canvas_easl::Spec;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("canvas: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let mut it = args.iter();
+    let cmd = it.next().map(String::as_str).unwrap_or("help");
+    match cmd {
+        "engines" => {
+            for e in Engine::all() {
+                println!(
+                    "{:<26} {}",
+                    e.to_string(),
+                    if e.specialized() { "derived abstraction" } else { "generic baseline" }
+                );
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "derive" => {
+            let opts = parse_opts(it.as_slice())?;
+            let spec = load_spec(&opts.spec)?;
+            println!("specification {} ({:?})", spec.name(), canvas_easl::classify(&spec));
+            let certifier = Certifier::from_spec(spec).map_err(|e| e.to_string())?;
+            println!("derived instrumentation-predicate families:");
+            for f in certifier.derived().families() {
+                println!("  {f}");
+            }
+            let stats = certifier.derived().stats();
+            println!(
+                "derivation: {} WP computations, {} equivalence checks, converged in {} rounds",
+                stats.wp_count,
+                stats.equiv_checks,
+                stats.families_discovered.len()
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        "certify" => {
+            let opts = parse_opts(it.as_slice())?;
+            let client_path =
+                opts.client.as_deref().ok_or("certify needs a client file argument")?;
+            let source = std::fs::read_to_string(client_path)
+                .map_err(|e| format!("cannot read {client_path}: {e}"))?;
+            let spec = load_spec(&opts.spec)?;
+            let certifier = Certifier::from_spec(spec).map_err(|e| e.to_string())?;
+            let program = canvas_minijava::Program::parse(&source, certifier.spec())
+                .map_err(|e| format!("{client_path}: {e}"))?;
+            let report = if opts.inline {
+                certifier.certify_inlined(&program, opts.engine)
+            } else if opts.whole_program {
+                certifier.certify_program(&program, opts.engine)
+            } else {
+                certifier.certify(&program, opts.engine)
+            }
+            .map_err(|e| e.to_string())?;
+            print!("{report}");
+            Ok(if report.certified() { ExitCode::SUCCESS } else { ExitCode::from(1) })
+        }
+        _ => {
+            println!(
+                "usage:\n  canvas derive  --spec <cmp|grp|imp|aop|PATH.easl>\n  \
+                 canvas certify --spec <...> [--engine <name>] [--whole-program|--inline] CLIENT.mj\n  \
+                 canvas engines"
+            );
+            Ok(ExitCode::from(2))
+        }
+    }
+}
+
+struct Opts {
+    spec: String,
+    engine: Engine,
+    whole_program: bool,
+    inline: bool,
+    client: Option<String>,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        spec: "cmp".to_string(),
+        engine: Engine::ScmpFds,
+        whole_program: false,
+        inline: false,
+        client: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--spec" => {
+                opts.spec = it.next().ok_or("--spec needs a value")?.clone();
+            }
+            "--engine" => {
+                let name = it.next().ok_or("--engine needs a value")?;
+                opts.engine = Engine::all()
+                    .into_iter()
+                    .find(|e| e.to_string() == *name)
+                    .ok_or_else(|| format!("unknown engine {name:?} (see `canvas engines`)"))?;
+            }
+            "--whole-program" => opts.whole_program = true,
+            "--inline" => opts.inline = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option {other:?}"));
+            }
+            other => {
+                if opts.client.replace(other.to_string()).is_some() {
+                    return Err("more than one client file given".to_string());
+                }
+            }
+        }
+    }
+    Ok(opts)
+}
+
+fn load_spec(name: &str) -> Result<Spec, String> {
+    match name {
+        "cmp" => Ok(canvas_easl::builtin::cmp()),
+        "grp" => Ok(canvas_easl::builtin::grp()),
+        "imp" => Ok(canvas_easl::builtin::imp()),
+        "aop" => Ok(canvas_easl::builtin::aop()),
+        path => {
+            let src = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read spec {path}: {e}"))?;
+            let stem = std::path::Path::new(path)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("spec")
+                .to_string();
+            Spec::parse(stem, &src).map_err(|e| format!("{path}: {e}"))
+        }
+    }
+}

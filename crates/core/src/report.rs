@@ -1,0 +1,80 @@
+//! Certification reports.
+
+use std::fmt;
+use std::time::Duration;
+
+/// A potential conformance violation.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Violation {
+    /// Qualified name of the containing method, e.g. `Main.main`.
+    pub method: String,
+    /// 1-based source line of the offending call.
+    pub line: u32,
+    /// Human-readable description, e.g. `i.next()`.
+    pub what: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: line {}: {}", self.method, self.line, self.what)
+    }
+}
+
+/// Work/size statistics of one certification run.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Stats {
+    /// Wall-clock analysis time (client analysis only — derivation happens
+    /// at certifier-generation time).
+    pub duration: Duration,
+    /// Number of predicate instances / predicates in play.
+    pub predicates: usize,
+    /// Engine work units (edge visits, structure-transformer applications,
+    /// valuation transfers — engine-specific but comparable per engine).
+    pub work: usize,
+    /// Peak per-node abstract-state size (1 for single-state engines).
+    pub max_states: usize,
+    /// Whether a state budget was exhausted (result degraded to
+    /// conservative).
+    pub exhausted: bool,
+}
+
+/// The result of certifying one client.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Report {
+    /// The engine used.
+    pub engine: crate::Engine,
+    /// Potential violations, ordered by (method, line).
+    pub violations: Vec<Violation>,
+    /// Run statistics.
+    pub stats: Stats,
+}
+
+impl Report {
+    /// The violation lines (convenience for tests and tables).
+    pub fn lines(&self) -> Vec<u32> {
+        self.violations.iter().map(|v| v.line).collect()
+    }
+
+    /// Whether the client is certified conformant (no potential violation).
+    pub fn certified(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:?}: {} violation(s), {:?}, {} predicate(s), work {}",
+            self.engine,
+            self.violations.len(),
+            self.stats.duration,
+            self.stats.predicates,
+            self.stats.work
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  potential violation at {v}")?;
+        }
+        Ok(())
+    }
+}

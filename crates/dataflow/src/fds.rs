@@ -1,0 +1,292 @@
+//! The polynomial FDS certifier core: may-be-1 reachability.
+//!
+//! For every `requires ¬p` check the certifier only needs to know whether
+//! `p` *may* evaluate to 1 at the check's program point. Over the
+//! transformed boolean program — whose assignments are all of the shape
+//! `p := p₁ ∨ … ∨ pₖ`, `p := 0`, `p := 1` — the may-be-1 property is
+//! distributive over path union, so the fixpoint below computes the exact
+//! meet-over-all-paths solution (§4.3), in `O(E · B²)` time.
+//!
+//! `Havoc` right-hand sides (unknown callees, heap loads) conservatively set
+//! the bit.
+
+use canvas_abstraction::{BoolProgram, Operand, Rhs};
+use canvas_minijava::Site;
+
+use crate::bitset::BitSet;
+
+/// The fixpoint result: for every node, which predicates may be 1.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FdsResult {
+    /// Per-node may-be-1 sets, indexed by node id.
+    pub may_one: Vec<BitSet>,
+    /// Number of edge evaluations performed (work measure).
+    pub edge_visits: usize,
+}
+
+/// A potential `requires` violation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Violation {
+    /// Where.
+    pub site: Site,
+    /// The predicate instances that may be 1 (empty when the check fires on
+    /// a constant-true disjunct).
+    pub culprits: Vec<usize>,
+}
+
+/// Runs the may-be-1 analysis to fixpoint.
+pub fn analyze(bp: &BoolProgram) -> FdsResult {
+    let n = bp.node_count;
+    let width = bp.preds.len();
+    let mut state: Vec<BitSet> = (0..n).map(|_| BitSet::new(width)).collect();
+    for &k in &bp.entry_unknown {
+        state[bp.entry].set(k, true);
+    }
+
+    // index edges by source for the worklist
+    let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (k, e) in bp.edges.iter().enumerate() {
+        out_edges[e.from].push(k);
+    }
+
+    let mut work: Vec<usize> = vec![bp.entry];
+    let mut on_work = vec![false; n];
+    let mut reached = vec![false; n];
+    on_work[bp.entry] = true;
+    reached[bp.entry] = true;
+    let mut edge_visits = 0;
+    while let Some(node) = work.pop() {
+        on_work[node] = false;
+        for &ek in &out_edges[node] {
+            let e = &bp.edges[ek];
+            edge_visits += 1;
+            let mut out = state[e.from].clone();
+            for (dst, rhs) in &e.assigns {
+                let bit = match rhs {
+                    Rhs::Havoc => true,
+                    Rhs::Disj(ops) => ops.iter().any(|op| match op {
+                        Operand::Const(c) => *c,
+                        Operand::Var(v) => state[e.from].get(*v),
+                    }),
+                };
+                out.set(*dst, bit);
+            }
+            let grew = state[e.to].union_with(&out);
+            let first_visit = !reached[e.to];
+            reached[e.to] = true;
+            if (grew || first_visit) && !on_work[e.to] {
+                on_work[e.to] = true;
+                work.push(e.to);
+            }
+        }
+    }
+    FdsResult { may_one: state, edge_visits }
+}
+
+/// Extracts the potential violations from a fixpoint.
+pub fn violations(bp: &BoolProgram, res: &FdsResult) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for c in &bp.checks {
+        let mut culprits = Vec::new();
+        let mut fires = false;
+        for op in &c.preds {
+            match op {
+                Operand::Const(true) => fires = true,
+                Operand::Const(false) => {}
+                Operand::Var(v) => {
+                    if res.may_one[c.node].get(*v) {
+                        fires = true;
+                        culprits.push(*v);
+                    }
+                }
+            }
+        }
+        if fires {
+            out.push(Violation { site: c.site.clone(), culprits });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canvas_abstraction::{transform_method, EntryAssumption};
+    use canvas_minijava::Program;
+    use canvas_wp::derive_abstraction;
+
+    fn certify(src: &str) -> Vec<Violation> {
+        let spec = canvas_easl::builtin::cmp();
+        let program = Program::parse(src, &spec).unwrap();
+        let derived = derive_abstraction(&spec).unwrap();
+        let main = program.main_method().expect("needs a main");
+        let bp = transform_method(&program, main, &spec, &derived, EntryAssumption::Clean);
+        let res = analyze(&bp);
+        violations(&bp, &res)
+    }
+
+    #[test]
+    fn fig3_exact_lines() {
+        // the paper's running example: errors at the i2.next() and the final
+        // i1.next(), and NO false alarm at i3.next()
+        let v = certify(
+            r#"
+class Main {
+    static void main() {
+        Set v = new Set();
+        Iterator i1 = v.iterator();
+        Iterator i2 = v.iterator();
+        Iterator i3 = i1;
+        i1.next();
+        i1.remove();
+        if (true) { i2.next(); }
+        if (true) { i3.next(); }
+        v.add("x");
+        if (true) { i1.next(); }
+    }
+    static boolean c() { return true; }
+}
+"#,
+        );
+        let lines: Vec<u32> = v.iter().map(|x| x.site.line).collect();
+        assert_eq!(lines, vec![10, 13], "violations: {v:#?}");
+    }
+
+    #[test]
+    fn straightline_no_error() {
+        let v = certify(
+            r#"
+class Main {
+    static void main() {
+        Set s = new Set();
+        s.add("a");
+        Iterator i = s.iterator();
+        i.next();
+        i.remove();
+        i.next();
+    }
+}
+"#,
+        );
+        assert!(v.is_empty(), "{v:#?}");
+    }
+
+    #[test]
+    fn loop_with_fresh_iterator_is_safe() {
+        // the §3 example that defeats allocation-site-based alias analysis:
+        // the set is modified, but a fresh iterator is created before each
+        // inner loop, so no CME occurs
+        let v = certify(
+            r#"
+class Main {
+    static void main() {
+        Set s = new Set();
+        while (true) {
+            s.add("x");
+            for (Iterator i = s.iterator(); i.hasNext(); ) {
+                i.next();
+            }
+        }
+    }
+    static boolean c() { return true; }
+}
+"#,
+        );
+        assert!(v.is_empty(), "{v:#?}");
+    }
+
+    #[test]
+    fn loop_add_during_iteration_is_flagged() {
+        let v = certify(
+            r#"
+class Main {
+    static void main() {
+        Set s = new Set();
+        for (Iterator i = s.iterator(); i.hasNext(); ) {
+            i.next();
+            s.add("x");
+        }
+    }
+}
+"#,
+        );
+        // the second-iteration next() must be flagged
+        assert_eq!(v.len(), 1, "{v:#?}");
+        assert!(v[0].site.what.contains("next"));
+    }
+
+    #[test]
+    fn iterator_remove_keeps_self_valid_but_stales_others() {
+        let v = certify(
+            r#"
+class Main {
+    static void main() {
+        Set s = new Set();
+        Iterator a = s.iterator();
+        Iterator b = s.iterator();
+        a.remove();
+        a.next();
+        b.next();
+    }
+}
+"#,
+        );
+        assert_eq!(v.len(), 1, "{v:#?}");
+        assert_eq!(v[0].site.what, "b.next()");
+    }
+
+    #[test]
+    fn branch_join_is_path_sensitive_enough() {
+        // one branch stales i, the other does not: the later next() may fail
+        let v = certify(
+            r#"
+class Main {
+    static void main() {
+        Set s = new Set();
+        Iterator i = s.iterator();
+        if (true) { s.add("x"); }
+        i.next();
+    }
+    static boolean c() { return true; }
+}
+"#,
+        );
+        assert_eq!(v.len(), 1);
+        // but if both branches refresh the iterator, no alarm:
+        let v = certify(
+            r#"
+class Main {
+    static void main() {
+        Set s = new Set();
+        Iterator i = s.iterator();
+        if (true) { s.add("x"); i = s.iterator(); } else { i = s.iterator(); }
+        i.next();
+    }
+    static boolean c() { return true; }
+}
+"#,
+        );
+        assert!(v.is_empty(), "{v:#?}");
+    }
+
+    #[test]
+    fn unknown_callee_is_conservative() {
+        let v = certify(
+            r#"
+class Main {
+    static void main() {
+        Set s = new Set();
+        Iterator i = s.iterator();
+        mystery();
+        i.next();
+    }
+    static void mystery() { }
+}
+"#,
+        );
+        // intraprocedural engine must flag this (mystery could mutate s via
+        // a static — it cannot here, but the intraproc abstraction cannot
+        // know that; §8's interprocedural engine resolves it)
+        assert_eq!(v.len(), 1);
+    }
+}

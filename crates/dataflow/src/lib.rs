@@ -1,0 +1,23 @@
+//! Dataflow engines for the transformed boolean client programs.
+//!
+//! * [`fds`] — the polynomial-time certifier core (paper §4.3): for
+//!   certification only the question "may predicate `p` be 1 at point `n`"
+//!   matters, and that component of the FDS (finite distributive subset)
+//!   analysis is a pure reachability problem on the exploded
+//!   (point × predicate) graph, so MFP = MOP: the analysis computes the
+//!   *precise* meet-over-all-paths solution in `O(E · B²)`.
+//! * [`relational`] — the exponential relational baseline (a set of full
+//!   valuations per program point), used as a precision oracle in tests and
+//!   in the evaluation's relational-vs-independent-attribute comparison.
+//! * [`interproc`] — the context-sensitive interprocedural SCMP analysis of
+//!   paper §8 (IFDS-style tabulation with callee may-effect summaries).
+//! * [`bitset`] — the shared bit-set representation.
+
+pub mod bitset;
+pub mod fds;
+pub mod interproc;
+pub mod relational;
+
+pub use bitset::BitSet;
+pub use fds::{FdsResult, Violation};
+pub use relational::{RelError, RelResult};

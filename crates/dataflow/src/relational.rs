@@ -1,0 +1,234 @@
+//! The relational baseline: a set of full valuations per program point.
+//!
+//! This is the exponential-worst-case analysis the paper contrasts with the
+//! independent-attribute FDS engine (§4.6): it tracks *all correlations*
+//! between predicate instances. For the derived abstractions the paper
+//! proves — and our tests confirm — that the cheap may-be-1 analysis loses
+//! no precision on the certification question; this engine is the oracle
+//! that confirms it, and the baseline timed in the evaluation.
+
+use std::collections::HashSet;
+
+use canvas_abstraction::{BoolProgram, Operand, Rhs};
+use canvas_minijava::Site;
+
+use crate::bitset::BitSet;
+use crate::fds::Violation;
+
+/// Analysis failure: the state set exceeded the budget.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RelError {
+    /// The node whose state set blew up.
+    pub node: usize,
+    /// The configured budget.
+    pub budget: usize,
+}
+
+impl std::fmt::Display for RelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "relational analysis exceeded {} states at node {}",
+            self.budget, self.node
+        )
+    }
+}
+
+impl std::error::Error for RelError {}
+
+/// The relational fixpoint: per-node sets of valuations.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RelResult {
+    /// Reachable valuations per node.
+    pub states: Vec<HashSet<BitSet>>,
+    /// Total number of valuation-transfer evaluations.
+    pub transfers: usize,
+}
+
+/// Runs the relational analysis with a per-node state budget.
+///
+/// # Errors
+///
+/// Returns [`RelError`] if any node accumulates more than `budget`
+/// valuations (the engine is exponential in the worst case).
+pub fn analyze(bp: &BoolProgram, budget: usize) -> Result<RelResult, RelError> {
+    let n = bp.node_count;
+    let width = bp.preds.len();
+    let mut states: Vec<HashSet<BitSet>> = vec![HashSet::new(); n];
+
+    // entry states: all combinations of the unknown bits
+    let mut entry_states = vec![BitSet::new(width)];
+    for &k in &bp.entry_unknown {
+        let mut more = Vec::with_capacity(entry_states.len());
+        for s in &entry_states {
+            let mut t = s.clone();
+            t.set(k, true);
+            more.push(t);
+        }
+        entry_states.extend(more);
+        if entry_states.len() > budget {
+            return Err(RelError { node: bp.entry, budget });
+        }
+    }
+    states[bp.entry] = entry_states.into_iter().collect();
+
+    let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (k, e) in bp.edges.iter().enumerate() {
+        out_edges[e.from].push(k);
+    }
+
+    let mut work: Vec<usize> = vec![bp.entry];
+    let mut on_work = vec![false; n];
+    on_work[bp.entry] = true;
+    let mut transfers = 0;
+    while let Some(node) = work.pop() {
+        on_work[node] = false;
+        for &ek in &out_edges[node] {
+            let e = &bp.edges[ek];
+            let mut new_states: Vec<BitSet> = Vec::new();
+            for s in &states[e.from] {
+                transfers += 1;
+                // apply parallel assignment; Havoc forks
+                let mut outs = vec![s.clone()];
+                for (dst, rhs) in &e.assigns {
+                    match rhs {
+                        Rhs::Disj(ops) => {
+                            let bit = ops.iter().any(|op| match op {
+                                Operand::Const(c) => *c,
+                                Operand::Var(v) => s.get(*v),
+                            });
+                            for o in &mut outs {
+                                o.set(*dst, bit);
+                            }
+                        }
+                        Rhs::Havoc => {
+                            let mut forked = Vec::with_capacity(outs.len() * 2);
+                            for o in outs {
+                                let mut one = o.clone();
+                                one.set(*dst, true);
+                                let mut zero = o;
+                                zero.set(*dst, false);
+                                forked.push(zero);
+                                forked.push(one);
+                            }
+                            outs = forked;
+                            if outs.len() > budget {
+                                return Err(RelError { node: e.to, budget });
+                            }
+                        }
+                    }
+                }
+                new_states.extend(outs);
+            }
+            let target = &mut states[e.to];
+            let mut changed = false;
+            for s in new_states {
+                changed |= target.insert(s);
+            }
+            if target.len() > budget {
+                return Err(RelError { node: e.to, budget });
+            }
+            if changed && !on_work[e.to] {
+                on_work[e.to] = true;
+                work.push(e.to);
+            }
+        }
+    }
+    Ok(RelResult { states, transfers })
+}
+
+/// Extracts potential violations from a relational fixpoint.
+pub fn violations(bp: &BoolProgram, res: &RelResult) -> Vec<Violation> {
+    let mut out: Vec<Violation> = Vec::new();
+    for c in &bp.checks {
+        let mut culprits = Vec::new();
+        let mut fires = false;
+        for op in &c.preds {
+            match op {
+                Operand::Const(true) => fires = true,
+                Operand::Const(false) => {}
+                Operand::Var(v) => {
+                    if res.states[c.node].iter().any(|s| s.get(*v)) {
+                        fires = true;
+                        culprits.push(*v);
+                    }
+                }
+            }
+        }
+        if fires {
+            out.push(Violation { site: c.site.clone(), culprits });
+        }
+    }
+    out
+}
+
+/// A convenience wrapper: sites flagged by the relational engine.
+pub fn violation_sites(bp: &BoolProgram, res: &RelResult) -> Vec<Site> {
+    violations(bp, res).into_iter().map(|v| v.site).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canvas_abstraction::{transform_method, EntryAssumption};
+    use canvas_minijava::Program;
+    use canvas_wp::derive_abstraction;
+
+    fn build(src: &str) -> BoolProgram {
+        let spec = canvas_easl::builtin::cmp();
+        let program = Program::parse(src, &spec).unwrap();
+        let derived = derive_abstraction(&spec).unwrap();
+        let main = program.main_method().expect("needs a main");
+        transform_method(&program, main, &spec, &derived, EntryAssumption::Clean)
+    }
+
+    const FIG3: &str = r#"
+class Main {
+    static void main() {
+        Set v = new Set();
+        Iterator i1 = v.iterator();
+        Iterator i2 = v.iterator();
+        Iterator i3 = i1;
+        i1.next();
+        i1.remove();
+        if (true) { i2.next(); }
+        if (true) { i3.next(); }
+        v.add("x");
+        if (true) { i1.next(); }
+    }
+    static boolean c() { return true; }
+}
+"#;
+
+    #[test]
+    fn relational_matches_fds_on_fig3() {
+        let bp = build(FIG3);
+        let rel = analyze(&bp, 1 << 16).unwrap();
+        let rel_sites: Vec<u32> = violations(&bp, &rel).iter().map(|v| v.site.line).collect();
+        let fds = crate::fds::analyze(&bp);
+        let fds_sites: Vec<u32> =
+            crate::fds::violations(&bp, &fds).iter().map(|v| v.site.line).collect();
+        assert_eq!(rel_sites, fds_sites);
+        assert_eq!(rel_sites, vec![10, 13]);
+    }
+
+    #[test]
+    fn budget_enforced() {
+        // entry unknowns fork the entry state set; with a tiny budget the
+        // analysis must refuse rather than silently drop states
+        let spec = canvas_easl::builtin::cmp();
+        let program = Program::parse(
+            "class A { void m(Iterator a, Iterator b, Iterator c, Set s) { a.next(); } }",
+            &spec,
+        )
+        .unwrap();
+        let derived = derive_abstraction(&spec).unwrap();
+        let m = program.method_named("A.m").unwrap();
+        let bp = transform_method(&program, m, &spec, &derived, EntryAssumption::Unknown);
+        let err = analyze(&bp, 4).unwrap_err();
+        assert_eq!(err.budget, 4);
+        // with a generous budget it succeeds and flags the call
+        let ok = analyze(&bp, 1 << 20).unwrap();
+        assert_eq!(violations(&bp, &ok).len(), 1);
+    }
+}

@@ -1,0 +1,54 @@
+//! Error type for EASL parsing and resolution.
+
+use std::fmt;
+
+/// An error produced while lexing, parsing or resolving an EASL
+/// specification.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EaslError {
+    line: u32,
+    message: String,
+}
+
+impl EaslError {
+    /// Creates an error attached to a 1-based source line.
+    pub fn new(line: u32, message: impl Into<String>) -> Self {
+        EaslError { line, message: message.into() }
+    }
+
+    /// The 1-based source line the error refers to (0 if unknown).
+    pub fn line(&self) -> u32 {
+        self.line
+    }
+
+    /// The error message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for EaslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            f.write_str(&self.message)
+        }
+    }
+}
+
+impl std::error::Error for EaslError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = EaslError::new(3, "unexpected token");
+        assert_eq!(e.to_string(), "line 3: unexpected token");
+        let e = EaslError::new(0, "empty specification");
+        assert_eq!(e.to_string(), "empty specification");
+        assert_eq!(e.message(), "empty specification");
+    }
+}

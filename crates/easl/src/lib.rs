@@ -1,0 +1,42 @@
+//! EASL — the *Executable Abstraction Specification Language* (paper §2).
+//!
+//! An EASL specification is an abstract Java-like program describing the
+//! conformance-relevant behaviour of a software component: classes with
+//! reference-typed fields, constructors and methods whose bodies are
+//! restricted to field assignments, allocations and returns, plus
+//! `requires` clauses stating preconditions that any well-behaved client
+//! must satisfy.
+//!
+//! This crate provides:
+//!
+//! * the typed AST ([`Spec`], [`ClassSpec`], [`MethodSpec`], …),
+//! * a lexer/parser for the concrete Java-like syntax of the paper's Fig. 2,
+//! * the built-in specifications used throughout the paper
+//!   ([`builtin::cmp`], [`builtin::grp`], [`builtin::imp`], [`builtin::aop`]),
+//! * the *mutation-restriction* classifier of §6 ([`restrict`]).
+//!
+//! The paper's built-in set/map value types are not needed by any of its
+//! example specifications and are not modelled.
+//!
+//! # Example
+//!
+//! ```
+//! use canvas_easl::Spec;
+//!
+//! let spec = Spec::parse("cmp", canvas_easl::builtin::CMP_SOURCE)?;
+//! assert_eq!(spec.class_names(), ["Version", "Set", "Iterator"]);
+//! let it = spec.class("Iterator").unwrap();
+//! assert!(it.method("next").unwrap().requires().is_some());
+//! # Ok::<(), canvas_easl::EaslError>(())
+//! ```
+
+mod ast;
+pub mod builtin;
+mod error;
+pub mod lexer;
+mod parser;
+pub mod restrict;
+
+pub use ast::{ClassSpec, FieldDecl, MethodSpec, Spec, SpecExpr, SpecPath, SpecStmt, SpecVar};
+pub use error::EaslError;
+pub use restrict::{classify, SpecClass};

@@ -1,0 +1,170 @@
+//! The specification classifier of paper §6.
+//!
+//! §6 proves that the abstraction-derivation procedure terminates with a
+//! finite, precise abstraction for the class of *mutation-restricted*
+//! specifications. The paper's formal definition is built from:
+//!
+//! * **alias-based**: all preconditions are boolean combinations of alias
+//!   conditions (`α == β` over access paths) — true of every parseable EASL
+//!   `requires` in this implementation, so not a separate check;
+//! * **immutable field**: assigned only during construction of its owner;
+//! * **mutation-free**: all fields immutable (GRP's `Traversal`, IMP, AOP);
+//! * **mutation-restricted**: mutable fields are *version-like* — their type
+//!   is a **token class** (no fields, no methods, e.g. CMP's `Version` or
+//!   GRP's `Token`), and every post-construction assignment to them stores
+//!   either a fresh token or a copy of another token-typed path. Token
+//!   values are pure identity epochs: they have no structure the weakest
+//!   precondition can descend into, which bounds the access-path depth of
+//!   derived predicates and hence forces the derivation to converge.
+//!
+//! (The provided text of the paper truncates before §6's formal definition;
+//! the characterisation above is reconstructed from the properties §6 needs:
+//! CMP, GRP, IMP and AOP must all be members, and membership must bound the
+//! predicate vocabulary of the WP iteration.)
+
+use canvas_logic::TypeName;
+
+use crate::ast::{ClassSpec, Spec, SpecExpr, SpecStmt};
+
+/// The classification of a specification (ordered by increasing generality).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum SpecClass {
+    /// Every field is assigned only during construction of its owner.
+    MutationFree,
+    /// Mutable fields are version-like token fields (see module docs);
+    /// derivation is guaranteed to terminate with a finite abstraction.
+    MutationRestricted,
+    /// No termination guarantee; the derivation runs under a budget.
+    General,
+}
+
+impl SpecClass {
+    /// Whether the derivation procedure is guaranteed to terminate for this
+    /// class (paper §6).
+    pub fn derivation_terminates(self) -> bool {
+        self != SpecClass::General
+    }
+}
+
+/// Whether `class_spec` is a *token class*: no fields and no methods other
+/// than (possibly) a no-op constructor.
+pub fn is_token_class(class_spec: &ClassSpec) -> bool {
+    class_spec.fields().is_empty()
+        && class_spec
+            .methods()
+            .iter()
+            .all(|m| m.is_ctor() && m.body().is_empty() && m.requires().is_none())
+}
+
+/// Classifies a specification per §6.
+pub fn classify(spec: &Spec) -> SpecClass {
+    let mut any_mutation = false;
+    for class in spec.classes() {
+        for method in class.methods() {
+            for stmt in method.body() {
+                let SpecStmt::Assign { lhs, rhs } = stmt;
+                // An assignment in a constructor to a field of `this`
+                // (depth-1 path) is construction-time initialisation.
+                let construction =
+                    method.is_ctor() && lhs.fields().len() == 1 && lhs.base() == crate::SpecVar::This;
+                if construction {
+                    continue;
+                }
+                any_mutation = true;
+                // Mutation: the assigned field's type must be a token class…
+                let Some(field_ty) = assigned_field_type(spec, class, method, stmt) else {
+                    return SpecClass::General;
+                };
+                let Some(target) = spec.class(field_ty.as_str()) else {
+                    return SpecClass::General;
+                };
+                if !is_token_class(target) {
+                    return SpecClass::General;
+                }
+                // …and the stored value must be a fresh token or a copy of a
+                // token-typed path.
+                match rhs {
+                    SpecExpr::New { ty, args } => {
+                        if !args.is_empty() || spec.class(ty.as_str()).is_none_or(|c| !is_token_class(c))
+                        {
+                            return SpecClass::General;
+                        }
+                    }
+                    SpecExpr::Path(_) => {
+                        // type equality was established when resolving; the
+                        // field type is a token class, so the path's value is
+                        // a token.
+                    }
+                }
+            }
+        }
+    }
+    if any_mutation {
+        SpecClass::MutationRestricted
+    } else {
+        SpecClass::MutationFree
+    }
+}
+
+/// The declared type of the field assigned by `stmt`.
+fn assigned_field_type(
+    spec: &Spec,
+    class: &ClassSpec,
+    method: &crate::MethodSpec,
+    stmt: &SpecStmt,
+) -> Option<TypeName> {
+    let SpecStmt::Assign { lhs, .. } = stmt;
+    let path = lhs.to_access_path(method, class);
+    // walk the type of the full path
+    let mut ty = path.base().ty().clone();
+    for f in path.fields() {
+        ty = spec.field_type(&ty, f)?;
+    }
+    Some(ty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin;
+
+    #[test]
+    fn cmp_is_mutation_restricted() {
+        assert_eq!(classify(&builtin::cmp()), SpecClass::MutationRestricted);
+        assert!(classify(&builtin::cmp()).derivation_terminates());
+    }
+
+    #[test]
+    fn grp_is_mutation_restricted() {
+        // startTraversal mutates Graph.owner (a token field) after construction
+        assert_eq!(classify(&builtin::grp()), SpecClass::MutationRestricted);
+    }
+
+    #[test]
+    fn imp_and_aop_are_mutation_free() {
+        assert_eq!(classify(&builtin::imp()), SpecClass::MutationFree);
+        assert_eq!(classify(&builtin::aop()), SpecClass::MutationFree);
+    }
+
+    #[test]
+    fn unbounded_is_general() {
+        let c = classify(&builtin::unbounded());
+        assert_eq!(c, SpecClass::General);
+        assert!(!c.derivation_terminates());
+    }
+
+    #[test]
+    fn token_class_detection() {
+        let spec = builtin::cmp();
+        assert!(is_token_class(spec.class("Version").unwrap()));
+        assert!(!is_token_class(spec.class("Set").unwrap()));
+        let spec = builtin::grp();
+        assert!(is_token_class(spec.class("Token").unwrap()));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SpecClass::MutationFree < SpecClass::MutationRestricted);
+        assert!(SpecClass::MutationRestricted < SpecClass::General);
+    }
+}

@@ -1,0 +1,42 @@
+//! Fuzzing the EASL spec parser: garbage input yields errors, never panics,
+//! and the built-in specs parse deterministically.
+
+use canvas_easl::Spec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn garbage_specs_never_panic(src in ".{0,200}") {
+        let _ = Spec::parse("fuzz", &src);
+    }
+
+    #[test]
+    fn spec_token_soup_never_panics(toks in prop::collection::vec(
+        prop_oneof![
+            Just("class"), Just("requires"), Just("return"), Just("new"),
+            Just("void"), Just("Set"), Just("Version"), Just("Iterator"),
+            Just("ver"), Just("defVer"), Just("set"), Just("this"), Just("s"),
+            Just("{"), Just("}"), Just("("), Just(")"), Just(";"), Just("."),
+            Just(","), Just("="), Just("=="), Just("!="), Just("&&"), Just("!"),
+        ],
+        0..50,
+    )) {
+        let _ = Spec::parse("fuzz", &toks.join(" "));
+    }
+}
+
+#[test]
+fn builtins_parse_deterministically() {
+    for (name, src) in [
+        ("cmp", canvas_easl::builtin::CMP_SOURCE),
+        ("grp", canvas_easl::builtin::GRP_SOURCE),
+        ("imp", canvas_easl::builtin::IMP_SOURCE),
+        ("aop", canvas_easl::builtin::AOP_SOURCE),
+    ] {
+        let a = Spec::parse(name, src).unwrap();
+        let b = Spec::parse(name, src).unwrap();
+        assert_eq!(a, b);
+    }
+}

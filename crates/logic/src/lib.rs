@@ -1,0 +1,47 @@
+//! Quantifier-free first-order logic over *access paths*.
+//!
+//! This crate is the logical substrate shared by the whole `canvas`
+//! workspace. It provides:
+//!
+//! * [`TypeName`], [`Var`], [`AccessPath`], [`Term`] — the term language used
+//!   by EASL specifications and by the weakest-precondition engine. Terms are
+//!   either access paths (`i.set.ver`) rooted at typed logical variables, or
+//!   *allocation tokens* denoting values produced by `new` during a symbolic
+//!   computation.
+//! * [`Formula`] — quantifier-free boolean combinations of term equalities,
+//!   with negation-normal-form and disjunctive-normal-form conversion
+//!   ([`Dnf`]) plus aggressive simplification.
+//! * [`Kleene`] — three-valued truth values with Kleene semantics, used by the
+//!   TVLA-style engine in `canvas-tvla`.
+//! * [`models`] — a small-model enumerator for the EUF fragment the paper's
+//!   derivation procedure lives in, giving decidable equivalence, implication
+//!   and satisfiability checks (used to recognise when a newly generated
+//!   instrumentation predicate is equivalent to an existing one, §4.5 of the
+//!   paper).
+//!
+//! # Example
+//!
+//! ```
+//! use canvas_logic::{AccessPath, Formula, TypeName, Var};
+//!
+//! let iter = TypeName::new("Iterator");
+//! let i = Var::new("i", iter);
+//! // stale(i)  ≡  i.defVer != i.set.ver
+//! let stale = Formula::ne(
+//!     AccessPath::of(i.clone()).field("defVer"),
+//!     AccessPath::of(i).field("set").field("ver"),
+//! );
+//! assert_eq!(stale.to_string(), "i.defVer != i.set.ver");
+//! ```
+
+mod formula;
+mod kleene;
+pub mod models;
+mod path;
+mod term;
+
+pub use formula::{Dnf, Formula, Literal};
+pub use kleene::Kleene;
+pub use models::{ModelEnv, TypeOracle};
+pub use path::{AccessPath, TypeName, Var};
+pub use term::{AllocToken, Term};

@@ -1,0 +1,233 @@
+//! Typed logical variables and access paths.
+
+use std::fmt;
+
+/// The name of a component (or client) type, e.g. `Set` or `Iterator`.
+///
+/// `TypeName` is a cheap, comparable identifier; the structure of a type
+/// (its fields and methods) lives in the EASL specification, not here.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TypeName(String);
+
+impl TypeName {
+    /// Creates a type name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TypeName(name.into())
+    }
+
+    /// The textual name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for TypeName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for TypeName {
+    fn from(s: &str) -> Self {
+        TypeName::new(s)
+    }
+}
+
+/// A typed logical variable.
+///
+/// During abstraction derivation these stand both for the free variables of
+/// candidate instrumentation predicates (the paper's `i`, `j`, `v`, `w`) and
+/// for the operands of a component method call (`receiver`, parameters,
+/// result). During client analysis they are instantiated with actual client
+/// program variables.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Var {
+    name: String,
+    ty: TypeName,
+}
+
+impl Var {
+    /// Creates a variable with the given name and type.
+    pub fn new(name: impl Into<String>, ty: TypeName) -> Self {
+        Var { name: name.into(), ty }
+    }
+
+    /// The variable's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The variable's declared type.
+    pub fn ty(&self) -> &TypeName {
+        &self.ty
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// An access path: a variable followed by zero or more field selections,
+/// e.g. `i.set.ver`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct AccessPath {
+    base: Var,
+    fields: Vec<String>,
+}
+
+impl AccessPath {
+    /// The path consisting of just a variable.
+    pub fn of(base: Var) -> Self {
+        AccessPath { base, fields: Vec::new() }
+    }
+
+    /// Extends the path with a field selection (builder style).
+    #[must_use]
+    pub fn field(mut self, name: impl Into<String>) -> Self {
+        self.fields.push(name.into());
+        self
+    }
+
+    /// The root variable of the path.
+    pub fn base(&self) -> &Var {
+        &self.base
+    }
+
+    /// The field selections, outermost last.
+    pub fn fields(&self) -> &[String] {
+        &self.fields
+    }
+
+    /// Number of field selections.
+    pub fn depth(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether this path is exactly a variable (no field selections).
+    pub fn is_var(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// The immediate prefix of this path (`i.set` for `i.set.ver`), or
+    /// `None` if the path is a bare variable.
+    pub fn parent(&self) -> Option<AccessPath> {
+        if self.fields.is_empty() {
+            None
+        } else {
+            Some(AccessPath {
+                base: self.base.clone(),
+                fields: self.fields[..self.fields.len() - 1].to_vec(),
+            })
+        }
+    }
+
+    /// The last field of the path, if any.
+    pub fn last_field(&self) -> Option<&str> {
+        self.fields.last().map(String::as_str)
+    }
+
+    /// All prefixes of the path, from the bare variable up to and including
+    /// the path itself.
+    pub fn prefixes(&self) -> Vec<AccessPath> {
+        let mut out = Vec::with_capacity(self.fields.len() + 1);
+        for k in 0..=self.fields.len() {
+            out.push(AccessPath {
+                base: self.base.clone(),
+                fields: self.fields[..k].to_vec(),
+            });
+        }
+        out
+    }
+
+    /// Whether `prefix` is a (non-strict) prefix of this path.
+    pub fn has_prefix(&self, prefix: &AccessPath) -> bool {
+        self.base == prefix.base
+            && self.fields.len() >= prefix.fields.len()
+            && self.fields[..prefix.fields.len()] == prefix.fields[..]
+    }
+
+    /// Replaces the prefix `from` of this path by appending the remaining
+    /// fields onto `to`. Returns `None` if `from` is not a prefix.
+    pub fn rebase(&self, from: &AccessPath, to: &AccessPath) -> Option<AccessPath> {
+        if !self.has_prefix(from) {
+            return None;
+        }
+        let mut out = to.clone();
+        out.fields.extend(self.fields[from.fields.len()..].iter().cloned());
+        Some(out)
+    }
+
+    /// Renames the base variable if it equals `from`.
+    pub fn rename_base(&self, from: &Var, to: &Var) -> AccessPath {
+        if &self.base == from {
+            AccessPath { base: to.clone(), fields: self.fields.clone() }
+        } else {
+            self.clone()
+        }
+    }
+}
+
+impl fmt::Display for AccessPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.base)?;
+        for fld in &self.fields {
+            write!(f, ".{fld}")?;
+        }
+        Ok(())
+    }
+}
+
+impl From<Var> for AccessPath {
+    fn from(v: Var) -> Self {
+        AccessPath::of(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv() -> Var {
+        Var::new("i", TypeName::new("Iterator"))
+    }
+
+    #[test]
+    fn display_path() {
+        let p = AccessPath::of(iv()).field("set").field("ver");
+        assert_eq!(p.to_string(), "i.set.ver");
+        assert_eq!(p.depth(), 2);
+        assert!(!p.is_var());
+    }
+
+    #[test]
+    fn parent_and_prefixes() {
+        let p = AccessPath::of(iv()).field("set").field("ver");
+        assert_eq!(p.parent().unwrap().to_string(), "i.set");
+        let pre: Vec<String> = p.prefixes().iter().map(|q| q.to_string()).collect();
+        assert_eq!(pre, ["i", "i.set", "i.set.ver"]);
+        assert!(AccessPath::of(iv()).parent().is_none());
+    }
+
+    #[test]
+    fn prefix_and_rebase() {
+        let p = AccessPath::of(iv()).field("set").field("ver");
+        let pre = AccessPath::of(iv()).field("set");
+        assert!(p.has_prefix(&pre));
+        assert!(p.has_prefix(&AccessPath::of(iv())));
+        assert!(!pre.has_prefix(&p));
+        let w = AccessPath::of(Var::new("w", TypeName::new("Set")));
+        assert_eq!(p.rebase(&pre, &w).unwrap().to_string(), "w.ver");
+        let other = AccessPath::of(Var::new("j", TypeName::new("Iterator")));
+        assert!(p.rebase(&other, &w).is_none());
+    }
+
+    #[test]
+    fn rename_base() {
+        let p = AccessPath::of(iv()).field("set");
+        let j = Var::new("j", TypeName::new("Iterator"));
+        assert_eq!(p.rename_base(&iv(), &j).to_string(), "j.set");
+        assert_eq!(p.rename_base(&j, &iv()).to_string(), "i.set");
+    }
+}

@@ -1,0 +1,103 @@
+//! Terms: access paths and allocation tokens.
+
+use std::fmt;
+
+use crate::{AccessPath, TypeName};
+
+/// A token denoting the value produced by one symbolic execution of a `new`
+/// expression.
+///
+/// Freshness is the key semantic property: a token compares **unequal** to
+/// every term that denotes a pre-existing value (any access path evaluated in
+/// the pre-state of the allocation), and two distinct tokens compare unequal
+/// to each other. The simplifier in [`crate::Formula`] exploits this.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct AllocToken {
+    id: u32,
+    ty: TypeName,
+}
+
+impl AllocToken {
+    /// Creates a token; ids must be unique within one symbolic computation.
+    pub fn new(id: u32, ty: TypeName) -> Self {
+        AllocToken { id, ty }
+    }
+
+    /// The unique id of this token.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The allocated type.
+    pub fn ty(&self) -> &TypeName {
+        &self.ty
+    }
+}
+
+impl fmt::Display for AllocToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "new#{}<{}>", self.id, self.ty)
+    }
+}
+
+/// A term of the logic: an access path or an allocation token.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Term {
+    /// A value denoted by an access path evaluated in the current state.
+    Path(AccessPath),
+    /// A freshly allocated value (see [`AllocToken`]).
+    Alloc(AllocToken),
+}
+
+impl Term {
+    /// The access path, if this term is one.
+    pub fn as_path(&self) -> Option<&AccessPath> {
+        match self {
+            Term::Path(p) => Some(p),
+            Term::Alloc(_) => None,
+        }
+    }
+
+    /// Whether the term is an allocation token.
+    pub fn is_alloc(&self) -> bool {
+        matches!(self, Term::Alloc(_))
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Path(p) => p.fmt(f),
+            Term::Alloc(a) => a.fmt(f),
+        }
+    }
+}
+
+impl From<AccessPath> for Term {
+    fn from(p: AccessPath) -> Self {
+        Term::Path(p)
+    }
+}
+
+impl From<AllocToken> for Term {
+    fn from(a: AllocToken) -> Self {
+        Term::Alloc(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Var;
+
+    #[test]
+    fn display() {
+        let t: Term = AccessPath::of(Var::new("v", TypeName::new("Set"))).into();
+        assert_eq!(t.to_string(), "v");
+        let a: Term = AllocToken::new(3, TypeName::new("Version")).into();
+        assert_eq!(a.to_string(), "new#3<Version>");
+        assert!(a.is_alloc());
+        assert!(t.as_path().is_some());
+        assert!(a.as_path().is_none());
+    }
+}

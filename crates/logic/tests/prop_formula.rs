@@ -1,0 +1,103 @@
+//! Property-based tests for formula normalization and the model enumerator.
+
+use canvas_logic::{models, AccessPath, Formula, Term, TypeName, Var};
+use proptest::prelude::*;
+
+/// A small pool of terms over two types with one field each, so that
+/// congruence constraints actually bite.
+fn term_pool() -> Vec<Term> {
+    let set = TypeName::new("S");
+    let iter = TypeName::new("I");
+    let mut out: Vec<Term> = Vec::new();
+    for n in ["a", "b"] {
+        let v = Var::new(n, set.clone());
+        out.push(AccessPath::of(v.clone()).into());
+        out.push(AccessPath::of(v).field("f").into());
+    }
+    for n in ["i", "j"] {
+        let v = Var::new(n, iter.clone());
+        out.push(AccessPath::of(v.clone()).into());
+        out.push(AccessPath::of(v).field("g").into());
+    }
+    out
+}
+
+fn arb_atom() -> impl Strategy<Value = Formula> {
+    let pool = term_pool();
+    let n = pool.len();
+    (0..n, 0..n, any::<bool>()).prop_map(move |(a, b, pos)| {
+        if pos {
+            Formula::Eq(pool[a].clone(), pool[b].clone())
+        } else {
+            Formula::Ne(pool[a].clone(), pool[b].clone())
+        }
+    })
+}
+
+fn arb_formula() -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![
+        Just(Formula::True),
+        Just(Formula::False),
+        arb_atom(),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| Formula::not(f)),
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Formula::and),
+            prop::collection::vec(inner, 1..3).prop_map(Formula::or),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// DNF conversion preserves semantics in every candidate model.
+    #[test]
+    fn dnf_preserves_semantics(f in arb_formula()) {
+        let d = f.to_dnf().to_formula();
+        prop_assert!(models::equivalent(&(), &Formula::True, &f, &d),
+            "formula {f} not equivalent to its DNF {d}");
+    }
+
+    /// DNF conversion is idempotent on the canonical form.
+    #[test]
+    fn dnf_idempotent(f in arb_formula()) {
+        let once = f.to_dnf().to_formula();
+        let twice = once.to_dnf().to_formula();
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Double negation is semantically invisible.
+    #[test]
+    fn double_negation(f in arb_formula()) {
+        let g = Formula::not(Formula::not(f.clone()));
+        prop_assert!(models::equivalent(&(), &Formula::True, &f, &g));
+    }
+
+    /// De Morgan: ¬(f ∧ g) ≡ ¬f ∨ ¬g in all models.
+    #[test]
+    fn de_morgan(f in arb_formula(), g in arb_formula()) {
+        let lhs = Formula::not(Formula::and([f.clone(), g.clone()]));
+        let rhs = Formula::or([Formula::not(f), Formula::not(g)]);
+        prop_assert!(models::equivalent(&(), &Formula::True, &lhs, &rhs));
+    }
+
+    /// Implication is reflexive and respects conjunction-weakening.
+    #[test]
+    fn implication_sanity(f in arb_formula(), g in arb_formula()) {
+        prop_assert!(models::implies(&(), &Formula::True, &f, &f));
+        let conj = Formula::and([f.clone(), g.clone()]);
+        prop_assert!(models::implies(&(), &Formula::True, &conj, &f));
+        prop_assert!(models::implies(&(), &Formula::True, &f, &Formula::or([f.clone(), g])));
+    }
+
+    /// An unsatisfiable formula implies everything; DNF of it is false or
+    /// at least evaluates false in all models.
+    #[test]
+    fn contradiction_implies_all(f in arb_formula(), g in arb_formula()) {
+        let contra = Formula::and([f.clone(), Formula::not(f)]);
+        prop_assert!(models::implies(&(), &Formula::True, &contra, &g));
+        prop_assert!(!models::satisfiable(&(), &Formula::True, &contra));
+    }
+}

@@ -1,0 +1,322 @@
+//! Whole-program inlining of client calls into `main`.
+//!
+//! The intraprocedural certifiers (in particular the TVLA engines of
+//! paper §5, which have no interprocedural story) can be given
+//! whole-program precision on non-recursive clients by inlining every
+//! client call into `main`. Callee variables are re-homed into `main`
+//! (one fresh copy per *call site*, so distinct activations never share
+//! state), parameter passing becomes reference copies, and returns become
+//! a copy from the callee's return slot.
+
+use std::collections::HashMap;
+
+use crate::ir::{Cfg, Instr, MethodId, NodeId, Program, VarId};
+use crate::SourceError;
+
+/// Produces a copy of `program` whose `main` has every (transitive) client
+/// call inlined.
+///
+/// # Errors
+///
+/// Fails on recursive call graphs or when the inlined CFG would exceed
+/// `max_nodes`.
+pub fn inline_main(program: &Program, max_nodes: usize) -> Result<Program, SourceError> {
+    let main = program
+        .main_method()
+        .ok_or_else(|| SourceError::new(0, "inlining needs a static main"))?
+        .id;
+    let mut out = program.clone();
+    let mut ctx = Inliner { src: program, out: &mut out, main, max_nodes };
+    let mut on_stack = Vec::new();
+    let cfg = ctx.inline_method(main, &mut on_stack)?;
+    out.replace_cfg(main, cfg);
+    Ok(out)
+}
+
+struct Inliner<'a> {
+    src: &'a Program,
+    out: &'a mut Program,
+    main: MethodId,
+    max_nodes: usize,
+}
+
+impl Inliner<'_> {
+    /// Returns a CFG for `mid` with all client calls recursively inlined;
+    /// variables referenced are `mid`'s own (for the root) or fresh copies
+    /// created by the caller's splice.
+    fn inline_method(
+        &mut self,
+        mid: MethodId,
+        on_stack: &mut Vec<MethodId>,
+    ) -> Result<Cfg, SourceError> {
+        if on_stack.contains(&mid) {
+            return Err(SourceError::new(
+                self.src.method(mid).line,
+                format!("cannot inline recursive method {}", self.src.method(mid).qualified_name()),
+            ));
+        }
+        on_stack.push(mid);
+        let base = self.src.method(mid).cfg.clone();
+        let mut cfg = Cfg::new();
+        // pre-allocate the same node ids as the base CFG
+        while cfg.node_count() < base.node_count() {
+            cfg.fresh_node();
+        }
+        for e in base.edges() {
+            match &e.instr {
+                Instr::CallClient { dst, callee, args, .. } => {
+                    self.splice_call(&mut cfg, e.from, e.to, *dst, *callee, args, on_stack)?;
+                }
+                other => cfg.add_edge(e.from, other.clone(), e.to),
+            }
+            if cfg.node_count() > self.max_nodes {
+                on_stack.pop();
+                return Err(SourceError::new(
+                    self.src.method(mid).line,
+                    format!("inlined control-flow graph exceeds {} nodes", self.max_nodes),
+                ));
+            }
+        }
+        on_stack.pop();
+        Ok(cfg)
+    }
+
+    /// Splices one call site: param copies, the (recursively inlined)
+    /// callee body over fresh variables, then the return copy.
+    #[allow(clippy::too_many_arguments)]
+    fn splice_call(
+        &mut self,
+        cfg: &mut Cfg,
+        from: NodeId,
+        to: NodeId,
+        dst: Option<VarId>,
+        callee: MethodId,
+        args: &[VarId],
+        on_stack: &mut Vec<MethodId>,
+    ) -> Result<(), SourceError> {
+        let callee_cfg = self.inline_method(callee, on_stack)?;
+        let callee_ir = self.src.method(callee).clone();
+
+        // fresh copies of every variable owned by the callee
+        let mut var_map: HashMap<VarId, VarId> = HashMap::new();
+        let remap = |v: VarId, out: &mut Program, map: &mut HashMap<VarId, VarId>| -> VarId {
+            if out.var(v).owner == Some(callee) {
+                *map.entry(v).or_insert_with(|| out.duplicate_var_for(self.main, v))
+            } else {
+                v // statics and caller vars pass through
+            }
+        };
+
+        // parameter copies (receiver is parameter 0 of instance methods)
+        let mut cur = from;
+        for (k, &p) in callee_ir.params.iter().enumerate() {
+            let p2 = remap(p, self.out, &mut var_map);
+            let next = cfg.fresh_node();
+            match args.get(k) {
+                Some(&a) => cfg.add_edge(cur, Instr::Copy { dst: p2, src: a }, next),
+                None => cfg.add_edge(cur, Instr::Nullify { dst: p2 }, next),
+            }
+            cur = next;
+        }
+        // locals start null in this activation
+        for v in self.src.vars().iter().filter(|v| v.owner == Some(callee)) {
+            if callee_ir.params.contains(&v.id) {
+                continue;
+            }
+            let v2 = remap(v.id, self.out, &mut var_map);
+            let next = cfg.fresh_node();
+            cfg.add_edge(cur, Instr::Nullify { dst: v2 }, next);
+            cur = next;
+        }
+
+        // splice the callee body with remapped nodes and variables
+        let offset = cfg.node_count();
+        for _ in 0..callee_cfg.node_count() {
+            cfg.fresh_node();
+        }
+        let mapn = |n: NodeId| NodeId(offset + n.0);
+        cfg.add_edge(cur, Instr::Nop, mapn(callee_cfg.entry()));
+        for e in callee_cfg.edges() {
+            let instr = remap_instr(&e.instr, self.out, &mut var_map, callee, self.main);
+            cfg.add_edge(mapn(e.from), instr, mapn(e.to));
+        }
+
+        // return value
+        let after_exit = mapn(callee_cfg.exit());
+        match (dst, callee_ir.ret_var) {
+            (Some(d), Some(r)) => {
+                let r2 = var_map.get(&r).copied().unwrap_or(r);
+                cfg.add_edge(after_exit, Instr::Copy { dst: d, src: r2 }, to);
+            }
+            (Some(d), None) => cfg.add_edge(after_exit, Instr::Nullify { dst: d }, to),
+            (None, _) => cfg.add_edge(after_exit, Instr::Nop, to),
+        }
+        Ok(())
+    }
+}
+
+/// Rewrites an instruction's variables through the activation map.
+fn remap_instr(
+    instr: &Instr,
+    out: &mut Program,
+    map: &mut HashMap<VarId, VarId>,
+    callee: MethodId,
+    main: MethodId,
+) -> Instr {
+    let mut m = |v: VarId| -> VarId {
+        if out.var(v).owner == Some(callee) {
+            *map.entry(v).or_insert_with(|| out.duplicate_var_for(main, v))
+        } else {
+            v
+        }
+    };
+    match instr {
+        Instr::Nop => Instr::Nop,
+        Instr::Copy { dst, src } => Instr::Copy { dst: m(*dst), src: m(*src) },
+        Instr::Nullify { dst } => Instr::Nullify { dst: m(*dst) },
+        Instr::Load { dst, base, field } => {
+            Instr::Load { dst: m(*dst), base: m(*base), field: field.clone() }
+        }
+        Instr::Store { base, field, src } => {
+            Instr::Store { base: m(*base), field: field.clone(), src: m(*src) }
+        }
+        Instr::New { dst, ty, site, args, at } => Instr::New {
+            dst: m(*dst),
+            ty: ty.clone(),
+            site: *site,
+            args: args.iter().map(|&a| m(a)).collect(),
+            at: at.clone(),
+        },
+        Instr::CallComponent { dst, recv, method, args, known, at } => Instr::CallComponent {
+            dst: dst.map(&mut m),
+            recv: m(*recv),
+            method: method.clone(),
+            args: args.iter().map(|&a| m(a)).collect(),
+            known: *known,
+            at: at.clone(),
+        },
+        Instr::CallClient { .. } => {
+            unreachable!("client calls are inlined before remapping")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cmp() -> canvas_easl::Spec {
+        canvas_easl::builtin::cmp()
+    }
+
+    #[test]
+    fn inline_simple_call() {
+        let p = Program::parse(
+            r#"
+class Main {
+    static void main() {
+        Set s = new Set();
+        Iterator i = s.iterator();
+        grow(s);
+        i.next();
+    }
+    static void grow(Set x) { x.add("y"); }
+}
+"#,
+            &cmp(),
+        )
+        .unwrap();
+        let inlined = inline_main(&p, 10_000).unwrap();
+        let main = inlined.main_method().unwrap();
+        assert!(
+            !main.cfg.edges().iter().any(|e| matches!(e.instr, Instr::CallClient { .. })),
+            "all client calls inlined"
+        );
+        // the callee's add() call is now inside main's CFG
+        let adds = main
+            .cfg
+            .edges()
+            .iter()
+            .filter(|e| matches!(&e.instr, Instr::CallComponent { method, .. } if method == "add"))
+            .count();
+        assert_eq!(adds, 1);
+    }
+
+    #[test]
+    fn two_sites_get_distinct_activations() {
+        let p = Program::parse(
+            r#"
+class Main {
+    static void main() {
+        Set a = new Set();
+        Set b = new Set();
+        use(a);
+        use(b);
+    }
+    static void use(Set x) { Iterator t = x.iterator(); t.next(); }
+}
+"#,
+            &cmp(),
+        )
+        .unwrap();
+        let inlined = inline_main(&p, 10_000).unwrap();
+        let main = inlined.main_method().unwrap();
+        // two iterator() calls with *different* destination variables
+        let mut dsts = Vec::new();
+        for e in main.cfg.edges() {
+            if let Instr::CallComponent { method, dst, .. } = &e.instr {
+                if method == "iterator" {
+                    dsts.push(dst.expect("iterator binds its result"));
+                }
+            }
+        }
+        assert_eq!(dsts.len(), 2);
+        assert_ne!(dsts[0], dsts[1], "activations must not share locals");
+    }
+
+    #[test]
+    fn recursion_is_rejected() {
+        let p = Program::parse(
+            r#"
+class Main {
+    static void main() { ping(); }
+    static void ping() { pong(); }
+    static void pong() { if (true) { ping(); } }
+}
+"#,
+            &cmp(),
+        )
+        .unwrap();
+        let err = inline_main(&p, 10_000).unwrap_err();
+        assert!(err.to_string().contains("recursive"), "{err}");
+    }
+
+    #[test]
+    fn returned_values_flow() {
+        let p = Program::parse(
+            r#"
+class Main {
+    static void main() {
+        Set s = new Set();
+        Iterator i = open(s);
+        i.next();
+    }
+    static Iterator open(Set x) { return x.iterator(); }
+}
+"#,
+            &cmp(),
+        )
+        .unwrap();
+        let inlined = inline_main(&p, 10_000).unwrap();
+        let main = inlined.main_method().unwrap();
+        // the return slot copy lands in main: a Copy into `i` from a
+        // re-homed `$ret` variable
+        let has_ret_copy = main.cfg.edges().iter().any(|e| {
+            matches!(&e.instr, Instr::Copy { src, .. }
+                if inlined.var(*src).name.starts_with("$ret"))
+        });
+        assert!(has_ret_copy, "return value must be copied to the call's dst");
+        // end-to-end precision of the inlined program is asserted in the
+        // workspace integration tests (tests/inline_tvla.rs)
+    }
+}

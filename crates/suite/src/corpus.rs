@@ -1,0 +1,859 @@
+//! The benchmark corpus.
+
+use canvas_easl::Spec;
+
+/// Which built-in specification a benchmark is written against.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SpecKind {
+    /// Concurrent Modification Problem.
+    Cmp,
+    /// Grabbed Resource Problem.
+    Grp,
+    /// Implementation Mismatch Problem.
+    Imp,
+    /// Alien Object Problem.
+    Aop,
+}
+
+impl SpecKind {
+    /// Parses the corresponding built-in spec.
+    pub fn spec(self) -> Spec {
+        match self {
+            SpecKind::Cmp => canvas_easl::builtin::cmp(),
+            SpecKind::Grp => canvas_easl::builtin::grp(),
+            SpecKind::Imp => canvas_easl::builtin::imp(),
+            SpecKind::Aop => canvas_easl::builtin::aop(),
+        }
+    }
+}
+
+/// One benchmark client with embedded ground truth.
+#[derive(Clone, Debug)]
+pub struct Benchmark {
+    /// Short name used in tables.
+    pub name: &'static str,
+    /// What the benchmark exercises.
+    pub description: &'static str,
+    /// The specification it is checked against.
+    pub spec: SpecKind,
+    /// Mini-Java source; real-error lines carry an `// ERROR` marker.
+    pub source: &'static str,
+    /// Component references confined to locals/statics?
+    pub scmp: bool,
+    /// Requires interprocedural reasoning for full precision?
+    pub interprocedural: bool,
+}
+
+impl Benchmark {
+    /// Ground truth: the 1-based lines marked `// ERROR`.
+    pub fn truth(&self) -> Vec<u32> {
+        self.source
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| l.contains("// ERROR"))
+            .map(|(k, _)| (k + 1) as u32)
+            .collect()
+    }
+
+    /// Lines of code (non-blank).
+    pub fn loc(&self) -> usize {
+        self.source.lines().filter(|l| !l.trim().is_empty()).count()
+    }
+}
+
+/// The full corpus, ordered roughly by difficulty.
+pub fn corpus() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "fig3",
+            description: "the paper's running example (Fig. 3)",
+            spec: SpecKind::Cmp,
+            scmp: true,
+            interprocedural: false,
+            source: r#"
+class Main {
+    static void main() {
+        Set v = new Set();
+        Iterator i1 = v.iterator();
+        Iterator i2 = v.iterator();
+        Iterator i3 = i1;
+        i1.next();
+        i1.remove();
+        if (true) { i2.next(); } // ERROR
+        if (true) { i3.next(); }
+        v.add("...");
+        if (true) { i1.next(); } // ERROR
+    }
+}
+"#,
+        },
+        Benchmark {
+            name: "straightline-safe",
+            description: "create, mutate, fresh iterator, iterate",
+            spec: SpecKind::Cmp,
+            scmp: true,
+            interprocedural: false,
+            source: r#"
+class Main {
+    static void main() {
+        Set s = new Set();
+        s.add("a");
+        s.add("b");
+        Iterator i = s.iterator();
+        i.next();
+        i.remove();
+        i.next();
+        s.remove("a");
+        Iterator j = s.iterator();
+        j.next();
+    }
+}
+"#,
+        },
+        Benchmark {
+            name: "version-loop",
+            description: "the §3 loop that defeats allocation-site analysis",
+            spec: SpecKind::Cmp,
+            scmp: true,
+            interprocedural: false,
+            source: r#"
+class Main {
+    static void main() {
+        Set s = new Set();
+        while (true) {
+            s.add("x");
+            for (Iterator i = s.iterator(); i.hasNext(); ) {
+                i.next();
+            }
+        }
+    }
+}
+"#,
+        },
+        Benchmark {
+            name: "loop-mutate",
+            description: "collection grown while iterating",
+            spec: SpecKind::Cmp,
+            scmp: true,
+            interprocedural: false,
+            source: r#"
+class Main {
+    static void main() {
+        Set s = new Set();
+        s.add("seed");
+        for (Iterator i = s.iterator(); i.hasNext(); ) {
+            i.next(); // ERROR
+            s.add("more");
+        }
+    }
+}
+"#,
+        },
+        Benchmark {
+            name: "iterator-remove",
+            description: "remove through one iterator invalidates its siblings",
+            spec: SpecKind::Cmp,
+            scmp: true,
+            interprocedural: false,
+            source: r#"
+class Main {
+    static void main() {
+        Set s = new Set();
+        Iterator a = s.iterator();
+        Iterator b = s.iterator();
+        a.remove();
+        a.next();
+        b.next(); // ERROR
+    }
+}
+"#,
+        },
+        Benchmark {
+            name: "alias-chain",
+            description: "long copy chains; only the last alias family is live",
+            spec: SpecKind::Cmp,
+            scmp: true,
+            interprocedural: false,
+            source: r#"
+class Main {
+    static void main() {
+        Set s = new Set();
+        Set t = s;
+        Set u = t;
+        Iterator i = u.iterator();
+        Iterator j = i;
+        Iterator k = j;
+        k.remove();
+        i.next();
+        s.add("x");
+        k.next(); // ERROR
+    }
+}
+"#,
+        },
+        Benchmark {
+            name: "branch-stale",
+            description: "conditional mutation: one branch stales the iterator",
+            spec: SpecKind::Cmp,
+            scmp: true,
+            interprocedural: false,
+            source: r#"
+class Main {
+    static void main() {
+        Set s = new Set();
+        Iterator i = s.iterator();
+        if (true) {
+            s.add("x");
+        } else {
+            i.next();
+        }
+        i.next(); // ERROR
+    }
+}
+"#,
+        },
+        Benchmark {
+            name: "branch-refresh-safe",
+            description: "both branches refresh the iterator before use",
+            spec: SpecKind::Cmp,
+            scmp: true,
+            interprocedural: false,
+            source: r#"
+class Main {
+    static void main() {
+        Set s = new Set();
+        Iterator i = s.iterator();
+        if (true) {
+            s.add("x");
+            i = s.iterator();
+        } else {
+            i = s.iterator();
+        }
+        i.next();
+    }
+}
+"#,
+        },
+        Benchmark {
+            name: "two-sets",
+            description: "mutating one set leaves the other's iterators valid",
+            spec: SpecKind::Cmp,
+            scmp: true,
+            interprocedural: false,
+            source: r#"
+class Main {
+    static void main() {
+        Set a = new Set();
+        Set b = new Set();
+        Iterator ia = a.iterator();
+        Iterator ib = b.iterator();
+        a.add("x");
+        ib.next();
+        ia.next(); // ERROR
+    }
+}
+"#,
+        },
+        Benchmark {
+            name: "make-worklist",
+            description: "the paper's Fig. 1 Make program (worklist grown during processing)",
+            spec: SpecKind::Cmp,
+            scmp: true,
+            interprocedural: true,
+            source: r#"
+class Make {
+    static Set worklist;
+    static void main() {
+        worklist = new Set();
+        worklist.add("all");
+        processWorklist();
+    }
+    static void processWorklist() {
+        for (Iterator i = worklist.iterator(); i.hasNext(); ) {
+            i.next(); // ERROR
+            if (true) { processItem(); }
+        }
+    }
+    static void processItem() { doSubproblem(); }
+    static void doSubproblem() { worklist.add("newitem"); }
+}
+"#,
+        },
+        Benchmark {
+            name: "interproc-grow",
+            description: "callee mutates the passed collection",
+            spec: SpecKind::Cmp,
+            scmp: true,
+            interprocedural: true,
+            source: r#"
+class Main {
+    static void main() {
+        Set s = new Set();
+        Iterator i = s.iterator();
+        grow(s);
+        i.next(); // ERROR
+    }
+    static void grow(Set x) { x.add("y"); }
+}
+"#,
+        },
+        Benchmark {
+            name: "interproc-other-set",
+            description: "callee mutates a different collection (context sensitivity)",
+            spec: SpecKind::Cmp,
+            scmp: true,
+            interprocedural: true,
+            source: r#"
+class Main {
+    static void main() {
+        Set s = new Set();
+        Set t = new Set();
+        Iterator i = s.iterator();
+        grow(t);
+        i.next();
+    }
+    static void grow(Set x) { x.add("y"); }
+}
+"#,
+        },
+        Benchmark {
+            name: "interproc-returned",
+            description: "iterator produced by a helper, staled by the caller",
+            spec: SpecKind::Cmp,
+            scmp: true,
+            interprocedural: true,
+            source: r#"
+class Main {
+    static void main() {
+        Set s = new Set();
+        Iterator i = open(s);
+        s.add("x");
+        i.next(); // ERROR
+        Iterator j = open(s);
+        j.next();
+    }
+    static Iterator open(Set x) { return x.iterator(); }
+}
+"#,
+        },
+        Benchmark {
+            name: "heap-box",
+            description: "iterator stored in an object field (HCMP)",
+            spec: SpecKind::Cmp,
+            scmp: false,
+            interprocedural: false,
+            source: r#"
+class Box {
+    Iterator it;
+    Box() { }
+}
+class Main {
+    static void main() {
+        Set s = new Set();
+        Box b = new Box();
+        b.it = s.iterator();
+        Iterator j = b.it;
+        j.next();
+        s.add("x");
+        Iterator k = b.it;
+        k.next(); // ERROR
+    }
+}
+"#,
+        },
+        Benchmark {
+            name: "heap-two-boxes",
+            description: "two boxed iterators over different sets (HCMP, safe one must not alarm)",
+            spec: SpecKind::Cmp,
+            scmp: false,
+            interprocedural: false,
+            source: r#"
+class Box {
+    Iterator it;
+    Box() { }
+}
+class Main {
+    static void main() {
+        Set a = new Set();
+        Set b = new Set();
+        Box ba = new Box();
+        Box bb = new Box();
+        ba.it = a.iterator();
+        bb.it = b.iterator();
+        a.add("x");
+        Iterator jb = bb.it;
+        jb.next();
+        Iterator ja = ba.it;
+        ja.next(); // ERROR
+    }
+}
+"#,
+        },
+        Benchmark {
+            name: "app-report",
+            description: "application-like: build, filter and render a report collection",
+            spec: SpecKind::Cmp,
+            scmp: true,
+            interprocedural: false,
+            source: r#"
+class Main {
+    static void main() {
+        Set records = new Set();
+        records.add("r1");
+        records.add("r2");
+        records.add("r3");
+        Set selected = new Set();
+        for (Iterator scan = records.iterator(); scan.hasNext(); ) {
+            Object r = scan.next();
+            if (true) { selected.add(r); }
+        }
+        for (Iterator render = selected.iterator(); render.hasNext(); ) {
+            render.next();
+        }
+        selected.add("summary-row");
+        for (Iterator page = selected.iterator(); page.hasNext(); ) {
+            page.next();
+            if (true) { page.remove(); }
+        }
+    }
+}
+"#,
+        },
+        Benchmark {
+            name: "app-dedup",
+            description: "application-like: buggy in-place dedup mutating during iteration",
+            spec: SpecKind::Cmp,
+            scmp: true,
+            interprocedural: false,
+            source: r#"
+class Main {
+    static void main() {
+        Set items = new Set();
+        items.add("a");
+        items.add("a");
+        items.add("b");
+        for (Iterator i = items.iterator(); i.hasNext(); ) {
+            Object x = i.next(); // ERROR
+            if (true) {
+                items.remove(x);
+            }
+        }
+    }
+}
+"#,
+        },
+        Benchmark {
+            name: "app-cache",
+            description: "application-like: cache refresh with iterator kept across refresh",
+            spec: SpecKind::Cmp,
+            scmp: true,
+            interprocedural: true,
+            source: r#"
+class Main {
+    static Set cache;
+    static void main() {
+        cache = new Set();
+        fill();
+        Iterator cursor = cache.iterator();
+        cursor.next();
+        refresh();
+        cursor.next(); // ERROR
+        cursor = cache.iterator();
+        cursor.next();
+    }
+    static void fill() { cache.add("warm"); }
+    static void refresh() { cache.add("new-entry"); }
+}
+"#,
+        },
+        Benchmark {
+            name: "nested-iteration-safe",
+            description: "nested iteration over two sets; inner loop mutates neither",
+            spec: SpecKind::Cmp,
+            scmp: true,
+            interprocedural: false,
+            source: r#"
+class Main {
+    static void main() {
+        Set outer = new Set();
+        Set inner = new Set();
+        outer.add("o");
+        inner.add("i");
+        for (Iterator a = outer.iterator(); a.hasNext(); ) {
+            a.next();
+            for (Iterator b = inner.iterator(); b.hasNext(); ) {
+                b.next();
+            }
+        }
+    }
+}
+"#,
+        },
+        Benchmark {
+            name: "nested-iteration-cross",
+            description: "inner loop mutates the outer set: outer iterator dies",
+            spec: SpecKind::Cmp,
+            scmp: true,
+            interprocedural: false,
+            source: r#"
+class Main {
+    static void main() {
+        Set outer = new Set();
+        Set inner = new Set();
+        outer.add("o");
+        inner.add("i");
+        for (Iterator a = outer.iterator(); a.hasNext(); ) {
+            a.next(); // ERROR
+            for (Iterator b = inner.iterator(); b.hasNext(); ) {
+                b.next();
+                outer.add("cross");
+            }
+        }
+    }
+}
+"#,
+        },
+        Benchmark {
+            name: "app-merge",
+            description: "application-like: merge source into target while iterating the source",
+            spec: SpecKind::Cmp,
+            scmp: true,
+            interprocedural: false,
+            source: r#"
+class Main {
+    static void main() {
+        Set source = new Set();
+        Set target = new Set();
+        source.add("a");
+        source.add("b");
+        for (Iterator i = source.iterator(); i.hasNext(); ) {
+            Object x = i.next();
+            target.add(x);
+        }
+        for (Iterator j = target.iterator(); j.hasNext(); ) {
+            j.next();
+        }
+    }
+}
+"#,
+        },
+        Benchmark {
+            name: "app-snapshot",
+            description: "application-like: snapshot-before-mutate pattern (safe)",
+            spec: SpecKind::Cmp,
+            scmp: true,
+            interprocedural: false,
+            source: r#"
+class Main {
+    static void main() {
+        Set live = new Set();
+        live.add("x");
+        Set snapshot = live;
+        live = new Set();
+        for (Iterator i = snapshot.iterator(); i.hasNext(); ) {
+            Object o = i.next();
+            live.add(o);
+        }
+    }
+}
+"#,
+        },
+        Benchmark {
+            name: "swap-iterators",
+            description: "aliasing stress: swap two iterator variables through a temp",
+            spec: SpecKind::Cmp,
+            scmp: true,
+            interprocedural: false,
+            source: r#"
+class Main {
+    static void main() {
+        Set s = new Set();
+        Set t = new Set();
+        Iterator a = s.iterator();
+        Iterator b = t.iterator();
+        Iterator tmp = a;
+        a = b;
+        b = tmp;
+        s.add("x");
+        a.next();
+        b.next(); // ERROR
+    }
+}
+"#,
+        },
+        Benchmark {
+            name: "grp-two-graphs-safe",
+            description: "independent graphs traversed concurrently (safe)",
+            spec: SpecKind::Grp,
+            scmp: true,
+            interprocedural: false,
+            source: r#"
+class Main {
+    static void main() {
+        Graph g = new Graph();
+        Graph h = new Graph();
+        Traversal tg = g.startTraversal();
+        Traversal th = h.startTraversal();
+        tg.next();
+        th.next();
+        tg.next();
+        th.next();
+    }
+}
+"#,
+        },
+        Benchmark {
+            name: "imp-pass-through",
+            description: "widgets routed through copies keep their factory identity",
+            spec: SpecKind::Imp,
+            scmp: true,
+            interprocedural: false,
+            source: r#"
+class Main {
+    static void main() {
+        Factory f1 = new Factory();
+        Factory f2 = new Factory();
+        Widget a = f1.makeWidget();
+        Widget b = a;
+        Widget c = f2.makeWidget();
+        Factory g = f1;
+        g.combine(a, b);
+        g.combine(b, c); // ERROR
+    }
+}
+"#,
+        },
+        Benchmark {
+            name: "app-inventory",
+            description: "application-like: restock/audit/report phases over shared inventory",
+            spec: SpecKind::Cmp,
+            scmp: true,
+            interprocedural: true,
+            source: r#"
+class Inventory {
+    static Set stock;
+    static Set backorders;
+    static void main() {
+        stock = new Set();
+        backorders = new Set();
+        stock.add("widget");
+        stock.add("gadget");
+        restock();
+        audit();
+        report();
+    }
+    static void restock() {
+        for (Iterator i = backorders.iterator(); i.hasNext(); ) {
+            Object item = i.next();
+            stock.add(item);
+            i.remove();
+        }
+    }
+    static void audit() {
+        for (Iterator i = stock.iterator(); i.hasNext(); ) {
+            Object item = i.next(); // ERROR
+            if (true) {
+                backorders.add(item);
+                stock.remove(item);
+            }
+        }
+    }
+    static void report() {
+        Iterator s = stock.iterator();
+        Iterator b = backorders.iterator();
+        s.next();
+        b.next();
+        s.next();
+    }
+}
+"#,
+        },
+        Benchmark {
+            name: "app-social",
+            description: "application-like: follower/feed maintenance with several live iterators",
+            spec: SpecKind::Cmp,
+            scmp: true,
+            interprocedural: false,
+            source: r#"
+class Main {
+    static void main() {
+        Set followers = new Set();
+        Set feed = new Set();
+        Set spam = new Set();
+        followers.add("alice");
+        followers.add("bob");
+        for (Iterator f = followers.iterator(); f.hasNext(); ) {
+            Object who = f.next();
+            feed.add(who);
+        }
+        Iterator reader = feed.iterator();
+        reader.next();
+        if (true) {
+            spam.add("junk");
+        } else {
+            feed.remove("junk");
+        }
+        reader.next(); // ERROR
+        reader = feed.iterator();
+        Iterator curator = feed.iterator();
+        curator.next();
+        curator.remove();
+        reader.next(); // ERROR
+        curator.next();
+        Iterator cleaner = spam.iterator();
+        cleaner.next();
+        cleaner.remove();
+        cleaner.next();
+    }
+}
+"#,
+        },
+        Benchmark {
+            name: "app-two-phase",
+            description: "application-like: collect-then-apply two-phase mutation (the safe idiom)",
+            spec: SpecKind::Cmp,
+            scmp: true,
+            interprocedural: false,
+            source: r#"
+class Main {
+    static void main() {
+        Set config = new Set();
+        Set pending = new Set();
+        config.add("k1");
+        config.add("k2");
+        for (Iterator scan = config.iterator(); scan.hasNext(); ) {
+            Object k = scan.next();
+            if (true) { pending.add(k); }
+        }
+        for (Iterator apply = pending.iterator(); apply.hasNext(); ) {
+            Object k2 = apply.next();
+            config.remove(k2);
+        }
+        Iterator check = config.iterator();
+        check.next();
+    }
+}
+"#,
+        },
+        Benchmark {
+            name: "grp-traversals",
+            description: "grabbed resource: resumed traversal after a new one started",
+            spec: SpecKind::Grp,
+            scmp: true,
+            interprocedural: false,
+            source: r#"
+class Main {
+    static void main() {
+        Graph g = new Graph();
+        Traversal t1 = g.startTraversal();
+        t1.next();
+        Traversal t2 = g.startTraversal();
+        t2.next();
+        t1.next(); // ERROR
+        Graph h = new Graph();
+        Traversal t3 = h.startTraversal();
+        t3.next();
+        t2.next();
+    }
+}
+"#,
+        },
+        Benchmark {
+            name: "grp-interproc",
+            description: "a helper restarts the traversal of the passed graph (GRP, interprocedural)",
+            spec: SpecKind::Grp,
+            scmp: true,
+            interprocedural: true,
+            source: r#"
+class Main {
+    static void main() {
+        Graph g = new Graph();
+        Traversal t = g.startTraversal();
+        t.next();
+        restart(g);
+        t.next(); // ERROR
+    }
+    static void restart(Graph x) {
+        Traversal fresh = x.startTraversal();
+        fresh.next();
+    }
+}
+"#,
+        },
+        Benchmark {
+            name: "imp-factories",
+            description: "factory mismatch: widgets from different factories combined",
+            spec: SpecKind::Imp,
+            scmp: true,
+            interprocedural: false,
+            source: r#"
+class Main {
+    static void main() {
+        Factory f1 = new Factory();
+        Factory f2 = new Factory();
+        Widget a = f1.makeWidget();
+        Widget b = f1.makeWidget();
+        Widget c = f2.makeWidget();
+        f1.combine(a, b);
+        f1.combine(a, c); // ERROR
+    }
+}
+"#,
+        },
+        Benchmark {
+            name: "aop-vertices",
+            description: "alien object: vertex of one graph added to another",
+            spec: SpecKind::Aop,
+            scmp: true,
+            interprocedural: false,
+            source: r#"
+class Main {
+    static void main() {
+        Graph g = new Graph();
+        Graph h = new Graph();
+        Vertex v1 = g.addVertex();
+        Vertex v2 = g.addVertex();
+        Vertex w = h.addVertex();
+        g.addEdge(v1, v2);
+        g.addEdge(v1, w); // ERROR
+    }
+}
+"#,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_parses_and_truth_extracted() {
+        for b in corpus() {
+            let spec = b.spec.spec();
+            let program = canvas_minijava::Program::parse(b.source, &spec)
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            assert!(program.main_method().is_some(), "{}", b.name);
+            assert_eq!(program.is_scmp_shaped(), b.scmp, "{}", b.name);
+            assert!(b.loc() > 5, "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn truth_markers() {
+        let by_name = |n: &str| corpus().into_iter().find(|b| b.name == n).unwrap();
+        assert_eq!(by_name("fig3").truth().len(), 2);
+        assert_eq!(by_name("version-loop").truth().len(), 0);
+        assert_eq!(by_name("make-worklist").truth().len(), 1);
+        assert_eq!(by_name("imp-factories").truth().len(), 1);
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<&str> = corpus().iter().map(|b| b.name).collect();
+        let n = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+}

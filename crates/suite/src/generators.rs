@@ -1,0 +1,390 @@
+//! Parameterised client generators for the scaling experiments (E7).
+//!
+//! The generated programs are SCMP-shaped straight-line/branchy clients of
+//! CMP whose size parameters let the evaluation sweep the paper's `E`
+//! (control-flow edges) and `B` (component variables) dimensions
+//! independently, with known ground truth: a generated error site is a use
+//! of an iterator after a mutation of its set, marked by construction.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated client plus its ground truth.
+#[derive(Clone, Debug)]
+pub struct Generated {
+    /// The mini-Java source.
+    pub source: String,
+    /// Lines of genuine potential violations.
+    pub error_lines: Vec<u32>,
+}
+
+/// Generates a client with `blocks` independent blocks, each creating a
+/// set, `iters` iterators over it, exercising them, and (for blocks chosen
+/// by `error_rate`) mutating the set before one final (erroneous) use.
+///
+/// Determinism: the same `(blocks, iters, seed)` always yields the same
+/// program.
+pub fn scmp_blocks(blocks: usize, iters: usize, error_rate: f64, seed: u64) -> Generated {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = String::from("class Main {\n    static void main() {\n");
+    let mut line: u32 = 2;
+    let mut error_lines = Vec::new();
+    let push = |out: &mut String, line: &mut u32, s: &str| {
+        out.push_str(s);
+        out.push('\n');
+        *line += 1;
+    };
+    for b in 0..blocks {
+        push(&mut out, &mut line, &format!("        Set s{b} = new Set();"));
+        push(&mut out, &mut line, &format!("        s{b}.add(\"seed\");"));
+        for k in 0..iters {
+            push(
+                &mut out,
+                &mut line,
+                &format!("        Iterator i{b}_{k} = s{b}.iterator();"),
+            );
+            push(&mut out, &mut line, &format!("        i{b}_{k}.next();"));
+        }
+        // optional conditional use under a branch (adds CFG edges)
+        push(&mut out, &mut line, "        if (true) {");
+        push(&mut out, &mut line, &format!("            i{b}_0.next();"));
+        push(&mut out, &mut line, "        }");
+        if rng.gen_bool(error_rate) {
+            push(&mut out, &mut line, &format!("        s{b}.add(\"more\");"));
+            // the very next use is a genuine potential violation
+            push(&mut out, &mut line, &format!("        i{b}_0.next();"));
+            error_lines.push(line); // counter after push == statement line
+        } else {
+            // refresh before further use: safe
+            push(
+                &mut out,
+                &mut line,
+                &format!("        i{b}_0 = s{b}.iterator();"),
+            );
+            push(&mut out, &mut line, &format!("        i{b}_0.next();"));
+        }
+    }
+    out.push_str("    }\n}\n");
+    Generated { source: out, error_lines }
+}
+
+/// Generates a deep call chain of `depth` helper methods; the innermost one
+/// mutates the set iff `mutate`, making the caller's iterator use an error.
+pub fn interproc_chain(depth: usize, mutate: bool) -> Generated {
+    let mut out = String::from("class Main {\n    static void main() {\n");
+    out.push_str("        Set s = new Set();\n");
+    out.push_str("        Iterator i = s.iterator();\n");
+    out.push_str("        f0(s);\n");
+    out.push_str("        i.next();\n"); // line 6
+    out.push_str("    }\n");
+    for d in 0..depth {
+        if d + 1 < depth {
+            out.push_str(&format!("    static void f{d}(Set x) {{ f{}(x); }}\n", d + 1));
+        } else if mutate {
+            out.push_str(&format!("    static void f{d}(Set x) {{ x.add(\"deep\"); }}\n"));
+        } else {
+            out.push_str(&format!("    static void f{d}(Set x) {{ }}\n"));
+        }
+    }
+    out.push_str("}\n");
+    Generated { source: out, error_lines: if mutate { vec![6] } else { vec![] } }
+}
+
+/// Generates a client with one set and `n` iterator variables copied in a
+/// ring, sweeping the `B` dimension (predicate instances grow as `B²`).
+pub fn iterator_ring(n: usize, stale_all: bool) -> Generated {
+    let mut out = String::from("class Main {\n    static void main() {\n");
+    let mut line: u32 = 2;
+    let push = |out: &mut String, line: &mut u32, s: &str| {
+        out.push_str(s);
+        out.push('\n');
+        *line += 1;
+    };
+    push(&mut out, &mut line, "        Set s = new Set();");
+    push(&mut out, &mut line, "        Iterator i0 = s.iterator();");
+    for k in 1..n {
+        push(&mut out, &mut line, &format!("        Iterator i{k} = i{};", k - 1));
+    }
+    let mut error_lines = Vec::new();
+    if stale_all {
+        push(&mut out, &mut line, "        s.add(\"x\");");
+    }
+    for k in 0..n {
+        push(&mut out, &mut line, &format!("        i{k}.next();"));
+        if stale_all {
+            error_lines.push(line);
+        }
+    }
+    out.push_str("    }\n}\n");
+    Generated { source: out, error_lines }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canvas_core::{Certifier, Engine};
+
+    #[test]
+    fn scmp_blocks_truth_matches_fds() {
+        let g = scmp_blocks(6, 3, 0.5, 42);
+        let c = Certifier::from_spec(canvas_easl::builtin::cmp()).unwrap();
+        let r = c.certify_source(&g.source, Engine::ScmpFds).unwrap();
+        assert_eq!(r.lines(), g.error_lines, "\n{}", g.source);
+    }
+
+    #[test]
+    fn scmp_blocks_deterministic() {
+        let a = scmp_blocks(4, 2, 0.3, 7);
+        let b = scmp_blocks(4, 2, 0.3, 7);
+        assert_eq!(a.source, b.source);
+        assert_eq!(a.error_lines, b.error_lines);
+    }
+
+    #[test]
+    fn interproc_chain_truth() {
+        let c = Certifier::from_spec(canvas_easl::builtin::cmp()).unwrap();
+        let g = interproc_chain(4, true);
+        let r = c.certify_source(&g.source, Engine::ScmpInterproc).unwrap();
+        assert_eq!(r.lines(), g.error_lines, "\n{}", g.source);
+        let g = interproc_chain(4, false);
+        let r = c.certify_source(&g.source, Engine::ScmpInterproc).unwrap();
+        assert!(r.certified(), "\n{}", g.source);
+    }
+
+    #[test]
+    fn iterator_ring_truth() {
+        let c = Certifier::from_spec(canvas_easl::builtin::cmp()).unwrap();
+        for (n, stale) in [(3, true), (3, false), (6, true)] {
+            let g = iterator_ring(n, stale);
+            let r = c.certify_source(&g.source, Engine::ScmpFds).unwrap();
+            assert_eq!(r.lines(), g.error_lines, "n={n} stale={stale}\n{}", g.source);
+        }
+    }
+}
+
+/// Configuration for [`random_client`].
+#[derive(Clone, Copy, Debug)]
+pub struct RandomCfg {
+    /// Number of `Set` variables.
+    pub sets: usize,
+    /// Number of `Iterator` variables.
+    pub iters: usize,
+    /// Number of statements in `main`.
+    pub stmts: usize,
+    /// Maximum `if` nesting depth.
+    pub branch_depth: usize,
+    /// Number of helper methods (callees mutate/iterate their parameters).
+    pub helpers: usize,
+}
+
+impl Default for RandomCfg {
+    fn default() -> Self {
+        RandomCfg { sets: 2, iters: 3, stmts: 12, branch_depth: 2, helpers: 0 }
+    }
+}
+
+/// Generates a random well-typed, loop-free CMP client: every variable is
+/// initialized up front (so no path NPEs), then a random mix of copies,
+/// mutations, iterator uses, branches, and helper calls. Ground truth comes
+/// from the concrete oracle ([`crate::oracle::explore`]), making this the
+/// workhorse of the differential tests.
+pub fn random_client(cfg: RandomCfg, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = String::from("class Main {\n    static void main() {\n");
+    // declarations: sets first, then iterators over random sets
+    for s in 0..cfg.sets {
+        out.push_str(&format!("        Set s{s} = new Set();\n"));
+    }
+    for i in 0..cfg.iters {
+        let s = rng.gen_range(0..cfg.sets);
+        out.push_str(&format!("        Iterator i{i} = s{s}.iterator();\n"));
+    }
+    let mut budget = cfg.stmts;
+    emit_block(&mut out, &mut rng, &cfg, 2, cfg.branch_depth, &mut budget);
+    out.push_str("    }\n");
+    for h in 0..cfg.helpers {
+        let kind = rng.gen_range(0..3);
+        match kind {
+            0 => out.push_str(&format!(
+                "    static void h{h}(Set x) {{ x.add(\"h{h}\"); }}\n"
+            )),
+            1 => out.push_str(&format!(
+                "    static void h{h}(Set x) {{ Iterator t = x.iterator(); t.next(); }}\n"
+            )),
+            _ => out.push_str(&format!("    static void h{h}(Set x) {{ }}\n")),
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn emit_block(
+    out: &mut String,
+    rng: &mut StdRng,
+    cfg: &RandomCfg,
+    indent: usize,
+    depth: usize,
+    budget: &mut usize,
+) {
+    let pad = "    ".repeat(indent);
+    while *budget > 0 {
+        *budget -= 1;
+        let choice = rng.gen_range(0..100);
+        match choice {
+            // iterator use
+            0..=24 => {
+                let i = rng.gen_range(0..cfg.iters);
+                out.push_str(&format!("{pad}i{i}.next();\n"));
+            }
+            // mutation through the collection
+            25..=39 => {
+                let s = rng.gen_range(0..cfg.sets);
+                if rng.gen_bool(0.5) {
+                    out.push_str(&format!("{pad}s{s}.add(\"x\");\n"));
+                } else {
+                    out.push_str(&format!("{pad}s{s}.remove(\"x\");\n"));
+                }
+            }
+            // mutation through an iterator
+            40..=49 => {
+                let i = rng.gen_range(0..cfg.iters);
+                out.push_str(&format!("{pad}i{i}.remove();\n"));
+            }
+            // refresh an iterator
+            50..=64 => {
+                let i = rng.gen_range(0..cfg.iters);
+                let s = rng.gen_range(0..cfg.sets);
+                out.push_str(&format!("{pad}i{i} = s{s}.iterator();\n"));
+            }
+            // copies
+            65..=74 => {
+                if rng.gen_bool(0.5) && cfg.iters >= 2 {
+                    let a = rng.gen_range(0..cfg.iters);
+                    let b = rng.gen_range(0..cfg.iters);
+                    out.push_str(&format!("{pad}i{a} = i{b};\n"));
+                } else if cfg.sets >= 2 {
+                    let a = rng.gen_range(0..cfg.sets);
+                    let b = rng.gen_range(0..cfg.sets);
+                    out.push_str(&format!("{pad}s{a} = s{b};\n"));
+                }
+            }
+            // fresh set
+            75..=81 => {
+                let s = rng.gen_range(0..cfg.sets);
+                out.push_str(&format!("{pad}s{s} = new Set();\n"));
+            }
+            // helper call
+            82..=89 if cfg.helpers > 0 => {
+                let h = rng.gen_range(0..cfg.helpers);
+                let s = rng.gen_range(0..cfg.sets);
+                out.push_str(&format!("{pad}h{h}(s{s});\n"));
+            }
+            // branch
+            _ if depth > 0 && *budget >= 2 => {
+                let then_budget = (*budget).min(1 + rng.gen_range(0..3));
+                *budget -= then_budget;
+                out.push_str(&format!("{pad}if (true) {{\n"));
+                let mut tb = then_budget;
+                emit_block(out, rng, cfg, indent + 1, depth - 1, &mut tb);
+                if rng.gen_bool(0.5) {
+                    out.push_str(&format!("{pad}}} else {{\n"));
+                    let mut eb = (*budget).min(rng.gen_range(1..3));
+                    *budget -= eb;
+                    emit_block(out, rng, cfg, indent + 1, depth - 1, &mut eb);
+                }
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            _ => {
+                let i = rng.gen_range(0..cfg.iters);
+                out.push_str(&format!("{pad}i{i}.next();\n"));
+            }
+        }
+    }
+}
+
+/// Generates a random well-typed, loop-free GRP client: graphs are created,
+/// traversals started (each start *grabs* the graph, invalidating prior
+/// traversals), resumed, and copied.
+pub fn random_grp_client(graphs: usize, travs: usize, stmts: usize, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = String::from("class Main {\n    static void main() {\n");
+    for g in 0..graphs {
+        out.push_str(&format!("        Graph g{g} = new Graph();\n"));
+    }
+    for t in 0..travs {
+        let g = rng.gen_range(0..graphs);
+        out.push_str(&format!("        Traversal t{t} = g{g}.startTraversal();\n"));
+    }
+    for _ in 0..stmts {
+        match rng.gen_range(0..100) {
+            0..=39 => {
+                let t = rng.gen_range(0..travs);
+                out.push_str(&format!("        t{t}.next();\n"));
+            }
+            40..=64 => {
+                let t = rng.gen_range(0..travs);
+                let g = rng.gen_range(0..graphs);
+                out.push_str(&format!("        t{t} = g{g}.startTraversal();\n"));
+            }
+            65..=79 if travs >= 2 => {
+                let a = rng.gen_range(0..travs);
+                let b = rng.gen_range(0..travs);
+                out.push_str(&format!("        t{a} = t{b};\n"));
+            }
+            80..=89 => {
+                let g = rng.gen_range(0..graphs);
+                out.push_str(&format!("        g{g} = new Graph();\n"));
+            }
+            _ => {
+                let t = rng.gen_range(0..travs);
+                out.push_str(&format!(
+                    "        if (true) {{ t{t}.next(); }}\n"
+                ));
+            }
+        }
+    }
+    out.push_str("    }\n}\n");
+    out
+}
+
+/// Generates a random well-typed, loop-free IMP client: factories make
+/// widgets; `combine` requires both widgets to come from the receiver.
+pub fn random_imp_client(factories: usize, widgets: usize, stmts: usize, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = String::from("class Main {\n    static void main() {\n");
+    for f in 0..factories {
+        out.push_str(&format!("        Factory f{f} = new Factory();\n"));
+    }
+    for w in 0..widgets {
+        let f = rng.gen_range(0..factories);
+        out.push_str(&format!("        Widget w{w} = f{f}.makeWidget();\n"));
+    }
+    for _ in 0..stmts {
+        match rng.gen_range(0..100) {
+            0..=44 => {
+                let f = rng.gen_range(0..factories);
+                let a = rng.gen_range(0..widgets);
+                let b = rng.gen_range(0..widgets);
+                out.push_str(&format!("        f{f}.combine(w{a}, w{b});\n"));
+            }
+            45..=64 => {
+                let w = rng.gen_range(0..widgets);
+                let f = rng.gen_range(0..factories);
+                out.push_str(&format!("        w{w} = f{f}.makeWidget();\n"));
+            }
+            65..=79 if widgets >= 2 => {
+                let a = rng.gen_range(0..widgets);
+                let b = rng.gen_range(0..widgets);
+                out.push_str(&format!("        w{a} = w{b};\n"));
+            }
+            _ if factories >= 2 => {
+                let a = rng.gen_range(0..factories);
+                let b = rng.gen_range(0..factories);
+                out.push_str(&format!("        f{a} = f{b};\n"));
+            }
+            _ => {}
+        }
+    }
+    out.push_str("    }\n}\n");
+    out
+}

@@ -1,0 +1,257 @@
+//! Canonical abstraction and structure join (§5.5).
+
+use canvas_logic::Kleene;
+
+use crate::structure::Structure;
+use crate::tvp::PredDecl;
+
+/// The abstraction signature of an individual: the vector of its values for
+/// all unary abstraction predicates.
+pub fn signature(s: &Structure, preds: &[PredDecl], u: usize) -> Vec<Kleene> {
+    preds
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.arity == 1 && p.abstraction)
+        .map(|(k, _)| s.get1(k, u))
+        .collect()
+}
+
+/// Canonical abstraction: merges all individuals with equal signatures,
+/// joining predicate values; the result's individuals are ordered by
+/// signature, so equal canonical structures compare equal structurally.
+pub fn canonicalize(s: &Structure, preds: &[PredDecl]) -> Structure {
+    let n = s.universe_len();
+    // group indices by signature
+    let mut groups: Vec<(Vec<Kleene>, Vec<usize>)> = Vec::new();
+    for u in 0..n {
+        let sig = signature(s, preds, u);
+        match groups.iter_mut().find(|(g, _)| *g == sig) {
+            Some((_, members)) => members.push(u),
+            None => groups.push((sig, vec![u])),
+        }
+    }
+    groups.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut out = Structure::empty(preds);
+    for (_, members) in &groups {
+        let v = out.add_individual();
+        let summary = members.len() > 1 || members.iter().any(|&u| s.is_summary(u));
+        out.set_summary(v, summary);
+    }
+    // nullary predicates
+    for (k, p) in preds.iter().enumerate() {
+        match p.arity {
+            0 => out.set0(k, s.get0(k)),
+            1 => {
+                for (gi, (_, members)) in groups.iter().enumerate() {
+                    let mut val: Option<Kleene> = None;
+                    for &u in members {
+                        let x = s.get1(k, u);
+                        val = Some(match val {
+                            None => x,
+                            Some(y) => y.join(x),
+                        });
+                    }
+                    out.set1(k, gi, val.unwrap_or(Kleene::False));
+                }
+            }
+            2 => {
+                for (gi, (_, mi)) in groups.iter().enumerate() {
+                    for (gj, (_, mj)) in groups.iter().enumerate() {
+                        let mut val: Option<Kleene> = None;
+                        for &a in mi {
+                            for &b in mj {
+                                let x = s.get2(k, a, b);
+                                val = Some(match val {
+                                    None => x,
+                                    Some(y) => y.join(x),
+                                });
+                            }
+                        }
+                        out.set2(k, gi, gj, val.unwrap_or(Kleene::False));
+                    }
+                }
+            }
+            a => unreachable!("unsupported arity {a}"),
+        }
+    }
+    out
+}
+
+/// Joins two *canonical* structures into one (independent-attribute mode).
+///
+/// Individuals are matched by signature; values are joined pointwise.
+/// Individuals present on one side only are kept, marked summary, and all
+/// their definite values demoted to `1/2` — a conservative weakening (the
+/// other side has no such individual), sound for the negation-light formula
+/// class the translations emit; see DESIGN.md.
+pub fn join(a: &Structure, b: &Structure, preds: &[PredDecl]) -> Structure {
+    let mut out = Structure::empty(preds);
+    // collect signatures
+    let sa: Vec<Vec<Kleene>> = (0..a.universe_len()).map(|u| signature(a, preds, u)).collect();
+    let sb: Vec<Vec<Kleene>> = (0..b.universe_len()).map(|u| signature(b, preds, u)).collect();
+
+    // (source-in-a, source-in-b) per output node
+    let mut origin: Vec<(Option<usize>, Option<usize>)> = Vec::new();
+    for (u, sig) in sa.iter().enumerate() {
+        let m = sb.iter().position(|t| t == sig);
+        origin.push((Some(u), m));
+    }
+    for (v, sig) in sb.iter().enumerate() {
+        if !sa.iter().any(|t| t == sig) {
+            origin.push((None, Some(v)));
+        }
+    }
+    for &(ou, ov) in &origin {
+        let w = out.add_individual();
+        let summary = match (ou, ov) {
+            (Some(u), Some(v)) => a.is_summary(u) || b.is_summary(v),
+            (Some(u), None) => {
+                let _ = u;
+                true
+            }
+            (None, Some(v)) => {
+                let _ = v;
+                true
+            }
+            (None, None) => unreachable!("every node has an origin"),
+        };
+        out.set_summary(w, summary);
+    }
+
+    let val1 = |k: usize, o: (Option<usize>, Option<usize>)| -> Kleene {
+        match o {
+            (Some(u), Some(v)) => a.get1(k, u).join(b.get1(k, v)),
+            (Some(u), None) => demote(a.get1(k, u)),
+            (None, Some(v)) => demote(b.get1(k, v)),
+            (None, None) => unreachable!(),
+        }
+    };
+    for (k, p) in preds.iter().enumerate() {
+        match p.arity {
+            0 => out.set0(k, a.get0(k).join(b.get0(k))),
+            1 => {
+                for (w, &o) in origin.iter().enumerate() {
+                    out.set1(k, w, val1(k, o));
+                }
+            }
+            2 => {
+                for (w1, &o1) in origin.iter().enumerate() {
+                    for (w2, &o2) in origin.iter().enumerate() {
+                        let v = match (o1, o2) {
+                            ((Some(u1), Some(v1)), (Some(u2), Some(v2))) => {
+                                a.get2(k, u1, u2).join(b.get2(k, v1, v2))
+                            }
+                            ((Some(u1), _), (Some(u2), _)) => demote(a.get2(k, u1, u2)),
+                            ((_, Some(v1)), (_, Some(v2))) => demote(b.get2(k, v1, v2)),
+                            _ => Kleene::Unknown, // nodes from different sides
+                        };
+                        out.set2(k, w1, w2, v);
+                    }
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+    canonicalize(&out, preds)
+}
+
+fn demote(v: Kleene) -> Kleene {
+    if v == Kleene::False {
+        Kleene::False
+    } else {
+        Kleene::Unknown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tvp::PredDecl;
+
+    fn preds() -> Vec<PredDecl> {
+        vec![PredDecl::pt("pt_x"), PredDecl::pt("pt_y"), PredDecl::field("rv_f")]
+    }
+
+    #[test]
+    fn merge_same_signature() {
+        let ps = preds();
+        let mut s = Structure::empty(&ps);
+        let a = s.add_individual();
+        let b = s.add_individual();
+        let c = s.add_individual();
+        s.set1(0, a, Kleene::True); // pt_x(a)
+        s.set2(2, a, b, Kleene::True);
+        s.set2(2, a, c, Kleene::False);
+        // b and c share the all-0 signature and merge into one summary node
+        let out = canonicalize(&s, &ps);
+        assert_eq!(out.universe_len(), 2);
+        let merged = (0..2).find(|&u| out.is_summary(u)).expect("summary node");
+        let kept = 1 - merged;
+        assert!(!out.is_summary(kept));
+        assert_eq!(out.get1(0, kept), Kleene::True);
+        // rv_f(a, ·) joined True and False → Unknown
+        assert_eq!(out.get2(2, kept, merged), Kleene::Unknown);
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent() {
+        let ps = preds();
+        let mut s = Structure::empty(&ps);
+        for _ in 0..4 {
+            s.add_individual();
+        }
+        s.set1(0, 0, Kleene::True);
+        s.set1(1, 1, Kleene::Unknown);
+        s.set2(2, 0, 2, Kleene::True);
+        let once = canonicalize(&s, &ps);
+        let twice = canonicalize(&once, &ps);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn canonical_order_is_deterministic() {
+        let ps = preds();
+        let mut s1 = Structure::empty(&ps);
+        let a = s1.add_individual();
+        let b = s1.add_individual();
+        s1.set1(0, a, Kleene::True);
+        s1.set1(1, b, Kleene::True);
+        // same structure built in the opposite order
+        let mut s2 = Structure::empty(&ps);
+        let b2 = s2.add_individual();
+        let a2 = s2.add_individual();
+        s2.set1(1, b2, Kleene::True);
+        s2.set1(0, a2, Kleene::True);
+        assert_eq!(canonicalize(&s1, &ps), canonicalize(&s2, &ps));
+    }
+
+    #[test]
+    fn join_matched_nodes() {
+        let ps = preds();
+        let mut s1 = Structure::empty(&ps);
+        let a1 = s1.add_individual();
+        s1.set1(0, a1, Kleene::True);
+        let mut s2 = Structure::empty(&ps);
+        let a2 = s2.add_individual();
+        s2.set1(0, a2, Kleene::True);
+        s2.set1(1, a2, Kleene::False);
+        let j = join(&canonicalize(&s1, &ps), &canonicalize(&s2, &ps), &ps);
+        assert_eq!(j.universe_len(), 1);
+        assert_eq!(j.get1(0, 0), Kleene::True);
+    }
+
+    #[test]
+    fn join_one_sided_node_is_demoted() {
+        let ps = preds();
+        let mut s1 = Structure::empty(&ps);
+        let a1 = s1.add_individual();
+        s1.set1(0, a1, Kleene::True);
+        let s2 = Structure::empty(&ps); // empty universe
+        let j = join(&canonicalize(&s1, &ps), &canonicalize(&s2, &ps), &ps);
+        assert_eq!(j.universe_len(), 1);
+        assert!(j.is_summary(0));
+        // pt_x demoted from 1 to 1/2 — the node may not exist
+        assert_eq!(j.get1(0, 0), Kleene::Unknown);
+    }
+}

@@ -1,0 +1,366 @@
+//! 3-valued logical structures and Kleene formula evaluation (§5.5).
+
+use canvas_logic::Kleene;
+
+use crate::tvp::{Formula3, PredDecl, PredId};
+
+/// Per-predicate value storage.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum Store {
+    Nullary(Kleene),
+    Unary(Vec<Kleene>),
+    Binary(Vec<Kleene>), // row-major n×n
+}
+
+/// A 3-valued logical structure: a universe of individuals (each possibly a
+/// *summary* individual standing for several concrete ones) plus a Kleene
+/// interpretation of every predicate.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Structure {
+    n: usize,
+    summary: Vec<bool>,
+    stores: Vec<Store>,
+}
+
+impl Structure {
+    /// The empty structure over the given predicates.
+    pub fn empty(preds: &[PredDecl]) -> Self {
+        let stores = preds
+            .iter()
+            .map(|p| match p.arity {
+                0 => Store::Nullary(Kleene::False),
+                1 => Store::Unary(Vec::new()),
+                2 => Store::Binary(Vec::new()),
+                a => unreachable!("unsupported arity {a}"),
+            })
+            .collect();
+        Structure { n: 0, summary: Vec::new(), stores }
+    }
+
+    /// Number of individuals.
+    pub fn universe_len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether individual `u` is a summary individual.
+    pub fn is_summary(&self, u: usize) -> bool {
+        self.summary[u]
+    }
+
+    /// Marks or unmarks `u` as summary.
+    pub fn set_summary(&mut self, u: usize, s: bool) {
+        self.summary[u] = s;
+    }
+
+    /// Adds a fresh individual (non-summary, all predicate values 0).
+    pub fn add_individual(&mut self) -> usize {
+        let u = self.n;
+        self.n += 1;
+        self.summary.push(false);
+        for s in &mut self.stores {
+            match s {
+                Store::Nullary(_) => {}
+                Store::Unary(v) => v.push(Kleene::False),
+                Store::Binary(v) => {
+                    // grow from (n-1)² to n² preserving row-major layout
+                    let old = self.n - 1;
+                    let mut next = vec![Kleene::False; self.n * self.n];
+                    for r in 0..old {
+                        for c in 0..old {
+                            next[r * self.n + c] = v[r * old + c];
+                        }
+                    }
+                    *v = next;
+                }
+            }
+        }
+        u
+    }
+
+    /// Removes individual `u`, compacting indices above it.
+    pub fn remove_individual(&mut self, u: usize) {
+        assert!(u < self.n, "individual {u} out of range");
+        let old = self.n;
+        self.n -= 1;
+        self.summary.remove(u);
+        for s in &mut self.stores {
+            match s {
+                Store::Nullary(_) => {}
+                Store::Unary(v) => {
+                    v.remove(u);
+                }
+                Store::Binary(v) => {
+                    let mut next = vec![Kleene::False; self.n * self.n];
+                    let mut nr = 0;
+                    for r in 0..old {
+                        if r == u {
+                            continue;
+                        }
+                        let mut nc = 0;
+                        for c in 0..old {
+                            if c == u {
+                                continue;
+                            }
+                            next[nr * self.n + nc] = v[r * old + c];
+                            nc += 1;
+                        }
+                        nr += 1;
+                    }
+                    *v = next;
+                }
+            }
+        }
+    }
+
+    /// The value of a nullary predicate.
+    pub fn get0(&self, p: PredId) -> Kleene {
+        match &self.stores[p] {
+            Store::Nullary(k) => *k,
+            _ => unreachable!("arity mismatch for p{p}"),
+        }
+    }
+
+    /// Sets a nullary predicate.
+    pub fn set0(&mut self, p: PredId, v: Kleene) {
+        match &mut self.stores[p] {
+            Store::Nullary(k) => *k = v,
+            _ => unreachable!("arity mismatch for p{p}"),
+        }
+    }
+
+    /// The value of a unary predicate at `u`.
+    pub fn get1(&self, p: PredId, u: usize) -> Kleene {
+        match &self.stores[p] {
+            Store::Unary(v) => v[u],
+            _ => unreachable!("arity mismatch for p{p}"),
+        }
+    }
+
+    /// Sets a unary predicate at `u`.
+    pub fn set1(&mut self, p: PredId, u: usize, v: Kleene) {
+        match &mut self.stores[p] {
+            Store::Unary(s) => s[u] = v,
+            _ => unreachable!("arity mismatch for p{p}"),
+        }
+    }
+
+    /// The value of a binary predicate at `(a, b)`.
+    pub fn get2(&self, p: PredId, a: usize, b: usize) -> Kleene {
+        match &self.stores[p] {
+            Store::Binary(v) => v[a * self.n + b],
+            _ => unreachable!("arity mismatch for p{p}"),
+        }
+    }
+
+    /// Sets a binary predicate at `(a, b)`.
+    pub fn set2(&mut self, p: PredId, a: usize, b: usize, v: Kleene) {
+        let n = self.n;
+        match &mut self.stores[p] {
+            Store::Binary(s) => s[a * n + b] = v,
+            _ => unreachable!("arity mismatch for p{p}"),
+        }
+    }
+
+    /// Generic get by argument tuple.
+    pub fn get(&self, p: PredId, args: &[usize]) -> Kleene {
+        match args {
+            [] => self.get0(p),
+            [u] => self.get1(p, *u),
+            [a, b] => self.get2(p, *a, *b),
+            _ => unreachable!("unsupported arity"),
+        }
+    }
+
+    /// Generic set by argument tuple.
+    pub fn set(&mut self, p: PredId, args: &[usize], v: Kleene) {
+        match args {
+            [] => self.set0(p, v),
+            [u] => self.set1(p, *u, v),
+            [a, b] => self.set2(p, *a, *b, v),
+            _ => unreachable!("unsupported arity"),
+        }
+    }
+
+    /// Kleene equality of two individuals: distinct individuals are unequal;
+    /// a summary individual is only *maybe* equal to itself.
+    pub fn eq_kleene(&self, a: usize, b: usize) -> Kleene {
+        if a != b {
+            Kleene::False
+        } else if self.summary[a] {
+            Kleene::Unknown
+        } else {
+            Kleene::True
+        }
+    }
+
+    /// Evaluates a formula under an environment binding variables to
+    /// individuals (innermost binding wins; lookups scan from the back).
+    pub fn eval<'f>(&self, f: &'f Formula3, env: &mut Vec<(&'f str, usize)>) -> Kleene {
+        fn lookup(env: &[(&str, usize)], v: &str) -> usize {
+            env.iter()
+                .rev()
+                .find(|(n, _)| *n == v)
+                .unwrap_or_else(|| panic!("unbound variable {v}"))
+                .1
+        }
+        match f {
+            Formula3::True => Kleene::True,
+            Formula3::False => Kleene::False,
+            Formula3::Unknown => Kleene::Unknown,
+            Formula3::App(p, vars) => match vars.as_slice() {
+                [] => self.get0(*p),
+                [a] => self.get1(*p, lookup(env, a)),
+                [a, b] => self.get2(*p, lookup(env, a), lookup(env, b)),
+                _ => unreachable!("unsupported arity"),
+            },
+            Formula3::Eq(a, b) => self.eq_kleene(lookup(env, a), lookup(env, b)),
+            Formula3::Not(g) => self.eval(g, env).not(),
+            Formula3::And(gs) => {
+                let mut acc = Kleene::True;
+                for g in gs {
+                    acc = acc.and(self.eval(g, env));
+                    if acc == Kleene::False {
+                        break;
+                    }
+                }
+                acc
+            }
+            Formula3::Or(gs) => {
+                let mut acc = Kleene::False;
+                for g in gs {
+                    acc = acc.or(self.eval(g, env));
+                    if acc == Kleene::True {
+                        break;
+                    }
+                }
+                acc
+            }
+            Formula3::Exists(v, g) => {
+                let mut acc = Kleene::False;
+                for u in 0..self.n {
+                    env.push((v.as_str(), u));
+                    acc = acc.or(self.eval(g, env));
+                    env.pop();
+                    if acc == Kleene::True {
+                        break;
+                    }
+                }
+                acc
+            }
+            Formula3::Forall(v, g) => {
+                let mut acc = Kleene::True;
+                for u in 0..self.n {
+                    env.push((v.as_str(), u));
+                    acc = acc.and(self.eval(g, env));
+                    env.pop();
+                    if acc == Kleene::False {
+                        break;
+                    }
+                }
+                acc
+            }
+        }
+    }
+
+    /// Evaluates a closed formula.
+    pub fn eval_closed(&self, f: &Formula3) -> Kleene {
+        self.eval(f, &mut Vec::new())
+    }
+
+    /// Number of predicates.
+    pub fn pred_count(&self) -> usize {
+        self.stores.len()
+    }
+
+    /// Arity of predicate `k`.
+    pub fn pred_arity(&self, k: PredId) -> usize {
+        match &self.stores[k] {
+            Store::Nullary(_) => 0,
+            Store::Unary(_) => 1,
+            Store::Binary(_) => 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tvp::PredDecl;
+
+    fn preds() -> Vec<PredDecl> {
+        vec![
+            PredDecl::pt("pt_x"),     // 0
+            PredDecl::pt("pt_y"),     // 1
+            PredDecl::field("rv_f"),  // 2
+        ]
+    }
+
+    #[test]
+    fn add_remove_individuals() {
+        let mut s = Structure::empty(&preds());
+        let a = s.add_individual();
+        let b = s.add_individual();
+        s.set1(0, a, Kleene::True);
+        s.set2(2, a, b, Kleene::True);
+        assert_eq!(s.get1(0, a), Kleene::True);
+        assert_eq!(s.get2(2, a, b), Kleene::True);
+        assert_eq!(s.get2(2, b, a), Kleene::False);
+        let c = s.add_individual();
+        assert_eq!(s.get2(2, a, b), Kleene::True, "binary survives growth");
+        s.set2(2, b, c, Kleene::Unknown);
+        s.remove_individual(a);
+        // b,c shifted down to 0,1
+        assert_eq!(s.get2(2, 0, 1), Kleene::Unknown, "binary survives removal");
+        assert_eq!(s.universe_len(), 2);
+    }
+
+    #[test]
+    fn eq_kleene_summary() {
+        let mut s = Structure::empty(&preds());
+        let a = s.add_individual();
+        let b = s.add_individual();
+        s.set_summary(b, true);
+        assert_eq!(s.eq_kleene(a, a), Kleene::True);
+        assert_eq!(s.eq_kleene(a, b), Kleene::False);
+        assert_eq!(s.eq_kleene(b, b), Kleene::Unknown);
+    }
+
+    #[test]
+    fn eval_quantifiers() {
+        let mut s = Structure::empty(&preds());
+        let a = s.add_individual();
+        let b = s.add_individual();
+        s.set1(0, a, Kleene::True);
+        s.set1(1, b, Kleene::Unknown);
+        // ∃o: pt_x(o) = 1
+        let f = Formula3::exists("o", Formula3::App(0, vec!["o".into()]));
+        assert_eq!(s.eval_closed(&f), Kleene::True);
+        // ∃o: pt_y(o) = 1/2
+        let f = Formula3::exists("o", Formula3::App(1, vec!["o".into()]));
+        assert_eq!(s.eval_closed(&f), Kleene::Unknown);
+        // ∀o: pt_x(o) = 0  (b has pt_x false)
+        let f = Formula3::Forall("o".into(), Box::new(Formula3::App(0, vec!["o".into()])));
+        assert_eq!(s.eval_closed(&f), Kleene::False);
+        // ∃o1,o2: pt_x(o1) && rv_f(o1,o2): 0 (no field edges)
+        let f = Formula3::exists(
+            "o1",
+            Formula3::exists(
+                "o2",
+                Formula3::and([
+                    Formula3::App(0, vec!["o1".into()]),
+                    Formula3::App(2, vec!["o1".into(), "o2".into()]),
+                ]),
+            ),
+        );
+        assert_eq!(s.eval_closed(&f), Kleene::False);
+    }
+
+    #[test]
+    fn eval_on_empty_universe() {
+        let s = Structure::empty(&preds());
+        let f = Formula3::exists("o", Formula3::App(0, vec!["o".into()]));
+        assert_eq!(s.eval_closed(&f), Kleene::False);
+        let f = Formula3::Forall("o".into(), Box::new(Formula3::False));
+        assert_eq!(s.eval_closed(&f), Kleene::True);
+    }
+}

@@ -1,0 +1,405 @@
+//! The abstract transformer: focus → check → allocate → update → coerce →
+//! canonicalize (§5.5).
+
+use canvas_logic::Kleene;
+
+use crate::canon::canonicalize;
+use crate::structure::Structure;
+use crate::tvp::{Action, Functional, PredDecl, PredId};
+
+/// The result of applying an action to one structure.
+#[derive(Debug)]
+pub struct ApplyResult {
+    /// Post-states (canonicalized).
+    pub posts: Vec<Structure>,
+    /// Whether the action's check possibly fired in some focused pre-state.
+    pub check_fired: bool,
+}
+
+/// Applies `action` to a structure.
+pub fn apply(action: &Action, s: &Structure, preds: &[PredDecl]) -> ApplyResult {
+    // 1. focus on the requested unary predicates
+    let mut focused = vec![s.clone()];
+    for &p in &action.focus {
+        let mut next = Vec::new();
+        for st in &focused {
+            next.extend(focus_unary(st, p, preds));
+        }
+        focused = next;
+        // prune infeasible intermediates early
+        focused.retain_mut(|st| coerce(st, preds));
+    }
+    // 2. drop structures where a focused predicate has no individual
+    //    (a null receiver raises NPE before any conformance check)
+    focused.retain(|st| {
+        action.focus.iter().all(|&p| {
+            (0..st.universe_len()).any(|u| st.get1(p, u) != Kleene::False)
+        })
+    });
+
+    // 3. violation check on the focused pre-states
+    let mut check_fired = false;
+    if let Some((f, _)) = &action.check {
+        for st in &focused {
+            if st.eval_closed(f).may_be_true() {
+                check_fired = true;
+                break;
+            }
+        }
+    }
+
+    // 4/5. allocate and update
+    let mut posts = Vec::new();
+    for st in &focused {
+        let mut pre = st.clone();
+        let mut env: Vec<(&str, usize)> = Vec::new();
+        for name in &action.allocs {
+            let u = pre.add_individual();
+            env.push((name.as_str(), u));
+        }
+        for name in &action.summary_allocs {
+            let u = pre.add_individual();
+            pre.set_summary(u, true);
+            for k in 0..pre.pred_count() {
+                match pre.pred_arity(k) {
+                    0 => {}
+                    1 => pre.set1(k, u, Kleene::Unknown),
+                    2 => {
+                        for w in 0..pre.universe_len() {
+                            pre.set2(k, u, w, Kleene::Unknown);
+                            pre.set2(k, w, u, Kleene::Unknown);
+                        }
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            env.push((name.as_str(), u));
+        }
+        // evaluate all updates against the pre-state (with allocations)
+        let mut post = pre.clone();
+        for up in &action.updates {
+            let arity = up.formals.len();
+            match arity {
+                0 => {
+                    let v = pre.eval(&up.rhs, &mut env.clone());
+                    post.set0(up.pred, v);
+                }
+                1 => {
+                    for u in 0..pre.universe_len() {
+                        env.push((up.formals[0].as_str(), u));
+                        let v = pre.eval(&up.rhs, &mut env);
+                        env.pop();
+                        post.set1(up.pred, u, v);
+                    }
+                }
+                2 => {
+                    for a in 0..pre.universe_len() {
+                        env.push((up.formals[0].as_str(), a));
+                        for b in 0..pre.universe_len() {
+                            env.push((up.formals[1].as_str(), b));
+                            let v = pre.eval(&up.rhs, &mut env);
+                            env.pop();
+                            post.set2(up.pred, a, b, v);
+                        }
+                        env.pop();
+                    }
+                }
+                a => unreachable!("unsupported update arity {a}"),
+            }
+        }
+        // 6. coerce; 7. canonicalize
+        if coerce(&mut post, preds) {
+            posts.push(canonicalize(&post, preds));
+        }
+    }
+    ApplyResult { posts, check_fired }
+}
+
+/// Focus: splits a structure until the unary predicate `p` is definite on
+/// every individual, materialising a non-summary individual when `p` may
+/// hold on a summary one (the three-way split of §5.5).
+pub fn focus_unary(s: &Structure, p: PredId, preds: &[PredDecl]) -> Vec<Structure> {
+    let target = (0..s.universe_len()).find(|&u| s.get1(p, u) == Kleene::Unknown);
+    let Some(u) = target else {
+        return vec![s.clone()];
+    };
+    let mut out = Vec::new();
+    // case: p does not hold on u
+    let mut zero = s.clone();
+    zero.set1(p, u, Kleene::False);
+    out.extend(focus_unary(&zero, p, preds));
+    if !s.is_summary(u) {
+        // case: p holds on u
+        let mut one = s.clone();
+        one.set1(p, u, Kleene::True);
+        out.extend(focus_unary(&one, p, preds));
+    } else {
+        // case: the whole summary individual satisfies p (it then stands for
+        // exactly the pointed individual for `unique` predicates; keep it
+        // summary otherwise and let coerce sharpen)
+        let mut all = s.clone();
+        all.set1(p, u, Kleene::True);
+        if preds[p].unique {
+            all.set_summary(u, false);
+        }
+        out.extend(focus_unary(&all, p, preds));
+        // case: split — one materialised individual satisfying p, the rest
+        // of the summary individual not satisfying it
+        let mut split = s.clone();
+        let v = duplicate(&mut split, u);
+        split.set_summary(v, false);
+        split.set1(p, v, Kleene::True);
+        split.set1(p, u, Kleene::False);
+        out.extend(focus_unary(&split, p, preds));
+    }
+    out
+}
+
+/// Duplicates individual `u` (copying all predicate values) and returns the
+/// copy's index.
+fn duplicate(s: &mut Structure, u: usize) -> usize {
+    let v = s.add_individual();
+    s.set_summary(v, s.is_summary(u));
+    let n = s.universe_len();
+    // copy all unary and binary values; the caller adjusts p afterwards
+    for k in 0..pred_count(s) {
+        match pred_arity(s, k) {
+            0 => {}
+            1 => {
+                let val = s.get1(k, u);
+                s.set1(k, v, val);
+            }
+            2 => {
+                for w in 0..n {
+                    if w == v {
+                        continue;
+                    }
+                    let val = s.get2(k, u, w);
+                    s.set2(k, v, w, val);
+                    let val = s.get2(k, w, u);
+                    s.set2(k, w, v, val);
+                }
+                let diag = s.get2(k, u, u);
+                s.set2(k, v, v, diag);
+                s.set2(k, u, v, diag);
+                s.set2(k, v, u, diag);
+            }
+            _ => unreachable!(),
+        }
+    }
+    v
+}
+
+// Structure does not know its predicate declarations; recover shape checks
+// through trial accessors. To keep the structure API small we track arity
+// via these helpers (the stores panic on mismatch, so probe carefully).
+fn pred_count(s: &Structure) -> usize {
+    s.pred_count()
+}
+
+fn pred_arity(s: &Structure, k: usize) -> usize {
+    s.pred_arity(k)
+}
+
+/// Coerce: repairs integrity constraints in place; returns `false` if the
+/// structure is infeasible (to be discarded).
+pub fn coerce(s: &mut Structure, preds: &[PredDecl]) -> bool {
+    loop {
+        let mut changed = false;
+        for (k, p) in preds.iter().enumerate() {
+            if p.arity == 1 && p.unique {
+                // a unique predicate holds for at most one individual
+                let definite: Vec<usize> = (0..s.universe_len())
+                    .filter(|&u| s.get1(k, u) == Kleene::True)
+                    .collect();
+                if definite.len() > 1 {
+                    return false;
+                }
+                if let Some(&u) = definite.first() {
+                    if s.is_summary(u) {
+                        // all individuals it stands for are pointed, and at
+                        // most one can be: it stands for exactly one
+                        s.set_summary(u, false);
+                        changed = true;
+                    }
+                    for v in 0..s.universe_len() {
+                        if v != u && s.get1(k, v) == Kleene::Unknown {
+                            s.set1(k, v, Kleene::False);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if p.arity == 2 && p.functional != Functional::No {
+                // at most one definite partner per non-summary individual on
+                // the determining side
+                let get = |s: &Structure, a: usize, b: usize| match p.functional {
+                    Functional::SecondByFirst => s.get2(k, a, b),
+                    Functional::FirstBySecond => s.get2(k, b, a),
+                    Functional::No => unreachable!(),
+                };
+                let set = |s: &mut Structure, a: usize, b: usize, v: Kleene| match p.functional {
+                    Functional::SecondByFirst => s.set2(k, a, b, v),
+                    Functional::FirstBySecond => s.set2(k, b, a, v),
+                    Functional::No => unreachable!(),
+                };
+                for a in 0..s.universe_len() {
+                    if s.is_summary(a) {
+                        continue;
+                    }
+                    let ones: Vec<usize> = (0..s.universe_len())
+                        .filter(|&b| get(s, a, b) == Kleene::True && !s.is_summary(b))
+                        .collect();
+                    if ones.len() > 1 {
+                        return false;
+                    }
+                    if let Some(&b0) = ones.first() {
+                        for b in 0..s.universe_len() {
+                            if b != b0 && get(s, a, b) == Kleene::Unknown {
+                                set(s, a, b, Kleene::False);
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            return true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tvp::{Formula3, PredDecl, Update};
+
+    fn preds() -> Vec<PredDecl> {
+        vec![
+            PredDecl::pt("pt_x"),    // 0
+            PredDecl::pt("pt_y"),    // 1
+            PredDecl::field("rv_f"), // 2
+        ]
+    }
+
+    #[test]
+    fn focus_materializes_from_summary() {
+        let ps = preds();
+        let mut s = Structure::empty(&ps);
+        let u = s.add_individual();
+        s.set_summary(u, true);
+        s.set1(0, u, Kleene::Unknown);
+        let outs = focus_unary(&s, 0, &ps);
+        // three cases: no, all (sharpened to non-summary), split
+        assert_eq!(outs.len(), 3);
+        assert!(outs.iter().all(|o| {
+            (0..o.universe_len()).all(|u| o.get1(0, u) != Kleene::Unknown)
+        }));
+        // the split case has two individuals
+        assert!(outs.iter().any(|o| o.universe_len() == 2));
+    }
+
+    #[test]
+    fn coerce_unique() {
+        let ps = preds();
+        let mut s = Structure::empty(&ps);
+        let a = s.add_individual();
+        let b = s.add_individual();
+        s.set1(0, a, Kleene::True);
+        s.set1(0, b, Kleene::Unknown);
+        assert!(coerce(&mut s, &ps));
+        assert_eq!(s.get1(0, b), Kleene::False, "unique pred sharpened");
+        s.set1(0, b, Kleene::True);
+        assert!(!coerce(&mut s, &ps), "two pointed individuals infeasible");
+    }
+
+    #[test]
+    fn coerce_functional() {
+        let ps = preds();
+        let mut s = Structure::empty(&ps);
+        let a = s.add_individual();
+        let b = s.add_individual();
+        let c = s.add_individual();
+        s.set2(2, a, b, Kleene::True);
+        s.set2(2, a, c, Kleene::Unknown);
+        assert!(coerce(&mut s, &ps));
+        assert_eq!(s.get2(2, a, c), Kleene::False);
+        s.set2(2, a, c, Kleene::True);
+        assert!(!coerce(&mut s, &ps));
+    }
+
+    #[test]
+    fn apply_alloc_and_update() {
+        let ps = preds();
+        let s = Structure::empty(&ps);
+        // x = new: alloc n; pt_x(o) := o == n
+        let action = Action {
+            name: "x = new".into(),
+            focus: vec![],
+            check: None,
+            allocs: vec!["n".into()],
+            summary_allocs: vec![],
+            updates: vec![Update {
+                pred: 0,
+                formals: vec!["o".into()],
+                rhs: Formula3::Eq("o".into(), "n".into()),
+            }],
+        };
+        let r = apply(&action, &s, &ps);
+        assert_eq!(r.posts.len(), 1);
+        let post = &r.posts[0];
+        assert_eq!(post.universe_len(), 1);
+        assert_eq!(post.get1(0, 0), Kleene::True);
+        assert!(!r.check_fired);
+    }
+
+    #[test]
+    fn apply_check_fires_on_unknown() {
+        let ps = preds();
+        let mut s = Structure::empty(&ps);
+        let u = s.add_individual();
+        s.set1(1, u, Kleene::Unknown);
+        let action = Action {
+            name: "check".into(),
+            focus: vec![],
+            check: Some((
+                Formula3::exists("o", Formula3::App(1, vec!["o".into()])),
+                canvas_minijava::Site {
+                    method: canvas_minijava::MethodId(0),
+                    line: 1,
+                    what: "t".into(),
+                },
+            )),
+            allocs: vec![],
+            summary_allocs: vec![],
+            updates: vec![],
+        };
+        let r = apply(&action, &s, &ps);
+        assert!(r.check_fired);
+    }
+
+    #[test]
+    fn apply_focus_drops_null_receiver() {
+        let ps = preds();
+        let s = Structure::empty(&ps); // nothing pointed by pt_x
+        let action = Action {
+            name: "recv".into(),
+            focus: vec![0],
+            check: Some((
+                Formula3::True,
+                canvas_minijava::Site {
+                    method: canvas_minijava::MethodId(0),
+                    line: 1,
+                    what: "t".into(),
+                },
+            )),
+            allocs: vec![],
+            summary_allocs: vec![],
+            updates: vec![],
+        };
+        let r = apply(&action, &s, &ps);
+        assert!(r.posts.is_empty());
+        assert!(!r.check_fired, "no receiver, no conformance check");
+    }
+}

@@ -1,0 +1,163 @@
+//! Property tests for the 3-valued abstraction domain: canonical
+//! abstraction laws, join behaviour, and coerce invariants on random
+//! structures.
+
+use canvas_logic::Kleene;
+use canvas_tvla::canon::{canonicalize, join, signature};
+use canvas_tvla::structure::Structure;
+use canvas_tvla::transfer::coerce;
+use canvas_tvla::{Functional, PredDecl, PredKind};
+use proptest::prelude::*;
+
+fn preds() -> Vec<PredDecl> {
+    vec![
+        PredDecl::pt("pt_x"),     // unique, abstraction
+        PredDecl::pt("pt_y"),     // unique, abstraction
+        PredDecl::type_tag("tag"),
+        PredDecl::field("rv_f"),  // functional (second-by-first)
+        PredDecl {
+            name: "rel".into(),
+            arity: 2,
+            kind: PredKind::Instrumentation,
+            abstraction: false,
+            unique: false,
+            functional: Functional::No,
+        },
+        PredDecl {
+            name: "mark".into(),
+            arity: 1,
+            kind: PredKind::Instrumentation,
+            abstraction: true,
+            unique: false,
+            functional: Functional::No,
+        },
+    ]
+}
+
+fn arb_kleene() -> impl Strategy<Value = Kleene> {
+    prop_oneof![Just(Kleene::False), Just(Kleene::Unknown), Just(Kleene::True)]
+}
+
+prop_compose! {
+    fn arb_structure()(n in 0usize..5)(
+        n in Just(n),
+        summaries in prop::collection::vec(any::<bool>(), n),
+        unary in prop::collection::vec(arb_kleene(), n * 4),
+        binary in prop::collection::vec(arb_kleene(), n * n * 2),
+    ) -> Structure {
+        let ps = preds();
+        let mut s = Structure::empty(&ps);
+        for _ in 0..n {
+            s.add_individual();
+        }
+        for (u, &sm) in summaries.iter().enumerate() {
+            s.set_summary(u, sm);
+        }
+        // unary predicates: 0,1,2,5 — binary: 3,4
+        let unary_ids = [0usize, 1, 2, 5];
+        for (k, &p) in unary_ids.iter().enumerate() {
+            for u in 0..n {
+                s.set1(p, u, unary[k * n + u]);
+            }
+        }
+        for (k, &p) in [3usize, 4].iter().enumerate() {
+            for a in 0..n {
+                for b in 0..n {
+                    s.set2(p, a, b, binary[k * n * n + a * n + b]);
+                }
+            }
+        }
+        s
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Canonical abstraction is idempotent.
+    #[test]
+    fn canonicalize_idempotent(s in arb_structure()) {
+        let ps = preds();
+        let once = canonicalize(&s, &ps);
+        let twice = canonicalize(&once, &ps);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Canonicalization never grows the universe, and after it all
+    /// signatures are distinct.
+    #[test]
+    fn canonicalize_merges(s in arb_structure()) {
+        let ps = preds();
+        let c = canonicalize(&s, &ps);
+        prop_assert!(c.universe_len() <= s.universe_len());
+        for a in 0..c.universe_len() {
+            for b in (a + 1)..c.universe_len() {
+                prop_assert_ne!(signature(&c, &ps, a), signature(&c, &ps, b));
+            }
+        }
+    }
+
+    /// Join is commutative (on canonical inputs) and idempotent.
+    #[test]
+    fn join_laws(a in arb_structure(), b in arb_structure()) {
+        let ps = preds();
+        let (ca, cb) = (canonicalize(&a, &ps), canonicalize(&b, &ps));
+        prop_assert_eq!(join(&ca, &cb, &ps), join(&cb, &ca, &ps));
+        let j = join(&ca, &ca, &ps);
+        prop_assert_eq!(j, ca);
+    }
+
+    /// Join only loses precision: every definite value surviving the join
+    /// agrees with the corresponding value in each input that has the node.
+    #[test]
+    fn join_weakens_pointwise(a in arb_structure(), b in arb_structure()) {
+        let ps = preds();
+        let ca = canonicalize(&a, &ps);
+        let cb = canonicalize(&b, &ps);
+        let j = join(&ca, &cb, &ps);
+        // for every node of `ca`, find its signature-mate in the join and
+        // check information-order weakening on unary abstraction preds
+        for u in 0..ca.universe_len() {
+            let sig = signature(&ca, &ps, u);
+            if let Some(w) = (0..j.universe_len()).find(|&w| {
+                // compare abstraction signatures up to information widening
+                signature(&j, &ps, w)
+                    .iter()
+                    .zip(sig.iter())
+                    .all(|(jv, av)| av.refines(*jv))
+            }) {
+                let _ = w; // existence is the property
+            } else {
+                return Err(TestCaseError::fail(format!(
+                    "node {u} of the left input has no weakened counterpart"
+                )));
+            }
+        }
+    }
+
+    /// Coerce on a unique predicate leaves at most one possibly-set
+    /// individual definite-1 and never *invents* truth.
+    #[test]
+    fn coerce_invariants(s in arb_structure()) {
+        let ps = preds();
+        let mut t = s.clone();
+        if !coerce(&mut t, &ps) {
+            return Ok(()); // structure discarded as infeasible
+        }
+        for p in [0usize, 1] {
+            let ones = (0..t.universe_len())
+                .filter(|&u| t.get1(p, u) == Kleene::True)
+                .count();
+            prop_assert!(ones <= 1, "unique predicate with {ones} definite holders");
+        }
+        // no 0 became 1 and no 1 became 0 (repair only sharpens 1/2)
+        for p in [0usize, 1, 2, 5] {
+            for u in 0..t.universe_len() {
+                let (old, new) = (s.get1(p, u), t.get1(p, u));
+                if old != Kleene::Unknown {
+                    prop_assert_eq!(old, new);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,1012 @@
+//! The staged abstraction-derivation procedure (paper §4.1–§4.2, §4.5).
+//!
+//! Starting from the negated `requires` clauses, the procedure repeatedly
+//! computes weakest preconditions of candidate instrumentation predicates
+//! through every client-visible statement form, splits the (precondition-
+//! simplified) results into disjuncts, and interns each disjunct as an
+//! instrumentation-predicate *family* — recognising previously seen families
+//! up to variable renaming with the small-model equivalence check. The
+//! by-product of each WP computation is recorded as an update rule,
+//! assembling the component *method abstractions* (the paper's Fig. 5).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use canvas_easl::{ClassSpec, MethodSpec, Spec};
+use canvas_logic::{models, Formula, Term, TypeName, TypeOracle, Var};
+
+use crate::simplify::Simplifier;
+use crate::sym::{bind_requires, client_stmt_actions, wp_through_actions, OperandBinding};
+
+/// Index of a [`Family`] in [`Derived::families`].
+pub type FamilyId = usize;
+
+/// An instrumentation-predicate family (paper Fig. 4): a named formula with
+/// typed canonical parameters. Client analysis instantiates a family once
+/// per type-correct tuple of client variables (or fields, for HCMP).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Family {
+    id: FamilyId,
+    name: String,
+    params: Vec<Var>,
+    formula: Formula,
+    mutable_dep: bool,
+    origin: String,
+}
+
+impl Family {
+    /// The family's id.
+    pub fn id(&self) -> FamilyId {
+        self.id
+    }
+
+    /// A readable name (`stale`, `iterof`, … for the classic shapes,
+    /// `q<N>` otherwise).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The canonical typed parameters.
+    pub fn params(&self) -> &[Var] {
+        &self.params
+    }
+
+    /// The defining formula over [`Family::params`].
+    pub fn formula(&self) -> &Formula {
+        &self.formula
+    }
+
+    /// Whether the defining formula reads any *mutable* component field.
+    ///
+    /// Instances of families with `mutable_dep() == false` cannot be changed
+    /// by component calls on unrelated receivers or by unknown client code
+    /// (their value depends only on construction-time structure), which the
+    /// interprocedural analysis exploits.
+    pub fn mutable_dep(&self) -> bool {
+        self.mutable_dep
+    }
+
+    /// Where the family came from (diagnostics).
+    pub fn origin(&self) -> &str {
+        &self.origin
+    }
+
+    /// The formula with parameters renamed to `args` (parallel to params).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `args.len() != params.len()`.
+    pub fn instantiate(&self, args: &[Var]) -> Formula {
+        assert_eq!(args.len(), self.params.len(), "family arity mismatch");
+        self.formula.rename_vars(&|v| {
+            match self.params.iter().position(|p| p == v) {
+                Some(k) => args[k].clone(),
+                None => v.clone(),
+            }
+        })
+    }
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (k, p) in self.params.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", p.name(), p.ty())?;
+        }
+        write!(f, ") ≡ {}", self.formula)
+    }
+}
+
+/// A client-visible statement form the abstraction provides rules for.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum StmtForm {
+    /// `x = new C(args)`.
+    New {
+        /// The allocated component class.
+        class: TypeName,
+    },
+    /// `[x =] y.m(args)`.
+    Call {
+        /// The receiver's component class.
+        class: TypeName,
+        /// The method name.
+        method: String,
+    },
+    /// `x = y` between two component references of the same type.
+    Copy {
+        /// The copied reference type.
+        ty: TypeName,
+    },
+}
+
+impl fmt::Display for StmtForm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StmtForm::New { class } => write!(f, "x = new {class}(...)"),
+            StmtForm::Call { class, method } => write!(f, "[x =] y<{class}>.{method}(...)"),
+            StmtForm::Copy { ty } => write!(f, "x = y  ({ty})"),
+        }
+    }
+}
+
+/// A variable slot in an update rule, resolved against a concrete client
+/// statement at instantiation time.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RuleVar {
+    /// The call receiver.
+    Recv,
+    /// The k-th argument.
+    Arg(usize),
+    /// The client variable the result is assigned to.
+    Lhs,
+    /// The k-th parameter of the *target* family, universally quantified
+    /// over client variables of its type (the paper's `∀z ∈ V` macros).
+    Univ(usize),
+}
+
+/// One disjunct of an update rule's right-hand side.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RuleRhs {
+    /// A constant.
+    Const(bool),
+    /// An instance of a family over rule variables.
+    Inst(FamilyId, Vec<RuleVar>),
+    /// Unknown value — emitted only by *conservative* derivation (§4.5)
+    /// when the family budget is exhausted: the target may become anything.
+    Unknown,
+}
+
+/// An update rule `target := rhs₁ ∨ … ∨ rhsₖ` (empty rhs means `:= 0`),
+/// applying to instances of the target family whose `Lhs` positions hold the
+/// statement's assigned variable. Families/positions without a rule are
+/// unchanged by the statement.
+#[derive(Clone, PartialEq, Debug)]
+pub struct UpdateRule {
+    /// Target family.
+    pub family: FamilyId,
+    /// Target argument slots (`Lhs` and `Univ` only).
+    pub target_args: Vec<RuleVar>,
+    /// Right-hand-side disjuncts (values read in the pre-state).
+    pub rhs: Vec<RuleRhs>,
+}
+
+/// A precondition check at a statement form: the call may violate its
+/// `requires` iff some disjunct may be true.
+pub type CheckInst = RuleRhs;
+
+/// The abstraction of one statement form: its precondition checks and its
+/// predicate update rules (the machine form of the paper's Fig. 5 rows).
+#[derive(Clone, PartialEq, Debug)]
+pub struct StmtAbstraction {
+    /// The statement form.
+    pub form: StmtForm,
+    /// Disjuncts of the negated `requires` (empty = no precondition).
+    pub checks: Vec<CheckInst>,
+    /// Update rules.
+    pub rules: Vec<UpdateRule>,
+}
+
+impl StmtAbstraction {
+    /// The rule whose target binds exactly `bound` parameter positions to
+    /// the statement's assigned variable.
+    pub fn rule_for(&self, family: FamilyId, bound: &[usize]) -> Option<&UpdateRule> {
+        self.rules.iter().find(|r| {
+            r.family == family
+                && r.target_args.iter().enumerate().all(|(k, a)| match a {
+                    RuleVar::Lhs => bound.contains(&k),
+                    _ => !bound.contains(&k),
+                })
+        })
+    }
+}
+
+/// Convergence statistics of the derivation (experiment E1/E8).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct DerivationStats {
+    /// Number of WP computations performed.
+    pub wp_count: usize,
+    /// Number of candidate disjuncts examined.
+    pub candidates: usize,
+    /// Number of family-equivalence checks.
+    pub equiv_checks: usize,
+    /// `families_discovered[r]` = number of families known after processing
+    /// the r-th worklist item (round 0 = after seeding from `requires`).
+    pub families_discovered: Vec<usize>,
+    /// Number of update disjuncts degraded to [`RuleRhs::Unknown`] because
+    /// the family budget was exhausted (0 for converging derivations).
+    pub unknown_rhs: usize,
+}
+
+/// The result of abstraction derivation for one specification.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Derived {
+    spec_name: String,
+    families: Vec<Family>,
+    stmts: Vec<StmtAbstraction>,
+    stats: DerivationStats,
+}
+
+impl Derived {
+    /// The specification this abstraction was derived from.
+    pub fn spec_name(&self) -> &str {
+        &self.spec_name
+    }
+
+    /// All derived families, in discovery order.
+    pub fn families(&self) -> &[Family] {
+        &self.families
+    }
+
+    /// A family by id.
+    pub fn family(&self, id: FamilyId) -> &Family {
+        &self.families[id]
+    }
+
+    /// All statement abstractions.
+    pub fn stmt_abstractions(&self) -> &[StmtAbstraction] {
+        &self.stmts
+    }
+
+    /// The abstraction for `[x =] y.m(args)`.
+    pub fn for_call(&self, class: &TypeName, method: &str) -> Option<&StmtAbstraction> {
+        self.stmts.iter().find(
+            |s| matches!(&s.form, StmtForm::Call { class: c, method: m } if c == class && m == method),
+        )
+    }
+
+    /// The abstraction for `x = new C(args)`.
+    pub fn for_new(&self, class: &TypeName) -> Option<&StmtAbstraction> {
+        self.stmts
+            .iter()
+            .find(|s| matches!(&s.form, StmtForm::New { class: c } if c == class))
+    }
+
+    /// The abstraction for `x = y` at type `ty`.
+    pub fn for_copy(&self, ty: &TypeName) -> Option<&StmtAbstraction> {
+        self.stmts.iter().find(|s| matches!(&s.form, StmtForm::Copy { ty: t } if t == ty))
+    }
+
+    /// Derivation statistics.
+    pub fn stats(&self) -> &DerivationStats {
+        &self.stats
+    }
+}
+
+/// Derivation failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DeriveError {
+    /// The family budget was exceeded — the specification is (probably) not
+    /// mutation-restricted and the WP iteration does not converge (§4.5).
+    Budget {
+        /// The budget that was exceeded.
+        max_families: usize,
+    },
+}
+
+impl fmt::Display for DeriveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeriveError::Budget { max_families } => write!(
+                f,
+                "derivation exceeded the budget of {max_families} predicate families \
+                 (specification is likely not mutation-restricted)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeriveError {}
+
+/// Derives the specialized abstraction for `spec` with the default budget.
+///
+/// # Errors
+///
+/// Returns [`DeriveError::Budget`] if the WP iteration generates more than
+/// 64 families (it provably converges for mutation-restricted specs, §6).
+pub fn derive_abstraction(spec: &Spec) -> Result<Derived, DeriveError> {
+    derive_with_budget(spec, 64)
+}
+
+/// [`derive_abstraction`] with an explicit family budget.
+///
+/// # Errors
+///
+/// Returns [`DeriveError::Budget`] when more than `max_families` families
+/// are generated.
+pub fn derive_with_budget(spec: &Spec, max_families: usize) -> Result<Derived, DeriveError> {
+    derive_impl(spec, max_families, false)
+}
+
+/// The §4.5 fallback: like [`derive_with_budget`], but instead of failing
+/// when the family budget is exhausted, the derivation stops generating new
+/// families and emits *conservative* update rules ([`RuleRhs::Unknown`]) for
+/// the weakest-precondition disjuncts it can no longer express. The
+/// resulting certifier is sound but may raise extra false alarms.
+///
+/// # Errors
+///
+/// Never fails; the `Result` is kept for signature symmetry.
+pub fn derive_conservative(spec: &Spec, max_families: usize) -> Result<Derived, DeriveError> {
+    derive_impl(spec, max_families, true)
+}
+
+fn derive_impl(
+    spec: &Spec,
+    max_families: usize,
+    conservative: bool,
+) -> Result<Derived, DeriveError> {
+    let oracle = spec.oracle();
+    let mut d = Deriver {
+        spec,
+        oracle: &oracle,
+        families: Vec::new(),
+        pending: VecDeque::new(),
+        stats: DerivationStats::default(),
+        max_families,
+        conservative,
+    };
+    let forms = enumerate_forms(spec);
+    let mut stmts: Vec<StmtAbstraction> = Vec::new();
+
+    // Phase A (rule 1): seed families from negated requires clauses, and
+    // record the per-form precondition checks.
+    for (form, class, method) in &forms {
+        let binding = operand_binding(spec, class.as_ref(), method.as_ref());
+        let mut checks = Vec::new();
+        if let (Some(c), Some(m)) = (class.as_ref(), method.as_ref()) {
+            if let Some(req) = bind_requires(c, m, &binding) {
+                let neg = Formula::not(req);
+                let simp = Simplifier::new(d.oracle);
+                for disj in simp.minimized_disjuncts(&neg, &Formula::True) {
+                    checks.push(d.intern(&disj, &binding, &[], "requires"));
+                }
+            }
+        }
+        stmts.push(StmtAbstraction { form: form.clone(), checks, rules: Vec::new() });
+    }
+    d.stats.families_discovered.push(d.families.len());
+
+    // Phase B (rules 2+3): WP of every family through every statement form.
+    while let Some(fid) = d.pending.pop_front() {
+        if d.families.len() > d.max_families {
+            return Err(DeriveError::Budget { max_families: d.max_families });
+        }
+        for (idx, (_, class, method)) in forms.iter().enumerate() {
+            let rules = d.rules_for(fid, class.as_ref(), method.as_ref())?;
+            stmts[idx].rules.extend(rules);
+        }
+        d.stats.families_discovered.push(d.families.len());
+    }
+
+    Ok(Derived {
+        spec_name: spec.name().to_string(),
+        families: d.families,
+        stmts,
+        stats: d.stats,
+    })
+}
+
+type FormEntry = (StmtForm, Option<ClassSpec>, Option<MethodSpec>);
+
+fn enumerate_forms(spec: &Spec) -> Vec<FormEntry> {
+    let mut out = Vec::new();
+    for c in spec.classes() {
+        out.push((StmtForm::New { class: c.name().clone() }, Some(c.clone()), None));
+        for m in c.methods() {
+            if !m.is_ctor() {
+                out.push((
+                    StmtForm::Call { class: c.name().clone(), method: m.name().to_string() },
+                    Some(c.clone()),
+                    Some(m.clone()),
+                ));
+            }
+        }
+    }
+    for ty in spec.client_facing_types() {
+        out.push((StmtForm::Copy { ty }, None, None));
+    }
+    out
+}
+
+/// Builds the operand variables for a statement form (`rcv`, `a0…`, `lhs`).
+fn operand_binding(
+    spec: &Spec,
+    class: Option<&ClassSpec>,
+    method: Option<&MethodSpec>,
+) -> OperandBinding {
+    match (class, method) {
+        (Some(c), Some(m)) => OperandBinding {
+            recv: Some(Var::new("rcv", c.name().clone())),
+            args: m
+                .params()
+                .iter()
+                .enumerate()
+                .map(|(k, (_, t))| Var::new(format!("a{k}"), t.clone()))
+                .collect(),
+            lhs: m.ret_ty().map(|rt| Var::new("lhs", rt.clone())),
+        },
+        (Some(c), None) => {
+            let ctor_params = c.ctor().map(|m| m.params().to_vec()).unwrap_or_default();
+            OperandBinding {
+                recv: None,
+                args: ctor_params
+                    .iter()
+                    .enumerate()
+                    .map(|(k, (_, t))| Var::new(format!("a{k}"), t.clone()))
+                    .collect(),
+                lhs: Some(Var::new("lhs", c.name().clone())),
+            }
+        }
+        (None, _) => {
+            // Copy form: type filled in by the caller via rules_for
+            let _ = spec;
+            OperandBinding::default()
+        }
+    }
+}
+
+struct Deriver<'a> {
+    spec: &'a Spec,
+    oracle: &'a dyn TypeOracle,
+    families: Vec<Family>,
+    pending: VecDeque<FamilyId>,
+    stats: DerivationStats,
+    max_families: usize,
+    conservative: bool,
+}
+
+impl Deriver<'_> {
+    /// Derives the update rules for family `fid` through one statement form.
+    fn rules_for(
+        &mut self,
+        fid: FamilyId,
+        class: Option<&ClassSpec>,
+        method: Option<&MethodSpec>,
+    ) -> Result<Vec<UpdateRule>, DeriveError> {
+        let fam = self.families[fid].clone();
+        let mut out = Vec::new();
+
+        // determine the copy type for Copy forms from the context
+        let (form_is_copy, copy_ty) = match (class, method) {
+            (None, None) => (true, None::<TypeName>),
+            _ => (false, None),
+        };
+        let _ = copy_ty;
+
+        // lhs type of this form, if results can be bound
+        let lhs_ty: Option<TypeName> = match (class, method) {
+            (Some(c), None) => Some(c.name().clone()),
+            (Some(_), Some(m)) => m.ret_ty().cloned(),
+            (None, None) => None, // determined per family param type below
+            (None, Some(_)) => unreachable!(),
+        };
+
+        // enumerate binding subsets: positions of fam params assignable by lhs
+        let candidate_positions: Vec<usize> = match (&lhs_ty, form_is_copy) {
+            (_, true) => (0..fam.params.len()).collect(),
+            (Some(t), _) => fam
+                .params
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.ty() == t)
+                .map(|(k, _)| k)
+                .collect(),
+            (None, _) => Vec::new(),
+        };
+
+        for subset in subsets(&candidate_positions) {
+            // for Copy forms, all bound positions must share one type
+            let copy_param_ty: Option<TypeName> = if form_is_copy {
+                match subset.first() {
+                    None => continue, // a copy with no bound position is the identity
+                    Some(&k0) => {
+                        let t = fam.params[k0].ty().clone();
+                        if subset.iter().any(|&k| fam.params[k].ty() != &t) {
+                            continue;
+                        }
+                        Some(t)
+                    }
+                }
+            } else {
+                None
+            };
+
+            let lhs_var = if form_is_copy {
+                Some(Var::new("lhs", copy_param_ty.clone().expect("non-empty subset")))
+            } else if subset.is_empty() {
+                None
+            } else {
+                lhs_ty.clone().map(|t| Var::new("lhs", t))
+            };
+
+            // instance vars for the family params
+            let inst_vars: Vec<Var> = fam
+                .params
+                .iter()
+                .enumerate()
+                .map(|(k, p)| {
+                    if subset.contains(&k) {
+                        lhs_var.clone().expect("bound subset implies lhs")
+                    } else {
+                        Var::new(format!("p{k}"), p.ty().clone())
+                    }
+                })
+                .collect();
+            let phi = fam.instantiate(&inst_vars);
+
+            // operand binding for the statement
+            let mut binding = if form_is_copy {
+                let t = copy_param_ty.clone().expect("copy has a type");
+                OperandBinding {
+                    recv: None,
+                    args: vec![Var::new("a0", t)],
+                    lhs: lhs_var.clone(),
+                }
+            } else {
+                operand_binding(self.spec, class, method)
+            };
+            if !form_is_copy {
+                binding.lhs = match (&lhs_var, class, method) {
+                    // allocations always produce a value; method results are
+                    // only relevant when a family slot binds to them
+                    (_, Some(_), None) => {
+                        Some(lhs_var.clone().unwrap_or_else(|| {
+                            Var::new("lhs", lhs_ty.clone().expect("new has lhs type"))
+                        }))
+                    }
+                    (Some(x), _, _) => Some(x.clone()),
+                    (None, _, _) => None,
+                };
+            }
+
+            let actions = if form_is_copy {
+                client_stmt_actions(self.spec, None, None, &binding)
+            } else {
+                client_stmt_actions(self.spec, class, method, &binding)
+            };
+            self.stats.wp_count += 1;
+            let wp = wp_through_actions(&phi, &actions);
+            let assumption = match (class, method) {
+                (Some(c), Some(m)) => bind_requires(c, m, &binding).unwrap_or(Formula::True),
+                _ => Formula::True,
+            };
+
+            // identity → no rule (instances unchanged)
+            if models::equivalent(self.oracle, &assumption, &wp, &phi) {
+                continue;
+            }
+
+            let simp = Simplifier::new(self.oracle);
+            let disjuncts = simp.minimized_disjuncts(&wp, &assumption);
+            let mut rhs = Vec::new();
+            let mut is_true = false;
+            for dj in &disjuncts {
+                if *dj == Formula::True {
+                    is_true = true;
+                    break;
+                }
+            }
+            if is_true {
+                rhs.push(RuleRhs::Const(true));
+            } else {
+                for dj in &disjuncts {
+                    self.stats.candidates += 1;
+                    rhs.push(self.intern(dj, &binding, &inst_vars, &fam.name.clone()));
+                }
+            }
+            if self.families.len() > self.max_families {
+                return Err(DeriveError::Budget { max_families: self.max_families });
+            }
+
+            let target_args: Vec<RuleVar> = (0..fam.params.len())
+                .map(|k| if subset.contains(&k) { RuleVar::Lhs } else { RuleVar::Univ(k) })
+                .collect();
+            out.push(UpdateRule { family: fid, target_args, rhs });
+        }
+        Ok(out)
+    }
+
+    /// Finds or creates the family a candidate disjunct belongs to, and
+    /// returns the instance over rule variables.
+    fn intern(
+        &mut self,
+        candidate: &Formula,
+        binding: &OperandBinding,
+        inst_vars: &[Var],
+        origin: &str,
+    ) -> RuleRhs {
+        // constants
+        if models::equivalent(self.oracle, &Formula::True, candidate, &Formula::True) {
+            return RuleRhs::Const(true);
+        }
+        if models::equivalent(self.oracle, &Formula::True, candidate, &Formula::False) {
+            return RuleRhs::Const(false);
+        }
+
+        let mut fv: Vec<Var> = candidate.free_vars().into_iter().collect();
+        fv.sort_by(|a, b| (a.ty(), a.name()).cmp(&(b.ty(), b.name())));
+
+        // try existing families
+        for g in 0..self.families.len() {
+            let fam = &self.families[g];
+            if fam.params.len() != fv.len() {
+                continue;
+            }
+            for perm in permutations(fv.len()) {
+                // type check the bijection: fam.param[k] ↦ fv[perm[k]]
+                if !(0..fv.len()).all(|k| fam.params[k].ty() == fv[perm[k]].ty()) {
+                    continue;
+                }
+                self.stats.equiv_checks += 1;
+                let args: Vec<Var> = perm.iter().map(|&j| fv[j].clone()).collect();
+                let inst = fam.instantiate(&args);
+                if models::equivalent(self.oracle, &Formula::True, &inst, candidate) {
+                    let rule_args =
+                        args.iter().map(|v| self.to_rule_var(v, binding, inst_vars)).collect();
+                    return RuleRhs::Inst(g, rule_args);
+                }
+            }
+        }
+
+        // new family
+        if self.conservative && self.families.len() >= self.max_families {
+            self.stats.unknown_rhs += 1;
+            return RuleRhs::Unknown;
+        }
+        let id = self.families.len();
+        let params: Vec<Var> =
+            fv.iter().enumerate().map(|(k, v)| Var::new(format!("x{k}"), v.ty().clone())).collect();
+        let formula = candidate.rename_vars(&|v| {
+            match fv.iter().position(|w| w == v) {
+                Some(k) => params[k].clone(),
+                None => v.clone(),
+            }
+        });
+        let name = self.pick_name(&formula, &params);
+        let mutable_dep = formula_reads_mutable(self.spec, &formula);
+        self.families.push(Family {
+            id,
+            name,
+            params,
+            formula,
+            mutable_dep,
+            origin: format!("from {origin}"),
+        });
+        self.pending.push_back(id);
+        let rule_args = fv.iter().map(|v| self.to_rule_var(v, binding, inst_vars)).collect();
+        RuleRhs::Inst(id, rule_args)
+    }
+
+    fn to_rule_var(&self, v: &Var, binding: &OperandBinding, inst_vars: &[Var]) -> RuleVar {
+        if binding.lhs.as_ref() == Some(v) {
+            return RuleVar::Lhs;
+        }
+        if binding.recv.as_ref() == Some(v) {
+            return RuleVar::Recv;
+        }
+        if let Some(k) = binding.args.iter().position(|a| a == v) {
+            return RuleVar::Arg(k);
+        }
+        if let Some(k) = inst_vars.iter().position(|p| p == v) {
+            return RuleVar::Univ(k);
+        }
+        unreachable!("free variable {v} not among statement operands or family params")
+    }
+
+    /// Names a family after the classic shapes when recognisable.
+    fn pick_name(&self, formula: &Formula, params: &[Var]) -> String {
+        let base = nickname(formula, params).unwrap_or_else(|| format!("q{}", self.families.len()));
+        let mut name = base.clone();
+        let mut k = 2;
+        while self.families.iter().any(|f| f.name == name) {
+            name = format!("{base}{k}");
+            k += 1;
+        }
+        name
+    }
+}
+
+/// All subsets of `positions` (including the empty one), deterministic order.
+fn subsets(positions: &[usize]) -> Vec<Vec<usize>> {
+    let mut out = vec![Vec::new()];
+    for &p in positions {
+        let mut more: Vec<Vec<usize>> = out
+            .iter()
+            .map(|s| {
+                let mut t = s.clone();
+                t.push(p);
+                t
+            })
+            .collect();
+        out.append(&mut more);
+    }
+    out
+}
+
+/// All permutations of `0..n` (n ≤ 4 in practice).
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    if n == 0 {
+        return vec![Vec::new()];
+    }
+    let mut out = Vec::new();
+    for rest in permutations(n - 1) {
+        for k in 0..n {
+            let mut p = rest.clone();
+            p.insert(k, n - 1);
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// Whether a formula reads a field that the specification mutates after
+/// construction.
+fn formula_reads_mutable(spec: &Spec, formula: &Formula) -> bool {
+    let mutable = mutable_fields(spec);
+    let mut found = false;
+    formula.visit_terms(&mut |t| {
+        if let Term::Path(p) = t {
+            let mut ty = p.base().ty().clone();
+            for f in p.fields() {
+                if mutable.contains(&(ty.clone(), f.clone())) {
+                    found = true;
+                }
+                match spec.field_type(&ty, f) {
+                    Some(next) => ty = next,
+                    None => break,
+                }
+            }
+        }
+    });
+    found
+}
+
+/// The set of `(owner type, field)` pairs assigned outside construction.
+pub(crate) fn mutable_fields(spec: &Spec) -> std::collections::HashSet<(TypeName, String)> {
+    let mut out = std::collections::HashSet::new();
+    for class in spec.classes() {
+        for m in class.methods() {
+            for stmt in m.body() {
+                let canvas_easl::SpecStmt::Assign { lhs, .. } = stmt;
+                let construction = m.is_ctor()
+                    && lhs.fields().len() == 1
+                    && lhs.base() == canvas_easl::SpecVar::This;
+                if construction {
+                    continue;
+                }
+                // type of the parent of the written path
+                let path = lhs.to_access_path(m, class);
+                let mut ty = path.base().ty().clone();
+                for f in &path.fields()[..path.fields().len() - 1] {
+                    match spec.field_type(&ty, f) {
+                        Some(next) => ty = next,
+                        None => break,
+                    }
+                }
+                out.insert((ty, path.last_field().expect("assignments target fields").to_string()));
+            }
+        }
+    }
+    out
+}
+
+/// Recognises the classic family shapes for readable names.
+fn nickname(formula: &Formula, params: &[Var]) -> Option<String> {
+    let dnf = formula.to_dnf();
+    if dnf.conjuncts().len() != 1 {
+        return None;
+    }
+    let lits: Vec<_> = dnf.conjuncts()[0].iter().collect();
+    let path_depths = |l: &canvas_logic::Literal| -> Option<(usize, usize)> {
+        match (l.lhs(), l.rhs()) {
+            (Term::Path(a), Term::Path(b)) => Some((a.depth(), b.depth())),
+            _ => None,
+        }
+    };
+    match (params.len(), lits.len()) {
+        (1, 1) => {
+            let l = lits[0];
+            let (da, db) = path_depths(l)?;
+            if !l.is_positive() && da >= 1 && db >= 1 {
+                return Some("stale".to_string());
+            }
+            None
+        }
+        (2, 1) => {
+            let l = lits[0];
+            let (da, db) = path_depths(l)?;
+            match (l.is_positive(), da.min(db), da.max(db)) {
+                (true, 0, 0) => Some("same".to_string()),
+                (false, 0, 0) => Some("diff".to_string()),
+                (true, 0, _) => Some("iterof".to_string()),
+                (false, 0, _) => Some("mismatch".to_string()),
+                _ => None,
+            }
+        }
+        (2, 2) => {
+            // x0.f == x1.f && x0 != x1
+            let mut has_field_eq = false;
+            let mut has_var_ne = false;
+            for l in &lits {
+                let (da, db) = path_depths(l)?;
+                if l.is_positive() && da >= 1 && db >= 1 {
+                    has_field_eq = true;
+                }
+                if !l.is_positive() && da == 0 && db == 0 {
+                    has_var_ne = true;
+                }
+            }
+            (has_field_eq && has_var_ne).then(|| "mutx".to_string())
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canvas_easl::builtin;
+
+    #[test]
+    fn cmp_derives_the_four_families() {
+        let spec = builtin::cmp();
+        let d = derive_abstraction(&spec).unwrap();
+        let names: Vec<&str> = d.families().iter().map(|f| f.name()).collect();
+        assert_eq!(names, ["stale", "iterof", "mutx", "same"], "{:#?}", d.families());
+        // arities match Fig. 4
+        assert_eq!(d.family(0).params().len(), 1);
+        assert_eq!(d.family(1).params().len(), 2);
+        assert_eq!(d.family(2).params().len(), 2);
+        assert_eq!(d.family(3).params().len(), 2);
+        // stale depends on the mutable version fields, the others do not
+        assert!(d.family(0).mutable_dep());
+        assert!(!d.family(1).mutable_dep());
+        assert!(!d.family(2).mutable_dep());
+        assert!(!d.family(3).mutable_dep());
+    }
+
+    #[test]
+    fn cmp_add_rule_matches_fig5() {
+        let spec = builtin::cmp();
+        let d = derive_abstraction(&spec).unwrap();
+        let add = d.for_call(&TypeName::new("Set"), "add").unwrap();
+        // stalek := stalek ∨ iterof(k, v)   ∀k
+        let stale = 0;
+        let rule = add.rule_for(stale, &[]).expect("add updates stale");
+        assert_eq!(rule.target_args, vec![RuleVar::Univ(0)]);
+        assert_eq!(rule.rhs.len(), 2);
+        assert!(rule.rhs.contains(&RuleRhs::Inst(stale, vec![RuleVar::Univ(0)])));
+        // the other disjunct is iterof(k, rcv) (argument order per family)
+        assert!(rule
+            .rhs
+            .iter()
+            .any(|r| matches!(r, RuleRhs::Inst(1, args) if args.contains(&RuleVar::Recv))));
+        // add has no requires
+        assert!(add.checks.is_empty());
+    }
+
+    #[test]
+    fn cmp_next_checks_stale_receiver() {
+        let spec = builtin::cmp();
+        let d = derive_abstraction(&spec).unwrap();
+        let next = d.for_call(&TypeName::new("Iterator"), "next").unwrap();
+        assert_eq!(next.checks, vec![RuleRhs::Inst(0, vec![RuleVar::Recv])]);
+        // next has no updates at all
+        assert!(next.rules.is_empty());
+    }
+
+    #[test]
+    fn cmp_iterator_rules() {
+        let spec = builtin::cmp();
+        let d = derive_abstraction(&spec).unwrap();
+        let it = d.for_call(&TypeName::new("Set"), "iterator").unwrap();
+        // bound case: stale(lhs) := 0
+        let r = it.rule_for(0, &[0]).expect("iterator resets stale of its result");
+        assert_eq!(r.rhs, Vec::new());
+        // bound case: iterof(lhs, z) := same(rcv, z)
+        let r = it.rule_for(1, &[0]).expect("iterator sets iterof of its result");
+        assert_eq!(r.rhs.len(), 1);
+        assert!(matches!(&r.rhs[0], RuleRhs::Inst(3, _)));
+        // unbound stale is untouched by iterator()
+        assert!(it.rule_for(0, &[]).is_none());
+    }
+
+    #[test]
+    fn cmp_remove_updates_via_mutx() {
+        let spec = builtin::cmp();
+        let d = derive_abstraction(&spec).unwrap();
+        let rm = d.for_call(&TypeName::new("Iterator"), "remove").unwrap();
+        assert_eq!(rm.checks, vec![RuleRhs::Inst(0, vec![RuleVar::Recv])]);
+        let r = rm.rule_for(0, &[]).expect("remove stales mutually-excluded iterators");
+        assert!(r.rhs.contains(&RuleRhs::Inst(0, vec![RuleVar::Univ(0)])));
+        assert!(r
+            .rhs
+            .iter()
+            .any(|x| matches!(x, RuleRhs::Inst(2, args) if args.contains(&RuleVar::Recv))));
+    }
+
+    #[test]
+    fn cmp_copy_rules() {
+        let spec = builtin::cmp();
+        let d = derive_abstraction(&spec).unwrap();
+        let cp = d.for_copy(&TypeName::new("Iterator")).unwrap();
+        // stale(lhs) := stale(src)
+        let r = cp.rule_for(0, &[0]).unwrap();
+        assert_eq!(r.rhs, vec![RuleRhs::Inst(0, vec![RuleVar::Arg(0)])]);
+        // mutx(lhs, z) := mutx(src, z)
+        let r = cp.rule_for(2, &[0]).unwrap();
+        assert_eq!(r.rhs.len(), 1);
+    }
+
+    #[test]
+    fn grp_imp_aop_derive_finitely() {
+        for spec in builtin::all() {
+            let d = derive_abstraction(&spec).unwrap_or_else(|e| {
+                panic!("{} failed to derive: {e}", spec.name());
+            });
+            assert!(
+                d.families().len() <= 6,
+                "{} derived too many families: {:#?}",
+                spec.name(),
+                d.families()
+            );
+            assert!(!d.families().is_empty(), "{}", spec.name());
+        }
+    }
+
+    #[test]
+    fn unbounded_spec_exhausts_budget() {
+        let spec = builtin::unbounded();
+        let err = derive_with_budget(&spec, 8).unwrap_err();
+        assert!(matches!(err, DeriveError::Budget { max_families: 8 }));
+    }
+
+    #[test]
+    fn stats_recorded() {
+        let spec = builtin::cmp();
+        let d = derive_abstraction(&spec).unwrap();
+        assert!(d.stats().wp_count > 0);
+        assert!(d.stats().equiv_checks > 0);
+        assert_eq!(*d.stats().families_discovered.last().unwrap(), 4);
+    }
+
+    #[test]
+    fn family_display_and_instantiate() {
+        let spec = builtin::cmp();
+        let d = derive_abstraction(&spec).unwrap();
+        let stale = d.family(0);
+        assert!(stale.to_string().starts_with("stale(x0: Iterator)"));
+        let i1 = Var::new("i1", TypeName::new("Iterator"));
+        let inst = stale.instantiate(&[i1]);
+        assert_eq!(inst.to_string(), "i1.defVer != i1.set.ver");
+    }
+}
+
+#[cfg(test)]
+mod conservative_tests {
+    use super::*;
+    use canvas_easl::builtin;
+
+    #[test]
+    fn conservative_derivation_never_fails() {
+        let spec = builtin::unbounded();
+        let d = derive_conservative(&spec, 4).expect("conservative derivation succeeds");
+        assert!(d.stats().unknown_rhs > 0, "budget pressure must show up");
+        assert!(d.families().len() <= 5);
+        // the requires check itself is still expressible
+        let push = d.for_call(&TypeName::new("Cell"), "use").expect("use abstraction");
+        assert!(!push.checks.is_empty());
+    }
+
+    #[test]
+    fn conservative_equals_strict_when_budget_suffices() {
+        let spec = builtin::cmp();
+        let strict = derive_abstraction(&spec).unwrap();
+        let cons = derive_conservative(&spec, 64).unwrap();
+        assert_eq!(strict, cons);
+        assert_eq!(cons.stats().unknown_rhs, 0);
+    }
+}

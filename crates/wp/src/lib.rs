@@ -1,0 +1,40 @@
+//! Weakest preconditions and staged abstraction derivation (paper §4).
+//!
+//! This crate implements the paper's core contribution: from an EASL
+//! component specification, *derive* a specialized abstraction consisting of
+//!
+//! * **instrumentation predicate families** (§4.1) — e.g. for CMP the four
+//!   families `stale(i)`, `iterof(i,v)`, `mutx(i,j)`, `same(v,w)` of Fig. 4 —
+//!   obtained by iterated symbolic weakest-precondition computation from the
+//!   `requires` clauses, with disjunct splitting (rule 2) so that a cheap
+//!   independent-attribute analysis retains relational precision; and
+//! * **component method abstractions** (§4.2) — update rules
+//!   `p0 := p1 ∨ … ∨ pk` per client-visible statement form (component call,
+//!   allocation, reference copy), the machine form of the paper's Fig. 5.
+//!
+//! The derivation runs entirely at *certifier-generation time*: it may use
+//! the (exponential-ish) small-model equivalence checks of
+//! [`canvas_logic::models`] freely without affecting client-analysis cost.
+//!
+//! # Example
+//!
+//! ```
+//! use canvas_wp::derive_abstraction;
+//!
+//! let spec = canvas_easl::builtin::cmp();
+//! let derived = derive_abstraction(&spec)?;
+//! let names: Vec<&str> = derived.families().iter().map(|f| f.name()).collect();
+//! assert_eq!(names, ["stale", "iterof", "mutx", "same"]);
+//! # Ok::<(), canvas_wp::DeriveError>(())
+//! ```
+
+mod derive;
+mod simplify;
+mod sym;
+
+pub use derive::{
+    derive_abstraction, derive_conservative, derive_with_budget, CheckInst, DerivationStats, Derived, DeriveError,
+    Family, FamilyId, RuleRhs, RuleVar, StmtAbstraction, StmtForm, UpdateRule,
+};
+pub use simplify::Simplifier;
+pub use sym::{client_stmt_actions, wp_through_actions, Action, OperandBinding};

@@ -1,0 +1,188 @@
+//! DNF minimization under a precondition assumption.
+//!
+//! After computing a raw weakest precondition, the derivation procedure
+//! simplifies it *modulo the method's own precondition* (the paper assumes
+//! the `requires` of the executing method held on entry — a violation would
+//! already have been reported). This is what turns the exact WP of
+//! `j.remove()` on `stale(i)`,
+//! `(i!=j && i.set==j.set) || (i!=j && i.set!=j.set && stale(i))`,
+//! into the paper's `stale(i) || mutx(i,j)`.
+
+use canvas_logic::{models::ModelEnv, Dnf, Formula, Literal, TypeOracle};
+
+/// Simplifies formulas to minimized DNF under an assumption, sharing one
+/// [`ModelEnv`] across all the entailment queries of a single WP result.
+pub struct Simplifier<'a> {
+    oracle: &'a dyn TypeOracle,
+}
+
+impl<'a> Simplifier<'a> {
+    /// Creates a simplifier using `oracle` for field types (pass the spec's
+    /// oracle so typing prunes the model space).
+    pub fn new(oracle: &'a dyn TypeOracle) -> Self {
+        Simplifier { oracle }
+    }
+
+    /// Returns the disjuncts (conjunctions of literals) of a minimized DNF
+    /// of `f`, where minimality and equivalence are judged *under
+    /// `assumption`*. `vec![]` means `false`; a disjunct equal to
+    /// `Formula::True` means the whole formula is `true`.
+    pub fn minimized_disjuncts(&self, f: &Formula, assumption: &Formula) -> Vec<Formula> {
+        let dnf = f.to_dnf();
+        if dnf.is_false() {
+            return Vec::new();
+        }
+        if dnf.is_true() {
+            return vec![Formula::True];
+        }
+        let original = dnf.to_formula();
+        let env = ModelEnv::new([&original, assumption], self.oracle);
+
+        // working copy: vector of literal-vectors
+        let mut conjs: Vec<Vec<Literal>> =
+            dnf.conjuncts().iter().map(|c| c.iter().cloned().collect()).collect();
+
+        // 1. drop conjuncts unsatisfiable under the assumption
+        conjs.retain(|c| env.satisfiable_under(assumption, &conj_formula(c)));
+
+        // 2. greedy literal elimination, preserving equivalence under the
+        //    assumption
+        for ci in 0..conjs.len() {
+            let mut li = 0;
+            while li < conjs[ci].len() {
+                let mut trial = conjs.clone();
+                trial[ci].remove(li);
+                let trial_f = dnf_formula(&trial);
+                if env.equivalent_under(assumption, &trial_f, &original) {
+                    conjs = trial;
+                } else {
+                    li += 1;
+                }
+            }
+        }
+
+        // 3. drop conjuncts implied by the remaining ones
+        let mut ci = 0;
+        while ci < conjs.len() {
+            if conjs.len() == 1 {
+                break;
+            }
+            let mut trial = conjs.clone();
+            trial.remove(ci);
+            let trial_f = dnf_formula(&trial);
+            if env.equivalent_under(assumption, &trial_f, &original) {
+                conjs = trial;
+            } else {
+                ci += 1;
+            }
+        }
+
+        // 4. canonicalize through Dnf once more (dedup, ordering)
+        let mut out = Dnf::fals();
+        for c in &conjs {
+            match Dnf::from_formula(&conj_formula(c)) {
+                d if d.is_true() => return vec![Formula::True],
+                d => {
+                    for conj in d.conjuncts() {
+                        out.push_conjunct(conj.clone());
+                    }
+                }
+            }
+        }
+        out.conjuncts()
+            .iter()
+            .map(|c| Formula::and(c.iter().map(Literal::to_formula)))
+            .collect()
+    }
+
+    /// Whether `f` and `g` agree under `assumption`.
+    pub fn equivalent(&self, assumption: &Formula, f: &Formula, g: &Formula) -> bool {
+        canvas_logic::models::equivalent(self.oracle, assumption, f, g)
+    }
+}
+
+fn conj_formula(lits: &[Literal]) -> Formula {
+    Formula::and(lits.iter().map(Literal::to_formula))
+}
+
+fn dnf_formula(conjs: &[Vec<Literal>]) -> Formula {
+    Formula::or(conjs.iter().map(|c| conj_formula(c)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canvas_logic::{AccessPath, TypeName, Var};
+
+    fn oracle(owner: &TypeName, field: &str) -> Option<TypeName> {
+        match (owner.as_str(), field) {
+            ("Iterator", "set") => Some(TypeName::new("Set")),
+            ("Iterator", "defVer") | ("Set", "ver") => Some(TypeName::new("Version")),
+            _ => None,
+        }
+    }
+
+    fn iv(n: &str) -> Var {
+        Var::new(n, TypeName::new("Iterator"))
+    }
+
+    fn stale(n: &str) -> Formula {
+        Formula::ne(
+            AccessPath::of(iv(n)).field("defVer"),
+            AccessPath::of(iv(n)).field("set").field("ver"),
+        )
+    }
+
+    #[test]
+    fn paper_remove_simplification() {
+        let ivar = AccessPath::of(iv("i"));
+        let jvar = AccessPath::of(iv("j"));
+        let iset = AccessPath::of(iv("i")).field("set");
+        let jset = AccessPath::of(iv("j")).field("set");
+        let exact = Formula::or([
+            Formula::and([Formula::ne(ivar.clone(), jvar.clone()), Formula::eq(iset.clone(), jset.clone())]),
+            Formula::and([
+                Formula::ne(ivar.clone(), jvar.clone()),
+                Formula::ne(iset.clone(), jset.clone()),
+                stale("i"),
+            ]),
+        ]);
+        let assumption = Formula::not(stale("j"));
+        let s = Simplifier::new(&oracle);
+        let ds = s.minimized_disjuncts(&exact, &assumption);
+        assert_eq!(ds.len(), 2, "{ds:?}");
+        let strs: Vec<String> = ds.iter().map(|d| d.to_string()).collect();
+        // one disjunct is stale(i), the other is mutx(i,j)
+        assert!(strs.iter().any(|s| s == "i.defVer != i.set.ver"), "{strs:?}");
+        assert!(
+            strs.iter().any(|s| s.contains("i.set == j.set") && s.contains("!=")),
+            "{strs:?}"
+        );
+    }
+
+    #[test]
+    fn constants() {
+        let s = Simplifier::new(&oracle);
+        assert!(s.minimized_disjuncts(&Formula::False, &Formula::True).is_empty());
+        assert_eq!(
+            s.minimized_disjuncts(&Formula::True, &Formula::True),
+            vec![Formula::True]
+        );
+        // contradiction collapses to false
+        let f = Formula::and([stale("i"), Formula::not(stale("i"))]);
+        assert!(s.minimized_disjuncts(&f, &Formula::True).is_empty());
+        // tautology collapses to true
+        let f = Formula::or([stale("i"), Formula::not(stale("i"))]);
+        assert_eq!(s.minimized_disjuncts(&f, &Formula::True), vec![Formula::True]);
+    }
+
+    #[test]
+    fn subsumed_disjunct_dropped() {
+        // stale(i) || (stale(i) && stale(j))  →  stale(i)
+        let f = Formula::or([stale("i"), Formula::and([stale("i"), stale("j")])]);
+        let s = Simplifier::new(&oracle);
+        let ds = s.minimized_disjuncts(&f, &Formula::True);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].to_string(), "i.defVer != i.set.ver");
+    }
+}

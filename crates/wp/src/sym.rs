@@ -1,0 +1,614 @@
+//! Symbolic execution of EASL bodies as *action lists*, and backward
+//! weakest-precondition transformation of alias formulas through them.
+//!
+//! A client-visible statement form (component call, allocation, copy) is
+//! first compiled — by inlining the EASL method and constructor bodies — into
+//! a straight-line list of [`Action`]s over logic terms:
+//!
+//! * `AssignVar x := ρ` — the client variable `x` is bound to the value of
+//!   path `ρ` (used for copies and for binding call results);
+//! * `HeapWrite ρ.f := σ` — the component field `f` of the object denoted by
+//!   `ρ` is overwritten with the value of `σ`.
+//!
+//! Allocations introduce *fresh variables* (`$newK`), which behave as
+//! ordinary path roots during the backward pass and are resolved to
+//! [`canvas_logic::AllocToken`]s at the end — at which point freshness
+//! collapses `path == token` atoms to `false` (an allocation never aliases a
+//! pre-existing value).
+//!
+//! The backward pass is the textbook WP for heap assignments: reading `t.f`
+//! after `P.f := V` yields `ite(t == P, V, t.f)`, lifted from terms to
+//! formulas through [`CondTerm`].
+
+use std::collections::HashMap;
+
+use canvas_easl::{ClassSpec, MethodSpec, Spec, SpecExpr, SpecStmt};
+use canvas_logic::{AccessPath, AllocToken, Formula, Term, TypeName, Var};
+
+/// One primitive state change of a component statement form.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Action {
+    /// `var := value-of(path)` — binds a client variable.
+    AssignVar {
+        /// The assigned client variable.
+        var: Var,
+        /// The path whose (pre-action) value is stored.
+        path: AccessPath,
+    },
+    /// `target.f := value-of(path)` where `target` is the full field path
+    /// (e.g. `this.set.ver`); the written field is the last one.
+    HeapWrite {
+        /// Path to the written location (last field is the written field).
+        target: AccessPath,
+        /// The path whose (pre-action) value is stored.
+        value: AccessPath,
+    },
+}
+
+/// How the client statement's operands bind to logic variables.
+///
+/// The receiver is `recv`, arguments are `args`, and `lhs` is the client
+/// variable the result is assigned to (if any).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct OperandBinding {
+    /// Receiver variable (`None` for allocations and copies).
+    pub recv: Option<Var>,
+    /// Argument variables.
+    pub args: Vec<Var>,
+    /// Result-bound client variable.
+    pub lhs: Option<Var>,
+}
+
+/// Builds the action list for a client-visible statement form.
+///
+/// * `method: Some(m)` — `[lhs =] recv.m(args)`;
+/// * `method: None` with `class: Some(c)` — `lhs = new c(args)`;
+/// * both `None` — the copy `lhs = args[0]`.
+///
+/// Returns the actions plus the number of fresh `$new` variables introduced.
+///
+/// # Panics
+///
+/// Panics if the binding does not provide the operands the form needs; the
+/// derivation driver constructs bindings consistently.
+pub fn client_stmt_actions(
+    spec: &Spec,
+    class: Option<&ClassSpec>,
+    method: Option<&MethodSpec>,
+    binding: &OperandBinding,
+) -> Vec<Action> {
+    let mut b = ActionBuilder { spec, actions: Vec::new(), fresh_count: 0 };
+    match (class, method) {
+        (Some(c), Some(m)) => {
+            let recv = binding.recv.clone().expect("calls need a receiver");
+            let recv_path = AccessPath::of(recv);
+            let args: Vec<AccessPath> =
+                binding.args.iter().cloned().map(AccessPath::of).collect();
+            b.inline_method(c, m, recv_path, &args, binding.lhs.clone());
+        }
+        (Some(c), None) => {
+            let lhs = binding.lhs.clone().expect("allocations bind a result");
+            let args: Vec<AccessPath> =
+                binding.args.iter().cloned().map(AccessPath::of).collect();
+            let fresh = b.inline_new(c, &args);
+            b.actions.push(Action::AssignVar { var: lhs, path: AccessPath::of(fresh) });
+        }
+        (None, None) => {
+            let lhs = binding.lhs.clone().expect("copies bind a result");
+            let src = binding.args.first().cloned().expect("copies read one operand");
+            b.actions.push(Action::AssignVar { var: lhs, path: AccessPath::of(src) });
+        }
+        (None, Some(_)) => unreachable!("a method implies a class"),
+    }
+    b.actions
+}
+
+struct ActionBuilder<'a> {
+    spec: &'a Spec,
+    actions: Vec<Action>,
+    fresh_count: usize,
+}
+
+impl ActionBuilder<'_> {
+    /// A fresh `$newK` variable of the given type.
+    fn fresh_var(&mut self, ty: TypeName) -> Var {
+        let v = Var::new(format!("$new{}", self.fresh_count), ty);
+        self.fresh_count += 1;
+        v
+    }
+
+    /// Emits the body of `m` with `this ↦ recv` and params bound to `args`,
+    /// then binds `lhs` to the return value if requested.
+    fn inline_method(
+        &mut self,
+        class: &ClassSpec,
+        m: &MethodSpec,
+        recv: AccessPath,
+        args: &[AccessPath],
+        lhs: Option<Var>,
+    ) {
+        assert_eq!(m.params().len(), args.len(), "argument arity mismatch");
+        let env = Env { this: recv, params: args.to_vec() };
+        for stmt in m.body() {
+            let SpecStmt::Assign { lhs: target, rhs } = stmt;
+            let target = env.resolve_spec_path(m, class, target);
+            let value = self.eval_expr(rhs, &env, m, class);
+            self.actions.push(Action::HeapWrite { target, value });
+        }
+        if let Some(x) = lhs {
+            if let Some(r) = m.ret() {
+                let path = self.eval_expr(r, &env, m, class);
+                self.actions.push(Action::AssignVar { var: x, path });
+            }
+            // a method with no return expression leaves `x` unconstrained;
+            // callers only bind lhs for methods that return.
+        }
+    }
+
+    /// Emits `new C(args)` (constructor inlining) and returns the fresh var.
+    fn inline_new(&mut self, class: &ClassSpec, args: &[AccessPath]) -> Var {
+        let fresh = self.fresh_var(class.name().clone());
+        if let Some(ctor) = class.ctor() {
+            self.inline_method(class, ctor, AccessPath::of(fresh.clone()), args, None);
+        }
+        fresh
+    }
+
+    /// Evaluates a spec expression to a path (allocations yield `$new` vars).
+    fn eval_expr(
+        &mut self,
+        e: &SpecExpr,
+        env: &Env,
+        m: &MethodSpec,
+        class: &ClassSpec,
+    ) -> AccessPath {
+        match e {
+            SpecExpr::Path(p) => env.resolve_spec_path(m, class, p),
+            SpecExpr::New { ty, args } => {
+                let c = self.spec.class(ty.as_str()).expect("resolved at parse time");
+                let arg_paths: Vec<AccessPath> =
+                    args.iter().map(|a| self.eval_expr(a, env, m, class)).collect();
+                AccessPath::of(self.inline_new(c, &arg_paths))
+            }
+        }
+    }
+}
+
+struct Env {
+    this: AccessPath,
+    params: Vec<AccessPath>,
+}
+
+impl Env {
+    fn resolve_spec_path(
+        &self,
+        m: &MethodSpec,
+        class: &ClassSpec,
+        p: &canvas_easl::SpecPath,
+    ) -> AccessPath {
+        let this_var = m.this_var(class);
+        let sp = p.to_access_path(m, class);
+        let base = match p.base() {
+            canvas_easl::SpecVar::This => &self.this,
+            canvas_easl::SpecVar::Param(k) => &self.params[k],
+        };
+        // rebase: replace the variable root by the bound path
+        let root = AccessPath::of(match p.base() {
+            canvas_easl::SpecVar::This => this_var,
+            canvas_easl::SpecVar::Param(k) => {
+                let (n, t) = &m.params()[k];
+                Var::new(n.clone(), t.clone())
+            }
+        });
+        sp.rebase(&root, base).expect("path roots at its own base")
+    }
+}
+
+/// Substitutes a method's `requires` formula with the operand binding
+/// (`this ↦ recv`, params ↦ args).
+pub(crate) fn bind_requires(
+    class: &ClassSpec,
+    m: &MethodSpec,
+    binding: &OperandBinding,
+) -> Option<Formula> {
+    let req = m.requires()?;
+    let this_var = m.this_var(class);
+    let recv = binding.recv.clone()?;
+    let param_vars = m.param_vars();
+    Some(req.rename_vars(&|v: &Var| {
+        if *v == this_var {
+            return recv.clone();
+        }
+        if let Some(k) = param_vars.iter().position(|pv| pv == v) {
+            if let Some(a) = binding.args.get(k) {
+                return a.clone();
+            }
+        }
+        v.clone()
+    }))
+}
+
+// ---------------------------------------------------------------------------
+// Backward WP
+// ---------------------------------------------------------------------------
+
+/// A term-level conditional tree produced by heap-write substitution.
+#[derive(Clone, Debug)]
+enum CondTerm {
+    Leaf(Term),
+    Ite { lhs: Term, rhs: Term, then: Box<CondTerm>, els: Box<CondTerm> },
+}
+
+impl CondTerm {
+    /// Extends every leaf by field `g`, applying the pending write
+    /// `P.f := V` when `g == f`.
+    fn extend(
+        self,
+        g: &str,
+        write: &(Term, String, Term),
+        fresh: &mut FreshFields,
+    ) -> CondTerm {
+        match self {
+            CondTerm::Leaf(t) => {
+                let (p, f, v) = write;
+                if g == f {
+                    // reading `t.g` after `P.g := V`: ite(t == P, V, t.g)
+                    match canvas_logic::Literal::new(true, t.clone(), p.clone()) {
+                        Err(true) => CondTerm::Leaf(v.clone()),
+                        Err(false) => CondTerm::Leaf(field_of(&t, g, fresh)),
+                        Ok(_) => CondTerm::Ite {
+                            lhs: t.clone(),
+                            rhs: p.clone(),
+                            then: Box::new(CondTerm::Leaf(v.clone())),
+                            els: Box::new(CondTerm::Leaf(field_of(&t, g, fresh))),
+                        },
+                    }
+                } else {
+                    CondTerm::Leaf(field_of(&t, g, fresh))
+                }
+            }
+            CondTerm::Ite { lhs, rhs, then, els } => CondTerm::Ite {
+                lhs,
+                rhs,
+                then: Box::new(then.extend(g, write, fresh)),
+                els: Box::new(els.extend(g, write, fresh)),
+            },
+        }
+    }
+
+    /// Lifts an equality between two conditional terms into a formula.
+    fn equate(a: &CondTerm, b: &CondTerm) -> Formula {
+        match (a, b) {
+            (CondTerm::Leaf(x), CondTerm::Leaf(y)) => Formula::Eq(x.clone(), y.clone()),
+            (CondTerm::Ite { lhs, rhs, then, els }, other)
+            | (other, CondTerm::Ite { lhs, rhs, then, els }) => Formula::ite(
+                Formula::Eq(lhs.clone(), rhs.clone()),
+                CondTerm::equate(then, other),
+                CondTerm::equate(els, other),
+            ),
+        }
+    }
+}
+
+/// Allocates deterministic tokens for reads of uninitialized fields of fresh
+/// objects and for the fresh `$new` roots themselves.
+struct FreshFields {
+    next: u32,
+    map: HashMap<(Term, String), Term>,
+}
+
+impl FreshFields {
+    fn new() -> Self {
+        FreshFields { next: 1_000_000, map: HashMap::new() }
+    }
+
+    fn token_for(&mut self, key: (Term, String), ty: TypeName) -> Term {
+        let next = &mut self.next;
+        self.map
+            .entry(key)
+            .or_insert_with(|| {
+                let t = Term::Alloc(AllocToken::new(*next, ty));
+                *next += 1;
+                t
+            })
+            .clone()
+    }
+}
+
+/// Reading field `g` of term `t` with no pending write on `g`.
+fn field_of(t: &Term, g: &str, fresh: &mut FreshFields) -> Term {
+    match t {
+        Term::Path(p) => Term::Path(p.clone().field(g)),
+        Term::Alloc(a) => {
+            // an uninitialized field of a fresh object: a value fresh in its
+            // own right (denotes `null`, which aliases nothing we compare)
+            let ty = a.ty().clone();
+            fresh.token_for((t.clone(), g.to_string()), ty)
+        }
+    }
+}
+
+/// Computes WP of `phi` through `actions` (executed forward), resolving
+/// `$new` variables to allocation tokens at the end.
+pub fn wp_through_actions(phi: &Formula, actions: &[Action]) -> Formula {
+    let mut f = phi.clone();
+    let mut fresh = FreshFields::new();
+    for a in actions.iter().rev() {
+        f = match a {
+            Action::AssignVar { var, path } => rebase_var(&f, var, path),
+            Action::HeapWrite { target, value } => {
+                let p_obj = Term::Path(target.parent().expect("writes target a field"));
+                let field = target.last_field().expect("writes target a field").to_string();
+                let v = Term::Path(value.clone());
+                let write = (p_obj, field, v);
+                substitute_write(&f, &write, &mut fresh)
+            }
+        };
+    }
+    resolve_fresh(&f, &mut fresh)
+}
+
+/// Replaces paths rooted at `var` by the same path rooted at `path`.
+fn rebase_var(f: &Formula, var: &Var, path: &AccessPath) -> Formula {
+    let root = AccessPath::of(var.clone());
+    f.map_terms(&mut |t| match t {
+        Term::Path(p) if p.base() == var => {
+            Term::Path(p.rebase(&root, path).expect("base matches"))
+        }
+        other => other.clone(),
+    })
+}
+
+/// Applies the heap-write substitution to every atom of `f`.
+fn substitute_write(f: &Formula, write: &(Term, String, Term), fresh: &mut FreshFields) -> Formula {
+    match f {
+        Formula::True => Formula::True,
+        Formula::False => Formula::False,
+        Formula::Eq(a, b) => {
+            let ca = subst_term(a, write, fresh);
+            let cb = subst_term(b, write, fresh);
+            CondTerm::equate(&ca, &cb)
+        }
+        Formula::Ne(a, b) => Formula::not(substitute_write(
+            &Formula::Eq(a.clone(), b.clone()),
+            write,
+            fresh,
+        )),
+        Formula::Not(inner) => Formula::not(substitute_write(inner, write, fresh)),
+        Formula::And(fs) => Formula::and(fs.iter().map(|g| substitute_write(g, write, fresh))),
+        Formula::Or(fs) => Formula::or(fs.iter().map(|g| substitute_write(g, write, fresh))),
+    }
+}
+
+/// Builds the conditional pre-state term for the post-state term `t`.
+fn subst_term(t: &Term, write: &(Term, String, Term), fresh: &mut FreshFields) -> CondTerm {
+    match t {
+        Term::Alloc(_) => CondTerm::Leaf(t.clone()),
+        Term::Path(p) => {
+            let mut ct = CondTerm::Leaf(Term::Path(AccessPath::of(p.base().clone())));
+            for g in p.fields() {
+                ct = ct.extend(g, write, fresh);
+            }
+            ct
+        }
+    }
+}
+
+/// Replaces surviving `$new`-rooted paths by allocation tokens.
+fn resolve_fresh(f: &Formula, fresh: &mut FreshFields) -> Formula {
+    f.map_terms(&mut |t| match t {
+        Term::Path(p) if p.base().name().starts_with("$new") => {
+            let mut cur = Term::Alloc(AllocToken::new(
+                // the root token id is derived from the $new index
+                p.base().name()[4..].parse::<u32>().unwrap_or(0),
+                p.base().ty().clone(),
+            ));
+            for g in p.fields() {
+                cur = field_of(&cur, g, fresh);
+            }
+            cur
+        }
+        other => other.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canvas_easl::builtin;
+
+    fn iter_var(n: &str) -> Var {
+        Var::new(n, TypeName::new("Iterator"))
+    }
+
+    fn set_var(n: &str) -> Var {
+        Var::new(n, TypeName::new("Set"))
+    }
+
+    /// stale(i) ≡ i.defVer != i.set.ver
+    fn stale(n: &str) -> Formula {
+        Formula::ne(
+            AccessPath::of(iter_var(n)).field("defVer"),
+            AccessPath::of(iter_var(n)).field("set").field("ver"),
+        )
+    }
+
+    fn call_actions(spec: &canvas_easl::Spec, class: &str, method: &str, b: &OperandBinding) -> Vec<Action> {
+        let c = spec.class(class).unwrap();
+        let m = c.method(method).unwrap();
+        client_stmt_actions(spec, Some(c), Some(m), b)
+    }
+
+    #[test]
+    fn add_makes_aliased_iterators_stale() {
+        // WP(stale(i), v.add(o)) should be equivalent to stale(i) || i.set == v
+        let spec = builtin::cmp();
+        let binding = OperandBinding {
+            recv: Some(set_var("v")),
+            args: vec![Var::new("o", TypeName::new("Object"))],
+            lhs: None,
+        };
+        let actions = call_actions(&spec, "Set", "add", &binding);
+        let wp = wp_through_actions(&stale("i"), &actions);
+        let expected = Formula::or([
+            stale("i"),
+            Formula::eq(
+                AccessPath::of(iter_var("i")).field("set"),
+                AccessPath::of(set_var("v")),
+            ),
+        ]);
+        let oracle = spec.oracle();
+        assert!(
+            canvas_logic::models::equivalent(&oracle, &Formula::True, &wp, &expected),
+            "wp was {wp}"
+        );
+    }
+
+    #[test]
+    fn iterator_result_is_never_stale() {
+        // WP(stale(i), i = v.iterator()) ≡ false
+        let spec = builtin::cmp();
+        let binding = OperandBinding {
+            recv: Some(set_var("v")),
+            args: vec![],
+            lhs: Some(iter_var("i")),
+        };
+        let actions = call_actions(&spec, "Set", "iterator", &binding);
+        let wp = wp_through_actions(&stale("i"), &actions);
+        let oracle = spec.oracle();
+        assert!(
+            canvas_logic::models::equivalent(&oracle, &Formula::True, &wp, &Formula::False),
+            "wp was {wp}"
+        );
+    }
+
+    #[test]
+    fn iterof_of_fresh_iterator_is_same_set() {
+        // WP(i.set == w, i = v.iterator()) ≡ v == w
+        let spec = builtin::cmp();
+        let iterof = Formula::eq(
+            AccessPath::of(iter_var("i")).field("set"),
+            AccessPath::of(set_var("w")),
+        );
+        let binding = OperandBinding {
+            recv: Some(set_var("v")),
+            args: vec![],
+            lhs: Some(iter_var("i")),
+        };
+        let actions = call_actions(&spec, "Set", "iterator", &binding);
+        let wp = wp_through_actions(&iterof, &actions);
+        let expected = Formula::eq(AccessPath::of(set_var("v")), AccessPath::of(set_var("w")));
+        let oracle = spec.oracle();
+        assert!(
+            canvas_logic::models::equivalent(&oracle, &Formula::True, &wp, &expected),
+            "wp was {wp}"
+        );
+    }
+
+    #[test]
+    fn remove_wp_matches_paper_under_precondition() {
+        // WP(stale(i), j.remove()) under ¬stale(j) ≡ stale(i) ∨ mutx(i,j)
+        let spec = builtin::cmp();
+        let binding =
+            OperandBinding { recv: Some(iter_var("j")), args: vec![], lhs: None };
+        let actions = call_actions(&spec, "Iterator", "remove", &binding);
+        let wp = wp_through_actions(&stale("i"), &actions);
+        let c = spec.class("Iterator").unwrap();
+        let m = c.method("remove").unwrap();
+        let assumption = bind_requires(c, m, &binding).unwrap();
+        let mutx = Formula::and([
+            Formula::eq(
+                AccessPath::of(iter_var("i")).field("set"),
+                AccessPath::of(iter_var("j")).field("set"),
+            ),
+            Formula::ne(AccessPath::of(iter_var("i")), AccessPath::of(iter_var("j"))),
+        ]);
+        let expected = Formula::or([stale("i"), mutx]);
+        let oracle = spec.oracle();
+        assert!(
+            canvas_logic::models::equivalent(&oracle, &assumption, &wp, &expected),
+            "wp was {wp}"
+        );
+        // and the equivalence genuinely needs the precondition
+        assert!(!canvas_logic::models::equivalent(&oracle, &Formula::True, &wp, &expected));
+    }
+
+    #[test]
+    fn new_set_resets_iterof_and_same() {
+        let spec = builtin::cmp();
+        // WP(v == w, v = new Set()) ≡ false (fresh set equals no prior one)
+        let same = Formula::eq(AccessPath::of(set_var("v")), AccessPath::of(set_var("w")));
+        let c = spec.class("Set").unwrap();
+        let binding = OperandBinding { recv: None, args: vec![], lhs: Some(set_var("v")) };
+        let actions = client_stmt_actions(&spec, Some(c), None, &binding);
+        let wp = wp_through_actions(&same, &actions);
+        let oracle = spec.oracle();
+        assert!(canvas_logic::models::equivalent(&oracle, &Formula::True, &wp, &Formula::False));
+        // WP(v == v, v = new Set()) ≡ true
+        let refl = Formula::eq(AccessPath::of(set_var("v")), AccessPath::of(set_var("v")));
+        let wp = wp_through_actions(&refl, &actions);
+        assert!(canvas_logic::models::equivalent(&oracle, &Formula::True, &wp, &Formula::True));
+    }
+
+    #[test]
+    fn copy_rebases() {
+        let spec = builtin::cmp();
+        // WP(stale(i), i = j) ≡ stale(j)
+        let binding = OperandBinding {
+            recv: None,
+            args: vec![iter_var("j")],
+            lhs: Some(iter_var("i")),
+        };
+        let actions = client_stmt_actions(&spec, None, None, &binding);
+        let wp = wp_through_actions(&stale("i"), &actions);
+        let oracle = spec.oracle();
+        assert!(canvas_logic::models::equivalent(&oracle, &Formula::True, &wp, &stale("j")));
+    }
+
+    #[test]
+    fn grp_start_traversal_invalidates_other_traversals() {
+        let spec = builtin::grp();
+        let t = Var::new("t", TypeName::new("Traversal"));
+        let g2 = Var::new("g2", TypeName::new("Graph"));
+        // staleT(t) ≡ t.tok != t.g.owner
+        let stale_t = Formula::ne(
+            AccessPath::of(t.clone()).field("tok"),
+            AccessPath::of(t.clone()).field("g").field("owner"),
+        );
+        let binding = OperandBinding { recv: Some(g2.clone()), args: vec![], lhs: None };
+        let actions = call_actions(&spec, "Graph", "startTraversal", &binding);
+        let wp = wp_through_actions(&stale_t, &actions);
+        let expected = Formula::or([
+            stale_t.clone(),
+            Formula::eq(AccessPath::of(t.clone()).field("g"), AccessPath::of(g2.clone())),
+        ]);
+        let oracle = spec.oracle();
+        assert!(
+            canvas_logic::models::equivalent(&oracle, &Formula::True, &wp, &expected),
+            "wp was {wp}"
+        );
+        // and the traversal returned by startTraversal is valid:
+        let t2 = Var::new("t2", TypeName::new("Traversal"));
+        let stale_t2 = Formula::ne(
+            AccessPath::of(t2.clone()).field("tok"),
+            AccessPath::of(t2.clone()).field("g").field("owner"),
+        );
+        let binding = OperandBinding { recv: Some(g2), args: vec![], lhs: Some(t2) };
+        let actions = call_actions(&spec, "Graph", "startTraversal", &binding);
+        let wp = wp_through_actions(&stale_t2, &actions);
+        assert!(
+            canvas_logic::models::equivalent(&oracle, &Formula::True, &wp, &Formula::False),
+            "wp was {wp}"
+        );
+    }
+
+    #[test]
+    fn binding_requires_renames_operands() {
+        let spec = builtin::cmp();
+        let c = spec.class("Iterator").unwrap();
+        let m = c.method("next").unwrap();
+        let binding = OperandBinding { recv: Some(iter_var("i1")), args: vec![], lhs: None };
+        let req = bind_requires(c, m, &binding).unwrap();
+        assert_eq!(req.to_string(), "i1.defVer == i1.set.ver");
+    }
+}

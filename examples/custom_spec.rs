@@ -1,0 +1,62 @@
+//! Writing your own EASL specification and deriving its certifier.
+//!
+//! The component here is a connection pool: leasing a connection hands out
+//! a `Lease`; recycling the pool revokes all outstanding leases (the same
+//! grabbed-resource shape as the paper's GRP, written from scratch to show
+//! the full authoring flow).
+//!
+//! Run with `cargo run --example custom_spec`.
+
+use canvas_conformance::easl::Spec;
+use canvas_conformance::{Certifier, Engine};
+
+const POOL_SPEC: &str = r#"
+class Epoch { /* identity of one pool generation */ }
+
+class Pool {
+    Epoch epoch;
+    Pool() { epoch = new Epoch(); }
+    Lease lease() { return new Lease(this); }
+    void recycle() { epoch = new Epoch(); }
+}
+
+class Lease {
+    Pool pool;
+    Epoch born;
+    Lease(Pool p) { pool = p; born = p.epoch; }
+    Object use() { requires (born == pool.epoch); }
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = Spec::parse("pool", POOL_SPEC)?;
+    println!(
+        "spec classification: {:?} (derivation guaranteed to converge)",
+        canvas_conformance::easl::classify(&spec)
+    );
+
+    let certifier = Certifier::from_spec(spec)?;
+    println!("derived families:");
+    for fam in certifier.derived().families() {
+        println!("  {fam}");
+    }
+
+    // A client that keeps using a lease across a recycle.
+    let client = r#"
+class Main {
+    static void main() {
+        Pool pool = new Pool();
+        Lease a = pool.lease();
+        a.use();
+        pool.recycle();
+        Lease b = pool.lease();
+        b.use();
+        a.use();
+    }
+}
+"#;
+    let report = certifier.certify_source(client, Engine::ScmpFds)?;
+    println!("\n{report}");
+    assert_eq!(report.lines(), vec![10], "only the revoked lease use is flagged");
+    Ok(())
+}

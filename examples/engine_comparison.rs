@@ -1,0 +1,50 @@
+//! Runs every certification engine on the paper's Fig. 3 running example
+//! and prints the precision/time comparison — the repository's one-screen
+//! summary of the paper's message.
+//!
+//! Run with `cargo run --release --example engine_comparison`.
+
+use canvas_conformance::{Certifier, Engine};
+
+const FIG3: &str = r#"
+class Main {
+    static void main() {
+        Set v = new Set();
+        Iterator i1 = v.iterator();
+        Iterator i2 = v.iterator();
+        Iterator i3 = i1;
+        i1.next();
+        i1.remove();
+        if (true) { i2.next(); }
+        if (true) { i3.next(); }
+        v.add("...");
+        if (true) { i1.next(); }
+    }
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let certifier = Certifier::from_spec(canvas_conformance::easl::builtin::cmp())?;
+    println!("Fig. 3: real errors at lines 10 and 13; line 11 is safe.\n");
+    println!(
+        "{:<26} {:>18} {:>10} {:>8}",
+        "engine", "reported lines", "time", "preds"
+    );
+    for engine in Engine::all() {
+        match certifier.certify_source(FIG3, engine) {
+            Ok(r) => println!(
+                "{:<26} {:>18} {:>9.2?} {:>8}",
+                engine.to_string(),
+                format!("{:?}", r.lines()),
+                r.stats.duration,
+                r.stats.predicates
+            ),
+            Err(e) => println!("{:<26} {e}", engine.to_string()),
+        }
+    }
+    println!(
+        "\nthe specialized certifiers are exact; the generic shape-graph baseline\n\
+         false-alarms at line 11 exactly as the paper's §4.4 explains"
+    );
+    Ok(())
+}

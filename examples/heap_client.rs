@@ -1,0 +1,49 @@
+//! HCMP: certifying a client that stores iterators in object fields.
+//!
+//! The nullary (SCMP) abstraction cannot track references once they enter
+//! the heap; the first-order predicate abstraction on the TVLA-style engine
+//! (§5) tracks them per *individual* and stays exact here.
+//!
+//! Run with `cargo run --example heap_client`.
+
+use canvas_conformance::{Certifier, Engine};
+
+const CLIENT: &str = r#"
+class Cursor {
+    Iterator it;
+    Cursor() { }
+}
+class Main {
+    static void main() {
+        Set rows = new Set();
+        rows.add("r1");
+        Cursor c = new Cursor();
+        c.it = rows.iterator();
+        Iterator direct = c.it;
+        direct.next();
+        rows.add("r2");
+        Iterator reloaded = c.it;
+        reloaded.next();
+    }
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let certifier = Certifier::from_spec(canvas_conformance::easl::builtin::cmp())?;
+
+    let scmp = certifier.certify_source(CLIENT, Engine::ScmpFds)?;
+    let tvla = certifier.certify_source(CLIENT, Engine::TvlaRelational)?;
+
+    println!("SCMP (nullary) engine — sound but loses heap-stored iterators:");
+    println!("{scmp}");
+    println!("TVLA (first-order) engine — exact:");
+    println!("{tvla}");
+
+    // both find the real error at line 16 (`reloaded.next()` after the add)
+    assert!(tvla.lines().contains(&16));
+    // the first-order abstraction reports nothing else
+    assert_eq!(tvla.lines(), vec![16]);
+    // the nullary engine is sound (finds it too), just less precise overall
+    assert!(scmp.lines().contains(&16));
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! Quickstart: derive the CMP abstraction and certify a small client.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use canvas_conformance::{Certifier, Engine};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Stage 1-2 (certifier generation time): parse the component's EASL
+    // specification and derive the specialized abstraction.
+    let spec = canvas_conformance::easl::builtin::cmp();
+    let certifier = Certifier::from_spec(spec)?;
+
+    println!("derived instrumentation-predicate families (paper Fig. 4):");
+    for fam in certifier.derived().families() {
+        println!("  {fam}");
+    }
+
+    // Stage 3-4 (client analysis time): certify a client. This one holds an
+    // iterator across a mutation of its collection — the classic CME bug.
+    let client = r#"
+class Main {
+    static void main() {
+        Set schedule = new Set();
+        schedule.add("task-1");
+        schedule.add("task-2");
+        Iterator cursor = schedule.iterator();
+        cursor.next();
+        schedule.add("task-3");
+        cursor.next();
+    }
+}
+"#;
+    let report = certifier.certify_source(client, Engine::ScmpFds)?;
+    println!("\ncertification report:\n{report}");
+    assert!(!report.certified(), "the bug must be found");
+
+    // Fixing the bug (refreshing the iterator) certifies cleanly.
+    let fixed = client.replace(
+        "schedule.add(\"task-3\");",
+        "schedule.add(\"task-3\");\n        cursor = schedule.iterator();",
+    );
+    let report = certifier.certify_source(&fixed, Engine::ScmpFds)?;
+    println!("after the fix:\n{report}");
+    assert!(report.certified());
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Validates the corpus ground truth against the concrete oracle: the
+//! `// ERROR` markers must be exactly the concretely reachable violations
+//! (for fully explorable benchmarks) or at least contain them (when the
+//! exploration truncates on unbounded loops).
+
+use std::collections::BTreeSet;
+
+use canvas_conformance::suite::oracle::{explore, OracleConfig};
+use canvas_conformance::suite::corpus;
+
+#[test]
+fn corpus_truth_matches_concrete_oracle() {
+    for b in corpus() {
+        let spec = b.spec.spec();
+        let program =
+            canvas_conformance::minijava::Program::parse(b.source, &spec).expect("parses");
+        let r = explore(&program, &spec, OracleConfig::default());
+        let truth: BTreeSet<u32> = b.truth().into_iter().collect();
+        if r.truncated {
+            // unbounded loops: the oracle's set is a lower bound
+            assert!(
+                r.violation_lines.is_subset(&truth),
+                "{}: oracle found unmarked violations {:?} (truth {:?})",
+                b.name,
+                r.violation_lines,
+                truth
+            );
+        } else {
+            assert_eq!(
+                r.violation_lines, truth,
+                "{}: ground-truth markers disagree with concrete execution",
+                b.name
+            );
+        }
+    }
+}
+
+#[test]
+fn corpus_statistics() {
+    let all = corpus();
+    assert!(all.len() >= 25, "corpus should stay substantial, has {}", all.len());
+    let total_loc: usize = all.iter().map(|b| b.loc()).sum();
+    assert!(total_loc > 300, "corpus LOC {total_loc}");
+    // each spec kind is represented
+    for kind in ["Cmp", "Grp", "Imp", "Aop"] {
+        assert!(
+            all.iter().any(|b| format!("{:?}", b.spec) == kind),
+            "no benchmark for {kind}"
+        );
+    }
+    // both safe and buggy benchmarks exist
+    assert!(all.iter().any(|b| b.truth().is_empty()));
+    assert!(all.iter().any(|b| !b.truth().is_empty()));
+}

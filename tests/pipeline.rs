@@ -1,0 +1,158 @@
+//! End-to-end pipeline tests over the evaluation corpus: soundness of every
+//! specialized engine, exactness of the SCMP certifiers where the paper
+//! claims it, and the documented failure modes of the generic baselines.
+
+use std::collections::BTreeSet;
+
+use canvas_conformance::suite::{corpus, SpecKind};
+use canvas_conformance::{Certifier, Engine};
+
+fn certifier_for(kind: SpecKind) -> Certifier {
+    Certifier::from_spec(kind.spec()).expect("built-in specs derive")
+}
+
+fn reported_lines(c: &Certifier, source: &str, engine: Engine) -> Option<BTreeSet<u32>> {
+    let program = canvas_conformance::minijava::Program::parse(source, c.spec()).expect("parses");
+    match c.certify_program(&program, engine) {
+        Ok(r) => Some(r.lines().into_iter().collect()),
+        Err(canvas_conformance::CertifyError::StateBudget { .. }) => None,
+        Err(e) => panic!("unexpected certification error: {e}"),
+    }
+}
+
+#[test]
+fn specialized_engines_never_miss_real_errors() {
+    for b in corpus() {
+        let c = certifier_for(b.spec);
+        let truth: BTreeSet<u32> = b.truth().into_iter().collect();
+        for engine in Engine::all() {
+            if !engine.specialized() {
+                continue;
+            }
+            let Some(lines) = reported_lines(&c, b.source, engine) else {
+                continue; // state budget: conservative failure, not a miss
+            };
+            for t in &truth {
+                assert!(
+                    lines.contains(t),
+                    "{engine} missed the real error at line {t} of {}",
+                    b.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn generic_baselines_are_sound_too() {
+    // the baselines are conservative as well; the paper's complaint is
+    // precision, never soundness
+    for b in corpus() {
+        let c = certifier_for(b.spec);
+        let truth: BTreeSet<u32> = b.truth().into_iter().collect();
+        for engine in [
+            Engine::GenericSsgRelational,
+            Engine::GenericSsgIndependent,
+            Engine::GenericAllocSite,
+        ] {
+            let Some(lines) = reported_lines(&c, b.source, engine) else { continue };
+            for t in &truth {
+                assert!(
+                    lines.contains(t),
+                    "{engine} missed the real error at line {t} of {}",
+                    b.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fds_is_exact_on_intraprocedural_scmp_benchmarks() {
+    // §4.3: the FDS certifier computes the precise MOP solution; on
+    // single-procedure SCMP clients it reports exactly the ground truth
+    for b in corpus() {
+        if !b.scmp || b.interprocedural {
+            continue;
+        }
+        // benchmarks whose main calls helpers are excluded above; everything
+        // else must be line-exact
+        let c = certifier_for(b.spec);
+        let truth: BTreeSet<u32> = b.truth().into_iter().collect();
+        let lines = reported_lines(&c, b.source, Engine::ScmpFds).expect("fds never blows up");
+        assert_eq!(lines, truth, "fds not exact on {}", b.name);
+    }
+}
+
+#[test]
+fn interproc_is_exact_on_scmp_benchmarks() {
+    // §8: context-sensitive interprocedural certification is exact on all
+    // SCMP-shaped benchmarks, including the interprocedural ones
+    for b in corpus() {
+        if !b.scmp {
+            continue;
+        }
+        let c = certifier_for(b.spec);
+        let truth: BTreeSet<u32> = b.truth().into_iter().collect();
+        let lines =
+            reported_lines(&c, b.source, Engine::ScmpInterproc).expect("interproc runs");
+        assert_eq!(lines, truth, "interproc not exact on {}", b.name);
+    }
+}
+
+#[test]
+fn fds_matches_relational_where_both_run() {
+    // §4.6: disjunct splitting makes the independent-attribute analysis as
+    // precise as the relational one
+    for b in corpus() {
+        let c = certifier_for(b.spec);
+        let fds = reported_lines(&c, b.source, Engine::ScmpFds).expect("fds runs");
+        let Some(rel) = reported_lines(&c, b.source, Engine::ScmpRelational) else {
+            continue; // relational blow-up (heap benchmarks)
+        };
+        assert_eq!(fds, rel, "precision differs on {}", b.name);
+    }
+}
+
+#[test]
+fn tvla_modes_agree_on_corpus() {
+    // the §7 empirical observation
+    for b in corpus() {
+        let c = certifier_for(b.spec);
+        let rel = reported_lines(&c, b.source, Engine::TvlaRelational).expect("tvla runs");
+        let ind = reported_lines(&c, b.source, Engine::TvlaIndependent).expect("tvla runs");
+        assert_eq!(rel, ind, "TVLA modes differ on {}", b.name);
+    }
+}
+
+#[test]
+fn tvla_is_exact_on_heap_benchmarks() {
+    for b in corpus() {
+        if b.scmp || b.interprocedural {
+            continue;
+        }
+        let c = certifier_for(b.spec);
+        let truth: BTreeSet<u32> = b.truth().into_iter().collect();
+        let lines = reported_lines(&c, b.source, Engine::TvlaRelational).expect("tvla runs");
+        assert_eq!(lines, truth, "tvla not exact on {}", b.name);
+    }
+}
+
+#[test]
+fn generic_ssg_false_alarms_where_documented() {
+    // §4.4: the shape-graph baseline false-alarms at Fig. 3 line 11
+    let fig3 = corpus().into_iter().find(|b| b.name == "fig3").expect("fig3 present");
+    let c = certifier_for(fig3.spec);
+    let lines =
+        reported_lines(&c, fig3.source, Engine::GenericSsgRelational).expect("ssg runs");
+    assert!(lines.contains(&11));
+    // §3: the alloc-site baseline false-alarms on the version loop
+    let vl = corpus().into_iter().find(|b| b.name == "version-loop").expect("present");
+    let lines = reported_lines(&c, vl.source, Engine::GenericAllocSite).expect("alloc runs");
+    assert!(!lines.is_empty());
+    // while the specialized certifier is exact on both
+    assert_eq!(
+        reported_lines(&c, vl.source, Engine::ScmpFds).expect("fds"),
+        BTreeSet::new()
+    );
+}
