@@ -83,19 +83,24 @@ pub struct BoolProgram {
     pub entry_unknown: Vec<usize>,
     /// Instances folded to constants (e.g. `mutx(x,x) ≡ 0`, `same(v,v) ≡ 1`).
     pub consts: HashMap<(FamilyId, Vec<VarId>), bool>,
+    /// Instance → boolean-variable index, the inverse of [`BoolProgram::preds`].
+    pub index: HashMap<(FamilyId, Vec<VarId>), usize>,
 }
 
 impl BoolProgram {
     /// The index of an instance, if it is tracked (non-constant).
+    ///
+    /// O(1): resolved through the instance index built by the transform
+    /// (the interprocedural engine calls this per summary fact per call
+    /// edge, so it must not scan).
     pub fn pred_index(&self, family: FamilyId, args: &[VarId]) -> Option<usize> {
-        self.preds.iter().position(|p| p.family == family && p.args == args)
+        self.index.get(&(family, args.to_vec())).copied()
     }
 
     /// A human-readable name for predicate `i`, e.g. `stale{i1}`.
     pub fn pred_name(&self, i: usize, program: &Program, derived: &Derived) -> String {
         let p = &self.preds[i];
-        let args: Vec<String> =
-            p.args.iter().map(|v| program.var(*v).name.clone()).collect();
+        let args: Vec<String> = p.args.iter().map(|v| program.var(*v).name.clone()).collect();
         format!("{}{{{}}}", derived.family(p.family).name(), args.join(","))
     }
 }
@@ -194,8 +199,9 @@ impl<'a> Builder<'a> {
 
     fn run(mut self) -> BoolProgram {
         // enumerate all type-correct instances
-        for fid in 0..self.derived.families().len() {
-            let fam = self.derived.family(fid);
+        let derived = self.derived;
+        for fam in derived.families() {
+            let fid = fam.id();
             let arity = fam.params().len();
             let mut tuple = vec![VarId(0); arity];
             self.enumerate(fid, 0, &mut tuple);
@@ -234,6 +240,7 @@ impl<'a> Builder<'a> {
             checks,
             entry_unknown,
             consts: self.consts,
+            index: self.index,
         }
     }
 
@@ -256,7 +263,7 @@ impl<'a> Builder<'a> {
             }
             return;
         }
-        let want_ty = fam.params()[k].ty().clone();
+        let want_ty = *fam.params()[k].ty();
         let vars = self.vars.clone();
         for v in vars {
             if self.program.var(v).ty == want_ty {
@@ -290,7 +297,7 @@ impl<'a> Builder<'a> {
             .params()
             .iter()
             .zip(&pattern)
-            .map(|(p, k)| Var::new(format!("c{k}"), p.ty().clone()))
+            .map(|(p, k)| Var::new(format!("c{k}"), *p.ty()))
             .collect();
         let inst = fam.instantiate(&args);
         let oracle = self.spec.oracle();
@@ -430,7 +437,7 @@ impl<'a> Builder<'a> {
         }
         match rule.target_args[k] {
             RuleVar::Univ(slot) => {
-                let want_ty = fam.params()[k].ty().clone();
+                let want_ty = *fam.params()[k].ty();
                 for &v in &self.vars {
                     if self.program.var(v).ty != want_ty {
                         continue;
@@ -486,8 +493,7 @@ impl<'a> Builder<'a> {
                         assigns = self.expand(sa, None, args, Some(*dst));
                         if !sa.checks.is_empty() {
                             // constructors with requires: check in pre-state
-                            let ops =
-                                self.resolve_checks(&sa.checks, None, args, Some(*dst));
+                            let ops = self.resolve_checks(&sa.checks, None, args, Some(*dst));
                             if let Instr::New { at, .. } = instr {
                                 check = Some((at.clone(), ops));
                             }
@@ -499,7 +505,7 @@ impl<'a> Builder<'a> {
                 if !known {
                     return (assigns, None);
                 }
-                let rty = self.program.var(*recv).ty.clone();
+                let rty = self.program.var(*recv).ty;
                 if let Some(sa) = self.derived.for_call(&rty, method) {
                     assigns = self.expand(sa, Some(*recv), args, *dst);
                     if !sa.checks.is_empty() {
@@ -617,16 +623,16 @@ mod tests {
         let bp = transform_method(&program, main, &spec, &derived, EntryAssumption::Clean);
         // variables: v (Set), i1,i2,i3 (Iterator)
         // stale: 3, iterof: 3, mutx: 3*3-3diag=6, same: 1 set var → same(v,v) const
-        let stale_count = bp.preds.iter().filter(|p| p.family == 0).count();
-        let iterof_count = bp.preds.iter().filter(|p| p.family == 1).count();
-        let mutx_count = bp.preds.iter().filter(|p| p.family == 2).count();
-        let same_count = bp.preds.iter().filter(|p| p.family == 3).count();
+        let stale_count = bp.preds.iter().filter(|p| p.family.index() == 0).count();
+        let iterof_count = bp.preds.iter().filter(|p| p.family.index() == 1).count();
+        let mutx_count = bp.preds.iter().filter(|p| p.family.index() == 2).count();
+        let same_count = bp.preds.iter().filter(|p| p.family.index() == 3).count();
         assert_eq!(stale_count, 3);
         assert_eq!(iterof_count, 3);
         assert_eq!(mutx_count, 6);
         assert_eq!(same_count, 0); // same(v,v) folded to constant 1
-        // 6 next/remove checks? next x4 (incl remove? remove has its own):
-        // i1.next, i1.remove, i2.next, i3.next, i1.next = 5 checks
+                                   // 6 next/remove checks? next x4 (incl remove? remove has its own):
+                                   // i1.next, i1.remove, i2.next, i3.next, i1.next = 5 checks
         assert_eq!(bp.checks.len(), 5);
         // clean entry: nothing unknown
         assert!(bp.entry_unknown.is_empty());
@@ -647,7 +653,7 @@ mod tests {
         assert!(!bp.entry_unknown.is_empty());
         // stale(it) must be among the unknowns
         let it = program.vars().iter().find(|v| v.name == "it").unwrap().id;
-        let stale_it = bp.pred_index(0, &[it]).unwrap();
+        let stale_it = bp.pred_index(FamilyId::from_index(0), &[it]).unwrap();
         assert!(bp.entry_unknown.contains(&stale_it));
     }
 
@@ -676,7 +682,7 @@ mod tests {
         // havocked predicates must all be stale (mutable dep), not iterof/mutx
         for (p, r) in &call_edge.assigns {
             if matches!(r, Rhs::Havoc) {
-                assert_eq!(bp.preds[*p].family, 0, "only stale instances havoc");
+                assert_eq!(bp.preds[*p].family.index(), 0, "only stale instances havoc");
             }
         }
     }

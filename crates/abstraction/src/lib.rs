@@ -16,7 +16,6 @@
 mod boolprog;
 
 pub use boolprog::{
-    transform_method_with, ClientCallPolicy,
-    transform_method, BoolEdge, BoolProgram, CheckSite, EntryAssumption, Operand, PredInstance,
-    Rhs,
+    transform_method, transform_method_with, BoolEdge, BoolProgram, CheckSite, ClientCallPolicy,
+    EntryAssumption, Operand, PredInstance, Rhs,
 };

@@ -1,8 +1,8 @@
 //! Benchmarks every certification engine on the paper's Fig. 3 running
 //! example (the E5 timing comparison: FDS ≪ TVLA; independent-attribute ≤
-//! relational).
+//! relational), plus the suite driver with and without shared transforms.
 
-use canvas_core::{Certifier, Engine};
+use canvas_core::{Certifier, Engine, PreparedProgram};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 const FIG3: &str = r#"
@@ -37,5 +37,32 @@ fn engines(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, engines);
+/// All engines over Fig. 3, recomputing every transform per engine (the old
+/// driver) vs sharing one [`PreparedProgram`] across engines (the new one).
+fn all_engines_shared_vs_unshared(c: &mut Criterion) {
+    let certifier = Certifier::from_spec(canvas_easl::builtin::cmp()).unwrap();
+    let program = canvas_minijava::Program::parse(FIG3, certifier.spec()).unwrap();
+    let mut group = c.benchmark_group("fig3-all-engines");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.bench_function("unshared-transforms", |b| {
+        b.iter(|| {
+            for engine in Engine::all() {
+                certifier.certify_program(&program, engine).unwrap();
+            }
+        })
+    });
+    group.bench_function("shared-transforms", |b| {
+        b.iter(|| {
+            let prepared = PreparedProgram::new(&program);
+            for engine in Engine::all() {
+                certifier.certify_program_prepared(&program, &prepared, engine).unwrap();
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, engines, all_engines_shared_vs_unshared);
 criterion_main!(benches);

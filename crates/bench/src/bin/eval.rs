@@ -7,7 +7,8 @@ use std::collections::BTreeMap;
 use std::env;
 
 use canvas_bench::{
-    derivation_table, fmt_duration, precision_table, scaling_blocks, scaling_vars, PrecisionCell,
+    derivation_table, fmt_duration, precision_table, render_derive, render_fig3, scaling_blocks,
+    scaling_vars, PrecisionCell, FIG3,
 };
 use canvas_core::{Certifier, Engine};
 
@@ -55,45 +56,12 @@ fn header(title: &str) {
 
 /// E1: the derived abstraction for CMP (paper Figs. 4–5).
 fn table_derive() {
-    header("E1: derived abstractions (paper Fig. 4 / Fig. 5; Table D rows for E8)");
-    for row in derivation_table() {
-        println!(
-            "spec {:<4} class={:?} wp={} equiv-checks={} rounds={:?}",
-            row.spec, row.class, row.wp_count, row.equiv_checks, row.rounds
-        );
-        for f in &row.families {
-            println!("    {f}");
-        }
-    }
+    print!("{}", render_derive());
 }
-
-const FIG3: &str = r#"
-class Main {
-    static void main() {
-        Set v = new Set();
-        Iterator i1 = v.iterator();
-        Iterator i2 = v.iterator();
-        Iterator i3 = i1;
-        i1.next();
-        i1.remove();
-        if (true) { i2.next(); }
-        if (true) { i3.next(); }
-        v.add("...");
-        if (true) { i1.next(); }
-    }
-}
-"#;
 
 /// E2: the Fig. 3 walkthrough.
 fn table_fig3() {
-    header("E2: Fig. 3 walkthrough (real errors at lines 10 and 13; line 11 is safe)");
-    let c = Certifier::from_spec(canvas_easl::builtin::cmp()).expect("cmp derives");
-    for engine in Engine::all() {
-        match c.certify_source(FIG3, engine) {
-            Ok(r) => println!("{:<26} -> lines {:?}", engine.to_string(), r.lines()),
-            Err(e) => println!("{:<26} -> {e}", engine.to_string()),
-        }
-    }
+    print!("{}", render_fig3());
 }
 
 /// The paper's Fig. 6: the transformed boolean client program for Fig. 3.
@@ -200,21 +168,13 @@ class Main {
     println!("version-loop (safe):");
     for engine in [Engine::ScmpFds, Engine::GenericAllocSite, Engine::GenericSsgRelational] {
         let r = c.certify_source(loop_src, engine).expect("runs");
-        println!(
-            "  {:<26} -> {} false alarm(s)",
-            engine.to_string(),
-            r.violations.len()
-        );
+        println!("  {:<26} -> {} false alarm(s)", engine.to_string(), r.violations.len());
     }
     println!("fig3 line 11 (safe use of i3):");
     for engine in [Engine::ScmpFds, Engine::GenericAllocSite, Engine::GenericSsgRelational] {
         let r = c.certify_source(FIG3, engine).expect("runs");
         let fa = r.lines().contains(&11);
-        println!(
-            "  {:<26} -> {}",
-            engine.to_string(),
-            if fa { "FALSE ALARM" } else { "exact" }
-        );
+        println!("  {:<26} -> {}", engine.to_string(), if fa { "FALSE ALARM" } else { "exact" });
     }
 }
 
@@ -231,17 +191,16 @@ fn table_precision() {
     header("E4: precision per benchmark x engine (reported / real / false alarms)");
     let cells = precision_table();
     // wide table: benchmarks as rows, engines as columns (abbreviated)
-    let engines: Vec<Engine> = Engine::all().to_vec();
+    let engines: Vec<Engine> = Engine::all();
     print!("{:<20} {:>5}", "benchmark", "real");
     for e in &engines {
-        print!(" {:>12}", abbrev(*e));
+        print!(" {:>12}", e.abbrev());
     }
     println!();
     let mut names: Vec<&'static str> = cells.iter().map(|c| c.benchmark).collect();
     names.dedup();
     for name in names {
-        let real =
-            cells.iter().find(|c| c.benchmark == name).map(|c| c.real).unwrap_or_default();
+        let real = cells.iter().find(|c| c.benchmark == name).map(|c| c.real).unwrap_or_default();
         print!("{name:<20} {real:>5}");
         for e in &engines {
             let cell = cells
@@ -269,27 +228,14 @@ fn table_precision() {
     }
 }
 
-fn abbrev(e: Engine) -> &'static str {
-    match e {
-        Engine::ScmpFds => "fds",
-        Engine::ScmpRelational => "rel",
-        Engine::ScmpInterproc => "inter",
-        Engine::TvlaRelational => "tvla-r",
-        Engine::TvlaIndependent => "tvla-i",
-        Engine::GenericSsgRelational => "ssg-r",
-        Engine::GenericSsgIndependent => "ssg-i",
-        Engine::GenericAllocSite => "alloc",
-    }
-}
-
 /// E5: the timing table.
 fn table_timing() {
     header("E5: analysis time per benchmark x engine");
     let cells = precision_table();
-    let engines: Vec<Engine> = Engine::all().to_vec();
+    let engines: Vec<Engine> = Engine::all();
     print!("{:<20}", "benchmark");
     for e in &engines {
-        print!(" {:>10}", abbrev(*e));
+        print!(" {:>10}", e.abbrev());
     }
     println!();
     let mut names: Vec<&'static str> = cells.iter().map(|c| c.benchmark).collect();
@@ -401,11 +347,15 @@ fn table_specs() {
 fn table_interproc() {
     header("E9: context-sensitive interprocedural SCMP (§8)");
     let cells = precision_table();
-    for name in ["make-worklist", "interproc-grow", "interproc-other-set", "interproc-returned", "app-cache"] {
+    for name in [
+        "make-worklist",
+        "interproc-grow",
+        "interproc-other-set",
+        "interproc-returned",
+        "app-cache",
+    ] {
         for engine in [Engine::ScmpFds, Engine::ScmpInterproc] {
-            if let Some(cell) =
-                cells.iter().find(|c| c.benchmark == name && c.engine == engine)
-            {
+            if let Some(cell) = cells.iter().find(|c| c.benchmark == name && c.engine == engine) {
                 println!(
                     "{name:<22} {:<16} real {}  reported {}  false alarms {}",
                     engine.to_string(),

@@ -5,9 +5,11 @@
 //! records the measured outcomes against the paper's claims.
 
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
-use canvas_core::{Certifier, CertifyError, Engine};
+use canvas_core::{Certifier, CertifyError, Engine, PreparedProgram};
 use canvas_suite::{corpus, generators, Benchmark};
 
 /// One row of the precision table (experiment E4): a benchmark × engine
@@ -34,10 +36,27 @@ pub struct PrecisionCell {
 
 /// Runs one engine on one benchmark, with whole-program coverage.
 pub fn run_cell(certifier: &Certifier, b: &Benchmark, engine: Engine) -> PrecisionCell {
+    match canvas_minijava::Program::parse(b.source, certifier.spec()) {
+        Ok(program) => {
+            let prepared = PreparedProgram::new(&program);
+            run_cell_prepared(certifier, b, &program, &prepared, engine)
+        }
+        Err(e) => failed_cell(b, engine, CertifyError::from(e).to_string()),
+    }
+}
+
+/// Runs one engine on one parsed benchmark, reusing `prepared`'s transform
+/// caches — several engines (possibly on different worker threads) then
+/// compute each boolean-program / TVP translation only once.
+pub fn run_cell_prepared(
+    certifier: &Certifier,
+    b: &Benchmark,
+    program: &canvas_minijava::Program,
+    prepared: &PreparedProgram,
+    engine: Engine,
+) -> PrecisionCell {
     let truth: BTreeSet<u32> = b.truth().into_iter().collect();
-    match certifier
-        .certify_source_program(b.source, engine)
-    {
+    match certifier.certify_program_prepared(program, prepared, engine) {
         Ok(report) => {
             let reported: BTreeSet<u32> = report.lines().into_iter().collect();
             PrecisionCell {
@@ -51,57 +70,99 @@ pub fn run_cell(certifier: &Certifier, b: &Benchmark, engine: Engine) -> Precisi
                 failed: None,
             }
         }
-        Err(e) => PrecisionCell {
-            benchmark: b.name,
-            engine,
-            reported: 0,
-            real: truth.len(),
-            missed: truth.len(),
-            false_alarms: 0,
-            time: Duration::ZERO,
-            failed: Some(e.to_string()),
-        },
+        Err(e) => failed_cell(b, engine, e.to_string()),
     }
 }
 
-/// Extension: whole-program certify directly from source.
-trait CertifyProgramSource {
-    fn certify_source_program(
-        &self,
-        src: &str,
-        engine: Engine,
-    ) -> Result<canvas_core::Report, CertifyError>;
+fn failed_cell(b: &Benchmark, engine: Engine, why: String) -> PrecisionCell {
+    let truth: BTreeSet<u32> = b.truth().into_iter().collect();
+    PrecisionCell {
+        benchmark: b.name,
+        engine,
+        reported: 0,
+        real: truth.len(),
+        missed: truth.len(),
+        false_alarms: 0,
+        time: Duration::ZERO,
+        failed: Some(why),
+    }
 }
 
-impl CertifyProgramSource for Certifier {
-    fn certify_source_program(
-        &self,
-        src: &str,
-        engine: Engine,
-    ) -> Result<canvas_core::Report, CertifyError> {
-        let program = canvas_minijava::Program::parse(src, self.spec())?;
-        self.certify_program(&program, engine)
-    }
+/// Worker count for the parallel suite driver: `CANVAS_EVAL_THREADS` when
+/// set (use `1` to force the sequential order), else the machine's
+/// parallelism.
+fn worker_count(jobs: usize) -> usize {
+    let n = std::env::var("CANVAS_EVAL_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    n.min(jobs).max(1)
 }
 
 /// The full precision table (E4): all benchmarks × all engines.
+///
+/// Cells run concurrently on scoped worker threads. Each benchmark is parsed
+/// and prepared once (one [`PreparedProgram`] shared by all engines), each
+/// spec's abstraction is derived once, and the returned order is
+/// deterministic regardless of scheduling: corpus order × engine-registry
+/// order, exactly as the sequential driver produced it.
 pub fn precision_table() -> Vec<PrecisionCell> {
-    let mut out = Vec::new();
+    let benchmarks = corpus();
+    let engines = Engine::all();
+
+    // one certifier per spec kind (the derivation runs once per spec)
     let mut certifiers: Vec<(canvas_suite::SpecKind, Certifier)> = Vec::new();
-    for b in corpus() {
-        let certifier = match certifiers.iter().find(|(k, _)| *k == b.spec) {
-            Some((_, c)) => c.clone(),
-            None => {
-                let c = Certifier::from_spec(b.spec.spec()).expect("built-in specs derive");
-                certifiers.push((b.spec, c.clone()));
-                c
-            }
-        };
-        for engine in Engine::all() {
-            out.push(run_cell(&certifier, &b, engine));
+    for b in &benchmarks {
+        if !certifiers.iter().any(|(k, _)| *k == b.spec) {
+            let c = Certifier::from_spec(b.spec.spec()).expect("built-in specs derive");
+            certifiers.push((b.spec, c));
         }
     }
-    out
+    let cert_idx: Vec<usize> = benchmarks
+        .iter()
+        .map(|b| certifiers.iter().position(|(k, _)| *k == b.spec).expect("certifier built"))
+        .collect();
+
+    // one parsed program + transform cache per benchmark, shared by engines
+    let parsed: Vec<Result<(canvas_minijava::Program, PreparedProgram), String>> = benchmarks
+        .iter()
+        .enumerate()
+        .map(|(bi, b)| {
+            canvas_minijava::Program::parse(b.source, certifiers[cert_idx[bi]].1.spec())
+                .map(|p| {
+                    let prepared = PreparedProgram::new(&p);
+                    (p, prepared)
+                })
+                .map_err(|e| CertifyError::from(e).to_string())
+        })
+        .collect();
+
+    let jobs: Vec<(usize, Engine)> =
+        (0..benchmarks.len()).flat_map(|bi| engines.iter().map(move |&e| (bi, e))).collect();
+    let slots: Vec<Mutex<Option<PrecisionCell>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..worker_count(jobs.len()) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(bi, engine)) = jobs.get(i) else { break };
+                let b = &benchmarks[bi];
+                let certifier = &certifiers[cert_idx[bi]].1;
+                let cell = match &parsed[bi] {
+                    Ok((program, prepared)) => {
+                        run_cell_prepared(certifier, b, program, prepared, engine)
+                    }
+                    Err(why) => failed_cell(b, engine, why.clone()),
+                };
+                *slots[i].lock().expect("no panics while holding the slot lock") = Some(cell);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("worker did not panic").expect("every cell computed"))
+        .collect()
 }
 
 /// One point of the scaling figure (E7).
@@ -195,6 +256,69 @@ pub fn derivation_table() -> Vec<DerivationRow> {
             }
         })
         .collect()
+}
+
+/// The paper's Fig. 3 running example, shared by the eval binary, the
+/// benches, and the golden tests.
+pub const FIG3: &str = r#"
+class Main {
+    static void main() {
+        Set v = new Set();
+        Iterator i1 = v.iterator();
+        Iterator i2 = v.iterator();
+        Iterator i3 = i1;
+        i1.next();
+        i1.remove();
+        if (true) { i2.next(); }
+        if (true) { i3.next(); }
+        v.add("...");
+        if (true) { i1.next(); }
+    }
+}
+"#;
+
+/// Section header used by every eval table.
+pub fn render_header(title: &str) -> String {
+    format!("\n== {title} ==\n\n")
+}
+
+/// E1 as text, exactly as the `eval -- derive` subcommand prints it.
+/// Deterministic (no timing, no randomness), so golden-testable.
+pub fn render_derive() -> String {
+    use std::fmt::Write as _;
+    let mut out =
+        render_header("E1: derived abstractions (paper Fig. 4 / Fig. 5; Table D rows for E8)");
+    for row in derivation_table() {
+        let _ = writeln!(
+            out,
+            "spec {:<4} class={:?} wp={} equiv-checks={} rounds={:?}",
+            row.spec, row.class, row.wp_count, row.equiv_checks, row.rounds
+        );
+        for f in &row.families {
+            let _ = writeln!(out, "    {f}");
+        }
+    }
+    out
+}
+
+/// E2 as text, exactly as the `eval -- fig3` subcommand prints it.
+/// Deterministic, so golden-testable.
+pub fn render_fig3() -> String {
+    use std::fmt::Write as _;
+    let mut out =
+        render_header("E2: Fig. 3 walkthrough (real errors at lines 10 and 13; line 11 is safe)");
+    let c = Certifier::from_spec(canvas_easl::builtin::cmp()).expect("cmp derives");
+    for engine in Engine::all() {
+        match c.certify_source(FIG3, engine) {
+            Ok(r) => {
+                let _ = writeln!(out, "{:<26} -> lines {:?}", engine.to_string(), r.lines());
+            }
+            Err(e) => {
+                let _ = writeln!(out, "{:<26} -> {e}", engine.to_string());
+            }
+        }
+    }
+    out
 }
 
 /// Renders a duration compactly.

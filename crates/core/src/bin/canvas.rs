@@ -30,10 +30,10 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     let cmd = it.next().map(String::as_str).unwrap_or("help");
     match cmd {
         "engines" => {
-            for e in Engine::all() {
+            for e in canvas_core::registry() {
                 println!(
                     "{:<26} {}",
-                    e.to_string(),
+                    e.name(),
                     if e.specialized() { "derived abstraction" } else { "generic baseline" }
                 );
             }
@@ -113,9 +113,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--engine" => {
                 let name = it.next().ok_or("--engine needs a value")?;
-                opts.engine = Engine::all()
-                    .into_iter()
-                    .find(|e| e.to_string() == *name)
+                opts.engine = Engine::by_name(name)
                     .ok_or_else(|| format!("unknown engine {name:?} (see `canvas engines`)"))?;
             }
             "--whole-program" => opts.whole_program = true,

@@ -3,12 +3,13 @@
 use std::fmt;
 use std::time::Instant;
 
-use canvas_abstraction::{transform_method, EntryAssumption};
+use canvas_abstraction::EntryAssumption;
 use canvas_easl::Spec;
 use canvas_minijava::{MethodIr, Program};
-use canvas_wp::{derive_abstraction, Derived, DeriveError};
+use canvas_wp::{derive_abstraction, DeriveError, Derived};
 
-use crate::report::{Report, Stats, Violation};
+use crate::engine::{registry, AnalysisEngine, MethodContext, PreparedProgram, SharedTransforms};
+use crate::report::Report;
 
 /// The available certification engines (paper §3–§8) with their
 /// time/space/precision tradeoffs.
@@ -36,42 +37,39 @@ pub enum Engine {
 }
 
 impl Engine {
-    /// All engines, in evaluation-table order.
-    pub fn all() -> [Engine; 8] {
-        [
-            Engine::ScmpFds,
-            Engine::ScmpRelational,
-            Engine::ScmpInterproc,
-            Engine::TvlaRelational,
-            Engine::TvlaIndependent,
-            Engine::GenericSsgRelational,
-            Engine::GenericSsgIndependent,
-            Engine::GenericAllocSite,
-        ]
+    /// All engines, in evaluation-table order (the [`registry`] order).
+    pub fn all() -> Vec<Engine> {
+        registry().iter().map(|e| e.id()).collect()
+    }
+
+    /// Looks an engine up by its full name (e.g. `scmp-fds`).
+    pub fn by_name(name: &str) -> Option<Engine> {
+        registry().iter().find(|e| e.name() == name).map(|e| e.id())
     }
 
     /// Whether the engine uses the derived specialized abstraction.
     pub fn specialized(self) -> bool {
-        !matches!(
-            self,
-            Engine::GenericSsgRelational | Engine::GenericSsgIndependent | Engine::GenericAllocSite
-        )
+        self.info().specialized()
+    }
+
+    /// Short column label for the wide evaluation tables, e.g. `fds`.
+    pub fn abbrev(self) -> &'static str {
+        self.info().abbrev()
+    }
+
+    /// The registry entry backing this id.
+    fn info(self) -> &'static dyn AnalysisEngine {
+        registry()
+            .iter()
+            .copied()
+            .find(|e| e.id() == self)
+            .expect("every Engine variant is registered")
     }
 }
 
 impl fmt::Display for Engine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let name = match self {
-            Engine::ScmpFds => "scmp-fds",
-            Engine::ScmpRelational => "scmp-relational",
-            Engine::ScmpInterproc => "scmp-interproc",
-            Engine::TvlaRelational => "tvla-relational",
-            Engine::TvlaIndependent => "tvla-independent",
-            Engine::GenericSsgRelational => "generic-ssg-relational",
-            Engine::GenericSsgIndependent => "generic-ssg-independent",
-            Engine::GenericAllocSite => "generic-allocsite",
-        };
-        f.write_str(name)
+        f.write_str(self.info().name())
     }
 }
 
@@ -208,17 +206,49 @@ impl Certifier {
     /// # Errors
     ///
     /// As [`Certifier::certify`].
-    pub fn certify_program(&self, program: &Program, engine: Engine) -> Result<Report, CertifyError> {
+    pub fn certify_program(
+        &self,
+        program: &Program,
+        engine: Engine,
+    ) -> Result<Report, CertifyError> {
+        self.certify_program_prepared(program, &PreparedProgram::new(program), engine)
+    }
+
+    /// Like [`Certifier::certify_program`], but reuses `prepared`'s transform
+    /// caches, so running several engines over one program computes each
+    /// boolean-program / TVP translation only once.
+    ///
+    /// # Errors
+    ///
+    /// As [`Certifier::certify`].
+    pub fn certify_program_prepared(
+        &self,
+        program: &Program,
+        prepared: &PreparedProgram,
+        engine: Engine,
+    ) -> Result<Report, CertifyError> {
         if engine == Engine::ScmpInterproc {
             return self.certify(program, engine);
         }
         let main = program.main_method().ok_or(CertifyError::NoMain)?;
-        let mut report = self.certify_method(program, main, engine, EntryAssumption::Clean)?;
+        let mut report = self.certify_method_shared(
+            program,
+            main,
+            engine,
+            EntryAssumption::Clean,
+            prepared.shared(main, EntryAssumption::Clean),
+        )?;
         for m in program.methods() {
             if m.id == main.id {
                 continue;
             }
-            let r = self.certify_method(program, m, engine, EntryAssumption::Unknown)?;
+            let r = self.certify_method_shared(
+                program,
+                m,
+                engine,
+                EntryAssumption::Unknown,
+                prepared.shared(m, EntryAssumption::Unknown),
+            )?;
             report.violations.extend(r.violations);
             report.stats.duration += r.stats.duration;
             report.stats.work += r.stats.work;
@@ -239,7 +269,11 @@ impl Certifier {
     ///
     /// Fails on recursive programs, on inlining blow-up, or as
     /// [`Certifier::certify`].
-    pub fn certify_inlined(&self, program: &Program, engine: Engine) -> Result<Report, CertifyError> {
+    pub fn certify_inlined(
+        &self,
+        program: &Program,
+        engine: Engine,
+    ) -> Result<Report, CertifyError> {
         let inlined = canvas_minijava::inline::inline_main(program, 100_000)?;
         self.certify(&inlined, engine)
     }
@@ -257,156 +291,40 @@ impl Certifier {
         engine: Engine,
         entry: EntryAssumption,
     ) -> Result<Report, CertifyError> {
+        self.certify_method_shared(program, method, engine, entry, &SharedTransforms::new())
+    }
+
+    /// Like [`Certifier::certify_method`], but reuses `shared`'s transform
+    /// caches, so engines analysing the same `(method, entry)` pair compute
+    /// the boolean program and the TVP translations only once.
+    ///
+    /// # Errors
+    ///
+    /// As [`Certifier::certify`].
+    pub fn certify_method_shared(
+        &self,
+        program: &Program,
+        method: &MethodIr,
+        engine: Engine,
+        entry: EntryAssumption,
+        shared: &SharedTransforms,
+    ) -> Result<Report, CertifyError> {
         let start = Instant::now();
-        let mut report = match engine {
-            Engine::ScmpFds => {
-                let bp = transform_method(program, method, &self.spec, &self.derived, entry);
-                let res = canvas_dataflow::fds::analyze(&bp);
-                let violations = canvas_dataflow::fds::violations(&bp, &res);
-                Report {
-                    engine,
-                    violations: violations
-                        .iter()
-                        .map(|v| to_violation(program, &v.site))
-                        .collect(),
-                    stats: Stats {
-                        predicates: bp.preds.len(),
-                        work: res.edge_visits,
-                        max_states: 1,
-                        ..Stats::default()
-                    },
-                }
-            }
-            Engine::ScmpRelational => {
-                let bp = transform_method(program, method, &self.spec, &self.derived, entry);
-                let res = canvas_dataflow::relational::analyze(&bp, self.relational_budget)
-                    .map_err(|_| CertifyError::StateBudget { engine })?;
-                let violations = canvas_dataflow::relational::violations(&bp, &res);
-                let max_states = res.states.iter().map(|s| s.len()).max().unwrap_or(0);
-                Report {
-                    engine,
-                    violations: violations
-                        .iter()
-                        .map(|v| to_violation(program, &v.site))
-                        .collect(),
-                    stats: Stats {
-                        predicates: bp.preds.len(),
-                        work: res.transfers,
-                        max_states,
-                        ..Stats::default()
-                    },
-                }
-            }
-            Engine::ScmpInterproc => {
-                let res = canvas_dataflow::interproc::analyze(program, &self.spec, &self.derived);
-                Report {
-                    engine,
-                    violations: res
-                        .violations
-                        .iter()
-                        .map(|v| to_violation(program, &v.site))
-                        .collect(),
-                    stats: Stats {
-                        predicates: res.max_instances,
-                        work: res.summary_iterations,
-                        max_states: 1,
-                        ..Stats::default()
-                    },
-                }
-            }
-            Engine::TvlaRelational | Engine::TvlaIndependent => {
-                let tvp =
-                    canvas_tvla::translate_specialized(program, method, &self.spec, &self.derived);
-                self.run_tvla(program, engine, &tvp, entry)
-            }
-            Engine::GenericSsgRelational | Engine::GenericSsgIndependent => {
-                let tvp = canvas_tvla::translate_generic(program, method, &self.spec);
-                self.run_tvla(program, engine, &tvp, entry)
-            }
-            Engine::GenericAllocSite => {
-                let res = canvas_heap::allocsite_analyze_with_entry(
-                    program,
-                    method,
-                    &self.spec,
-                    entry == EntryAssumption::Unknown,
-                );
-                Report {
-                    engine,
-                    violations: res
-                        .violations
-                        .iter()
-                        .map(|s| to_violation(program, s))
-                        .collect(),
-                    stats: Stats {
-                        work: res.edge_visits,
-                        max_states: 1,
-                        ..Stats::default()
-                    },
-                }
-            }
+        let cx = MethodContext {
+            program,
+            method,
+            spec: &self.spec,
+            derived: &self.derived,
+            entry,
+            relational_budget: self.relational_budget,
+            tvla_budget: self.tvla_budget,
+            shared,
         };
+        let mut report = engine.info().run(&cx)?;
         report.stats.duration = start.elapsed();
         report.violations.sort();
         report.violations.dedup();
         Ok(report)
-    }
-
-    fn run_tvla(
-        &self,
-        program: &Program,
-        engine: Engine,
-        tvp: &canvas_tvla::TvpProgram,
-        entry: EntryAssumption,
-    ) -> Report {
-        let mode = match engine {
-            Engine::TvlaRelational | Engine::GenericSsgRelational => {
-                canvas_tvla::EngineMode::Relational
-            }
-            _ => canvas_tvla::EngineMode::IndependentAttribute,
-        };
-        let entry_structs = match entry {
-            EntryAssumption::Clean => vec![canvas_tvla::Structure::empty(&tvp.preds)],
-            EntryAssumption::Unknown => {
-                // one summary individual with every predicate value 1/2
-                // conservatively stands for the unknown entry heap
-                let mut s = canvas_tvla::Structure::empty(&tvp.preds);
-                let u = s.add_individual();
-                s.set_summary(u, true);
-                for k in 0..tvp.preds.len() {
-                    match tvp.preds[k].arity {
-                        0 => s.set(k, &[], canvas_logic::Kleene::Unknown),
-                        1 => s.set(k, &[u], canvas_logic::Kleene::Unknown),
-                        2 => s.set(k, &[u, u], canvas_logic::Kleene::Unknown),
-                        _ => {}
-                    }
-                }
-                vec![s]
-            }
-        };
-        let res = canvas_tvla::run_from(tvp, mode, self.tvla_budget, entry_structs);
-        Report {
-            engine,
-            violations: res
-                .violations
-                .iter()
-                .map(|v| to_violation(program, &v.site))
-                .collect(),
-            stats: Stats {
-                predicates: tvp.preds.len(),
-                work: res.applications,
-                max_states: res.max_states,
-                exhausted: res.exhausted,
-                ..Stats::default()
-            },
-        }
-    }
-}
-
-fn to_violation(program: &Program, site: &canvas_minijava::Site) -> Violation {
-    Violation {
-        method: program.method(site.method).qualified_name(),
-        line: site.line,
-        what: site.what.clone(),
     }
 }
 
@@ -505,9 +423,7 @@ class Main {
 
     #[test]
     fn budget_error_for_relational() {
-        let c = Certifier::from_spec(canvas_easl::builtin::cmp())
-            .unwrap()
-            .with_budgets(1, 50_000);
+        let c = Certifier::from_spec(canvas_easl::builtin::cmp()).unwrap().with_budgets(1, 50_000);
         // entry-unknown forking blows a budget of 1
         let program = Program::parse(
             "class A { void m(Iterator a, Iterator b, Set s) { a.next(); } }",

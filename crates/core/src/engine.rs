@@ -1,0 +1,485 @@
+//! The engine abstraction: every certification engine implements
+//! [`AnalysisEngine`], and the static [`registry`] is the single source of
+//! truth for the engine list — the CLI's `canvas engines`, the evaluation
+//! tables, and the benches all iterate it, so adding an engine means adding
+//! one impl and one registry entry.
+//!
+//! Engines that analyse the same method share the expensive front-end
+//! transforms (boolean program, specialized TVP, generic TVP) through
+//! [`SharedTransforms`]: the first engine that needs a transform computes it,
+//! later engines reuse it. The caches are [`OnceLock`]s so a prepared method
+//! can be handed to several worker threads at once.
+
+use std::sync::OnceLock;
+
+use canvas_abstraction::{transform_method, BoolProgram, EntryAssumption};
+use canvas_easl::Spec;
+use canvas_minijava::{MethodIr, Program};
+use canvas_tvla::TvpProgram;
+use canvas_wp::Derived;
+
+use crate::certifier::{CertifyError, Engine};
+use crate::report::{Report, Stats, Violation};
+
+/// Lazily computed front-end transforms for one `(method, entry)` pair,
+/// shared by every engine that analyses that method.
+#[derive(Default, Debug)]
+pub struct SharedTransforms {
+    boolprog: OnceLock<BoolProgram>,
+    tvp_specialized: OnceLock<TvpProgram>,
+    tvp_generic: OnceLock<TvpProgram>,
+}
+
+impl SharedTransforms {
+    /// An empty cache; transforms are computed on first use.
+    pub fn new() -> SharedTransforms {
+        SharedTransforms::default()
+    }
+}
+
+/// Per-program transform cache: one [`SharedTransforms`] per
+/// `(method, entry-assumption)` cell, so a suite driver can run all engines
+/// over one parsed program without recomputing any transform. All interior
+/// state is [`OnceLock`]-based, so a `&PreparedProgram` can be shared across
+/// threads.
+#[derive(Debug)]
+pub struct PreparedProgram {
+    // indexed by MethodId.0, then entry (Clean = 0, Unknown = 1)
+    cells: Vec<[SharedTransforms; 2]>,
+}
+
+impl PreparedProgram {
+    /// Empty caches for every method of `program`.
+    pub fn new(program: &Program) -> PreparedProgram {
+        PreparedProgram { cells: program.methods().iter().map(|_| Default::default()).collect() }
+    }
+
+    /// The transform cache for `(method, entry)`.
+    pub fn shared(&self, method: &MethodIr, entry: EntryAssumption) -> &SharedTransforms {
+        let slot = match entry {
+            EntryAssumption::Clean => 0,
+            EntryAssumption::Unknown => 1,
+        };
+        &self.cells[method.id.0][slot]
+    }
+}
+
+/// Everything an engine needs to analyse one method: the client, the spec
+/// and its derived abstraction, the entry assumption, the state budgets, and
+/// the shared transform cache.
+pub struct MethodContext<'a> {
+    /// The parsed client.
+    pub program: &'a Program,
+    /// The method under analysis.
+    pub method: &'a MethodIr,
+    /// The component specification.
+    pub spec: &'a Spec,
+    /// The derived abstraction for the spec.
+    pub derived: &'a Derived,
+    /// Entry-state assumption (clean `main` vs out-of-context method).
+    pub entry: EntryAssumption,
+    /// State budget for the relational boolean engine.
+    pub relational_budget: usize,
+    /// Structure budget for the TVLA engines.
+    pub tvla_budget: usize,
+    /// Shared transform cache for this `(method, entry)` pair.
+    pub shared: &'a SharedTransforms,
+}
+
+impl MethodContext<'_> {
+    /// The boolean program for this method (computed once, shared by the
+    /// FDS and relational SCMP engines).
+    pub fn boolprog(&self) -> &BoolProgram {
+        self.shared.boolprog.get_or_init(|| {
+            transform_method(self.program, self.method, self.spec, self.derived, self.entry)
+        })
+    }
+
+    /// The specialized TVP translation (shared by both TVLA modes).
+    pub fn tvp_specialized(&self) -> &TvpProgram {
+        self.shared.tvp_specialized.get_or_init(|| {
+            canvas_tvla::translate_specialized(self.program, self.method, self.spec, self.derived)
+        })
+    }
+
+    /// The generic shape-graph TVP translation (shared by both SSG modes).
+    pub fn tvp_generic(&self) -> &TvpProgram {
+        self.shared
+            .tvp_generic
+            .get_or_init(|| canvas_tvla::translate_generic(self.program, self.method, self.spec))
+    }
+
+    fn violation(&self, site: &canvas_minijava::Site) -> Violation {
+        Violation {
+            method: self.program.method(site.method).qualified_name(),
+            line: site.line,
+            what: site.what.clone(),
+        }
+    }
+}
+
+/// One certification engine: an id for tables and reports, display strings,
+/// and the analysis itself.
+pub trait AnalysisEngine: Sync {
+    /// The engine's id (the [`Engine`] enum variant).
+    fn id(&self) -> Engine;
+    /// Full name, e.g. `scmp-fds` (used by the CLI and reports).
+    fn name(&self) -> &'static str;
+    /// Short column label for the wide evaluation tables, e.g. `fds`.
+    fn abbrev(&self) -> &'static str;
+    /// Whether the engine uses the derived specialized abstraction.
+    fn specialized(&self) -> bool {
+        true
+    }
+    /// Analyses one method and reports the potential violations.
+    ///
+    /// # Errors
+    ///
+    /// [`CertifyError::StateBudget`] when a relational engine exceeds its
+    /// budget; engines must not fail otherwise.
+    fn run(&self, cx: &MethodContext<'_>) -> Result<Report, CertifyError>;
+}
+
+/// All engines, in evaluation-table order.
+pub fn registry() -> &'static [&'static dyn AnalysisEngine] {
+    REGISTRY
+}
+
+static REGISTRY: &[&dyn AnalysisEngine] = &[
+    &ScmpFdsEngine,
+    &ScmpRelationalEngine,
+    &ScmpInterprocEngine,
+    &TvlaRelationalEngine,
+    &TvlaIndependentEngine,
+    &GenericSsgRelationalEngine,
+    &GenericSsgIndependentEngine,
+    &GenericAllocSiteEngine,
+];
+
+/// Specialized nullary abstraction + polynomial may-be-1 dataflow (§4.3).
+struct ScmpFdsEngine;
+
+impl AnalysisEngine for ScmpFdsEngine {
+    fn id(&self) -> Engine {
+        Engine::ScmpFds
+    }
+
+    fn name(&self) -> &'static str {
+        "scmp-fds"
+    }
+
+    fn abbrev(&self) -> &'static str {
+        "fds"
+    }
+
+    fn run(&self, cx: &MethodContext<'_>) -> Result<Report, CertifyError> {
+        let bp = cx.boolprog();
+        let res = canvas_dataflow::fds::analyze(bp);
+        let violations = canvas_dataflow::fds::violations(bp, &res);
+        Ok(Report {
+            engine: self.id(),
+            violations: violations.iter().map(|v| cx.violation(&v.site)).collect(),
+            stats: Stats {
+                predicates: bp.preds.len(),
+                work: res.edge_visits,
+                max_states: 1,
+                ..Stats::default()
+            },
+        })
+    }
+}
+
+/// Specialized nullary abstraction + exponential relational dataflow.
+struct ScmpRelationalEngine;
+
+impl AnalysisEngine for ScmpRelationalEngine {
+    fn id(&self) -> Engine {
+        Engine::ScmpRelational
+    }
+
+    fn name(&self) -> &'static str {
+        "scmp-relational"
+    }
+
+    fn abbrev(&self) -> &'static str {
+        "rel"
+    }
+
+    fn run(&self, cx: &MethodContext<'_>) -> Result<Report, CertifyError> {
+        let bp = cx.boolprog();
+        let res = canvas_dataflow::relational::analyze(bp, cx.relational_budget)
+            .map_err(|_| CertifyError::StateBudget { engine: self.id() })?;
+        let violations = canvas_dataflow::relational::violations(bp, &res);
+        let max_states = res.states.iter().map(|s| s.len()).max().unwrap_or(0);
+        Ok(Report {
+            engine: self.id(),
+            violations: violations.iter().map(|v| cx.violation(&v.site)).collect(),
+            stats: Stats {
+                predicates: bp.preds.len(),
+                work: res.transfers,
+                max_states,
+                ..Stats::default()
+            },
+        })
+    }
+}
+
+/// Context-sensitive interprocedural SCMP certification (§8).
+struct ScmpInterprocEngine;
+
+impl AnalysisEngine for ScmpInterprocEngine {
+    fn id(&self) -> Engine {
+        Engine::ScmpInterproc
+    }
+
+    fn name(&self) -> &'static str {
+        "scmp-interproc"
+    }
+
+    fn abbrev(&self) -> &'static str {
+        "inter"
+    }
+
+    fn run(&self, cx: &MethodContext<'_>) -> Result<Report, CertifyError> {
+        let res = canvas_dataflow::interproc::analyze(cx.program, cx.spec, cx.derived);
+        Ok(Report {
+            engine: self.id(),
+            violations: res.violations.iter().map(|v| cx.violation(&v.site)).collect(),
+            stats: Stats {
+                predicates: res.max_instances,
+                work: res.summary_iterations,
+                max_states: 1,
+                ..Stats::default()
+            },
+        })
+    }
+}
+
+/// First-order predicate abstraction + TVLA engine, set of structures per
+/// point (§5, relational mode).
+struct TvlaRelationalEngine;
+
+impl AnalysisEngine for TvlaRelationalEngine {
+    fn id(&self) -> Engine {
+        Engine::TvlaRelational
+    }
+
+    fn name(&self) -> &'static str {
+        "tvla-relational"
+    }
+
+    fn abbrev(&self) -> &'static str {
+        "tvla-r"
+    }
+
+    fn run(&self, cx: &MethodContext<'_>) -> Result<Report, CertifyError> {
+        Ok(run_tvla(cx, self.id(), cx.tvp_specialized(), canvas_tvla::EngineMode::Relational))
+    }
+}
+
+/// First-order predicate abstraction + TVLA engine, one structure per point
+/// (§5, independent-attribute mode).
+struct TvlaIndependentEngine;
+
+impl AnalysisEngine for TvlaIndependentEngine {
+    fn id(&self) -> Engine {
+        Engine::TvlaIndependent
+    }
+
+    fn name(&self) -> &'static str {
+        "tvla-independent"
+    }
+
+    fn abbrev(&self) -> &'static str {
+        "tvla-i"
+    }
+
+    fn run(&self, cx: &MethodContext<'_>) -> Result<Report, CertifyError> {
+        Ok(run_tvla(
+            cx,
+            self.id(),
+            cx.tvp_specialized(),
+            canvas_tvla::EngineMode::IndependentAttribute,
+        ))
+    }
+}
+
+/// Generic composite-program translation + shape-graph analysis (§3/§4.4
+/// baseline), relational mode.
+struct GenericSsgRelationalEngine;
+
+impl AnalysisEngine for GenericSsgRelationalEngine {
+    fn id(&self) -> Engine {
+        Engine::GenericSsgRelational
+    }
+
+    fn name(&self) -> &'static str {
+        "generic-ssg-relational"
+    }
+
+    fn abbrev(&self) -> &'static str {
+        "ssg-r"
+    }
+
+    fn specialized(&self) -> bool {
+        false
+    }
+
+    fn run(&self, cx: &MethodContext<'_>) -> Result<Report, CertifyError> {
+        Ok(run_tvla(cx, self.id(), cx.tvp_generic(), canvas_tvla::EngineMode::Relational))
+    }
+}
+
+/// The shape-graph baseline in independent-attribute mode.
+struct GenericSsgIndependentEngine;
+
+impl AnalysisEngine for GenericSsgIndependentEngine {
+    fn id(&self) -> Engine {
+        Engine::GenericSsgIndependent
+    }
+
+    fn name(&self) -> &'static str {
+        "generic-ssg-independent"
+    }
+
+    fn abbrev(&self) -> &'static str {
+        "ssg-i"
+    }
+
+    fn specialized(&self) -> bool {
+        false
+    }
+
+    fn run(&self, cx: &MethodContext<'_>) -> Result<Report, CertifyError> {
+        Ok(run_tvla(cx, self.id(), cx.tvp_generic(), canvas_tvla::EngineMode::IndependentAttribute))
+    }
+}
+
+/// Generic allocation-site must-alias baseline (§3).
+struct GenericAllocSiteEngine;
+
+impl AnalysisEngine for GenericAllocSiteEngine {
+    fn id(&self) -> Engine {
+        Engine::GenericAllocSite
+    }
+
+    fn name(&self) -> &'static str {
+        "generic-allocsite"
+    }
+
+    fn abbrev(&self) -> &'static str {
+        "alloc"
+    }
+
+    fn specialized(&self) -> bool {
+        false
+    }
+
+    fn run(&self, cx: &MethodContext<'_>) -> Result<Report, CertifyError> {
+        let res = canvas_heap::allocsite_analyze_with_entry(
+            cx.program,
+            cx.method,
+            cx.spec,
+            cx.entry == EntryAssumption::Unknown,
+        );
+        Ok(Report {
+            engine: self.id(),
+            violations: res.violations.iter().map(|s| cx.violation(s)).collect(),
+            stats: Stats { work: res.edge_visits, max_states: 1, ..Stats::default() },
+        })
+    }
+}
+
+fn run_tvla(
+    cx: &MethodContext<'_>,
+    engine: Engine,
+    tvp: &TvpProgram,
+    mode: canvas_tvla::EngineMode,
+) -> Report {
+    let entry_structs = match cx.entry {
+        EntryAssumption::Clean => vec![canvas_tvla::Structure::empty(&tvp.preds)],
+        EntryAssumption::Unknown => {
+            // one summary individual with every predicate value 1/2
+            // conservatively stands for the unknown entry heap
+            let mut s = canvas_tvla::Structure::empty(&tvp.preds);
+            let u = s.add_individual();
+            s.set_summary(u, true);
+            for k in 0..tvp.preds.len() {
+                match tvp.preds[k].arity {
+                    0 => s.set(k, &[], canvas_logic::Kleene::Unknown),
+                    1 => s.set(k, &[u], canvas_logic::Kleene::Unknown),
+                    2 => s.set(k, &[u, u], canvas_logic::Kleene::Unknown),
+                    _ => {}
+                }
+            }
+            vec![s]
+        }
+    };
+    let res = canvas_tvla::run_from(tvp, mode, cx.tvla_budget, entry_structs);
+    Report {
+        engine,
+        violations: res.violations.iter().map(|v| cx.violation(&v.site)).collect(),
+        stats: Stats {
+            predicates: tvp.preds.len(),
+            work: res.applications,
+            max_states: res.max_states,
+            exhausted: res.exhausted,
+            ..Stats::default()
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_match_order_and_are_unique() {
+        let ids: Vec<Engine> = registry().iter().map(|e| e.id()).collect();
+        assert_eq!(ids, Engine::all());
+        let mut dedup = ids.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len());
+    }
+
+    #[test]
+    fn names_and_abbrevs_are_distinct() {
+        let names: Vec<&str> = registry().iter().map(|e| e.name()).collect();
+        let abbrevs: Vec<&str> = registry().iter().map(|e| e.abbrev()).collect();
+        for list in [&names, &abbrevs] {
+            let mut sorted = list.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), list.len(), "{list:?}");
+        }
+    }
+
+    #[test]
+    fn shared_transforms_compute_once() {
+        let spec = canvas_easl::builtin::cmp();
+        let derived = canvas_wp::derive_abstraction(&spec).unwrap();
+        let program = Program::parse(
+            "class Main { static void main() { Set s = new Set(); Iterator i = s.iterator(); i.next(); } }",
+            &spec,
+        )
+        .unwrap();
+        let method = program.main_method().unwrap();
+        let shared = SharedTransforms::new();
+        let cx = MethodContext {
+            program: &program,
+            method,
+            spec: &spec,
+            derived: &derived,
+            entry: EntryAssumption::Clean,
+            relational_budget: 1 << 14,
+            tvla_budget: 50_000,
+            shared: &shared,
+        };
+        let a = cx.boolprog() as *const BoolProgram;
+        let b = cx.boolprog() as *const BoolProgram;
+        assert_eq!(a, b, "second call must hit the cache");
+        let t1 = cx.tvp_specialized() as *const TvpProgram;
+        let t2 = cx.tvp_specialized() as *const TvpProgram;
+        assert_eq!(t1, t2);
+    }
+}

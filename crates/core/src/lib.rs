@@ -42,7 +42,9 @@
 //! ```
 
 mod certifier;
+mod engine;
 mod report;
 
 pub use certifier::{Certifier, CertifyError, Engine};
+pub use engine::{registry, AnalysisEngine, MethodContext, PreparedProgram, SharedTransforms};
 pub use report::{Report, Stats, Violation};

@@ -40,7 +40,7 @@ use canvas_abstraction::{
     transform_method_with, BoolProgram, ClientCallPolicy, EntryAssumption, Operand, Rhs,
 };
 use canvas_easl::Spec;
-use canvas_logic::TypeName;
+use canvas_logic::{Symbol, TypeName};
 use canvas_minijava::{Instr, MethodId, Program, VarId};
 use canvas_wp::Derived;
 
@@ -101,7 +101,7 @@ struct Ctx<'a> {
     /// formal var per ghost var
     formal_of: HashMap<VarId, VarId>,
     /// phantom slots per (method, type name)
-    phantoms: HashMap<(MethodId, String), Vec<VarId>>,
+    phantoms: HashMap<(MethodId, Symbol), Vec<VarId>>,
 }
 
 /// Runs the context-sensitive interprocedural certifier from `main`.
@@ -115,12 +115,12 @@ pub fn analyze(program: &Program, spec: &Spec, derived: &Derived) -> InterprocRe
 
     let mut ghost_of = HashMap::new();
     let mut formal_of = HashMap::new();
-    let mut phantoms: HashMap<(MethodId, String), Vec<VarId>> = HashMap::new();
+    let mut phantoms: HashMap<(MethodId, Symbol), Vec<VarId>> = HashMap::new();
     let mut types: Vec<TypeName> = spec.client_facing_types();
     for fam in derived.families() {
         for p in fam.params() {
             if !types.contains(p.ty()) {
-                types.push(p.ty().clone());
+                types.push(*p.ty());
             }
         }
     }
@@ -130,16 +130,16 @@ pub fn analyze(program: &Program, spec: &Spec, derived: &Derived) -> InterprocRe
         for f in params {
             if spec.is_component_type(&program.var(f).ty) {
                 let name = format!("$in_{}", program.var(f).name);
-                let g = ext.add_ghost_var(mid, &name, program.var(f).ty.clone());
+                let g = ext.add_ghost_var(mid, &name, program.var(f).ty);
                 ghost_of.insert((mid, f), g);
                 formal_of.insert(g, f);
             }
         }
         for t in &types {
             let slots: Vec<VarId> = (0..PHANTOMS_PER_TYPE)
-                .map(|k| ext.add_ghost_var(mid, &format!("$ph_{t}_{k}"), t.clone()))
+                .map(|k| ext.add_ghost_var(mid, &format!("$ph_{t}_{k}"), *t))
                 .collect();
-            phantoms.insert((mid, t.as_str().to_string()), slots);
+            phantoms.insert((mid, t.symbol()), slots);
         }
     }
 
@@ -356,13 +356,13 @@ impl Ctx<'_> {
         a: VarId,
         callee: MethodId,
         assign: &mut HashMap<VarId, VarId>,
-        used: &mut HashMap<String, usize>,
+        used: &mut HashMap<Symbol, usize>,
     ) -> Option<VarId> {
         if let Some(&ph) = assign.get(&a) {
             return Some(ph);
         }
-        let ty = self.program.var(a).ty.as_str().to_string();
-        let slots = self.phantoms.get(&(callee, ty.clone()))?;
+        let ty = self.program.var(a).ty.symbol();
+        let slots = self.phantoms.get(&(callee, ty))?;
         let k = used.entry(ty).or_insert(0);
         let slot = *slots.get(*k)?;
         *k += 1;
@@ -390,7 +390,7 @@ impl Ctx<'_> {
 
         // forward mapping caller var -> callee var
         let mut phantom_assign: HashMap<VarId, VarId> = HashMap::new();
-        let mut phantom_used: HashMap<String, usize> = HashMap::new();
+        let mut phantom_used: HashMap<Symbol, usize> = HashMap::new();
         let mut mapped = Vec::with_capacity(p.args.len());
         for &a in &p.args {
             let ma = if Some(a) == dst {
@@ -637,7 +637,11 @@ impl Ctx<'_> {
             let mut ok = true;
             for &g in &p.args {
                 let back = if let Some(&f) = self.formal_of.get(&g) {
-                    callee_params.iter().position(|&x| x == f).and_then(|pos| args.get(pos)).copied()
+                    callee_params
+                        .iter()
+                        .position(|&x| x == f)
+                        .and_then(|pos| args.get(pos))
+                        .copied()
                 } else if callee_params.contains(&g) {
                     callee_params
                         .iter()

@@ -26,11 +26,7 @@ pub struct RelError {
 
 impl std::fmt::Display for RelError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "relational analysis exceeded {} states at node {}",
-            self.budget, self.node
-        )
+        write!(f, "relational analysis exceeded {} states at node {}", self.budget, self.node)
     }
 }
 

@@ -57,11 +57,7 @@ impl Spec {
 
     /// The declared type of `field` in component type `owner`.
     pub fn field_type(&self, owner: &TypeName, field: &str) -> Option<TypeName> {
-        self.class(owner.as_str())?
-            .fields()
-            .iter()
-            .find(|f| f.name() == field)
-            .map(|f| f.ty().clone())
+        self.class(owner.as_str())?.fields().iter().find(|f| f.name() == field).map(|f| *f.ty())
     }
 
     /// A [`canvas_logic::TypeOracle`] view of the specification's field
@@ -85,7 +81,7 @@ impl Spec {
                         })
                     })
             })
-            .map(|c| c.name().clone())
+            .map(|c| *c.name())
             .collect()
     }
 
@@ -180,9 +176,10 @@ pub struct SpecPath {
 }
 
 impl SpecPath {
-    /// Creates a path.
-    pub fn new(base: SpecVar, fields: Vec<String>) -> Self {
-        SpecPath { base, fields }
+    /// Creates a path. Fields may be given as `String`s or interned
+    /// [`canvas_logic::Symbol`]s.
+    pub fn new(base: SpecVar, fields: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        SpecPath { base, fields: fields.into_iter().map(Into::into).collect() }
     }
 
     /// The path's base.
@@ -198,10 +195,10 @@ impl SpecPath {
     /// Converts to a logic [`AccessPath`], naming the receiver `this`.
     pub fn to_access_path(&self, method: &MethodSpec, class: &ClassSpec) -> AccessPath {
         let base = match self.base {
-            SpecVar::This => Var::new("this", class.name().clone()),
+            SpecVar::This => Var::new("this", *class.name()),
             SpecVar::Param(k) => {
                 let (n, t) = &method.params()[k];
-                Var::new(n.clone(), t.clone())
+                Var::new(n.clone(), *t)
             }
         };
         let mut p = AccessPath::of(base);
@@ -301,12 +298,12 @@ impl MethodSpec {
 
     /// The logic variable standing for the receiver.
     pub fn this_var(&self, class: &ClassSpec) -> Var {
-        Var::new("this", class.name().clone())
+        Var::new("this", *class.name())
     }
 
     /// Logic variables standing for the parameters.
     pub fn param_vars(&self) -> Vec<Var> {
-        self.params.iter().map(|(n, t)| Var::new(n.clone(), t.clone())).collect()
+        self.params.iter().map(|(n, t)| Var::new(n.clone(), *t)).collect()
     }
 }
 
@@ -325,10 +322,7 @@ mod tests {
         let spec = Spec::parse("cmp", crate::builtin::CMP_SOURCE).unwrap();
         assert!(spec.is_component_type(&TypeName::new("Set")));
         assert!(!spec.is_component_type(&TypeName::new("HashMap")));
-        assert_eq!(
-            spec.field_type(&TypeName::new("Iterator"), "set"),
-            Some(TypeName::new("Set"))
-        );
+        assert_eq!(spec.field_type(&TypeName::new("Iterator"), "set"), Some(TypeName::new("Set")));
         assert_eq!(spec.field_type(&TypeName::new("Iterator"), "bogus"), None);
         assert_eq!(spec.to_string(), "spec cmp (3 classes)");
     }

@@ -175,9 +175,6 @@ mod tests {
     fn imp_requires_conjunction() {
         let spec = imp();
         let m = spec.class("Factory").unwrap().method("combine").unwrap();
-        assert_eq!(
-            m.requires().unwrap().to_string(),
-            "a.fac == this && b.fac == this"
-        );
+        assert_eq!(m.requires().unwrap().to_string(), "a.fac == this && b.fac == this");
     }
 }

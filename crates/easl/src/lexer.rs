@@ -102,10 +102,7 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, EaslError> {
             if j >= bytes.len() {
                 return Err(EaslError::new(start_line, "unterminated string literal"));
             }
-            out.push(SpannedTok {
-                tok: Tok::Str(src[i + 1..j].to_string()),
-                line,
-            });
+            out.push(SpannedTok { tok: Tok::Str(src[i + 1..j].to_string()), line });
             i = j + 1;
             continue;
         }
@@ -168,9 +165,7 @@ impl Cursor {
 
     /// The current line (or the last token's line at end of input).
     pub fn line(&self) -> u32 {
-        self.toks
-            .get(self.pos.min(self.toks.len().saturating_sub(1)))
-            .map_or(0, |t| t.line)
+        self.toks.get(self.pos.min(self.toks.len().saturating_sub(1))).map_or(0, |t| t.line)
     }
 
     /// Whether all tokens are consumed.
@@ -205,10 +200,7 @@ impl Cursor {
                 self.pos += 1;
                 Ok(())
             }
-            other => Err(EaslError::new(
-                self.line(),
-                format!("expected {p:?}, found {other:?}"),
-            )),
+            other => Err(EaslError::new(self.line(), format!("expected {p:?}, found {other:?}"))),
         }
     }
 
@@ -220,10 +212,9 @@ impl Cursor {
                 self.pos += 1;
                 Ok(s)
             }
-            other => Err(EaslError::new(
-                self.line(),
-                format!("expected identifier, found {other:?}"),
-            )),
+            other => {
+                Err(EaslError::new(self.line(), format!("expected identifier, found {other:?}")))
+            }
         }
     }
 

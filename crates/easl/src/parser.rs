@@ -268,11 +268,8 @@ fn resolve(name: String, raw: Vec<RawClass>) -> Result<Spec, EaslError> {
     let ctor_arity: HashMap<String, usize> = raw
         .iter()
         .map(|c| {
-            let arity = c
-                .methods
-                .iter()
-                .find(|m| m.name == ClassSpec::CTOR)
-                .map_or(0, |m| m.params.len());
+            let arity =
+                c.methods.iter().find(|m| m.name == ClassSpec::CTOR).map_or(0, |m| m.params.len());
             (c.name.clone(), arity)
         })
         .collect();
@@ -281,11 +278,7 @@ fn resolve(name: String, raw: Vec<RawClass>) -> Result<Spec, EaslError> {
     for c in &raw {
         let mut methods = Vec::new();
         for m in &c.methods {
-            let ctx = Ctx {
-                classes: &class_fields,
-                class_name: &c.name,
-                params: &m.params,
-            };
+            let ctx = Ctx { classes: &class_fields, class_name: &c.name, params: &m.params };
             methods.push(resolve_method(c, m, &ctx, &ctor_arity)?);
         }
         let fields = c
@@ -304,11 +297,8 @@ fn resolve_method(
     ctx: &Ctx<'_>,
     ctor_arity: &HashMap<String, usize>,
 ) -> Result<MethodSpec, EaslError> {
-    let params: Vec<(String, TypeName)> = m
-        .params
-        .iter()
-        .map(|(ty, n)| (n.clone(), TypeName::new(ty.clone())))
-        .collect();
+    let params: Vec<(String, TypeName)> =
+        m.params.iter().map(|(ty, n)| (n.clone(), TypeName::new(ty.clone()))).collect();
     let ret_ty = m
         .ret_ty
         .as_ref()
@@ -407,7 +397,10 @@ fn resolve_rhs(
             if args.len() != arity {
                 return Err(EaslError::new(
                     *nline,
-                    format!("constructor of {ty:?} expects {arity} argument(s), got {}", args.len()),
+                    format!(
+                        "constructor of {ty:?} expects {arity} argument(s), got {}",
+                        args.len()
+                    ),
                 ));
             }
             let args = args

@@ -65,8 +65,9 @@ pub fn classify(spec: &Spec) -> SpecClass {
                 let SpecStmt::Assign { lhs, rhs } = stmt;
                 // An assignment in a constructor to a field of `this`
                 // (depth-1 path) is construction-time initialisation.
-                let construction =
-                    method.is_ctor() && lhs.fields().len() == 1 && lhs.base() == crate::SpecVar::This;
+                let construction = method.is_ctor()
+                    && lhs.fields().len() == 1
+                    && lhs.base() == crate::SpecVar::This;
                 if construction {
                     continue;
                 }
@@ -85,7 +86,8 @@ pub fn classify(spec: &Spec) -> SpecClass {
                 // token-typed path.
                 match rhs {
                     SpecExpr::New { ty, args } => {
-                        if !args.is_empty() || spec.class(ty.as_str()).is_none_or(|c| !is_token_class(c))
+                        if !args.is_empty()
+                            || spec.class(ty.as_str()).is_none_or(|c| !is_token_class(c))
                         {
                             return SpecClass::General;
                         }
@@ -116,7 +118,7 @@ fn assigned_field_type(
     let SpecStmt::Assign { lhs, .. } = stmt;
     let path = lhs.to_access_path(method, class);
     // walk the type of the full path
-    let mut ty = path.base().ty().clone();
+    let mut ty = *path.base().ty();
     for f in path.fields() {
         ty = spec.field_type(&ty, f)?;
     }

@@ -116,8 +116,7 @@ impl State {
             }
             return;
         }
-        let strong = base.objs.len() == 1
-            && !base.objs.iter().any(|o| self.multi.contains(o));
+        let strong = base.objs.len() == 1 && !base.objs.iter().any(|o| self.multi.contains(o));
         for &o in &base.objs {
             let slot = self.heap.entry((o, field.to_string())).or_default();
             if strong {
@@ -153,8 +152,7 @@ impl State {
         {
             return Kleene::True;
         }
-        let may_overlap =
-            a.unknown || b.unknown || a.objs.intersection(&b.objs).next().is_some();
+        let may_overlap = a.unknown || b.unknown || a.objs.intersection(&b.objs).next().is_some();
         if may_overlap {
             Kleene::Unknown
         } else {
@@ -286,13 +284,11 @@ fn transfer(
             if !*known {
                 return;
             }
-            let rty = program.var(*recv).ty.clone();
+            let rty = program.var(*recv).ty;
             let Some(class) = spec.class(rty.as_str()) else { return };
             let Some(m) = class.method(method) else { return };
-            let env = SpecEnv {
-                this: s.var(*recv),
-                params: args.iter().map(|&a| s.var(a)).collect(),
-            };
+            let env =
+                SpecEnv { this: s.var(*recv), params: args.iter().map(|&a| s.var(a)).collect() };
             // requires check
             if let Some(req) = m.requires() {
                 if eval_formula(spec, class, m, req, &env, s).may_be_false() {
@@ -396,10 +392,8 @@ fn run_spec_body(
         let SpecStmt::Assign { lhs, rhs } = stmt;
         let value = eval_spec_expr(spec, class, m, rhs, env, edge, ordinal, s);
         // target object = parent of lhs path
-        let parent = canvas_easl::SpecPath::new(
-            lhs.base(),
-            lhs.fields()[..lhs.fields().len() - 1].to_vec(),
-        );
+        let parent =
+            canvas_easl::SpecPath::new(lhs.base(), lhs.fields()[..lhs.fields().len() - 1].to_vec());
         let base = eval_spec_path(s, class, m, &parent, env);
         let field = lhs.fields().last().expect("assignments target fields");
         s.write_field(&base, field, value);

@@ -78,6 +78,7 @@ impl Formula {
     }
 
     /// Builds the negation of `f`, folding constants and double negation.
+    #[allow(clippy::should_implement_trait)] // constructor-style, like `and`/`or`
     pub fn not(f: Formula) -> Formula {
         match f {
             Formula::True => Formula::False,
@@ -94,10 +95,7 @@ impl Formula {
     /// This is the shape weakest preconditions of conditional heap effects
     /// take ("if the receiver aliases the path, the value is the new one").
     pub fn ite(cond: Formula, then: Formula, els: Formula) -> Formula {
-        Formula::or([
-            Formula::and([cond.clone(), then]),
-            Formula::and([Formula::not(cond), els]),
-        ])
+        Formula::or([Formula::and([cond.clone(), then]), Formula::and([Formula::not(cond), els])])
     }
 
     /// All free variables (base variables of every path occurring anywhere).
@@ -105,7 +103,7 @@ impl Formula {
         let mut out = BTreeSet::new();
         self.visit_terms(&mut |t| {
             if let Term::Path(p) = t {
-                out.insert(p.base().clone());
+                out.insert(*p.base());
             }
         });
         out
@@ -152,7 +150,7 @@ impl Formula {
                 if &new_base != p.base() {
                     q = crate::AccessPath::of(new_base);
                     for fld in p.fields() {
-                        q = q.field(fld.clone());
+                        q = q.field(*fld);
                     }
                 }
                 Term::Path(q)
@@ -180,6 +178,35 @@ impl Formula {
     /// Converts to disjunctive normal form with literal-level simplification.
     pub fn to_dnf(&self) -> Dnf {
         Dnf::from_formula(self)
+    }
+
+    /// [`Formula::to_dnf`] through a thread-local memo table.
+    ///
+    /// The derivation fixpoint canonicalises the same weakest-precondition
+    /// formulas over and over (once per candidate binding per worklist
+    /// round); the distribution step is exponential in the worst case, so
+    /// the repeat conversions dominate. The cache is bounded: it is cleared
+    /// wholesale when it exceeds a few thousand entries, which no single
+    /// derivation comes near.
+    pub fn to_dnf_cached(&self) -> Dnf {
+        use std::cell::RefCell;
+        use std::collections::HashMap;
+        const CACHE_CAP: usize = 8192;
+        thread_local! {
+            static CACHE: RefCell<HashMap<Formula, Dnf>> = RefCell::new(HashMap::new());
+        }
+        CACHE.with(|cache| {
+            if let Some(d) = cache.borrow().get(self) {
+                return d.clone();
+            }
+            let d = Dnf::from_formula(self);
+            let mut cache = cache.borrow_mut();
+            if cache.len() >= CACHE_CAP {
+                cache.clear();
+            }
+            cache.insert(self.clone(), d.clone());
+            d
+        })
     }
 }
 
@@ -376,10 +403,7 @@ impl Dnf {
         let mut cs: Vec<Vec<&Literal>> =
             self.conjuncts.iter().map(|c| c.iter().collect()).collect();
         cs.sort();
-        Formula::or(
-            cs.into_iter()
-                .map(|c| Formula::and(c.into_iter().map(Literal::to_formula))),
-        )
+        Formula::or(cs.into_iter().map(|c| Formula::and(c.into_iter().map(Literal::to_formula))))
     }
 }
 
@@ -480,10 +504,7 @@ mod tests {
     }
 
     fn ver(base: &str) -> Term {
-        AccessPath::of(Var::new(base, TypeName::new("Iterator")))
-            .field("set")
-            .field("ver")
-            .into()
+        AccessPath::of(Var::new(base, TypeName::new("Iterator"))).field("set").field("ver").into()
     }
 
     #[test]
@@ -492,7 +513,10 @@ mod tests {
         assert_eq!(Formula::and([Formula::False, Formula::eq(set("v"), set("w"))]), Formula::False);
         assert_eq!(Formula::or([Formula::False, Formula::False]), Formula::False);
         assert_eq!(Formula::or([Formula::True, Formula::eq(set("v"), set("w"))]), Formula::True);
-        assert_eq!(Formula::not(Formula::not(Formula::eq(set("v"), set("w")))), Formula::eq(set("v"), set("w")));
+        assert_eq!(
+            Formula::not(Formula::not(Formula::eq(set("v"), set("w")))),
+            Formula::eq(set("v"), set("w"))
+        );
     }
 
     #[test]
@@ -573,7 +597,7 @@ mod tests {
         assert_eq!(vars, ["i", "j"]);
         let i = Var::new("i", TypeName::new("Iterator"));
         let k = Var::new("k", TypeName::new("Iterator"));
-        let g = f.rename_vars(&|v| if *v == i { k.clone() } else { v.clone() });
+        let g = f.rename_vars(&|v| if *v == i { k } else { *v });
         assert_eq!(g.to_string(), "k.set.ver != j.set.ver");
     }
 

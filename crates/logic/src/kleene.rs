@@ -42,6 +42,7 @@ impl Kleene {
 
     /// Logical negation; `Unknown` is its own negation.
     #[must_use]
+    #[allow(clippy::should_implement_trait)] // named like the other connectives
     pub fn not(self) -> Kleene {
         match self {
             Kleene::False => Kleene::True,

@@ -35,12 +35,14 @@
 //! ```
 
 mod formula;
+pub mod intern;
 mod kleene;
 pub mod models;
 mod path;
 mod term;
 
 pub use formula::{Dnf, Formula, Literal};
+pub use intern::{interner_len, FieldId, Interner, MethodId, PredId, Symbol};
 pub use kleene::Kleene;
 pub use models::{ModelEnv, TypeOracle};
 pub use path::{AccessPath, TypeName, Var};

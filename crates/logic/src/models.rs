@@ -16,6 +16,7 @@
 
 use std::collections::BTreeSet;
 
+use crate::intern::FieldId;
 use crate::{AccessPath, Formula, Term, TypeName};
 
 /// Resolves field types so that the enumerator never equates terms of
@@ -48,7 +49,7 @@ where
 /// The type of an access path under an oracle, walking the field chain from
 /// the base variable's type. `None` as soon as a field type is unknown.
 pub fn path_type(path: &AccessPath, oracle: &dyn TypeOracle) -> Option<TypeName> {
-    let mut ty = path.base().ty().clone();
+    let mut ty = *path.base().ty();
     for f in path.fields() {
         ty = oracle.field_type(&ty, f)?;
     }
@@ -61,7 +62,7 @@ pub fn path_type(path: &AccessPath, oracle: &dyn TypeOracle) -> Option<TypeName>
 pub struct ModelEnv {
     universe: Vec<AccessPath>,
     /// For each universe index, `(field, index of extension)` pairs.
-    extensions: Vec<Vec<(String, usize)>>,
+    extensions: Vec<Vec<(FieldId, usize)>>,
     /// For each model, the class id of each universe element.
     models: Vec<Vec<usize>>,
 }
@@ -72,7 +73,10 @@ impl ModelEnv {
     /// Every query method must only be called with formulas whose paths all
     /// occur (or are prefixes of paths occurring) in `formulas`; this is
     /// checked with a debug assertion.
-    pub fn new<'a>(formulas: impl IntoIterator<Item = &'a Formula>, oracle: &dyn TypeOracle) -> Self {
+    pub fn new<'a>(
+        formulas: impl IntoIterator<Item = &'a Formula>,
+        oracle: &dyn TypeOracle,
+    ) -> Self {
         let mut paths: BTreeSet<AccessPath> = BTreeSet::new();
         for f in formulas {
             f.visit_terms(&mut |t| {
@@ -85,19 +89,18 @@ impl ModelEnv {
         }
         let universe: Vec<AccessPath> = paths.into_iter().collect();
         let index = |p: &AccessPath| universe.binary_search(p).ok();
-        let extensions: Vec<Vec<(String, usize)>> = universe
+        let extensions: Vec<Vec<(FieldId, usize)>> = universe
             .iter()
             .map(|p| {
                 universe
                     .iter()
                     .enumerate()
                     .filter(|(_, q)| q.parent().as_ref() == Some(p))
-                    .map(|(j, q)| (q.last_field().expect("has parent").to_string(), j))
+                    .map(|(j, q)| (FieldId(*q.fields().last().expect("has parent")), j))
                     .collect()
             })
             .collect();
-        let types: Vec<Option<TypeName>> =
-            universe.iter().map(|p| path_type(p, oracle)).collect();
+        let types: Vec<Option<TypeName>> = universe.iter().map(|p| path_type(p, oracle)).collect();
 
         // Enumerate set partitions via restricted-growth strings, pruning on
         // type compatibility, then filter by congruence closure.
@@ -137,23 +140,21 @@ impl ModelEnv {
 
     /// Whether `f` and `g` agree in every model satisfying `assumption`.
     pub fn equivalent_under(&self, assumption: &Formula, f: &Formula, g: &Formula) -> bool {
-        self.models.iter().all(|m| {
-            !self.eval_in(m, assumption) || (self.eval_in(m, f) == self.eval_in(m, g))
-        })
+        self.models
+            .iter()
+            .all(|m| !self.eval_in(m, assumption) || (self.eval_in(m, f) == self.eval_in(m, g)))
     }
 
     /// Whether `f` implies `g` in every model satisfying `assumption`.
     pub fn implies_under(&self, assumption: &Formula, f: &Formula, g: &Formula) -> bool {
-        self.models.iter().all(|m| {
-            !self.eval_in(m, assumption) || !self.eval_in(m, f) || self.eval_in(m, g)
-        })
+        self.models
+            .iter()
+            .all(|m| !self.eval_in(m, assumption) || !self.eval_in(m, f) || self.eval_in(m, g))
     }
 
     /// Whether some model satisfies both `assumption` and `f`.
     pub fn satisfiable_under(&self, assumption: &Formula, f: &Formula) -> bool {
-        self.models
-            .iter()
-            .any(|m| self.eval_in(m, assumption) && self.eval_in(m, f))
+        self.models.iter().any(|m| self.eval_in(m, assumption) && self.eval_in(m, f))
     }
 
     /// The vocabulary (all paths and prefixes).
@@ -162,7 +163,7 @@ impl ModelEnv {
     }
 
     /// The field-extension table, parallel to [`Self::universe`].
-    pub fn extensions(&self) -> &[Vec<(String, usize)>] {
+    pub fn extensions(&self) -> &[Vec<(FieldId, usize)>] {
         &self.extensions
     }
 }
@@ -201,8 +202,9 @@ fn enumerate(
 }
 
 /// Checks the congruence condition: equal parents force equal extensions
-/// along a common field.
-fn congruent(assign: &[usize], extensions: &[Vec<(String, usize)>]) -> bool {
+/// along a common field. Field comparison is one `u32` compare thanks to
+/// interning — this is the innermost loop of model enumeration.
+fn congruent(assign: &[usize], extensions: &[Vec<(FieldId, usize)>]) -> bool {
     let n = assign.len();
     for a in 0..n {
         for b in (a + 1)..n {
@@ -222,12 +224,7 @@ fn congruent(assign: &[usize], extensions: &[Vec<(String, usize)>]) -> bool {
 }
 
 /// One-shot equivalence check under an assumption.
-pub fn equivalent(
-    oracle: &dyn TypeOracle,
-    assumption: &Formula,
-    f: &Formula,
-    g: &Formula,
-) -> bool {
+pub fn equivalent(oracle: &dyn TypeOracle, assumption: &Formula, f: &Formula, g: &Formula) -> bool {
     ModelEnv::new([assumption, f, g], oracle).equivalent_under(assumption, f, g)
 }
 
@@ -283,10 +280,8 @@ mod tests {
     fn congruence_detected() {
         // i.set == j.set  implies  i.set.ver == j.set.ver
         let f = Formula::eq(p("i", "Iterator", &["set"]), p("j", "Iterator", &["set"]));
-        let g = Formula::eq(
-            p("i", "Iterator", &["set", "ver"]),
-            p("j", "Iterator", &["set", "ver"]),
-        );
+        let g =
+            Formula::eq(p("i", "Iterator", &["set", "ver"]), p("j", "Iterator", &["set", "ver"]));
         assert!(implies(&cmp_oracle, &Formula::True, &f, &g));
         assert!(!implies(&cmp_oracle, &Formula::True, &g, &f));
     }
@@ -314,12 +309,8 @@ mod tests {
         // ¬stale(j), i.e. j.defVer == j.set.ver, the exact WP
         //   (i != j && i.set == j.set) || (i != j && i.set != j.set && stale(i))
         // is equivalent to the simpler  stale(i) || mutx(i, j).
-        let stale = |x: &str| {
-            Formula::ne(
-                p(x, "Iterator", &["defVer"]),
-                p(x, "Iterator", &["set", "ver"]),
-            )
-        };
+        let stale =
+            |x: &str| Formula::ne(p(x, "Iterator", &["defVer"]), p(x, "Iterator", &["set", "ver"]));
         let iset = p("i", "Iterator", &["set"]);
         let jset = p("j", "Iterator", &["set"]);
         let ivar = p("i", "Iterator", &[]);
@@ -329,12 +320,11 @@ mod tests {
             Formula::ne(ivar.clone(), jvar.clone()),
         ]);
         let exact_wp = Formula::or([
-            Formula::and([Formula::ne(ivar.clone(), jvar.clone()), Formula::eq(iset.clone(), jset.clone())]),
             Formula::and([
-                Formula::ne(ivar, jvar),
-                Formula::ne(iset, jset),
-                stale("i"),
+                Formula::ne(ivar.clone(), jvar.clone()),
+                Formula::eq(iset.clone(), jset.clone()),
             ]),
+            Formula::and([Formula::ne(ivar, jvar), Formula::ne(iset, jset), stale("i")]),
         ]);
         let simplified = Formula::or([stale("i"), mutx]);
         let assumption = Formula::not(stale("j"));

@@ -1,29 +1,40 @@
-//! Typed logical variables and access paths.
+//! Typed logical variables and access paths, interned.
+//!
+//! All names are [`Symbol`]s: equality/hashing is id-based, ordering is the
+//! underlying string order (so canonical orders match the historical
+//! string-keyed representation byte-for-byte — see [`crate::intern`]).
 
 use std::fmt;
+
+use crate::intern::Symbol;
 
 /// The name of a component (or client) type, e.g. `Set` or `Iterator`.
 ///
 /// `TypeName` is a cheap, comparable identifier; the structure of a type
 /// (its fields and methods) lives in the EASL specification, not here.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
-pub struct TypeName(String);
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TypeName(Symbol);
 
 impl TypeName {
     /// Creates a type name.
-    pub fn new(name: impl Into<String>) -> Self {
+    pub fn new(name: impl Into<Symbol>) -> Self {
         TypeName(name.into())
     }
 
     /// The textual name.
-    pub fn as_str(&self) -> &str {
-        &self.0
+    pub fn as_str(&self) -> &'static str {
+        self.0.as_str()
+    }
+
+    /// The interned name.
+    pub fn symbol(&self) -> Symbol {
+        self.0
     }
 }
 
 impl fmt::Display for TypeName {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(self.as_str())
     }
 }
 
@@ -40,21 +51,26 @@ impl From<&str> for TypeName {
 /// for the operands of a component method call (`receiver`, parameters,
 /// result). During client analysis they are instantiated with actual client
 /// program variables.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct Var {
-    name: String,
+    name: Symbol,
     ty: TypeName,
 }
 
 impl Var {
     /// Creates a variable with the given name and type.
-    pub fn new(name: impl Into<String>, ty: TypeName) -> Self {
+    pub fn new(name: impl Into<Symbol>, ty: TypeName) -> Self {
         Var { name: name.into(), ty }
     }
 
     /// The variable's name.
-    pub fn name(&self) -> &str {
-        &self.name
+    pub fn name(&self) -> &'static str {
+        self.name.as_str()
+    }
+
+    /// The variable's interned name.
+    pub fn symbol(&self) -> Symbol {
+        self.name
     }
 
     /// The variable's declared type.
@@ -65,7 +81,7 @@ impl Var {
 
 impl fmt::Display for Var {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.name)
+        f.write_str(self.name())
     }
 }
 
@@ -74,7 +90,7 @@ impl fmt::Display for Var {
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct AccessPath {
     base: Var,
-    fields: Vec<String>,
+    fields: Vec<Symbol>,
 }
 
 impl AccessPath {
@@ -85,7 +101,7 @@ impl AccessPath {
 
     /// Extends the path with a field selection (builder style).
     #[must_use]
-    pub fn field(mut self, name: impl Into<String>) -> Self {
+    pub fn field(mut self, name: impl Into<Symbol>) -> Self {
         self.fields.push(name.into());
         self
     }
@@ -96,7 +112,7 @@ impl AccessPath {
     }
 
     /// The field selections, outermost last.
-    pub fn fields(&self) -> &[String] {
+    pub fn fields(&self) -> &[Symbol] {
         &self.fields
     }
 
@@ -117,15 +133,15 @@ impl AccessPath {
             None
         } else {
             Some(AccessPath {
-                base: self.base.clone(),
+                base: self.base,
                 fields: self.fields[..self.fields.len() - 1].to_vec(),
             })
         }
     }
 
     /// The last field of the path, if any.
-    pub fn last_field(&self) -> Option<&str> {
-        self.fields.last().map(String::as_str)
+    pub fn last_field(&self) -> Option<&'static str> {
+        self.fields.last().map(|s| s.as_str())
     }
 
     /// All prefixes of the path, from the bare variable up to and including
@@ -133,10 +149,7 @@ impl AccessPath {
     pub fn prefixes(&self) -> Vec<AccessPath> {
         let mut out = Vec::with_capacity(self.fields.len() + 1);
         for k in 0..=self.fields.len() {
-            out.push(AccessPath {
-                base: self.base.clone(),
-                fields: self.fields[..k].to_vec(),
-            });
+            out.push(AccessPath { base: self.base, fields: self.fields[..k].to_vec() });
         }
         out
     }
@@ -155,14 +168,14 @@ impl AccessPath {
             return None;
         }
         let mut out = to.clone();
-        out.fields.extend(self.fields[from.fields.len()..].iter().cloned());
+        out.fields.extend(self.fields[from.fields.len()..].iter().copied());
         Some(out)
     }
 
     /// Renames the base variable if it equals `from`.
     pub fn rename_base(&self, from: &Var, to: &Var) -> AccessPath {
         if &self.base == from {
-            AccessPath { base: to.clone(), fields: self.fields.clone() }
+            AccessPath { base: *to, fields: self.fields.clone() }
         } else {
             self.clone()
         }
@@ -229,5 +242,17 @@ mod tests {
         let j = Var::new("j", TypeName::new("Iterator"));
         assert_eq!(p.rename_base(&iv(), &j).to_string(), "j.set");
         assert_eq!(p.rename_base(&j, &iv()).to_string(), "i.set");
+    }
+
+    #[test]
+    fn ordering_matches_string_order() {
+        // Var order is (name, ty) by string; AccessPath extends with fields.
+        let a = Var::new("a", TypeName::new("Z"));
+        let b = Var::new("b", TypeName::new("A"));
+        assert!(a < b);
+        let p1 = AccessPath::of(iv()).field("defVer");
+        let p2 = AccessPath::of(iv()).field("set");
+        let p3 = AccessPath::of(iv()).field("set").field("ver");
+        assert!(p1 < p2 && p2 < p3);
     }
 }

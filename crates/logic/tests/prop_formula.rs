@@ -10,13 +10,13 @@ fn term_pool() -> Vec<Term> {
     let iter = TypeName::new("I");
     let mut out: Vec<Term> = Vec::new();
     for n in ["a", "b"] {
-        let v = Var::new(n, set.clone());
-        out.push(AccessPath::of(v.clone()).into());
+        let v = Var::new(n, set);
+        out.push(AccessPath::of(v).into());
         out.push(AccessPath::of(v).field("f").into());
     }
     for n in ["i", "j"] {
-        let v = Var::new(n, iter.clone());
-        out.push(AccessPath::of(v.clone()).into());
+        let v = Var::new(n, iter);
+        out.push(AccessPath::of(v).into());
         out.push(AccessPath::of(v).field("g").into());
     }
     out
@@ -35,14 +35,10 @@ fn arb_atom() -> impl Strategy<Value = Formula> {
 }
 
 fn arb_formula() -> impl Strategy<Value = Formula> {
-    let leaf = prop_oneof![
-        Just(Formula::True),
-        Just(Formula::False),
-        arb_atom(),
-    ];
+    let leaf = prop_oneof![Just(Formula::True), Just(Formula::False), arb_atom(),];
     leaf.prop_recursive(3, 24, 3, |inner| {
         prop_oneof![
-            inner.clone().prop_map(|f| Formula::not(f)),
+            inner.clone().prop_map(Formula::not),
             prop::collection::vec(inner.clone(), 1..3).prop_map(Formula::and),
             prop::collection::vec(inner, 1..3).prop_map(Formula::or),
         ]

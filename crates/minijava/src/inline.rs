@@ -182,7 +182,7 @@ fn remap_instr(
         }
         Instr::New { dst, ty, site, args, at } => Instr::New {
             dst: m(*dst),
-            ty: ty.clone(),
+            ty: *ty,
             site: *site,
             args: args.iter().map(|&a| m(a)).collect(),
             at: at.clone(),

@@ -58,7 +58,7 @@ impl Tables<'_> {
 
     fn client_field_ty(&self, class: &TypeName, field: &str) -> Option<TypeName> {
         let c = &self.classes[*self.class_idx.get(class.as_str())?];
-        c.fields.iter().find(|f| f.name == field).map(|f| f.ty.clone())
+        c.fields.iter().find(|f| f.name == field).map(|f| f.ty)
     }
 }
 
@@ -96,8 +96,8 @@ pub(crate) fn parse_and_lower(src: &str, spec: &Spec) -> Result<Program, SourceE
                 class: c.name.as_str().to_string(),
                 name: m.name.clone(),
                 is_static: m.is_static,
-                params: m.params.iter().map(|(_, t)| t.clone()).collect(),
-                ret_ty: m.ret_ty.clone(),
+                params: m.params.iter().map(|(_, t)| *t).collect(),
+                ret_ty: m.ret_ty,
             });
         }
     }
@@ -111,7 +111,7 @@ pub(crate) fn parse_and_lower(src: &str, spec: &Spec) -> Result<Program, SourceE
             vars.push(Variable {
                 id,
                 name: format!("{}.{}", c.name, f.name),
-                ty: f.ty.clone(),
+                ty: f.ty,
                 owner: None,
                 kind: VarKind::Static,
             });
@@ -132,13 +132,12 @@ pub(crate) fn parse_and_lower(src: &str, spec: &Spec) -> Result<Program, SourceE
     }
     methods.sort_by_key(|m| m.id);
 
-    let scmp_shaped = classes.iter().all(|c| {
-        c.fields.iter().all(|f| !spec.is_component_type(&f.ty))
-    });
+    let scmp_shaped =
+        classes.iter().all(|c| c.fields.iter().all(|f| !spec.is_component_type(&f.ty)));
     let mut component_types: Vec<TypeName> = Vec::new();
     for v in &vars {
         if spec.is_component_type(&v.ty) && !component_types.contains(&v.ty) {
-            component_types.push(v.ty.clone());
+            component_types.push(v.ty);
         }
     }
 
@@ -183,7 +182,7 @@ impl Lower<'_, '_> {
     }
 
     fn var_ty(&self, v: VarId) -> TypeName {
-        self.vars[v.0].ty.clone()
+        self.vars[v.0].ty
     }
 
     fn var_name(&self, v: VarId) -> String {
@@ -261,19 +260,19 @@ impl Lower<'_, '_> {
         }
         // instance field of the current class
         if self.class.fields.iter().any(|f| f.name == name) {
-            let this = self
-                .this_var
-                .ok_or_else(|| SourceError::new(line, format!("field {name:?} used in a static method")))?;
-            let fty = self
-                .t
-                .client_field_ty(&self.class.name, name)
-                .expect("field existence checked");
+            let this = self.this_var.ok_or_else(|| {
+                SourceError::new(line, format!("field {name:?} used in a static method"))
+            })?;
+            let fty =
+                self.t.client_field_ty(&self.class.name, name).expect("field existence checked");
             let dst = self.temp(fty);
             self.emit(Instr::Load { dst, base: this, field: name.to_string() });
             return Ok(Some(dst));
         }
         // static of the current class
-        if let Some(&v) = self.t.statics.get(&(self.class.name.as_str().to_string(), name.to_string())) {
+        if let Some(&v) =
+            self.t.statics.get(&(self.class.name.as_str().to_string(), name.to_string()))
+        {
             return Ok(Some(v));
         }
         Err(SourceError::new(line, format!("unknown identifier {name:?}")))
@@ -361,19 +360,22 @@ impl Lower<'_, '_> {
                 if avars.len() != arity {
                     return Err(SourceError::new(
                         line,
-                        format!("constructor of {ty} expects {arity} argument(s), got {}", avars.len()),
+                        format!(
+                            "constructor of {ty} expects {arity} argument(s), got {}",
+                            avars.len()
+                        ),
                     ));
                 }
-                let dst = preferred
-                    .filter(|d| self.var_ty(*d) == *ty)
-                    .unwrap_or_else(|| self.temp(ty.clone()));
+                let dst =
+                    preferred.filter(|d| self.var_ty(*d) == *ty).unwrap_or_else(|| self.temp(*ty));
                 let site = self.fresh_alloc();
                 let at = self.site(line, format!("new {ty}(...)"));
-                self.emit(Instr::New { dst, ty: ty.clone(), site, args: avars, at });
+                self.emit(Instr::New { dst, ty: *ty, site, args: avars, at });
                 Ok(dst)
             }
             TyKind::Client => {
-                let ctor = self.t.method_ids.get(&(ty.as_str().to_string(), ClassSpec::CTOR.to_string()));
+                let ctor =
+                    self.t.method_ids.get(&(ty.as_str().to_string(), ClassSpec::CTOR.to_string()));
                 match ctor {
                     None if !avars.is_empty() => Err(SourceError::new(
                         line,
@@ -382,10 +384,10 @@ impl Lower<'_, '_> {
                     ctor => {
                         let dst = preferred
                             .filter(|d| self.var_ty(*d) == *ty)
-                            .unwrap_or_else(|| self.temp(ty.clone()));
+                            .unwrap_or_else(|| self.temp(*ty));
                         let site = self.fresh_alloc();
                         let at = self.site(line, format!("new {ty}(...)"));
-                        self.emit(Instr::New { dst, ty: ty.clone(), site, args: Vec::new(), at });
+                        self.emit(Instr::New { dst, ty: *ty, site, args: Vec::new(), at });
                         if let Some(&callee) = ctor {
                             let sig = &self.t.sigs[callee.0];
                             if sig.params.len() != avars.len() {
@@ -424,7 +426,9 @@ impl Lower<'_, '_> {
         // resolve receiver
         let resolved: ResolvedRecv = match recv {
             None => ResolvedRecv::CurrentClass,
-            Some(Expr::Var(n)) if !self.is_value_name(n) && self.t.class_idx.contains_key(n.as_str()) => {
+            Some(Expr::Var(n))
+                if !self.is_value_name(n) && self.t.class_idx.contains_key(n.as_str()) =>
+            {
                 ResolvedRecv::StaticClass(n.clone())
             }
             Some(e) => {
@@ -441,7 +445,9 @@ impl Lower<'_, '_> {
             ResolvedRecv::Value(rv) => {
                 let rty = self.var_ty(rv);
                 match self.t.ty_kind(&rty) {
-                    TyKind::Component => self.lower_component_call(rv, method, args, line, preferred),
+                    TyKind::Component => {
+                        self.lower_component_call(rv, method, args, line, preferred)
+                    }
                     TyKind::Client => {
                         let callee = self
                             .t
@@ -449,7 +455,10 @@ impl Lower<'_, '_> {
                             .get(&(rty.as_str().to_string(), method.to_string()))
                             .copied()
                             .ok_or_else(|| {
-                                SourceError::new(line, format!("class {rty} has no method {method:?}"))
+                                SourceError::new(
+                                    line,
+                                    format!("class {rty} has no method {method:?}"),
+                                )
                             })?;
                         if self.t.sigs[callee.0].is_static {
                             return Err(SourceError::new(
@@ -474,8 +483,8 @@ impl Lower<'_, '_> {
                     .get(&(cname.clone(), method.to_string()))
                     .copied()
                     .ok_or_else(|| {
-                        SourceError::new(line, format!("class {cname} has no method {method:?}"))
-                    })?;
+                    SourceError::new(line, format!("class {cname} has no method {method:?}"))
+                })?;
                 if !self.t.sigs[callee.0].is_static {
                     return Err(SourceError::new(
                         line,
@@ -493,8 +502,8 @@ impl Lower<'_, '_> {
                     .get(&(cname.clone(), method.to_string()))
                     .copied()
                     .ok_or_else(|| {
-                        SourceError::new(line, format!("class {cname} has no method {method:?}"))
-                    })?;
+                    SourceError::new(line, format!("class {cname} has no method {method:?}"))
+                })?;
                 let mut cargs = Vec::new();
                 if !self.t.sigs[callee.0].is_static {
                     let this = self.this_var.ok_or_else(|| {
@@ -537,13 +546,18 @@ impl Lower<'_, '_> {
             }
         }
         let dst = m.and_then(|m| m.ret_ty()).map(|rt| {
-            preferred
-                .filter(|d| self.var_ty(*d) == *rt)
-                .unwrap_or_else(|| self.temp(rt.clone()))
+            preferred.filter(|d| self.var_ty(*d) == *rt).unwrap_or_else(|| self.temp(*rt))
         });
         let what = format!("{}.{method}()", self.var_name(rv));
         let at = self.site(line, what);
-        self.emit(Instr::CallComponent { dst, recv: rv, method: method.to_string(), args: avars, known, at });
+        self.emit(Instr::CallComponent {
+            dst,
+            recv: rv,
+            method: method.to_string(),
+            args: avars,
+            known,
+            at,
+        });
         Ok(dst)
     }
 
@@ -560,18 +574,18 @@ impl Lower<'_, '_> {
         if args.len() != expected {
             return Err(SourceError::new(
                 line,
-                format!("method {}.{} expects {expected} argument(s), got {}", sig.class, sig.name, args.len()),
+                format!(
+                    "method {}.{} expects {expected} argument(s), got {}",
+                    sig.class,
+                    sig.name,
+                    args.len()
+                ),
             ));
         }
         let dst = sig
             .ret_ty
-            .clone()
             .filter(|rt| self.t.ty_kind(rt) != TyKind::Opaque)
-            .map(|rt| {
-                preferred
-                    .filter(|d| self.var_ty(*d) == rt)
-                    .unwrap_or_else(|| self.temp(rt))
-            });
+            .map(|rt| preferred.filter(|d| self.var_ty(*d) == rt).unwrap_or_else(|| self.temp(rt)));
         let at = self.site(line, format!("{method}(...)"));
         self.emit(Instr::CallClient { dst, callee, args, at });
         Ok(dst)
@@ -586,7 +600,7 @@ impl Lower<'_, '_> {
                         format!("duplicate local variable {name:?} (shadowing unsupported)"),
                     ));
                 }
-                let v = self.new_var(name.clone(), ty.clone(), VarKind::Local);
+                let v = self.new_var(name.clone(), *ty, VarKind::Local);
                 self.locals.insert(name.clone(), v);
                 match init {
                     Some(e) => self.lower_expr_into(e, v, *line)?,
@@ -668,16 +682,17 @@ impl Lower<'_, '_> {
                 // instance field of current class: this.name = rhs
                 if self.class.fields.iter().any(|f| f.name == name.as_str()) {
                     let this = self.this_var.ok_or_else(|| {
-                        SourceError::new(line, format!("field {name:?} assigned in a static method"))
+                        SourceError::new(
+                            line,
+                            format!("field {name:?} assigned in a static method"),
+                        )
                     })?;
                     let src = self.rhs_to_var(rhs, line)?;
                     self.emit(Instr::Store { base: this, field: name.clone(), src });
                     return Ok(());
                 }
-                if let Some(&v) = self
-                    .t
-                    .statics
-                    .get(&(self.class.name.as_str().to_string(), name.clone()))
+                if let Some(&v) =
+                    self.t.statics.get(&(self.class.name.as_str().to_string(), name.clone()))
                 {
                     return self.lower_expr_into(rhs, v, line);
                 }
@@ -703,7 +718,10 @@ impl Lower<'_, '_> {
                     ));
                 }
                 if self.t.client_field_ty(&bty, field).is_none() {
-                    return Err(SourceError::new(line, format!("type {bty} has no field {field:?}")));
+                    return Err(SourceError::new(
+                        line,
+                        format!("type {bty} has no field {field:?}"),
+                    ));
                 }
                 let src = self.rhs_to_var(rhs, line)?;
                 self.emit(Instr::Store { base: b, field: field.clone(), src });
@@ -751,13 +769,13 @@ fn lower_method(
 
     let mut params = Vec::new();
     if !m.is_static {
-        let v = lw.new_var("this".to_string(), class.name.clone(), VarKind::Param(0));
+        let v = lw.new_var("this".to_string(), class.name, VarKind::Param(0));
         lw.this_var = Some(v);
         params.push(v);
     }
     for (k, (name, ty)) in m.params.iter().enumerate() {
         let idx = k + usize::from(!m.is_static);
-        let v = lw.new_var(name.clone(), ty.clone(), VarKind::Param(idx));
+        let v = lw.new_var(name.clone(), *ty, VarKind::Param(idx));
         if lw.locals.insert(name.clone(), v).is_some() {
             return Err(SourceError::new(m.line, format!("duplicate parameter {name:?}")));
         }
@@ -765,7 +783,7 @@ fn lower_method(
     }
     if let Some(rt) = &m.ret_ty {
         if tables.ty_kind(rt) != TyKind::Opaque {
-            lw.ret_var = Some(lw.new_var("$ret".to_string(), rt.clone(), VarKind::Ret));
+            lw.ret_var = Some(lw.new_var("$ret".to_string(), *rt, VarKind::Ret));
         }
     }
 
@@ -777,7 +795,7 @@ fn lower_method(
 
     Ok(MethodIr {
         id: mid,
-        class: class.name.clone(),
+        class: class.name,
         name: m.name.clone(),
         is_static: m.is_static,
         params,
@@ -827,12 +845,7 @@ mod tests {
             .count();
         // iterator() x2, next() x4, remove(), add() = 8
         assert_eq!(comp_calls, 8);
-        let news = main
-            .cfg
-            .edges()
-            .iter()
-            .filter(|e| matches!(e.instr, Instr::New { .. }))
-            .count();
+        let news = main.cfg.edges().iter().filter(|e| matches!(e.instr, Instr::New { .. })).count();
         assert_eq!(news, 1);
     }
 
@@ -886,12 +899,8 @@ mod tests {
         let mk = p.method_named("Main.mk").unwrap();
         assert!(mk.ret_var.is_some());
         let main = p.method_named("Main.main").unwrap();
-        let client_calls = main
-            .cfg
-            .edges()
-            .iter()
-            .filter(|e| matches!(e.instr, Instr::CallClient { .. }))
-            .count();
+        let client_calls =
+            main.cfg.edges().iter().filter(|e| matches!(e.instr, Instr::CallClient { .. })).count();
         assert_eq!(client_calls, 2);
         let cg = p.call_graph();
         assert_eq!(cg[&main.id].len(), 2);
@@ -926,12 +935,15 @@ mod tests {
         // class shadowing a component class
         assert!(Program::parse("class Set { }", &s).is_err());
         // `this` in static method
-        assert!(Program::parse("class A { static void m() { this.n(); } void n() { } }", &s).is_err());
-        // duplicate local
         assert!(
-            Program::parse("class A { void m() { Set s = new Set(); Set s = new Set(); } }", &s)
-                .is_err()
+            Program::parse("class A { static void m() { this.n(); } void n() { } }", &s).is_err()
         );
+        // duplicate local
+        assert!(Program::parse(
+            "class A { void m() { Set s = new Set(); Set s = new Set(); } }",
+            &s
+        )
+        .is_err());
     }
 
     #[test]

@@ -180,11 +180,8 @@ fn parse_for(cur: &mut Cursor, line: u32) -> Result<Stmt, SourceError> {
         cur.expect(";")?;
     }
     // condition
-    let cond_effects = if matches!(cur.peek(), Some(Tok::Punct(";"))) {
-        Vec::new()
-    } else {
-        parse_cond(cur)?
-    };
+    let cond_effects =
+        if matches!(cur.peek(), Some(Tok::Punct(";"))) { Vec::new() } else { parse_cond(cur)? };
     cur.expect(";")?;
     // update
     let update = if matches!(cur.peek(), Some(Tok::Punct(")"))) {

@@ -57,7 +57,7 @@ fn canvas_suite_like_generator(blocks: usize, iters: usize, seed: u64) -> String
         out.push_str(&format!("    Set s{b} = new Set();\n"));
         for k in 0..iters {
             out.push_str(&format!("    Iterator i{b}_{k} = s{b}.iterator();\n"));
-            if (seed + b as u64 + k as u64) % 2 == 0 {
+            if (seed + b as u64 + k as u64).is_multiple_of(2) {
                 out.push_str(&format!("    i{b}_{k}.next();\n"));
             } else {
                 out.push_str(&format!(

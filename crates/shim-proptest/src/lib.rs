@@ -1,0 +1,586 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the slice of the proptest 1.x API its property tests use: the
+//! `proptest!`, `prop_compose!`, `prop_oneof!` and `prop_assert*!` macros,
+//! the `Strategy` trait with `prop_map` / `prop_flat_map` /
+//! `prop_recursive` / `boxed`, `Just`, `any::<bool>()`, integer-range and
+//! `&str`-pattern strategies, tuple strategies, and
+//! `prop::collection::vec`.
+//!
+//! Differences from upstream, deliberate and test-visible only on failure:
+//! no shrinking (the failing case is reported as-is), and deterministic
+//! per-test seeding (each named test explores the same case sequence every
+//! run, which doubles as reproducibility).
+
+pub mod test_runner {
+    /// Why a test case failed.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// Assertion failure (from `prop_assert*!` or `TestCaseError::fail`).
+        Fail(String),
+        /// Case rejected by a precondition; not counted as a failure.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail<S: Into<String>>(reason: S) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        pub fn reject<S: Into<String>>(reason: S) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(r) => write!(f, "{r}"),
+                TestCaseError::Reject(r) => write!(f, "rejected: {r}"),
+            }
+        }
+    }
+
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Runner configuration; only `cases` is supported.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// SplitMix64 — deterministic case-generation randomness.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform-ish value in `[0, n)`; modulo bias is irrelevant at
+        /// test-case scale.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            self.next_u64() % n
+        }
+    }
+
+    /// Drives `cases` deterministic executions of one property.
+    pub fn run<F>(config: &ProptestConfig, test_name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> TestCaseResult,
+    {
+        // FNV-1a over the test name so distinct tests get distinct streams.
+        let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        for i in 0..config.cases {
+            let mut rng = TestRng::new(seed ^ (u64::from(i).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+            match case(&mut rng) {
+                Ok(()) | Err(TestCaseError::Reject(_)) => {}
+                Err(TestCaseError::Fail(reason)) => {
+                    panic!("proptest `{test_name}` failed at case {i}/{}: {reason}", config.cases)
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::sync::Arc;
+
+    /// A value generator. Unlike upstream there is no shrinking tree; a
+    /// strategy is just a deterministic function of the RNG stream.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Arc::new(move |rng: &mut TestRng| self.generate(rng)))
+        }
+
+        /// Builds a recursive strategy: at each of `depth` levels, either a
+        /// leaf (`self`) or one application of `recurse` over the previous
+        /// level. `_desired_size`/`_expected_branch_size` are accepted for
+        /// API compatibility and ignored.
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + Clone + 'static,
+            Self::Value: 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        {
+            let mut strat = self.clone().boxed();
+            for _ in 0..depth {
+                let leaf = self.clone().boxed();
+                let rec = recurse(strat).boxed();
+                strat = Union::new(vec![leaf, rec.clone(), rec]).boxed();
+            }
+            strat
+        }
+    }
+
+    /// Type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T>(Arc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Uniform choice among alternatives (`prop_oneof!`).
+    pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+    impl<T> Union<T> {
+        pub fn new(alternatives: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!alternatives.is_empty(), "prop_oneof! needs at least one alternative");
+            Union(alternatives)
+        }
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union(self.0.clone())
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.0.len() as u64) as usize;
+            self.0[idx].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(usize, u64, u32, u16, u8, i64, i32, i16, i8);
+
+    /// `&str` as a pattern strategy. Only the `.{lo,hi}` shape the
+    /// workspace uses is interpreted (arbitrary chars, length in
+    /// `[lo, hi]`); any other pattern falls back to length `0..=64`.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (lo, hi) = self
+                .strip_prefix(".{")
+                .and_then(|r| r.strip_suffix('}'))
+                .and_then(|r| r.split_once(','))
+                .and_then(|(a, b)| Some((a.parse().ok()?, b.parse().ok()?)))
+                .unwrap_or((0usize, 64usize));
+            let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+            let mut out = String::with_capacity(len);
+            for _ in 0..len {
+                let roll = rng.below(100);
+                let ch = if roll < 85 {
+                    // printable ASCII
+                    char::from(0x20 + rng.below(0x5F) as u8)
+                } else if roll < 95 {
+                    ['\n', '\t', '\r', '"', '\\', '{', '}', '\0'][rng.below(8) as usize]
+                } else {
+                    char::from_u32(0xA0 + rng.below(0x2F00) as u32).unwrap_or('\u{FFFD}')
+                };
+                out.push(ch);
+            }
+            out
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($S:ident $idx:tt),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A 0);
+    impl_tuple_strategy!(A 0, B 1);
+    impl_tuple_strategy!(A 0, B 1, C 2);
+    impl_tuple_strategy!(A 0, B 1, C 2, D 3);
+    impl_tuple_strategy!(A 0, B 1, C 2, D 3, E 4);
+    impl_tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5);
+    impl_tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5, G 6);
+    impl_tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7);
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            rng.below(2) == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    pub struct Any<A>(PhantomData<A>);
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+        fn generate(&self, rng: &mut TestRng) -> A {
+            A::arbitrary_value(rng)
+        }
+    }
+
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(PhantomData)
+    }
+}
+
+/// The `prop::` namespace (`prop::collection::vec`, …).
+pub mod prop {
+    pub mod collection {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Accepted element-count specifications for `vec`.
+        #[derive(Clone, Copy, Debug)]
+        pub struct SizeRange {
+            lo: usize,
+            hi_exclusive: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange { lo: n, hi_exclusive: n + 1 }
+            }
+        }
+
+        impl From<std::ops::Range<usize>> for SizeRange {
+            fn from(r: std::ops::Range<usize>) -> Self {
+                SizeRange { lo: r.start, hi_exclusive: r.end }
+            }
+        }
+
+        impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+            fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+                SizeRange { lo: *r.start(), hi_exclusive: *r.end() + 1 }
+            }
+        }
+
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let span = self.size.hi_exclusive.saturating_sub(self.size.lo).max(1);
+                let len = self.size.lo + rng.below(span as u64) as usize;
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { element, size: size.into() }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: `(left == right)`\n  left: {:?}\n right: {:?}",
+            lhs,
+            rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: `(left == right)`\n  left: {:?}\n right: {:?}\n{}",
+            lhs,
+            rhs,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs != *rhs,
+            "assertion failed: `(left != right)`\n  both: {:?}",
+            lhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs != *rhs,
+            "assertion failed: `(left != right)`\n  both: {:?}\n{}",
+            lhs,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($config:expr)
+     $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                let strategy = ($($strategy,)+);
+                $crate::test_runner::run(&config, stringify!($name), |prop_rng| {
+                    let ($($arg,)+) = $crate::strategy::Strategy::generate(&strategy, prop_rng);
+                    $body
+                    #[allow(unreachable_code)]
+                    ::core::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_compose {
+    // Two binding groups: the second group's strategies may reference the
+    // first group's generated values (upstream's flat-map form).
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($fnargs:tt)*)
+        ($($arg1:ident in $strategy1:expr),+ $(,)?)
+        ($($arg2:ident in $strategy2:expr),+ $(,)?)
+        -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])* $vis fn $name($($fnargs)*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            use $crate::strategy::Strategy as _;
+            ($($strategy1,)+)
+                .prop_flat_map(move |($($arg1,)+)| ($($strategy2,)+))
+                .prop_map(move |($($arg2,)+)| $body)
+        }
+    };
+    // Single binding group.
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($fnargs:tt)*)
+        ($($arg1:ident in $strategy1:expr),+ $(,)?)
+        -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])* $vis fn $name($($fnargs)*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            use $crate::strategy::Strategy as _;
+            ($($strategy1,)+).prop_map(move |($($arg1,)+)| $body)
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples() {
+        let mut rng = crate::test_runner::TestRng::new(1);
+        let s = (0usize..10, 5u64..6, any::<bool>());
+        for _ in 0..100 {
+            let (a, b, _c) = s.generate(&mut rng);
+            assert!(a < 10);
+            assert_eq!(b, 5);
+        }
+    }
+
+    #[test]
+    fn str_pattern_lengths() {
+        let mut rng = crate::test_runner::TestRng::new(2);
+        for _ in 0..50 {
+            let s = ".{0,200}".generate(&mut rng);
+            assert!(s.chars().count() <= 200);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn self_hosted(v in prop::collection::vec(0i32..100, 0..8), flip in any::<bool>()) {
+            prop_assert!(v.len() < 8);
+            if flip {
+                prop_assert_eq!(v.len(), v.len());
+            }
+        }
+    }
+}

@@ -760,7 +760,8 @@ class Main {
         },
         Benchmark {
             name: "grp-interproc",
-            description: "a helper restarts the traversal of the passed graph (GRP, interprocedural)",
+            description:
+                "a helper restarts the traversal of the passed graph (GRP, interprocedural)",
             spec: SpecKind::Grp,
             scmp: true,
             interprocedural: true,

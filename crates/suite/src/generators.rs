@@ -38,11 +38,7 @@ pub fn scmp_blocks(blocks: usize, iters: usize, error_rate: f64, seed: u64) -> G
         push(&mut out, &mut line, &format!("        Set s{b} = new Set();"));
         push(&mut out, &mut line, &format!("        s{b}.add(\"seed\");"));
         for k in 0..iters {
-            push(
-                &mut out,
-                &mut line,
-                &format!("        Iterator i{b}_{k} = s{b}.iterator();"),
-            );
+            push(&mut out, &mut line, &format!("        Iterator i{b}_{k} = s{b}.iterator();"));
             push(&mut out, &mut line, &format!("        i{b}_{k}.next();"));
         }
         // optional conditional use under a branch (adds CFG edges)
@@ -56,11 +52,7 @@ pub fn scmp_blocks(blocks: usize, iters: usize, error_rate: f64, seed: u64) -> G
             error_lines.push(line); // counter after push == statement line
         } else {
             // refresh before further use: safe
-            push(
-                &mut out,
-                &mut line,
-                &format!("        i{b}_0 = s{b}.iterator();"),
-            );
+            push(&mut out, &mut line, &format!("        i{b}_0 = s{b}.iterator();"));
             push(&mut out, &mut line, &format!("        i{b}_0.next();"));
         }
     }
@@ -205,9 +197,7 @@ pub fn random_client(cfg: RandomCfg, seed: u64) -> String {
     for h in 0..cfg.helpers {
         let kind = rng.gen_range(0..3);
         match kind {
-            0 => out.push_str(&format!(
-                "    static void h{h}(Set x) {{ x.add(\"h{h}\"); }}\n"
-            )),
+            0 => out.push_str(&format!("    static void h{h}(Set x) {{ x.add(\"h{h}\"); }}\n")),
             1 => out.push_str(&format!(
                 "    static void h{h}(Set x) {{ Iterator t = x.iterator(); t.next(); }}\n"
             )),
@@ -337,9 +327,7 @@ pub fn random_grp_client(graphs: usize, travs: usize, stmts: usize, seed: u64) -
             }
             _ => {
                 let t = rng.gen_range(0..travs);
-                out.push_str(&format!(
-                    "        if (true) {{ t{t}.next(); }}\n"
-                ));
+                out.push_str(&format!("        if (true) {{ t{t}.next(); }}\n"));
             }
         }
     }

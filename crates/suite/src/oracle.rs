@@ -79,14 +79,8 @@ pub fn explore(program: &Program, spec: &Spec, config: OracleConfig) -> OracleRe
 
 fn explore_on_this_stack(program: &Program, spec: &Spec, config: OracleConfig) -> OracleResult {
     let main = program.main_method().expect("oracle needs a main");
-    let mut o = Oracle {
-        program,
-        spec,
-        config,
-        violations: BTreeSet::new(),
-        paths: 0,
-        truncated: false,
-    };
+    let mut o =
+        Oracle { program, spec, config, violations: BTreeSet::new(), paths: 0, truncated: false };
     let entry = State { objects: Vec::new(), vars: HashMap::new() };
     let exits = o.run_from(main, main.cfg.entry(), entry, 0, 0);
     o.paths += exits.len();
@@ -225,7 +219,7 @@ impl Oracle<'_> {
                 if !known {
                     return vec![state];
                 }
-                let rty = self.program.var(*recv).ty.clone();
+                let rty = self.program.var(*recv).ty;
                 let class = self.spec.class(rty.as_str()).expect("known method").clone();
                 let mspec = class.method(m).expect("known method").clone();
                 let argv: Vec<Value> = args.iter().map(|a| state.get(*a)).collect();
@@ -341,6 +335,7 @@ impl Oracle<'_> {
         Ok(cur)
     }
 
+    #[allow(clippy::only_used_in_recursion)] // threaded for the recursive cases
     fn eval_spec_expr(
         &mut self,
         class: &ClassSpec,
@@ -429,11 +424,7 @@ impl Oracle<'_> {
         let base = if p.base().name() == "this" && p.base().ty() == class.name() {
             SpecVar::This
         } else {
-            let k = m
-                .params()
-                .iter()
-                .position(|(n, _)| n == p.base().name())
-                .ok_or(())?;
+            let k = m.params().iter().position(|(n, _)| n == p.base().name()).ok_or(())?;
             SpecVar::Param(k)
         };
         let sp = canvas_easl::SpecPath::new(base, p.fields().to_vec());

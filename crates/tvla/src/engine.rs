@@ -78,11 +78,15 @@ fn collect_states(
     entry: Vec<Structure>,
 ) -> (TvlaResult, Vec<Vec<Structure>>) {
     let mut states: Vec<Vec<Structure>> = vec![Vec::new(); p.nodes];
+    // Hash-set mirror of `states` for O(1) membership in relational mode
+    // (structures are canonicalized, so hashing sees the isomorphism-
+    // canonical form); the Vec keeps deterministic insertion order.
+    let mut seen: Vec<HashSet<Structure>> = vec![HashSet::new(); p.nodes];
     for s in entry {
         let s = canonicalize(&s, &p.preds);
         match mode {
             EngineMode::Relational => {
-                if !states[p.entry].contains(&s) {
+                if seen[p.entry].insert(s.clone()) {
                     states[p.entry].push(s);
                 }
             }
@@ -130,7 +134,7 @@ fn collect_states(
             match mode {
                 EngineMode::Relational => {
                     for s in new_structs {
-                        if !target.contains(&s) {
+                        if seen[*to].insert(s.clone()) {
                             target.push(s);
                             changed = true;
                         }
@@ -217,11 +221,8 @@ pub fn to_dot(s: &Structure, preds: &[crate::tvp::PredDecl]) -> String {
                         let _ = writeln!(out, "  o{a} -> o{b} [label=\"{}\"];", p.name);
                     }
                     canvas_logic::Kleene::Unknown => {
-                        let _ = writeln!(
-                            out,
-                            "  o{a} -> o{b} [label=\"{}\" style=dashed];",
-                            p.name
-                        );
+                        let _ =
+                            writeln!(out, "  o{a} -> o{b} [label=\"{}\" style=dashed];", p.name);
                     }
                     canvas_logic::Kleene::False => {}
                 }
@@ -340,11 +341,7 @@ mod tests {
             preds,
             nodes: 4,
             entry: 0,
-            edges: vec![
-                (0, alloc("x=new"), 1),
-                (1, mark, 2),
-                (2, check, 3),
-            ],
+            edges: vec![(0, alloc("x=new"), 1), (1, mark, 2), (2, check, 3)],
         }
     }
 

@@ -36,7 +36,9 @@ pub mod transfer;
 pub mod translate;
 pub mod tvp;
 
-pub use engine::{render_structure, to_dot, run, run_collect, run_from, EngineMode, TvlaResult, TvlaViolation};
+pub use engine::{
+    render_structure, run, run_collect, run_from, to_dot, EngineMode, TvlaResult, TvlaViolation,
+};
 pub use structure::Structure;
 pub use translate::{translate_generic, translate_specialized};
 pub use tvp::{Action, Formula3, Functional, PredDecl, PredId, PredKind, TvpProgram, Update};

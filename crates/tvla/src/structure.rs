@@ -289,9 +289,9 @@ mod tests {
 
     fn preds() -> Vec<PredDecl> {
         vec![
-            PredDecl::pt("pt_x"),     // 0
-            PredDecl::pt("pt_y"),     // 1
-            PredDecl::field("rv_f"),  // 2
+            PredDecl::pt("pt_x"),    // 0
+            PredDecl::pt("pt_y"),    // 1
+            PredDecl::field("rv_f"), // 2
         ]
     }
 

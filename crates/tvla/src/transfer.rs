@@ -32,9 +32,7 @@ pub fn apply(action: &Action, s: &Structure, preds: &[PredDecl]) -> ApplyResult 
     // 2. drop structures where a focused predicate has no individual
     //    (a null receiver raises NPE before any conformance check)
     focused.retain(|st| {
-        action.focus.iter().all(|&p| {
-            (0..st.universe_len()).any(|u| st.get1(p, u) != Kleene::False)
-        })
+        action.focus.iter().all(|&p| (0..st.universe_len()).any(|u| st.get1(p, u) != Kleene::False))
     });
 
     // 3. violation check on the focused pre-states
@@ -209,9 +207,8 @@ pub fn coerce(s: &mut Structure, preds: &[PredDecl]) -> bool {
         for (k, p) in preds.iter().enumerate() {
             if p.arity == 1 && p.unique {
                 // a unique predicate holds for at most one individual
-                let definite: Vec<usize> = (0..s.universe_len())
-                    .filter(|&u| s.get1(k, u) == Kleene::True)
-                    .collect();
+                let definite: Vec<usize> =
+                    (0..s.universe_len()).filter(|&u| s.get1(k, u) == Kleene::True).collect();
                 if definite.len() > 1 {
                     return false;
                 }
@@ -293,9 +290,9 @@ mod tests {
         let outs = focus_unary(&s, 0, &ps);
         // three cases: no, all (sharpened to non-summary), split
         assert_eq!(outs.len(), 3);
-        assert!(outs.iter().all(|o| {
-            (0..o.universe_len()).all(|u| o.get1(0, u) != Kleene::Unknown)
-        }));
+        assert!(outs
+            .iter()
+            .all(|o| { (0..o.universe_len()).all(|u| o.get1(0, u) != Kleene::Unknown) }));
         // the split case has two individuals
         assert!(outs.iter().any(|o| o.universe_len() == 2));
     }

@@ -28,7 +28,7 @@
 use std::collections::HashMap;
 
 use canvas_easl::{ClassSpec, MethodSpec, Spec, SpecExpr, SpecStmt, SpecVar};
-use canvas_logic::{Formula as LFormula, Term, TypeName};
+use canvas_logic::{Formula as LFormula, Symbol, Term, TypeName};
 use canvas_minijava::{Instr, MethodIr, Program, VarId};
 use canvas_wp::{Derived, FamilyId, RuleRhs, RuleVar, StmtAbstraction};
 
@@ -76,9 +76,9 @@ struct Tx<'a> {
     derived: Option<&'a Derived>,
     preds: Vec<PredDecl>,
     pt: HashMap<VarId, PredId>,
-    rv_client: HashMap<(String, String), PredId>,
-    rv_comp: HashMap<(String, String), PredId>,
-    tags: HashMap<String, PredId>,
+    rv_client: HashMap<(Symbol, Symbol), PredId>,
+    rv_comp: HashMap<(Symbol, Symbol), PredId>,
+    tags: HashMap<Symbol, PredId>,
     fam_repr: Vec<FamilyRepr>,
     nodes: usize,
     edges: Vec<(usize, Action, usize)>,
@@ -112,8 +112,7 @@ impl<'a> Tx<'a> {
     }
 
     fn is_tracked_ty(&self, ty: &TypeName) -> bool {
-        self.spec.is_component_type(ty)
-            || self.program.classes().iter().any(|c| c.name == *ty)
+        self.spec.is_component_type(ty) || self.program.classes().iter().any(|c| c.name == *ty)
     }
 
     fn declare_preds(&mut self) {
@@ -125,11 +124,12 @@ impl<'a> Tx<'a> {
                 self.pt.insert(v.id, id);
             }
         }
-        let declare_tag = |name: &str, preds: &mut Vec<PredDecl>, tags: &mut HashMap<String, PredId>| {
-            let id = preds.len();
-            preds.push(PredDecl::type_tag(format!("is_{name}")));
-            tags.insert(name.to_string(), id);
-        };
+        let declare_tag =
+            |name: &str, preds: &mut Vec<PredDecl>, tags: &mut HashMap<Symbol, PredId>| {
+                let id = preds.len();
+                preds.push(PredDecl::type_tag(format!("is_{name}")));
+                tags.insert(Symbol::from(name), id);
+            };
         for c in self.spec.classes() {
             declare_tag(c.name().as_str(), &mut self.preds, &mut self.tags);
         }
@@ -141,7 +141,7 @@ impl<'a> Tx<'a> {
                 if self.is_tracked_ty(&f.ty) {
                     let id = self.preds.len();
                     self.preds.push(PredDecl::field(format!("rv_{}_{}", c.name, f.name)));
-                    self.rv_client.insert((c.name.as_str().to_string(), f.name.clone()), id);
+                    self.rv_client.insert((c.name.symbol(), Symbol::from(f.name.as_str())), id);
                 }
             }
         }
@@ -171,10 +171,8 @@ impl<'a> Tx<'a> {
                 for c in self.spec.classes() {
                     for f in c.fields() {
                         let id = self.preds.len();
-                        self.preds
-                            .push(PredDecl::field(format!("rv_{}_{}", c.name(), f.name())));
-                        self.rv_comp
-                            .insert((c.name().as_str().to_string(), f.name().to_string()), id);
+                        self.preds.push(PredDecl::field(format!("rv_{}_{}", c.name(), f.name())));
+                        self.rv_comp.insert((c.name().symbol(), Symbol::from(f.name())), id);
                     }
                 }
             }
@@ -256,11 +254,7 @@ impl<'a> Tx<'a> {
         }
         let mut a = self.act("clear registers");
         for &r in regs {
-            a.updates.push(Update {
-                pred: r,
-                formals: vec!["o".into()],
-                rhs: Formula3::False,
-            });
+            a.updates.push(Update { pred: r, formals: vec!["o".into()], rhs: Formula3::False });
         }
         Some(a)
     }
@@ -296,8 +290,8 @@ impl<'a> Tx<'a> {
                 let (Some(pd), Some(pb)) = (self.pt_of(*dst), self.pt_of(*base)) else {
                     return vec![];
                 };
-                let bty = self.program.var(*base).ty.as_str().to_string();
-                let rhs = match self.rv_client.get(&(bty, field.clone())) {
+                let bty = self.program.var(*base).ty.symbol();
+                let rhs = match self.rv_client.get(&(bty, Symbol::from(field.as_str()))) {
                     Some(&rv) => Formula3::exists(
                         "b",
                         Formula3::and([
@@ -314,8 +308,8 @@ impl<'a> Tx<'a> {
             }
             Instr::Store { base, field, src } => {
                 let Some(pb) = self.pt_of(*base) else { return vec![] };
-                let bty = self.program.var(*base).ty.as_str().to_string();
-                let Some(&rv) = self.rv_client.get(&(bty, field.clone())) else {
+                let bty = self.program.var(*base).ty.symbol();
+                let Some(&rv) = self.rv_client.get(&(bty, Symbol::from(field.as_str()))) else {
                     return vec![];
                 };
                 let src_f = match self.pt_of(*src) {
@@ -351,7 +345,7 @@ impl<'a> Tx<'a> {
     /// Emits `alloc n; pt_dst(o) := o == n; tag(o) |= o == n` into `a`.
     fn alloc_updates(&mut self, dst: Option<VarId>, ty: &TypeName, n: &str, a: &mut Action) {
         a.allocs.push(n.to_string());
-        if let Some(&tag) = self.tags.get(ty.as_str()) {
+        if let Some(&tag) = self.tags.get(&ty.symbol()) {
             a.updates.push(Update {
                 pred: tag,
                 formals: vec!["o".into()],
@@ -428,7 +422,7 @@ impl<'a> Tx<'a> {
         args: &[VarId],
         at: &canvas_minijava::Site,
     ) -> Vec<Action> {
-        let rty = self.program.var(recv).ty.clone();
+        let rty = self.program.var(recv).ty;
         let Some(class) = self.spec.class(rty.as_str()) else { return vec![] };
         let Some(m) = class.method(method) else { return vec![] };
         let m = m.clone();
@@ -453,12 +447,11 @@ impl<'a> Tx<'a> {
                 let mut a = self.act(format!("{rty}.{method}"));
                 a.focus = focus;
                 if !sa.checks.is_empty() {
-                    a.check =
-                        Some((self.compile_checks(&sa.checks, Some(recv), args), at.clone()));
+                    a.check = Some((self.compile_checks(&sa.checks, Some(recv), args), at.clone()));
                 }
                 let alloc_name = match (dst, m.ret()) {
                     (Some(d), Some(SpecExpr::New { ty: rt, .. })) => {
-                        let rt = rt.clone();
+                        let rt = *rt;
                         let n = self.fresh("ret");
                         self.alloc_updates(Some(d), &rt, &n, &mut a);
                         Some(n)
@@ -535,15 +528,20 @@ impl<'a> Tx<'a> {
                                     &mut regs,
                                 ));
                             }
-                            self.compile_spec_body(&rc, &ctor, Root::Reg(reg), &roots, &mut actions);
+                            self.compile_spec_body(
+                                &rc,
+                                &ctor,
+                                Root::Reg(reg),
+                                &roots,
+                                &mut actions,
+                            );
                         }
                     }
                 }
                 Some(SpecExpr::Path(p)) => {
                     let mut a = self.act("bind result path");
                     if let Some(pd) = self.pt_of(d) {
-                        let f =
-                            self.spec_path_formula(&p, class, m, Root::Var(recv), args, "o");
+                        let f = self.spec_path_formula(&p, class, m, Root::Var(recv), args, "o");
                         a.updates.push(Update { pred: pd, formals: vec!["o".into()], rhs: f });
                     }
                     actions.push(a);
@@ -627,20 +625,12 @@ impl<'a> Tx<'a> {
             .filter_map(|v| self.pt_of(v.id))
             .collect();
         for p in statics {
-            a.updates.push(Update {
-                pred: p,
-                formals: vec!["o".into()],
-                rhs: Formula3::Unknown,
-            });
+            a.updates.push(Update { pred: p, formals: vec!["o".into()], rhs: Formula3::Unknown });
         }
         if let Some(pd) = dst.and_then(|d| self.pt_of(d)) {
             let n = self.fresh("unk");
             a.summary_allocs.push(n);
-            a.updates.push(Update {
-                pred: pd,
-                formals: vec!["o".into()],
-                rhs: Formula3::Unknown,
-            });
+            a.updates.push(Update { pred: pd, formals: vec!["o".into()], rhs: Formula3::Unknown });
         }
         a
     }
@@ -680,7 +670,7 @@ impl<'a> Tx<'a> {
 
     /// Application of a family instance to bound individual variables.
     fn family_app(&self, fid: FamilyId, vars: Vec<String>) -> Formula3 {
-        match self.fam_repr[fid] {
+        match self.fam_repr[fid.index()] {
             FamilyRepr::Stored(pred) => Formula3::App(pred, vars),
             FamilyRepr::Equality { positive } => {
                 let eq = Formula3::Eq(vars[0].clone(), vars[1].clone());
@@ -702,8 +692,9 @@ impl<'a> Tx<'a> {
         a: &mut Action,
     ) {
         let derived = self.derived.expect("specialized mode");
-        for (fid, _) in derived.families().iter().enumerate() {
-            let FamilyRepr::Stored(pred) = self.fam_repr[fid] else {
+        for fam in derived.families() {
+            let fid = fam.id();
+            let FamilyRepr::Stored(pred) = self.fam_repr[fid.index()] else {
                 continue; // equality-definable families need no updates
             };
             let rules: Vec<_> = sa.rules.iter().filter(|r| r.family == fid).collect();
@@ -753,7 +744,12 @@ impl<'a> Tx<'a> {
                             let mut ok = true;
                             for &rv in rvs {
                                 match self.rule_var_binding(
-                                    rv, recv, args, alloc, &mut binds, &mut counter,
+                                    rv,
+                                    recv,
+                                    args,
+                                    alloc,
+                                    &mut binds,
+                                    &mut counter,
                                 ) {
                                     Some(v) => vars.push(v),
                                     None => {
@@ -826,14 +822,14 @@ impl<'a> Tx<'a> {
         for stmt in m.body().to_vec() {
             let SpecStmt::Assign { lhs, rhs } = stmt;
             let mut a = self.act(format!("{}.{} body", class.name(), m.name()));
-            let field = lhs.fields().last().expect("assignments target fields").clone();
+            let field =
+                Symbol::from(lhs.fields().last().expect("assignments target fields").as_str());
             let owner_ty = self.spec_path_owner_ty(&lhs, class, m);
             let Some(&rv) = self.rv_comp.get(&(owner_ty, field)) else {
                 continue;
             };
             let parent = parent_spec_path(&lhs);
-            let target_f =
-                self.spec_path_formula_roots(&parent, class, m, this, arg_roots, "o1");
+            let target_f = self.spec_path_formula_roots(&parent, class, m, this, arg_roots, "o1");
             let value_f = match &rhs {
                 SpecExpr::Path(p) => {
                     self.spec_path_formula_roots(p, class, m, this, arg_roots, "o2")
@@ -841,7 +837,7 @@ impl<'a> Tx<'a> {
                 SpecExpr::New { ty, .. } => {
                     // allocate within this very action (token classes have
                     // empty constructors)
-                    let ty = ty.clone();
+                    let ty = *ty;
                     let n = self.fresh("v");
                     self.alloc_updates(None, &ty, &n, &mut a);
                     Formula3::Eq("o2".into(), n)
@@ -867,17 +863,17 @@ impl<'a> Tx<'a> {
         p: &canvas_easl::SpecPath,
         class: &ClassSpec,
         m: &MethodSpec,
-    ) -> String {
+    ) -> Symbol {
         let mut ty = match p.base() {
-            SpecVar::This => class.name().clone(),
-            SpecVar::Param(k) => m.params()[k].1.clone(),
+            SpecVar::This => *class.name(),
+            SpecVar::Param(k) => m.params()[k].1,
         };
         for f in &p.fields()[..p.fields().len() - 1] {
             if let Some(next) = self.spec.field_type(&ty, f) {
                 ty = next;
             }
         }
-        ty.as_str().to_string()
+        ty.symbol()
     }
 
     /// `spec_path_formula_roots` with client-var parameter bindings.
@@ -917,8 +913,8 @@ impl<'a> Tx<'a> {
             Root::Reg(r) => r,
         };
         let mut ty = match p.base() {
-            SpecVar::This => class.name().clone(),
-            SpecVar::Param(k) => m.params()[k].1.clone(),
+            SpecVar::This => *class.name(),
+            SpecVar::Param(k) => m.params()[k].1,
         };
         // ∃b0: root(b0) ∧ rv_f1(b0,b1) ∧ … ∧ rv_fk(b_{k-1}, out)
         let b0 = self.fresh("b");
@@ -927,7 +923,7 @@ impl<'a> Tx<'a> {
         let mut cur = b0;
         let fields = p.fields().to_vec();
         for (i, f) in fields.iter().enumerate() {
-            let Some(&rv) = self.rv_comp.get(&(ty.as_str().to_string(), f.clone())) else {
+            let Some(&rv) = self.rv_comp.get(&(ty.symbol(), Symbol::from(f.as_str()))) else {
                 return Formula3::Unknown;
             };
             let next = if i + 1 == fields.len() { out.to_string() } else { self.fresh("b") };

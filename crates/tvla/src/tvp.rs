@@ -150,6 +150,7 @@ impl Formula3 {
     }
 
     /// Negation helper.
+    #[allow(clippy::should_implement_trait)] // constructor-style, like `and`/`or`
     pub fn not(f: Formula3) -> Formula3 {
         match f {
             Formula3::True => Formula3::False,

@@ -11,10 +11,10 @@ use proptest::prelude::*;
 
 fn preds() -> Vec<PredDecl> {
     vec![
-        PredDecl::pt("pt_x"),     // unique, abstraction
-        PredDecl::pt("pt_y"),     // unique, abstraction
+        PredDecl::pt("pt_x"), // unique, abstraction
+        PredDecl::pt("pt_y"), // unique, abstraction
         PredDecl::type_tag("tag"),
-        PredDecl::field("rv_f"),  // functional (second-by-first)
+        PredDecl::field("rv_f"), // functional (second-by-first)
         PredDecl {
             name: "rel".into(),
             arity: 2,

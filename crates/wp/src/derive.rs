@@ -9,17 +9,21 @@
 //! by-product of each WP computation is recorded as an update rule,
 //! assembling the component *method abstractions* (the paper's Fig. 5).
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
 use canvas_easl::{ClassSpec, MethodSpec, Spec};
-use canvas_logic::{models, Formula, Term, TypeName, TypeOracle, Var};
+use canvas_logic::{models, FieldId, Formula, PredId, Term, TypeName, TypeOracle, Var};
 
 use crate::simplify::Simplifier;
 use crate::sym::{bind_requires, client_stmt_actions, wp_through_actions, OperandBinding};
 
-/// Index of a [`Family`] in [`Derived::families`].
-pub type FamilyId = usize;
+/// Identifier of a [`Family`] in [`Derived::families`].
+///
+/// Family ids are dense [`PredId`]s: `id.index()` is the family's position
+/// in discovery order, which downstream crates exploit for `Vec`-indexed
+/// tables instead of hash maps.
+pub type FamilyId = PredId;
 
 /// An instrumentation-predicate family (paper Fig. 4): a named formula with
 /// typed canonical parameters. Client analysis instantiates a family once
@@ -78,11 +82,9 @@ impl Family {
     /// Panics if `args.len() != params.len()`.
     pub fn instantiate(&self, args: &[Var]) -> Formula {
         assert_eq!(args.len(), self.params.len(), "family arity mismatch");
-        self.formula.rename_vars(&|v| {
-            match self.params.iter().position(|p| p == v) {
-                Some(k) => args[k].clone(),
-                None => v.clone(),
-            }
+        self.formula.rename_vars(&|v| match self.params.iter().position(|p| p == v) {
+            Some(k) => args[k],
+            None => *v,
         })
     }
 }
@@ -242,7 +244,7 @@ impl Derived {
 
     /// A family by id.
     pub fn family(&self, id: FamilyId) -> &Family {
-        &self.families[id]
+        &self.families[id.index()]
     }
 
     /// All statement abstractions.
@@ -259,9 +261,7 @@ impl Derived {
 
     /// The abstraction for `x = new C(args)`.
     pub fn for_new(&self, class: &TypeName) -> Option<&StmtAbstraction> {
-        self.stmts
-            .iter()
-            .find(|s| matches!(&s.form, StmtForm::New { class: c } if c == class))
+        self.stmts.iter().find(|s| matches!(&s.form, StmtForm::New { class: c } if c == class))
     }
 
     /// The abstraction for `x = y` at type `ty`.
@@ -347,6 +347,7 @@ fn derive_impl(
         stats: DerivationStats::default(),
         max_families,
         conservative,
+        equiv_memo: HashMap::new(),
     };
     let forms = enumerate_forms(spec);
     let mut stmts: Vec<StmtAbstraction> = Vec::new();
@@ -381,12 +382,7 @@ fn derive_impl(
         d.stats.families_discovered.push(d.families.len());
     }
 
-    Ok(Derived {
-        spec_name: spec.name().to_string(),
-        families: d.families,
-        stmts,
-        stats: d.stats,
-    })
+    Ok(Derived { spec_name: spec.name().to_string(), families: d.families, stmts, stats: d.stats })
 }
 
 type FormEntry = (StmtForm, Option<ClassSpec>, Option<MethodSpec>);
@@ -394,11 +390,11 @@ type FormEntry = (StmtForm, Option<ClassSpec>, Option<MethodSpec>);
 fn enumerate_forms(spec: &Spec) -> Vec<FormEntry> {
     let mut out = Vec::new();
     for c in spec.classes() {
-        out.push((StmtForm::New { class: c.name().clone() }, Some(c.clone()), None));
+        out.push((StmtForm::New { class: *c.name() }, Some(c.clone()), None));
         for m in c.methods() {
             if !m.is_ctor() {
                 out.push((
-                    StmtForm::Call { class: c.name().clone(), method: m.name().to_string() },
+                    StmtForm::Call { class: *c.name(), method: m.name().to_string() },
                     Some(c.clone()),
                     Some(m.clone()),
                 ));
@@ -419,14 +415,14 @@ fn operand_binding(
 ) -> OperandBinding {
     match (class, method) {
         (Some(c), Some(m)) => OperandBinding {
-            recv: Some(Var::new("rcv", c.name().clone())),
+            recv: Some(Var::new("rcv", *c.name())),
             args: m
                 .params()
                 .iter()
                 .enumerate()
-                .map(|(k, (_, t))| Var::new(format!("a{k}"), t.clone()))
+                .map(|(k, (_, t))| Var::new(format!("a{k}"), *t))
                 .collect(),
-            lhs: m.ret_ty().map(|rt| Var::new("lhs", rt.clone())),
+            lhs: m.ret_ty().map(|rt| Var::new("lhs", *rt)),
         },
         (Some(c), None) => {
             let ctor_params = c.ctor().map(|m| m.params().to_vec()).unwrap_or_default();
@@ -435,9 +431,9 @@ fn operand_binding(
                 args: ctor_params
                     .iter()
                     .enumerate()
-                    .map(|(k, (_, t))| Var::new(format!("a{k}"), t.clone()))
+                    .map(|(k, (_, t))| Var::new(format!("a{k}"), *t))
                     .collect(),
-                lhs: Some(Var::new("lhs", c.name().clone())),
+                lhs: Some(Var::new("lhs", *c.name())),
             }
         }
         (None, _) => {
@@ -456,9 +452,26 @@ struct Deriver<'a> {
     stats: DerivationStats,
     max_families: usize,
     conservative: bool,
+    /// Memo of small-model equivalence verdicts, keyed by
+    /// `(assumption, lhs, rhs)`. The oracle is fixed for the Deriver's
+    /// lifetime, so verdicts never go stale. Statistics count *checks
+    /// requested*, not models enumerated, and are incremented at the call
+    /// sites — cache hits leave them unchanged.
+    equiv_memo: HashMap<(Formula, Formula, Formula), bool>,
 }
 
 impl Deriver<'_> {
+    /// [`models::equivalent`] through the per-derivation memo.
+    fn equivalent_memo(&mut self, assumption: &Formula, f: &Formula, g: &Formula) -> bool {
+        let key = (assumption.clone(), f.clone(), g.clone());
+        if let Some(&v) = self.equiv_memo.get(&key) {
+            return v;
+        }
+        let v = models::equivalent(self.oracle, assumption, f, g);
+        self.equiv_memo.insert(key, v);
+        v
+    }
+
     /// Derives the update rules for family `fid` through one statement form.
     fn rules_for(
         &mut self,
@@ -466,7 +479,7 @@ impl Deriver<'_> {
         class: Option<&ClassSpec>,
         method: Option<&MethodSpec>,
     ) -> Result<Vec<UpdateRule>, DeriveError> {
-        let fam = self.families[fid].clone();
+        let fam = self.families[fid.index()].clone();
         let mut out = Vec::new();
 
         // determine the copy type for Copy forms from the context
@@ -478,7 +491,7 @@ impl Deriver<'_> {
 
         // lhs type of this form, if results can be bound
         let lhs_ty: Option<TypeName> = match (class, method) {
-            (Some(c), None) => Some(c.name().clone()),
+            (Some(c), None) => Some(*c.name()),
             (Some(_), Some(m)) => m.ret_ty().cloned(),
             (None, None) => None, // determined per family param type below
             (None, Some(_)) => unreachable!(),
@@ -487,13 +500,9 @@ impl Deriver<'_> {
         // enumerate binding subsets: positions of fam params assignable by lhs
         let candidate_positions: Vec<usize> = match (&lhs_ty, form_is_copy) {
             (_, true) => (0..fam.params.len()).collect(),
-            (Some(t), _) => fam
-                .params
-                .iter()
-                .enumerate()
-                .filter(|(_, p)| p.ty() == t)
-                .map(|(k, _)| k)
-                .collect(),
+            (Some(t), _) => {
+                fam.params.iter().enumerate().filter(|(_, p)| p.ty() == t).map(|(k, _)| k).collect()
+            }
             (None, _) => Vec::new(),
         };
 
@@ -503,7 +512,7 @@ impl Deriver<'_> {
                 match subset.first() {
                     None => continue, // a copy with no bound position is the identity
                     Some(&k0) => {
-                        let t = fam.params[k0].ty().clone();
+                        let t = *fam.params[k0].ty();
                         if subset.iter().any(|&k| fam.params[k].ty() != &t) {
                             continue;
                         }
@@ -515,11 +524,11 @@ impl Deriver<'_> {
             };
 
             let lhs_var = if form_is_copy {
-                Some(Var::new("lhs", copy_param_ty.clone().expect("non-empty subset")))
+                Some(Var::new("lhs", copy_param_ty.expect("non-empty subset")))
             } else if subset.is_empty() {
                 None
             } else {
-                lhs_ty.clone().map(|t| Var::new("lhs", t))
+                lhs_ty.map(|t| Var::new("lhs", t))
             };
 
             // instance vars for the family params
@@ -529,9 +538,9 @@ impl Deriver<'_> {
                 .enumerate()
                 .map(|(k, p)| {
                     if subset.contains(&k) {
-                        lhs_var.clone().expect("bound subset implies lhs")
+                        lhs_var.expect("bound subset implies lhs")
                     } else {
-                        Var::new(format!("p{k}"), p.ty().clone())
+                        Var::new(format!("p{k}"), *p.ty())
                     }
                 })
                 .collect();
@@ -539,12 +548,8 @@ impl Deriver<'_> {
 
             // operand binding for the statement
             let mut binding = if form_is_copy {
-                let t = copy_param_ty.clone().expect("copy has a type");
-                OperandBinding {
-                    recv: None,
-                    args: vec![Var::new("a0", t)],
-                    lhs: lhs_var.clone(),
-                }
+                let t = copy_param_ty.expect("copy has a type");
+                OperandBinding { recv: None, args: vec![Var::new("a0", t)], lhs: lhs_var }
             } else {
                 operand_binding(self.spec, class, method)
             };
@@ -552,12 +557,11 @@ impl Deriver<'_> {
                 binding.lhs = match (&lhs_var, class, method) {
                     // allocations always produce a value; method results are
                     // only relevant when a family slot binds to them
-                    (_, Some(_), None) => {
-                        Some(lhs_var.clone().unwrap_or_else(|| {
-                            Var::new("lhs", lhs_ty.clone().expect("new has lhs type"))
-                        }))
-                    }
-                    (Some(x), _, _) => Some(x.clone()),
+                    (_, Some(_), None) => Some(
+                        lhs_var
+                            .unwrap_or_else(|| Var::new("lhs", lhs_ty.expect("new has lhs type"))),
+                    ),
+                    (Some(x), _, _) => Some(*x),
                     (None, _, _) => None,
                 };
             }
@@ -575,7 +579,7 @@ impl Deriver<'_> {
             };
 
             // identity → no rule (instances unchanged)
-            if models::equivalent(self.oracle, &assumption, &wp, &phi) {
+            if self.equivalent_memo(&assumption, &wp, &phi) {
                 continue;
             }
 
@@ -619,10 +623,10 @@ impl Deriver<'_> {
         origin: &str,
     ) -> RuleRhs {
         // constants
-        if models::equivalent(self.oracle, &Formula::True, candidate, &Formula::True) {
+        if self.equivalent_memo(&Formula::True, candidate, &Formula::True) {
             return RuleRhs::Const(true);
         }
-        if models::equivalent(self.oracle, &Formula::True, candidate, &Formula::False) {
+        if self.equivalent_memo(&Formula::True, candidate, &Formula::False) {
             return RuleRhs::Const(false);
         }
 
@@ -631,22 +635,21 @@ impl Deriver<'_> {
 
         // try existing families
         for g in 0..self.families.len() {
-            let fam = &self.families[g];
-            if fam.params.len() != fv.len() {
+            if self.families[g].params.len() != fv.len() {
                 continue;
             }
             for perm in permutations(fv.len()) {
                 // type check the bijection: fam.param[k] ↦ fv[perm[k]]
-                if !(0..fv.len()).all(|k| fam.params[k].ty() == fv[perm[k]].ty()) {
+                if !(0..fv.len()).all(|k| self.families[g].params[k].ty() == fv[perm[k]].ty()) {
                     continue;
                 }
                 self.stats.equiv_checks += 1;
-                let args: Vec<Var> = perm.iter().map(|&j| fv[j].clone()).collect();
-                let inst = fam.instantiate(&args);
-                if models::equivalent(self.oracle, &Formula::True, &inst, candidate) {
+                let args: Vec<Var> = perm.iter().map(|&j| fv[j]).collect();
+                let inst = self.families[g].instantiate(&args);
+                if self.equivalent_memo(&Formula::True, &inst, candidate) {
                     let rule_args =
                         args.iter().map(|v| self.to_rule_var(v, binding, inst_vars)).collect();
-                    return RuleRhs::Inst(g, rule_args);
+                    return RuleRhs::Inst(PredId::from_index(g), rule_args);
                 }
             }
         }
@@ -656,14 +659,12 @@ impl Deriver<'_> {
             self.stats.unknown_rhs += 1;
             return RuleRhs::Unknown;
         }
-        let id = self.families.len();
+        let id = PredId::from_index(self.families.len());
         let params: Vec<Var> =
-            fv.iter().enumerate().map(|(k, v)| Var::new(format!("x{k}"), v.ty().clone())).collect();
-        let formula = candidate.rename_vars(&|v| {
-            match fv.iter().position(|w| w == v) {
-                Some(k) => params[k].clone(),
-                None => v.clone(),
-            }
+            fv.iter().enumerate().map(|(k, v)| Var::new(format!("x{k}"), *v.ty())).collect();
+        let formula = candidate.rename_vars(&|v| match fv.iter().position(|w| w == v) {
+            Some(k) => params[k],
+            None => *v,
         });
         let name = self.pick_name(&formula, &params);
         let mutable_dep = formula_reads_mutable(self.spec, &formula);
@@ -749,9 +750,9 @@ fn formula_reads_mutable(spec: &Spec, formula: &Formula) -> bool {
     let mut found = false;
     formula.visit_terms(&mut |t| {
         if let Term::Path(p) = t {
-            let mut ty = p.base().ty().clone();
+            let mut ty = *p.base().ty();
             for f in p.fields() {
-                if mutable.contains(&(ty.clone(), f.clone())) {
+                if mutable.contains(&(ty, FieldId(*f))) {
                     found = true;
                 }
                 match spec.field_type(&ty, f) {
@@ -765,7 +766,7 @@ fn formula_reads_mutable(spec: &Spec, formula: &Formula) -> bool {
 }
 
 /// The set of `(owner type, field)` pairs assigned outside construction.
-pub(crate) fn mutable_fields(spec: &Spec) -> std::collections::HashSet<(TypeName, String)> {
+pub(crate) fn mutable_fields(spec: &Spec) -> std::collections::HashSet<(TypeName, FieldId)> {
     let mut out = std::collections::HashSet::new();
     for class in spec.classes() {
         for m in class.methods() {
@@ -779,14 +780,15 @@ pub(crate) fn mutable_fields(spec: &Spec) -> std::collections::HashSet<(TypeName
                 }
                 // type of the parent of the written path
                 let path = lhs.to_access_path(m, class);
-                let mut ty = path.base().ty().clone();
+                let mut ty = *path.base().ty();
                 for f in &path.fields()[..path.fields().len() - 1] {
                     match spec.field_type(&ty, f) {
                         Some(next) => ty = next,
                         None => break,
                     }
                 }
-                out.insert((ty, path.last_field().expect("assignments target fields").to_string()));
+                let field = FieldId(*path.fields().last().expect("assignments target fields"));
+                out.insert((ty, field));
             }
         }
     }
@@ -795,7 +797,7 @@ pub(crate) fn mutable_fields(spec: &Spec) -> std::collections::HashSet<(TypeName
 
 /// Recognises the classic family shapes for readable names.
 fn nickname(formula: &Formula, params: &[Var]) -> Option<String> {
-    let dnf = formula.to_dnf();
+    let dnf = formula.to_dnf_cached();
     if dnf.conjuncts().len() != 1 {
         return None;
     }
@@ -857,15 +859,15 @@ mod tests {
         let names: Vec<&str> = d.families().iter().map(|f| f.name()).collect();
         assert_eq!(names, ["stale", "iterof", "mutx", "same"], "{:#?}", d.families());
         // arities match Fig. 4
-        assert_eq!(d.family(0).params().len(), 1);
-        assert_eq!(d.family(1).params().len(), 2);
-        assert_eq!(d.family(2).params().len(), 2);
-        assert_eq!(d.family(3).params().len(), 2);
+        assert_eq!(d.family(FamilyId::from_index(0)).params().len(), 1);
+        assert_eq!(d.family(FamilyId::from_index(1)).params().len(), 2);
+        assert_eq!(d.family(FamilyId::from_index(2)).params().len(), 2);
+        assert_eq!(d.family(FamilyId::from_index(3)).params().len(), 2);
         // stale depends on the mutable version fields, the others do not
-        assert!(d.family(0).mutable_dep());
-        assert!(!d.family(1).mutable_dep());
-        assert!(!d.family(2).mutable_dep());
-        assert!(!d.family(3).mutable_dep());
+        assert!(d.family(FamilyId::from_index(0)).mutable_dep());
+        assert!(!d.family(FamilyId::from_index(1)).mutable_dep());
+        assert!(!d.family(FamilyId::from_index(2)).mutable_dep());
+        assert!(!d.family(FamilyId::from_index(3)).mutable_dep());
     }
 
     #[test]
@@ -874,7 +876,7 @@ mod tests {
         let d = derive_abstraction(&spec).unwrap();
         let add = d.for_call(&TypeName::new("Set"), "add").unwrap();
         // stalek := stalek ∨ iterof(k, v)   ∀k
-        let stale = 0;
+        let stale = FamilyId::from_index(0);
         let rule = add.rule_for(stale, &[]).expect("add updates stale");
         assert_eq!(rule.target_args, vec![RuleVar::Univ(0)]);
         assert_eq!(rule.rhs.len(), 2);
@@ -883,7 +885,7 @@ mod tests {
         assert!(rule
             .rhs
             .iter()
-            .any(|r| matches!(r, RuleRhs::Inst(1, args) if args.contains(&RuleVar::Recv))));
+            .any(|r| matches!(r, RuleRhs::Inst(f, args) if f.index() == 1 && args.contains(&RuleVar::Recv))));
         // add has no requires
         assert!(add.checks.is_empty());
     }
@@ -893,7 +895,7 @@ mod tests {
         let spec = builtin::cmp();
         let d = derive_abstraction(&spec).unwrap();
         let next = d.for_call(&TypeName::new("Iterator"), "next").unwrap();
-        assert_eq!(next.checks, vec![RuleRhs::Inst(0, vec![RuleVar::Recv])]);
+        assert_eq!(next.checks, vec![RuleRhs::Inst(FamilyId::from_index(0), vec![RuleVar::Recv])]);
         // next has no updates at all
         assert!(next.rules.is_empty());
     }
@@ -904,14 +906,17 @@ mod tests {
         let d = derive_abstraction(&spec).unwrap();
         let it = d.for_call(&TypeName::new("Set"), "iterator").unwrap();
         // bound case: stale(lhs) := 0
-        let r = it.rule_for(0, &[0]).expect("iterator resets stale of its result");
+        let r = it
+            .rule_for(FamilyId::from_index(0), &[0])
+            .expect("iterator resets stale of its result");
         assert_eq!(r.rhs, Vec::new());
         // bound case: iterof(lhs, z) := same(rcv, z)
-        let r = it.rule_for(1, &[0]).expect("iterator sets iterof of its result");
+        let r =
+            it.rule_for(FamilyId::from_index(1), &[0]).expect("iterator sets iterof of its result");
         assert_eq!(r.rhs.len(), 1);
-        assert!(matches!(&r.rhs[0], RuleRhs::Inst(3, _)));
+        assert!(matches!(&r.rhs[0], RuleRhs::Inst(f, _) if f.index() == 3));
         // unbound stale is untouched by iterator()
-        assert!(it.rule_for(0, &[]).is_none());
+        assert!(it.rule_for(FamilyId::from_index(0), &[]).is_none());
     }
 
     #[test]
@@ -919,13 +924,15 @@ mod tests {
         let spec = builtin::cmp();
         let d = derive_abstraction(&spec).unwrap();
         let rm = d.for_call(&TypeName::new("Iterator"), "remove").unwrap();
-        assert_eq!(rm.checks, vec![RuleRhs::Inst(0, vec![RuleVar::Recv])]);
-        let r = rm.rule_for(0, &[]).expect("remove stales mutually-excluded iterators");
-        assert!(r.rhs.contains(&RuleRhs::Inst(0, vec![RuleVar::Univ(0)])));
+        assert_eq!(rm.checks, vec![RuleRhs::Inst(FamilyId::from_index(0), vec![RuleVar::Recv])]);
+        let r = rm
+            .rule_for(FamilyId::from_index(0), &[])
+            .expect("remove stales mutually-excluded iterators");
+        assert!(r.rhs.contains(&RuleRhs::Inst(FamilyId::from_index(0), vec![RuleVar::Univ(0)])));
         assert!(r
             .rhs
             .iter()
-            .any(|x| matches!(x, RuleRhs::Inst(2, args) if args.contains(&RuleVar::Recv))));
+            .any(|x| matches!(x, RuleRhs::Inst(f, args) if f.index() == 2 && args.contains(&RuleVar::Recv))));
     }
 
     #[test]
@@ -934,10 +941,10 @@ mod tests {
         let d = derive_abstraction(&spec).unwrap();
         let cp = d.for_copy(&TypeName::new("Iterator")).unwrap();
         // stale(lhs) := stale(src)
-        let r = cp.rule_for(0, &[0]).unwrap();
-        assert_eq!(r.rhs, vec![RuleRhs::Inst(0, vec![RuleVar::Arg(0)])]);
+        let r = cp.rule_for(FamilyId::from_index(0), &[0]).unwrap();
+        assert_eq!(r.rhs, vec![RuleRhs::Inst(FamilyId::from_index(0), vec![RuleVar::Arg(0)])]);
         // mutx(lhs, z) := mutx(src, z)
-        let r = cp.rule_for(2, &[0]).unwrap();
+        let r = cp.rule_for(FamilyId::from_index(2), &[0]).unwrap();
         assert_eq!(r.rhs.len(), 1);
     }
 
@@ -977,7 +984,7 @@ mod tests {
     fn family_display_and_instantiate() {
         let spec = builtin::cmp();
         let d = derive_abstraction(&spec).unwrap();
-        let stale = d.family(0);
+        let stale = d.family(FamilyId::from_index(0));
         assert!(stale.to_string().starts_with("stale(x0: Iterator)"));
         let i1 = Var::new("i1", TypeName::new("Iterator"));
         let inst = stale.instantiate(&[i1]);

@@ -33,8 +33,9 @@ mod simplify;
 mod sym;
 
 pub use derive::{
-    derive_abstraction, derive_conservative, derive_with_budget, CheckInst, DerivationStats, Derived, DeriveError,
-    Family, FamilyId, RuleRhs, RuleVar, StmtAbstraction, StmtForm, UpdateRule,
+    derive_abstraction, derive_conservative, derive_with_budget, CheckInst, DerivationStats,
+    DeriveError, Derived, Family, FamilyId, RuleRhs, RuleVar, StmtAbstraction, StmtForm,
+    UpdateRule,
 };
 pub use simplify::Simplifier;
 pub use sym::{client_stmt_actions, wp_through_actions, Action, OperandBinding};

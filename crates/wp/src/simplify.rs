@@ -28,7 +28,7 @@ impl<'a> Simplifier<'a> {
     /// `assumption`*. `vec![]` means `false`; a disjunct equal to
     /// `Formula::True` means the whole formula is `true`.
     pub fn minimized_disjuncts(&self, f: &Formula, assumption: &Formula) -> Vec<Formula> {
-        let dnf = f.to_dnf();
+        let dnf = f.to_dnf_cached();
         if dnf.is_false() {
             return Vec::new();
         }
@@ -89,10 +89,7 @@ impl<'a> Simplifier<'a> {
                 }
             }
         }
-        out.conjuncts()
-            .iter()
-            .map(|c| Formula::and(c.iter().map(Literal::to_formula)))
-            .collect()
+        out.conjuncts().iter().map(|c| Formula::and(c.iter().map(Literal::to_formula))).collect()
     }
 
     /// Whether `f` and `g` agree under `assumption`.
@@ -140,7 +137,10 @@ mod tests {
         let iset = AccessPath::of(iv("i")).field("set");
         let jset = AccessPath::of(iv("j")).field("set");
         let exact = Formula::or([
-            Formula::and([Formula::ne(ivar.clone(), jvar.clone()), Formula::eq(iset.clone(), jset.clone())]),
+            Formula::and([
+                Formula::ne(ivar.clone(), jvar.clone()),
+                Formula::eq(iset.clone(), jset.clone()),
+            ]),
             Formula::and([
                 Formula::ne(ivar.clone(), jvar.clone()),
                 Formula::ne(iset.clone(), jset.clone()),
@@ -154,20 +154,14 @@ mod tests {
         let strs: Vec<String> = ds.iter().map(|d| d.to_string()).collect();
         // one disjunct is stale(i), the other is mutx(i,j)
         assert!(strs.iter().any(|s| s == "i.defVer != i.set.ver"), "{strs:?}");
-        assert!(
-            strs.iter().any(|s| s.contains("i.set == j.set") && s.contains("!=")),
-            "{strs:?}"
-        );
+        assert!(strs.iter().any(|s| s.contains("i.set == j.set") && s.contains("!=")), "{strs:?}");
     }
 
     #[test]
     fn constants() {
         let s = Simplifier::new(&oracle);
         assert!(s.minimized_disjuncts(&Formula::False, &Formula::True).is_empty());
-        assert_eq!(
-            s.minimized_disjuncts(&Formula::True, &Formula::True),
-            vec![Formula::True]
-        );
+        assert_eq!(s.minimized_disjuncts(&Formula::True, &Formula::True), vec![Formula::True]);
         // contradiction collapses to false
         let f = Formula::and([stale("i"), Formula::not(stale("i"))]);
         assert!(s.minimized_disjuncts(&f, &Formula::True).is_empty());

@@ -80,21 +80,19 @@ pub fn client_stmt_actions(
     let mut b = ActionBuilder { spec, actions: Vec::new(), fresh_count: 0 };
     match (class, method) {
         (Some(c), Some(m)) => {
-            let recv = binding.recv.clone().expect("calls need a receiver");
+            let recv = binding.recv.expect("calls need a receiver");
             let recv_path = AccessPath::of(recv);
-            let args: Vec<AccessPath> =
-                binding.args.iter().cloned().map(AccessPath::of).collect();
-            b.inline_method(c, m, recv_path, &args, binding.lhs.clone());
+            let args: Vec<AccessPath> = binding.args.iter().cloned().map(AccessPath::of).collect();
+            b.inline_method(c, m, recv_path, &args, binding.lhs);
         }
         (Some(c), None) => {
-            let lhs = binding.lhs.clone().expect("allocations bind a result");
-            let args: Vec<AccessPath> =
-                binding.args.iter().cloned().map(AccessPath::of).collect();
+            let lhs = binding.lhs.expect("allocations bind a result");
+            let args: Vec<AccessPath> = binding.args.iter().cloned().map(AccessPath::of).collect();
             let fresh = b.inline_new(c, &args);
             b.actions.push(Action::AssignVar { var: lhs, path: AccessPath::of(fresh) });
         }
         (None, None) => {
-            let lhs = binding.lhs.clone().expect("copies bind a result");
+            let lhs = binding.lhs.expect("copies bind a result");
             let src = binding.args.first().cloned().expect("copies read one operand");
             b.actions.push(Action::AssignVar { var: lhs, path: AccessPath::of(src) });
         }
@@ -147,9 +145,9 @@ impl ActionBuilder<'_> {
 
     /// Emits `new C(args)` (constructor inlining) and returns the fresh var.
     fn inline_new(&mut self, class: &ClassSpec, args: &[AccessPath]) -> Var {
-        let fresh = self.fresh_var(class.name().clone());
+        let fresh = self.fresh_var(*class.name());
         if let Some(ctor) = class.ctor() {
-            self.inline_method(class, ctor, AccessPath::of(fresh.clone()), args, None);
+            self.inline_method(class, ctor, AccessPath::of(fresh), args, None);
         }
         fresh
     }
@@ -197,7 +195,7 @@ impl Env {
             canvas_easl::SpecVar::This => this_var,
             canvas_easl::SpecVar::Param(k) => {
                 let (n, t) = &m.params()[k];
-                Var::new(n.clone(), t.clone())
+                Var::new(n.clone(), *t)
             }
         });
         sp.rebase(&root, base).expect("path roots at its own base")
@@ -213,18 +211,18 @@ pub(crate) fn bind_requires(
 ) -> Option<Formula> {
     let req = m.requires()?;
     let this_var = m.this_var(class);
-    let recv = binding.recv.clone()?;
+    let recv = binding.recv?;
     let param_vars = m.param_vars();
     Some(req.rename_vars(&|v: &Var| {
         if *v == this_var {
-            return recv.clone();
+            return recv;
         }
         if let Some(k) = param_vars.iter().position(|pv| pv == v) {
             if let Some(a) = binding.args.get(k) {
-                return a.clone();
+                return *a;
             }
         }
-        v.clone()
+        *v
     }))
 }
 
@@ -242,12 +240,7 @@ enum CondTerm {
 impl CondTerm {
     /// Extends every leaf by field `g`, applying the pending write
     /// `P.f := V` when `g == f`.
-    fn extend(
-        self,
-        g: &str,
-        write: &(Term, String, Term),
-        fresh: &mut FreshFields,
-    ) -> CondTerm {
+    fn extend(self, g: &str, write: &(Term, String, Term), fresh: &mut FreshFields) -> CondTerm {
         match self {
             CondTerm::Leaf(t) => {
                 let (p, f, v) = write;
@@ -322,7 +315,7 @@ fn field_of(t: &Term, g: &str, fresh: &mut FreshFields) -> Term {
         Term::Alloc(a) => {
             // an uninitialized field of a fresh object: a value fresh in its
             // own right (denotes `null`, which aliases nothing we compare)
-            let ty = a.ty().clone();
+            let ty = *a.ty();
             fresh.token_for((t.clone(), g.to_string()), ty)
         }
     }
@@ -350,7 +343,7 @@ pub fn wp_through_actions(phi: &Formula, actions: &[Action]) -> Formula {
 
 /// Replaces paths rooted at `var` by the same path rooted at `path`.
 fn rebase_var(f: &Formula, var: &Var, path: &AccessPath) -> Formula {
-    let root = AccessPath::of(var.clone());
+    let root = AccessPath::of(*var);
     f.map_terms(&mut |t| match t {
         Term::Path(p) if p.base() == var => {
             Term::Path(p.rebase(&root, path).expect("base matches"))
@@ -369,11 +362,9 @@ fn substitute_write(f: &Formula, write: &(Term, String, Term), fresh: &mut Fresh
             let cb = subst_term(b, write, fresh);
             CondTerm::equate(&ca, &cb)
         }
-        Formula::Ne(a, b) => Formula::not(substitute_write(
-            &Formula::Eq(a.clone(), b.clone()),
-            write,
-            fresh,
-        )),
+        Formula::Ne(a, b) => {
+            Formula::not(substitute_write(&Formula::Eq(a.clone(), b.clone()), write, fresh))
+        }
         Formula::Not(inner) => Formula::not(substitute_write(inner, write, fresh)),
         Formula::And(fs) => Formula::and(fs.iter().map(|g| substitute_write(g, write, fresh))),
         Formula::Or(fs) => Formula::or(fs.iter().map(|g| substitute_write(g, write, fresh))),
@@ -385,7 +376,7 @@ fn subst_term(t: &Term, write: &(Term, String, Term), fresh: &mut FreshFields) -
     match t {
         Term::Alloc(_) => CondTerm::Leaf(t.clone()),
         Term::Path(p) => {
-            let mut ct = CondTerm::Leaf(Term::Path(AccessPath::of(p.base().clone())));
+            let mut ct = CondTerm::Leaf(Term::Path(AccessPath::of(*p.base())));
             for g in p.fields() {
                 ct = ct.extend(g, write, fresh);
             }
@@ -401,7 +392,7 @@ fn resolve_fresh(f: &Formula, fresh: &mut FreshFields) -> Formula {
             let mut cur = Term::Alloc(AllocToken::new(
                 // the root token id is derived from the $new index
                 p.base().name()[4..].parse::<u32>().unwrap_or(0),
-                p.base().ty().clone(),
+                *p.base().ty(),
             ));
             for g in p.fields() {
                 cur = field_of(&cur, g, fresh);
@@ -433,7 +424,12 @@ mod tests {
         )
     }
 
-    fn call_actions(spec: &canvas_easl::Spec, class: &str, method: &str, b: &OperandBinding) -> Vec<Action> {
+    fn call_actions(
+        spec: &canvas_easl::Spec,
+        class: &str,
+        method: &str,
+        b: &OperandBinding,
+    ) -> Vec<Action> {
         let c = spec.class(class).unwrap();
         let m = c.method(method).unwrap();
         client_stmt_actions(spec, Some(c), Some(m), b)
@@ -452,10 +448,7 @@ mod tests {
         let wp = wp_through_actions(&stale("i"), &actions);
         let expected = Formula::or([
             stale("i"),
-            Formula::eq(
-                AccessPath::of(iter_var("i")).field("set"),
-                AccessPath::of(set_var("v")),
-            ),
+            Formula::eq(AccessPath::of(iter_var("i")).field("set"), AccessPath::of(set_var("v"))),
         ]);
         let oracle = spec.oracle();
         assert!(
@@ -468,11 +461,8 @@ mod tests {
     fn iterator_result_is_never_stale() {
         // WP(stale(i), i = v.iterator()) ≡ false
         let spec = builtin::cmp();
-        let binding = OperandBinding {
-            recv: Some(set_var("v")),
-            args: vec![],
-            lhs: Some(iter_var("i")),
-        };
+        let binding =
+            OperandBinding { recv: Some(set_var("v")), args: vec![], lhs: Some(iter_var("i")) };
         let actions = call_actions(&spec, "Set", "iterator", &binding);
         let wp = wp_through_actions(&stale("i"), &actions);
         let oracle = spec.oracle();
@@ -486,15 +476,10 @@ mod tests {
     fn iterof_of_fresh_iterator_is_same_set() {
         // WP(i.set == w, i = v.iterator()) ≡ v == w
         let spec = builtin::cmp();
-        let iterof = Formula::eq(
-            AccessPath::of(iter_var("i")).field("set"),
-            AccessPath::of(set_var("w")),
-        );
-        let binding = OperandBinding {
-            recv: Some(set_var("v")),
-            args: vec![],
-            lhs: Some(iter_var("i")),
-        };
+        let iterof =
+            Formula::eq(AccessPath::of(iter_var("i")).field("set"), AccessPath::of(set_var("w")));
+        let binding =
+            OperandBinding { recv: Some(set_var("v")), args: vec![], lhs: Some(iter_var("i")) };
         let actions = call_actions(&spec, "Set", "iterator", &binding);
         let wp = wp_through_actions(&iterof, &actions);
         let expected = Formula::eq(AccessPath::of(set_var("v")), AccessPath::of(set_var("w")));
@@ -509,8 +494,7 @@ mod tests {
     fn remove_wp_matches_paper_under_precondition() {
         // WP(stale(i), j.remove()) under ¬stale(j) ≡ stale(i) ∨ mutx(i,j)
         let spec = builtin::cmp();
-        let binding =
-            OperandBinding { recv: Some(iter_var("j")), args: vec![], lhs: None };
+        let binding = OperandBinding { recv: Some(iter_var("j")), args: vec![], lhs: None };
         let actions = call_actions(&spec, "Iterator", "remove", &binding);
         let wp = wp_through_actions(&stale("i"), &actions);
         let c = spec.class("Iterator").unwrap();
@@ -554,11 +538,8 @@ mod tests {
     fn copy_rebases() {
         let spec = builtin::cmp();
         // WP(stale(i), i = j) ≡ stale(j)
-        let binding = OperandBinding {
-            recv: None,
-            args: vec![iter_var("j")],
-            lhs: Some(iter_var("i")),
-        };
+        let binding =
+            OperandBinding { recv: None, args: vec![iter_var("j")], lhs: Some(iter_var("i")) };
         let actions = client_stmt_actions(&spec, None, None, &binding);
         let wp = wp_through_actions(&stale("i"), &actions);
         let oracle = spec.oracle();
@@ -572,15 +553,15 @@ mod tests {
         let g2 = Var::new("g2", TypeName::new("Graph"));
         // staleT(t) ≡ t.tok != t.g.owner
         let stale_t = Formula::ne(
-            AccessPath::of(t.clone()).field("tok"),
-            AccessPath::of(t.clone()).field("g").field("owner"),
+            AccessPath::of(t).field("tok"),
+            AccessPath::of(t).field("g").field("owner"),
         );
-        let binding = OperandBinding { recv: Some(g2.clone()), args: vec![], lhs: None };
+        let binding = OperandBinding { recv: Some(g2), args: vec![], lhs: None };
         let actions = call_actions(&spec, "Graph", "startTraversal", &binding);
         let wp = wp_through_actions(&stale_t, &actions);
         let expected = Formula::or([
             stale_t.clone(),
-            Formula::eq(AccessPath::of(t.clone()).field("g"), AccessPath::of(g2.clone())),
+            Formula::eq(AccessPath::of(t).field("g"), AccessPath::of(g2)),
         ]);
         let oracle = spec.oracle();
         assert!(
@@ -590,8 +571,8 @@ mod tests {
         // and the traversal returned by startTraversal is valid:
         let t2 = Var::new("t2", TypeName::new("Traversal"));
         let stale_t2 = Formula::ne(
-            AccessPath::of(t2.clone()).field("tok"),
-            AccessPath::of(t2.clone()).field("g").field("owner"),
+            AccessPath::of(t2).field("tok"),
+            AccessPath::of(t2).field("g").field("owner"),
         );
         let binding = OperandBinding { recv: Some(g2), args: vec![], lhs: Some(t2) };
         let actions = call_actions(&spec, "Graph", "startTraversal", &binding);

@@ -26,10 +26,7 @@ class Main {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let certifier = Certifier::from_spec(canvas_conformance::easl::builtin::cmp())?;
     println!("Fig. 3: real errors at lines 10 and 13; line 11 is safe.\n");
-    println!(
-        "{:<26} {:>18} {:>10} {:>8}",
-        "engine", "reported lines", "time", "preds"
-    );
+    println!("{:<26} {:>18} {:>10} {:>8}", "engine", "reported lines", "time", "preds");
     for engine in Engine::all() {
         match certifier.certify_source(FIG3, engine) {
             Ok(r) => println!(

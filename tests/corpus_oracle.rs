@@ -5,8 +5,8 @@
 
 use std::collections::BTreeSet;
 
-use canvas_conformance::suite::oracle::{explore, OracleConfig};
 use canvas_conformance::suite::corpus;
+use canvas_conformance::suite::oracle::{explore, OracleConfig};
 
 #[test]
 fn corpus_truth_matches_concrete_oracle() {
@@ -43,10 +43,7 @@ fn corpus_statistics() {
     assert!(total_loc > 300, "corpus LOC {total_loc}");
     // each spec kind is represented
     for kind in ["Cmp", "Grp", "Imp", "Aop"] {
-        assert!(
-            all.iter().any(|b| format!("{:?}", b.spec) == kind),
-            "no benchmark for {kind}"
-        );
+        assert!(all.iter().any(|b| format!("{:?}", b.spec) == kind), "no benchmark for {kind}");
     }
     // both safe and buggy benchmarks exist
     assert!(all.iter().any(|b| b.truth().is_empty()));

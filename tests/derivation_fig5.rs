@@ -3,7 +3,7 @@
 //! of Fig. 5, plus the §2.2 problems' derivations.
 
 use canvas_conformance::logic::TypeName;
-use canvas_conformance::wp::{derive_abstraction, RuleRhs, RuleVar};
+use canvas_conformance::wp::{derive_abstraction, FamilyId, RuleRhs, RuleVar};
 
 #[test]
 fn fig4_families() {
@@ -25,7 +25,12 @@ fn fig5_method_abstractions() {
     let d = derive_abstraction(&canvas_conformance::easl::builtin::cmp()).expect("derives");
     let set = TypeName::new("Set");
     let iterator = TypeName::new("Iterator");
-    let (stale, iterof, mutx, same) = (0, 1, 2, 3);
+    let (stale, iterof, mutx, same) = (
+        FamilyId::from_index(0),
+        FamilyId::from_index(1),
+        FamilyId::from_index(2),
+        FamilyId::from_index(3),
+    );
 
     // v = new Set(): same(v,z) := 0, same(z,v) := 0, iterof(k,v) := 0
     let new_set = d.for_new(&set).expect("abstraction for new Set");
@@ -40,10 +45,9 @@ fn fig5_method_abstractions() {
     let add = d.for_call(&set, "add").expect("abstraction for add");
     let r = add.rule_for(stale, &[]).expect("add updates stale");
     assert!(r.rhs.contains(&RuleRhs::Inst(stale, vec![RuleVar::Univ(0)])));
-    assert!(r
-        .rhs
-        .iter()
-        .any(|x| matches!(x, RuleRhs::Inst(f, args) if *f == iterof && args.contains(&RuleVar::Recv))));
+    assert!(r.rhs.iter().any(
+        |x| matches!(x, RuleRhs::Inst(f, args) if *f == iterof && args.contains(&RuleVar::Recv))
+    ));
 
     // i = v.iterator(): iterof_{i,z} := same_{v,z}; mutx updated via iterof;
     // stale_i := 0
@@ -59,10 +63,9 @@ fn fig5_method_abstractions() {
     assert_eq!(rm.checks, vec![RuleRhs::Inst(stale, vec![RuleVar::Recv])]);
     let r = rm.rule_for(stale, &[]).expect("remove stales siblings");
     assert!(r.rhs.contains(&RuleRhs::Inst(stale, vec![RuleVar::Univ(0)])));
-    assert!(r
-        .rhs
-        .iter()
-        .any(|x| matches!(x, RuleRhs::Inst(f, args) if *f == mutx && args.contains(&RuleVar::Recv))));
+    assert!(r.rhs.iter().any(
+        |x| matches!(x, RuleRhs::Inst(f, args) if *f == mutx && args.contains(&RuleVar::Recv))
+    ));
 
     // i.next(): requires ¬stale_i, no updates
     let next = d.for_call(&iterator, "next").expect("abstraction for next");
@@ -95,10 +98,8 @@ fn grp_imp_aop_derivations_are_small_and_classified() {
         if spec.name() == "cmp" {
             continue;
         }
-        let (_, fam_count, class) = expectations
-            .iter()
-            .find(|(n, _, _)| *n == spec.name())
-            .expect("expectation listed");
+        let (_, fam_count, class) =
+            expectations.iter().find(|(n, _, _)| *n == spec.name()).expect("expectation listed");
         assert_eq!(canvas_conformance::easl::classify(&spec), *class, "{}", spec.name());
         let d = derive_abstraction(&spec).expect("derives");
         assert_eq!(d.families().len(), *fam_count, "{}", spec.name());

@@ -1,0 +1,23 @@
+//! Golden tests pinning the deterministic eval tables.
+//!
+//! The E1 (derivation) and E2 (Fig. 3 walkthrough) tables are pure
+//! functions of the built-in specs and engines — no timing, no random
+//! clients — so their rendered text is pinned byte-for-byte. Any refactor
+//! of the logic/wp/abstraction/engine stack must leave these bytes
+//! untouched; regenerate deliberately with
+//! `cargo run -p canvas-bench --bin eval -- derive` (resp. `fig3`) only
+//! when the analysis itself is meant to change.
+
+#[test]
+fn derive_table_matches_golden() {
+    let expected = include_str!("golden/derive.txt");
+    let actual = canvas_bench::render_derive();
+    assert_eq!(actual, expected, "`eval -- derive` output drifted from tests/golden/derive.txt");
+}
+
+#[test]
+fn fig3_table_matches_golden() {
+    let expected = include_str!("golden/fig3.txt");
+    let actual = canvas_bench::render_fig3();
+    assert_eq!(actual, expected, "`eval -- fig3` output drifted from tests/golden/fig3.txt");
+}

@@ -50,11 +50,9 @@ fn generic_baselines_are_sound_too() {
     for b in corpus() {
         let c = certifier_for(b.spec);
         let truth: BTreeSet<u32> = b.truth().into_iter().collect();
-        for engine in [
-            Engine::GenericSsgRelational,
-            Engine::GenericSsgIndependent,
-            Engine::GenericAllocSite,
-        ] {
+        for engine in
+            [Engine::GenericSsgRelational, Engine::GenericSsgIndependent, Engine::GenericAllocSite]
+        {
             let Some(lines) = reported_lines(&c, b.source, engine) else { continue };
             for t in &truth {
                 assert!(
@@ -94,8 +92,7 @@ fn interproc_is_exact_on_scmp_benchmarks() {
         }
         let c = certifier_for(b.spec);
         let truth: BTreeSet<u32> = b.truth().into_iter().collect();
-        let lines =
-            reported_lines(&c, b.source, Engine::ScmpInterproc).expect("interproc runs");
+        let lines = reported_lines(&c, b.source, Engine::ScmpInterproc).expect("interproc runs");
         assert_eq!(lines, truth, "interproc not exact on {}", b.name);
     }
 }
@@ -143,16 +140,12 @@ fn generic_ssg_false_alarms_where_documented() {
     // §4.4: the shape-graph baseline false-alarms at Fig. 3 line 11
     let fig3 = corpus().into_iter().find(|b| b.name == "fig3").expect("fig3 present");
     let c = certifier_for(fig3.spec);
-    let lines =
-        reported_lines(&c, fig3.source, Engine::GenericSsgRelational).expect("ssg runs");
+    let lines = reported_lines(&c, fig3.source, Engine::GenericSsgRelational).expect("ssg runs");
     assert!(lines.contains(&11));
     // §3: the alloc-site baseline false-alarms on the version loop
     let vl = corpus().into_iter().find(|b| b.name == "version-loop").expect("present");
     let lines = reported_lines(&c, vl.source, Engine::GenericAllocSite).expect("alloc runs");
     assert!(!lines.is_empty());
     // while the specialized certifier is exact on both
-    assert_eq!(
-        reported_lines(&c, vl.source, Engine::ScmpFds).expect("fds"),
-        BTreeSet::new()
-    );
+    assert_eq!(reported_lines(&c, vl.source, Engine::ScmpFds).expect("fds"), BTreeSet::new());
 }
