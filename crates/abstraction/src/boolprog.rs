@@ -153,8 +153,18 @@ pub fn transform_method_with(
     entry: EntryAssumption,
     policy: ClientCallPolicy,
 ) -> BoolProgram {
+    static TRANSFORMS: canvas_telemetry::Counter =
+        canvas_telemetry::Counter::new("abstraction.transforms");
+    static PRED_INSTANCES: canvas_telemetry::Counter =
+        canvas_telemetry::Counter::new("abstraction.pred_instances");
+    static TRANSFORM_TIME: canvas_telemetry::Timer =
+        canvas_telemetry::Timer::new("abstraction.transform");
+    let _span = TRANSFORM_TIME.span();
     let b = Builder::new(program, method, spec, derived, entry, policy);
-    b.run()
+    let bp = b.run();
+    TRANSFORMS.incr();
+    PRED_INSTANCES.add(bp.preds.len() as u64);
+    bp
 }
 
 struct Builder<'a> {

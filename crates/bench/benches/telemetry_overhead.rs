@@ -1,0 +1,35 @@
+//! Measures what pipeline telemetry costs: every engine over Fig. 3 with
+//! metrics disabled (the default, where each counter site is a relaxed
+//! atomic load of the enabled flag) vs enabled (atomic adds plus clock
+//! reads at span boundaries). The instrumentation budget is <2% on this
+//! all-engines workload.
+
+use canvas_bench::FIG3;
+use canvas_core::{Certifier, Engine, PreparedProgram};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn telemetry_overhead(c: &mut Criterion) {
+    let certifier = Certifier::from_spec(canvas_easl::builtin::cmp()).unwrap();
+    let program = canvas_minijava::Program::parse(FIG3, certifier.spec()).unwrap();
+    let mut group = c.benchmark_group("telemetry");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for (label, enabled) in [("disabled", false), ("enabled", true)] {
+        group.bench_function(format!("all-engines-fig3-{label}"), |b| {
+            canvas_telemetry::set_enabled(enabled);
+            b.iter(|| {
+                let prepared = PreparedProgram::new(&program);
+                for engine in Engine::all() {
+                    certifier.certify_program_prepared(&program, &prepared, engine).unwrap();
+                }
+            })
+        });
+    }
+    canvas_telemetry::set_enabled(false);
+    canvas_telemetry::reset();
+    group.finish();
+}
+
+criterion_group!(benches, telemetry_overhead);
+criterion_main!(benches);

@@ -1,22 +1,184 @@
 //! Regenerates the paper's evaluation tables and figures (DESIGN.md E1–E9).
 //!
-//! Usage: `eval [derive|fig3|generic-vs-specialized|precision|timing|modes|
-//! scaling|specs|interproc|all]` (default `all`).
+//! ```text
+//! eval [TABLE] [--metrics] [--metrics-json [PATH]] [--check-baseline PATH]
+//! eval compare A.json B.json
+//! ```
+//!
+//! `TABLE` is one of `derive|fig3|fig3-metrics|fig6|fig7|fig8|
+//! generic-vs-specialized|precision|timing|modes|scaling|specs|interproc|all`
+//! (default `all`).
+//!
+//! `--metrics` prints a telemetry summary after the run. `--metrics-json`
+//! runs the full evaluation with telemetry on and writes the stable
+//! `canvas-bench-eval/1` document (default path `BENCH_eval.json`);
+//! `--check-baseline` compares the run's deterministic section against a
+//! committed baseline and exits 1 on drift. `compare` diffs the
+//! deterministic sections of two emitted documents (the CI determinism
+//! check runs the evaluation twice and compares).
 
 use std::collections::BTreeMap;
 use std::env;
+use std::process::ExitCode;
 
 use canvas_bench::{
-    derivation_table, fmt_duration, precision_table, render_derive, render_fig3, scaling_blocks,
-    scaling_vars, PrecisionCell, FIG3,
+    collect_eval_metrics, derivation_table, deterministic_drift, fmt_duration, json::Json,
+    metrics_to_json, precision_table, render_derive, render_fig3, scaling_blocks, scaling_vars,
+    PrecisionCell, FIG3,
 };
 use canvas_core::{Certifier, Engine};
 
-fn main() {
-    let what = env::args().nth(1).unwrap_or_else(|| "all".to_string());
-    match what.as_str() {
+const TABLES: &[&str] = &[
+    "derive",
+    "fig3",
+    "fig3-metrics",
+    "fig6",
+    "fig7",
+    "fig8",
+    "generic-vs-specialized",
+    "precision",
+    "timing",
+    "modes",
+    "scaling",
+    "specs",
+    "interproc",
+    "all",
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("compare") {
+        return compare(&args[1..]);
+    }
+
+    let mut table: Option<String> = None;
+    let mut metrics = false;
+    let mut metrics_json: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--metrics" => metrics = true,
+            "--metrics-json" => {
+                // optional PATH operand (anything that is not a flag/table)
+                let path = match args.get(i + 1) {
+                    Some(p) if !p.starts_with("--") && !TABLES.contains(&p.as_str()) => {
+                        i += 1;
+                        p.clone()
+                    }
+                    _ => "BENCH_eval.json".to_string(),
+                };
+                metrics_json = Some(path);
+            }
+            "--check-baseline" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => baseline = Some(p.clone()),
+                    None => {
+                        eprintln!("--check-baseline needs a path");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown option {other:?}");
+                return ExitCode::from(2);
+            }
+            other if TABLES.contains(&other) => table = Some(other.to_string()),
+            other => {
+                eprintln!("unknown table {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+
+    if metrics_json.is_some() || baseline.is_some() {
+        let m = collect_eval_metrics();
+        let doc = metrics_to_json(&m);
+        if let Some(path) = &metrics_json {
+            if let Err(e) = std::fs::write(path, doc.render()) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+            println!("wrote {path}");
+        }
+        if metrics {
+            print!("{}", m.snapshot);
+        }
+        if let Some(t) = &table {
+            run_table(t);
+        }
+        if let Some(path) = &baseline {
+            let base =
+                match std::fs::read_to_string(path).map_err(|e| e.to_string()).and_then(|text| {
+                    Json::parse(&text).map_err(|e| format!("not a JSON document: {e}"))
+                }) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        eprintln!("cannot read baseline {path}: {e}");
+                        return ExitCode::from(2);
+                    }
+                };
+            let drift = deterministic_drift(&doc, &base);
+            if drift.is_empty() {
+                println!("baseline check: deterministic counters match {path}");
+            } else {
+                eprintln!("baseline drift against {path}:");
+                for d in &drift {
+                    eprintln!("  {d}");
+                }
+                eprintln!("({} difference(s); timings are never gated)", drift.len());
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if metrics {
+        canvas_telemetry::set_enabled(true);
+    }
+    run_table(table.as_deref().unwrap_or("all"));
+    if metrics {
+        print!("{}", canvas_telemetry::snapshot());
+    }
+    ExitCode::SUCCESS
+}
+
+/// `eval compare A.json B.json`: exit 1 when the deterministic sections of
+/// two metrics documents differ.
+fn compare(paths: &[String]) -> ExitCode {
+    let [a, b] = paths else {
+        eprintln!("usage: eval compare A.json B.json");
+        return ExitCode::from(2);
+    };
+    let read = |path: &String| {
+        std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| Json::parse(&text))
+            .unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(2);
+            })
+    };
+    let drift = deterministic_drift(&read(a), &read(b));
+    if drift.is_empty() {
+        println!("deterministic metrics identical: {a} == {b}");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("deterministic metrics differ between {a} and {b}:");
+        for d in &drift {
+            eprintln!("  {d}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn run_table(what: &str) {
+    match what {
         "derive" => table_derive(),
         "fig3" => table_fig3(),
+        "fig3-metrics" => table_fig3_metrics(),
         "fig6" => figure_fig6(),
         "fig7" => figure_fig7(),
         "fig8" => figure_fig8(),
@@ -30,6 +192,7 @@ fn main() {
         "all" => {
             table_derive();
             table_fig3();
+            table_fig3_metrics();
             figure_fig6();
             figure_fig7();
             figure_fig8();
@@ -41,10 +204,7 @@ fn main() {
             table_specs();
             table_interproc();
         }
-        other => {
-            eprintln!("unknown table {other:?}");
-            std::process::exit(2);
-        }
+        other => unreachable!("table {other:?} was validated during parsing"),
     }
 }
 
@@ -62,6 +222,11 @@ fn table_derive() {
 /// E2: the Fig. 3 walkthrough.
 fn table_fig3() {
     print!("{}", render_fig3());
+}
+
+/// E2 counters: deterministic work per engine on Fig. 3 (golden-tested).
+fn table_fig3_metrics() {
+    print!("{}", canvas_bench::render_fig3_metrics());
 }
 
 /// The paper's Fig. 6: the transformed boolean client program for Fig. 3.
@@ -228,7 +393,7 @@ fn table_precision() {
     }
 }
 
-/// E5: the timing table.
+/// E5: the timing table, plus the deterministic work counters behind it.
 fn table_timing() {
     header("E5: analysis time per benchmark x engine");
     let cells = precision_table();
@@ -240,16 +405,40 @@ fn table_timing() {
     println!();
     let mut names: Vec<&'static str> = cells.iter().map(|c| c.benchmark).collect();
     names.dedup();
-    for name in names {
+    for name in &names {
         print!("{name:<20}");
         for e in &engines {
             let cell = cells
                 .iter()
-                .find(|c| c.benchmark == name && c.engine == *e)
+                .find(|c| c.benchmark == *name && c.engine == *e)
                 .expect("every cell present");
             let s = match &cell.failed {
                 Some(_) => "-".to_string(),
                 None => fmt_duration(cell.time),
+            };
+            print!(" {s:>10}");
+        }
+        println!();
+    }
+    // the deterministic work counters the timings are made of (same layout;
+    // these are what CI gates against bench/baseline.json)
+    println!();
+    println!("work units (deterministic) per benchmark x engine:");
+    print!("{:<20}", "benchmark");
+    for e in &engines {
+        print!(" {:>10}", e.abbrev());
+    }
+    println!();
+    for name in &names {
+        print!("{name:<20}");
+        for e in &engines {
+            let cell = cells
+                .iter()
+                .find(|c| c.benchmark == *name && c.engine == *e)
+                .expect("every cell present");
+            let s = match &cell.failed {
+                Some(_) => "-".to_string(),
+                None => cell.work.to_string(),
             };
             print!(" {s:>10}");
         }

@@ -7,10 +7,24 @@
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use canvas_core::{Certifier, CertifyError, Engine, PreparedProgram};
 use canvas_suite::{corpus, generators, Benchmark};
+
+pub mod json;
+
+static SUITE_JOBS: canvas_telemetry::Counter = canvas_telemetry::Counter::new("suite.jobs");
+// Worker count follows the machine (or CANVAS_EVAL_THREADS), so it is
+// recorded but never baseline-gated.
+static SUITE_WORKERS: canvas_telemetry::Counter =
+    canvas_telemetry::Counter::non_deterministic("suite.workers");
+static SUITE_DRIVER_TIME: canvas_telemetry::Timer = canvas_telemetry::Timer::new("suite.driver");
+static SUITE_JOB_TIME: canvas_telemetry::Timer = canvas_telemetry::Timer::new("suite.job");
+static SUITE_WORKER_BUSY: canvas_telemetry::Timer =
+    canvas_telemetry::Timer::new("suite.worker_busy");
+static SUITE_WORKER_IDLE: canvas_telemetry::Timer =
+    canvas_telemetry::Timer::new("suite.worker_idle");
 
 /// One row of the precision table (experiment E4): a benchmark × engine
 /// cell with the usual soundness/precision accounting.
@@ -28,6 +42,15 @@ pub struct PrecisionCell {
     pub missed: usize,
     /// Reports at non-error lines.
     pub false_alarms: usize,
+    /// Predicate instances in play (engine-reported).
+    pub predicates: usize,
+    /// Deterministic engine work units (edge visits, valuation transfers,
+    /// structure-transformer applications — engine-specific).
+    pub work: usize,
+    /// Peak per-node abstract-state size (1 for single-state engines).
+    pub max_states: usize,
+    /// Whether a state budget degraded the result to conservative.
+    pub exhausted: bool,
     /// Analysis time.
     pub time: Duration,
     /// `None` when the engine errored (e.g. state budget).
@@ -66,6 +89,10 @@ pub fn run_cell_prepared(
                 real: truth.len(),
                 missed: truth.difference(&reported).count(),
                 false_alarms: reported.difference(&truth).count(),
+                predicates: report.stats.predicates,
+                work: report.stats.work,
+                max_states: report.stats.max_states,
+                exhausted: report.stats.exhausted,
                 time: report.stats.duration,
                 failed: None,
             }
@@ -83,6 +110,10 @@ fn failed_cell(b: &Benchmark, engine: Engine, why: String) -> PrecisionCell {
         real: truth.len(),
         missed: truth.len(),
         false_alarms: 0,
+        predicates: 0,
+        work: 0,
+        max_states: 0,
+        exhausted: false,
         time: Duration::ZERO,
         failed: Some(why),
     }
@@ -90,13 +121,28 @@ fn failed_cell(b: &Benchmark, engine: Engine, why: String) -> PrecisionCell {
 
 /// Worker count for the parallel suite driver: `CANVAS_EVAL_THREADS` when
 /// set (use `1` to force the sequential order), else the machine's
-/// parallelism.
+/// parallelism. Unusable values (`0`, non-numeric) fall back to the default
+/// with a warning instead of being silently ignored.
 fn worker_count(jobs: usize) -> usize {
-    let n = std::env::var("CANVAS_EVAL_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    worker_count_from(std::env::var("CANVAS_EVAL_THREADS").ok().as_deref(), jobs)
+}
+
+fn worker_count_from(raw: Option<&str>, jobs: usize) -> usize {
+    let default = || std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let n = match raw {
+        None => default(),
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                let d = default();
+                eprintln!(
+                    "warning: CANVAS_EVAL_THREADS={v:?} is not a positive integer; \
+                     using the default of {d} worker(s)"
+                );
+                d
+            }
+        },
+    };
     n.min(jobs).max(1)
 }
 
@@ -108,6 +154,7 @@ fn worker_count(jobs: usize) -> usize {
 /// deterministic regardless of scheduling: corpus order × engine-registry
 /// order, exactly as the sequential driver produced it.
 pub fn precision_table() -> Vec<PrecisionCell> {
+    let _span = SUITE_DRIVER_TIME.span();
     let benchmarks = corpus();
     let engines = Engine::all();
 
@@ -142,20 +189,32 @@ pub fn precision_table() -> Vec<PrecisionCell> {
         (0..benchmarks.len()).flat_map(|bi| engines.iter().map(move |&e| (bi, e))).collect();
     let slots: Vec<Mutex<Option<PrecisionCell>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
+    let workers = worker_count(jobs.len());
+    SUITE_JOBS.add(jobs.len() as u64);
+    SUITE_WORKERS.add(workers as u64);
     std::thread::scope(|s| {
-        for _ in 0..worker_count(jobs.len()) {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&(bi, engine)) = jobs.get(i) else { break };
-                let b = &benchmarks[bi];
-                let certifier = &certifiers[cert_idx[bi]].1;
-                let cell = match &parsed[bi] {
-                    Ok((program, prepared)) => {
-                        run_cell_prepared(certifier, b, program, prepared, engine)
-                    }
-                    Err(why) => failed_cell(b, engine, why.clone()),
-                };
-                *slots[i].lock().expect("no panics while holding the slot lock") = Some(cell);
+        for _ in 0..workers {
+            s.spawn(|| {
+                let spawned = Instant::now();
+                let mut busy = Duration::ZERO;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(bi, engine)) = jobs.get(i) else { break };
+                    let _job = SUITE_JOB_TIME.span();
+                    let started = Instant::now();
+                    let b = &benchmarks[bi];
+                    let certifier = &certifiers[cert_idx[bi]].1;
+                    let cell = match &parsed[bi] {
+                        Ok((program, prepared)) => {
+                            run_cell_prepared(certifier, b, program, prepared, engine)
+                        }
+                        Err(why) => failed_cell(b, engine, why.clone()),
+                    };
+                    *slots[i].lock().expect("no panics while holding the slot lock") = Some(cell);
+                    busy += started.elapsed();
+                }
+                SUITE_WORKER_BUSY.observe(busy);
+                SUITE_WORKER_IDLE.observe(spawned.elapsed().saturating_sub(busy));
             });
         }
     });
@@ -330,6 +389,160 @@ pub fn fmt_duration(d: Duration) -> String {
     }
 }
 
+/// Everything `eval --metrics-json` emits: the E1 derivation rows, the
+/// E4/E5 precision+timing cells, and a telemetry snapshot of the whole run.
+pub struct EvalMetrics {
+    /// E1 derivation rows.
+    pub derivation: Vec<DerivationRow>,
+    /// All benchmark × engine cells.
+    pub cells: Vec<PrecisionCell>,
+    /// Pipeline telemetry accumulated over the run.
+    pub snapshot: canvas_telemetry::Snapshot,
+}
+
+/// Runs the full evaluation (derivation + precision tables) with telemetry
+/// enabled and captures the resulting metrics.
+pub fn collect_eval_metrics() -> EvalMetrics {
+    let was = canvas_telemetry::enabled();
+    canvas_telemetry::set_enabled(true);
+    canvas_telemetry::reset();
+    let derivation = derivation_table();
+    let cells = precision_table();
+    let snapshot = canvas_telemetry::snapshot();
+    canvas_telemetry::set_enabled(was);
+    EvalMetrics { derivation, cells, snapshot }
+}
+
+/// Builds the stable `canvas-bench-eval/1` document. Everything under
+/// `"deterministic"` must be byte-identical run-to-run (CI gates it against
+/// `bench/baseline.json`); everything under `"measured"` — timings and
+/// scheduling-dependent counters — is recorded but never gated.
+pub fn metrics_to_json(m: &EvalMetrics) -> json::Json {
+    use json::{obj, Json};
+    let derivation = Json::Arr(
+        m.derivation
+            .iter()
+            .map(|r| {
+                obj(vec![
+                    ("spec", Json::Str(r.spec.clone())),
+                    ("class", Json::Str(format!("{:?}", r.class))),
+                    ("families", Json::Int(r.families.len() as u64)),
+                    ("wp_count", Json::Int(r.wp_count as u64)),
+                    ("equiv_checks", Json::Int(r.equiv_checks as u64)),
+                    ("rounds", Json::Arr(r.rounds.iter().map(|&n| Json::Int(n as u64)).collect())),
+                ])
+            })
+            .collect(),
+    );
+    let det_cells = Json::Arr(
+        m.cells
+            .iter()
+            .map(|c| {
+                obj(vec![
+                    ("benchmark", Json::Str(c.benchmark.to_string())),
+                    ("engine", Json::Str(c.engine.to_string())),
+                    ("reported", Json::Int(c.reported as u64)),
+                    ("real", Json::Int(c.real as u64)),
+                    ("missed", Json::Int(c.missed as u64)),
+                    ("false_alarms", Json::Int(c.false_alarms as u64)),
+                    ("predicates", Json::Int(c.predicates as u64)),
+                    ("work", Json::Int(c.work as u64)),
+                    ("max_states", Json::Int(c.max_states as u64)),
+                    ("exhausted", Json::Bool(c.exhausted)),
+                    ("failed", Json::Bool(c.failed.is_some())),
+                ])
+            })
+            .collect(),
+    );
+    let det_counters = Json::Obj(
+        m.snapshot
+            .deterministic_counters()
+            .iter()
+            .map(|c| (c.name.clone(), Json::Int(c.value)))
+            .collect(),
+    );
+    let timed_cells = Json::Arr(
+        m.cells
+            .iter()
+            .map(|c| {
+                obj(vec![
+                    ("benchmark", Json::Str(c.benchmark.to_string())),
+                    ("engine", Json::Str(c.engine.to_string())),
+                    ("nanos", Json::Int(c.time.as_nanos().min(u128::from(u64::MAX)) as u64)),
+                ])
+            })
+            .collect(),
+    );
+    let nondet_counters = Json::Obj(
+        m.snapshot
+            .counters
+            .iter()
+            .filter(|c| !c.deterministic && c.value > 0)
+            .map(|c| (c.name.clone(), Json::Int(c.value)))
+            .collect(),
+    );
+    let timers = Json::Arr(
+        m.snapshot
+            .timers
+            .iter()
+            .filter(|t| t.count > 0)
+            .map(|t| {
+                obj(vec![
+                    ("name", Json::Str(t.name.clone())),
+                    ("count", Json::Int(t.count)),
+                    ("total_nanos", Json::Int(t.sum)),
+                    ("max_nanos", Json::Int(t.max)),
+                ])
+            })
+            .collect(),
+    );
+    obj(vec![
+        ("schema", Json::Str("canvas-bench-eval/1".to_string())),
+        (
+            "deterministic",
+            obj(vec![("derivation", derivation), ("cells", det_cells), ("counters", det_counters)]),
+        ),
+        (
+            "measured",
+            obj(vec![("cells", timed_cells), ("counters", nondet_counters), ("timers", timers)]),
+        ),
+    ])
+}
+
+/// Compares the `"deterministic"` subtrees of two `canvas-bench-eval/1`
+/// documents; returns the drift as human-readable lines (empty = no drift).
+pub fn deterministic_drift(current: &json::Json, baseline: &json::Json) -> Vec<String> {
+    match (current.get("deterministic"), baseline.get("deterministic")) {
+        (Some(c), Some(b)) => json::diff(c, b),
+        _ => vec!["missing \"deterministic\" section in one of the documents".to_string()],
+    }
+}
+
+/// Deterministic per-engine work counters on the Fig. 3 example, as pinned
+/// by the `metrics_fig3` golden test: telemetry is reset before each engine,
+/// so every block shows exactly that engine's work (including its share of
+/// the front-end transforms, recomputed per engine).
+pub fn render_fig3_metrics() -> String {
+    use std::fmt::Write as _;
+    let was = canvas_telemetry::enabled();
+    canvas_telemetry::set_enabled(true);
+    let c = Certifier::from_spec(canvas_easl::builtin::cmp()).expect("cmp derives");
+    let program = canvas_minijava::Program::parse(FIG3, c.spec()).expect("fig3 parses");
+    let mut out = render_header("E2 counters: deterministic work per engine on Fig. 3");
+    for engine in Engine::all() {
+        canvas_telemetry::reset();
+        let _ = c.certify(&program, engine);
+        let snap = canvas_telemetry::snapshot();
+        let _ = writeln!(out, "{engine}");
+        for cs in snap.deterministic_counters() {
+            let _ = writeln!(out, "    {:<28} {}", cs.name, cs.value);
+        }
+    }
+    canvas_telemetry::set_enabled(was);
+    canvas_telemetry::reset();
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -349,6 +562,23 @@ mod tests {
         let pts = scaling_blocks(&[2, 8]);
         assert!(pts[1].edges > pts[0].edges);
         assert!(pts[1].work >= pts[0].work);
+    }
+
+    #[test]
+    fn worker_count_fallbacks() {
+        // unset: machine default, clamped to the job count
+        assert_eq!(worker_count_from(None, 1), 1);
+        assert!(worker_count_from(None, 1000) >= 1);
+        // explicit positive values are honoured (clamped to jobs)
+        assert_eq!(worker_count_from(Some("3"), 100), 3);
+        assert_eq!(worker_count_from(Some(" 2 "), 100), 2);
+        assert_eq!(worker_count_from(Some("64"), 4), 4);
+        // zero and garbage fall back to the default instead of wedging
+        let default = worker_count_from(None, 1000);
+        assert_eq!(worker_count_from(Some("0"), 1000), default);
+        assert_eq!(worker_count_from(Some("lots"), 1000), default);
+        assert_eq!(worker_count_from(Some(""), 1000), default);
+        assert_eq!(worker_count_from(Some("-2"), 1000), default);
     }
 
     #[test]

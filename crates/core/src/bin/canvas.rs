@@ -1,10 +1,13 @@
 //! `canvas` — the command-line certifier.
 //!
 //! ```text
-//! canvas derive  --spec <cmp|grp|imp|aop|PATH.easl>
-//! canvas certify --spec <...> [--engine <name>] [--whole-program|--inline] CLIENT.mj
+//! canvas derive  --spec <cmp|grp|imp|aop|PATH.easl> [--metrics]
+//! canvas certify --spec <...> [--engine <name>] [--whole-program|--inline] [--metrics] CLIENT.mj
 //! canvas engines
 //! ```
+//!
+//! `--metrics` enables pipeline telemetry and prints a summary (counters,
+//! timers) after the command's normal output.
 //!
 //! Exit status: 0 = certified conformant, 1 = potential violations found,
 //! 2 = usage/spec/client error.
@@ -41,6 +44,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         }
         "derive" => {
             let opts = parse_opts(it.as_slice())?;
+            canvas_telemetry::set_enabled(opts.metrics);
             let spec = load_spec(&opts.spec)?;
             println!("specification {} ({:?})", spec.name(), canvas_easl::classify(&spec));
             let certifier = Certifier::from_spec(spec).map_err(|e| e.to_string())?;
@@ -55,10 +59,14 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 stats.equiv_checks,
                 stats.families_discovered.len()
             );
+            if opts.metrics {
+                print!("{}", canvas_telemetry::snapshot());
+            }
             Ok(ExitCode::SUCCESS)
         }
         "certify" => {
             let opts = parse_opts(it.as_slice())?;
+            canvas_telemetry::set_enabled(opts.metrics);
             let client_path =
                 opts.client.as_deref().ok_or("certify needs a client file argument")?;
             let source = std::fs::read_to_string(client_path)
@@ -76,12 +84,15 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             }
             .map_err(|e| e.to_string())?;
             print!("{report}");
+            if opts.metrics {
+                print!("{}", canvas_telemetry::snapshot());
+            }
             Ok(if report.certified() { ExitCode::SUCCESS } else { ExitCode::from(1) })
         }
         _ => {
             println!(
-                "usage:\n  canvas derive  --spec <cmp|grp|imp|aop|PATH.easl>\n  \
-                 canvas certify --spec <...> [--engine <name>] [--whole-program|--inline] CLIENT.mj\n  \
+                "usage:\n  canvas derive  --spec <cmp|grp|imp|aop|PATH.easl> [--metrics]\n  \
+                 canvas certify --spec <...> [--engine <name>] [--whole-program|--inline] [--metrics] CLIENT.mj\n  \
                  canvas engines"
             );
             Ok(ExitCode::from(2))
@@ -94,6 +105,7 @@ struct Opts {
     engine: Engine,
     whole_program: bool,
     inline: bool,
+    metrics: bool,
     client: Option<String>,
 }
 
@@ -103,6 +115,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         engine: Engine::ScmpFds,
         whole_program: false,
         inline: false,
+        metrics: false,
         client: None,
     };
     let mut it = args.iter();
@@ -118,6 +131,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--whole-program" => opts.whole_program = true,
             "--inline" => opts.inline = true,
+            "--metrics" => opts.metrics = true,
             other if other.starts_with("--") => {
                 return Err(format!("unknown option {other:?}"));
             }

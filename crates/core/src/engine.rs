@@ -21,6 +21,13 @@ use canvas_wp::Derived;
 use crate::certifier::{CertifyError, Engine};
 use crate::report::{Report, Stats, Violation};
 
+// Which engine wins the `OnceLock` init race depends on worker scheduling,
+// so these are recorded but never baseline-gated.
+static PREPARED_CACHE_HITS: canvas_telemetry::Counter =
+    canvas_telemetry::Counter::non_deterministic("core.prepared_cache_hits");
+static PREPARED_CACHE_MISSES: canvas_telemetry::Counter =
+    canvas_telemetry::Counter::non_deterministic("core.prepared_cache_misses");
+
 /// Lazily computed front-end transforms for one `(method, entry)` pair,
 /// shared by every engine that analyses that method.
 #[derive(Default, Debug)]
@@ -90,23 +97,35 @@ impl MethodContext<'_> {
     /// The boolean program for this method (computed once, shared by the
     /// FDS and relational SCMP engines).
     pub fn boolprog(&self) -> &BoolProgram {
+        if self.shared.boolprog.get().is_some() {
+            PREPARED_CACHE_HITS.incr();
+        }
         self.shared.boolprog.get_or_init(|| {
+            PREPARED_CACHE_MISSES.incr();
             transform_method(self.program, self.method, self.spec, self.derived, self.entry)
         })
     }
 
     /// The specialized TVP translation (shared by both TVLA modes).
     pub fn tvp_specialized(&self) -> &TvpProgram {
+        if self.shared.tvp_specialized.get().is_some() {
+            PREPARED_CACHE_HITS.incr();
+        }
         self.shared.tvp_specialized.get_or_init(|| {
+            PREPARED_CACHE_MISSES.incr();
             canvas_tvla::translate_specialized(self.program, self.method, self.spec, self.derived)
         })
     }
 
     /// The generic shape-graph TVP translation (shared by both SSG modes).
     pub fn tvp_generic(&self) -> &TvpProgram {
-        self.shared
-            .tvp_generic
-            .get_or_init(|| canvas_tvla::translate_generic(self.program, self.method, self.spec))
+        if self.shared.tvp_generic.get().is_some() {
+            PREPARED_CACHE_HITS.incr();
+        }
+        self.shared.tvp_generic.get_or_init(|| {
+            PREPARED_CACHE_MISSES.incr();
+            canvas_tvla::translate_generic(self.program, self.method, self.spec)
+        })
     }
 
     fn violation(&self, site: &canvas_minijava::Site) -> Violation {

@@ -53,6 +53,9 @@ impl BitSet {
     ///
     /// Panics on width mismatch.
     pub fn union_with(&mut self, other: &BitSet) -> bool {
+        static BITSET_UNIONS: canvas_telemetry::Counter =
+            canvas_telemetry::Counter::new("dataflow.bitset_unions");
+        BITSET_UNIONS.incr();
         assert_eq!(self.len, other.len, "bit set width mismatch");
         let mut changed = false;
         for (a, b) in self.words.iter_mut().zip(&other.words) {

@@ -15,6 +15,12 @@ use canvas_minijava::Site;
 
 use crate::bitset::BitSet;
 
+static FDS_WORKLIST_POPS: canvas_telemetry::Counter =
+    canvas_telemetry::Counter::new("fds.worklist_pops");
+static FDS_EDGE_VISITS: canvas_telemetry::Counter =
+    canvas_telemetry::Counter::new("fds.edge_visits");
+static FDS_SOLVE_TIME: canvas_telemetry::Timer = canvas_telemetry::Timer::new("fds.solve");
+
 /// The fixpoint result: for every node, which predicates may be 1.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct FdsResult {
@@ -36,6 +42,7 @@ pub struct Violation {
 
 /// Runs the may-be-1 analysis to fixpoint.
 pub fn analyze(bp: &BoolProgram) -> FdsResult {
+    let _span = FDS_SOLVE_TIME.span();
     let n = bp.node_count;
     let width = bp.preds.len();
     let mut state: Vec<BitSet> = (0..n).map(|_| BitSet::new(width)).collect();
@@ -55,7 +62,9 @@ pub fn analyze(bp: &BoolProgram) -> FdsResult {
     on_work[bp.entry] = true;
     reached[bp.entry] = true;
     let mut edge_visits = 0;
+    let mut pops = 0u64;
     while let Some(node) = work.pop() {
+        pops += 1;
         on_work[node] = false;
         for &ek in &out_edges[node] {
             let e = &bp.edges[ek];
@@ -80,6 +89,8 @@ pub fn analyze(bp: &BoolProgram) -> FdsResult {
             }
         }
     }
+    FDS_WORKLIST_POPS.add(pops);
+    FDS_EDGE_VISITS.add(edge_visits as u64);
     FdsResult { may_one: state, edge_visits }
 }
 

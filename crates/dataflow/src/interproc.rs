@@ -47,6 +47,13 @@ use canvas_wp::Derived;
 use crate::bitset::BitSet;
 use crate::fds::Violation;
 
+static INTERPROC_ANALYSES: canvas_telemetry::Counter =
+    canvas_telemetry::Counter::new("interproc.analyses");
+static INTERPROC_SUMMARY_ITERATIONS: canvas_telemetry::Counter =
+    canvas_telemetry::Counter::new("interproc.summary_iterations");
+static INTERPROC_ANALYZE_TIME: canvas_telemetry::Timer =
+    canvas_telemetry::Timer::new("interproc.analyze");
+
 /// Phantom variables per component type; bounds the representable family
 /// arity (all families derived from the paper's specs have arity ≤ 2).
 const PHANTOMS_PER_TYPE: usize = 2;
@@ -110,6 +117,8 @@ struct Ctx<'a> {
 ///
 /// Panics if the program has no static `main` method.
 pub fn analyze(program: &Program, spec: &Spec, derived: &Derived) -> InterprocResult {
+    let _span = INTERPROC_ANALYZE_TIME.span();
+    INTERPROC_ANALYSES.incr();
     let main_id = program.main_method().expect("interprocedural analysis needs a main").id;
     let mut ext = program.clone();
 
@@ -163,6 +172,7 @@ pub fn analyze(program: &Program, spec: &Spec, derived: &Derived) -> InterprocRe
     let (summaries, summary_iterations) = ctx.summary_fixpoint();
     let (violations, reachable) = ctx.tabulate(main_id, &summaries);
     let max_instances = ctx.methods.iter().map(|m| m.bp.preds.len()).max().unwrap_or(0);
+    INTERPROC_SUMMARY_ITERATIONS.add(summary_iterations as u64);
     InterprocResult { violations, reachable, summary_iterations, max_instances }
 }
 

@@ -15,6 +15,12 @@ use canvas_minijava::Site;
 use crate::bitset::BitSet;
 use crate::fds::Violation;
 
+static REL_WORKLIST_POPS: canvas_telemetry::Counter =
+    canvas_telemetry::Counter::new("relational.worklist_pops");
+static REL_TRANSFERS: canvas_telemetry::Counter =
+    canvas_telemetry::Counter::new("relational.transfers");
+static REL_SOLVE_TIME: canvas_telemetry::Timer = canvas_telemetry::Timer::new("relational.solve");
+
 /// Analysis failure: the state set exceeded the budget.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct RelError {
@@ -48,6 +54,20 @@ pub struct RelResult {
 /// Returns [`RelError`] if any node accumulates more than `budget`
 /// valuations (the engine is exponential in the worst case).
 pub fn analyze(bp: &BoolProgram, budget: usize) -> Result<RelResult, RelError> {
+    let _span = REL_SOLVE_TIME.span();
+    // Publishes on drop so the budget-exceeded `Err` exits are counted too.
+    struct Tally {
+        pops: u64,
+        transfers: u64,
+    }
+    impl Drop for Tally {
+        fn drop(&mut self) {
+            REL_WORKLIST_POPS.add(self.pops);
+            REL_TRANSFERS.add(self.transfers);
+        }
+    }
+    let mut tally = Tally { pops: 0, transfers: 0 };
+
     let n = bp.node_count;
     let width = bp.preds.len();
     let mut states: Vec<HashSet<BitSet>> = vec![HashSet::new(); n];
@@ -76,14 +96,14 @@ pub fn analyze(bp: &BoolProgram, budget: usize) -> Result<RelResult, RelError> {
     let mut work: Vec<usize> = vec![bp.entry];
     let mut on_work = vec![false; n];
     on_work[bp.entry] = true;
-    let mut transfers = 0;
     while let Some(node) = work.pop() {
+        tally.pops += 1;
         on_work[node] = false;
         for &ek in &out_edges[node] {
             let e = &bp.edges[ek];
             let mut new_states: Vec<BitSet> = Vec::new();
             for s in &states[e.from] {
-                transfers += 1;
+                tally.transfers += 1;
                 // apply parallel assignment; Havoc forks
                 let mut outs = vec![s.clone()];
                 for (dst, rhs) in &e.assigns {
@@ -130,7 +150,7 @@ pub fn analyze(bp: &BoolProgram, budget: usize) -> Result<RelResult, RelError> {
             }
         }
     }
-    Ok(RelResult { states, transfers })
+    Ok(RelResult { states, transfers: tally.transfers as usize })
 }
 
 /// Extracts potential violations from a relational fixpoint.

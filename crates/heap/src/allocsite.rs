@@ -24,6 +24,11 @@ use std::collections::{BTreeMap, BTreeSet};
 use canvas_easl::{ClassSpec, MethodSpec, Spec, SpecExpr, SpecStmt, SpecVar};
 use canvas_logic::{Formula, Kleene, Term};
 use canvas_minijava::{Instr, MethodIr, Program, Site, VarId};
+use canvas_telemetry::{Counter, Timer};
+
+static ALLOCSITE_WORKLIST_POPS: Counter = Counter::new("allocsite.worklist_pops");
+static ALLOCSITE_EDGE_VISITS: Counter = Counter::new("allocsite.edge_visits");
+static ALLOCSITE_SOLVE_TIME: Timer = Timer::new("allocsite.solve");
 
 /// An abstract object: an allocation site id.
 type Obj = u32;
@@ -183,6 +188,7 @@ pub fn analyze_with_entry(
     spec: &Spec,
     unknown_entry: bool,
 ) -> AllocSiteResult {
+    let _span = ALLOCSITE_SOLVE_TIME.span();
     let n = method.cfg.node_count();
     let mut states: Vec<Option<State>> = vec![None; n];
     let mut init = State::default();
@@ -207,9 +213,11 @@ pub fn analyze_with_entry(
     on_work[method.cfg.entry().0] = true;
     let mut violations: BTreeSet<Site> = BTreeSet::new();
     let mut edge_visits = 0;
+    let mut pops = 0u64;
 
     while let Some(node) = work.pop() {
         on_work[node] = false;
+        pops += 1;
         let Some(cur) = states[node].clone() else { continue };
         for &ek in &out_edges[node] {
             let e = &edges[ek];
@@ -230,6 +238,8 @@ pub fn analyze_with_entry(
         }
     }
 
+    ALLOCSITE_WORKLIST_POPS.add(pops);
+    ALLOCSITE_EDGE_VISITS.add(edge_visits as u64);
     AllocSiteResult { violations: violations.into_iter().collect(), edge_visits }
 }
 

@@ -192,13 +192,21 @@ impl Formula {
         use std::cell::RefCell;
         use std::collections::HashMap;
         const CACHE_CAP: usize = 8192;
+        // thread-local cache ⇒ hit ratios depend on which thread ran which
+        // job, so the counters are recorded but never baseline-gated
+        static DNF_CACHE_HITS: canvas_telemetry::Counter =
+            canvas_telemetry::Counter::non_deterministic("logic.dnf_cache_hits");
+        static DNF_CACHE_MISSES: canvas_telemetry::Counter =
+            canvas_telemetry::Counter::non_deterministic("logic.dnf_cache_misses");
         thread_local! {
             static CACHE: RefCell<HashMap<Formula, Dnf>> = RefCell::new(HashMap::new());
         }
         CACHE.with(|cache| {
             if let Some(d) = cache.borrow().get(self) {
+                DNF_CACHE_HITS.incr();
                 return d.clone();
             }
+            DNF_CACHE_MISSES.incr();
             let d = Dnf::from_formula(self);
             let mut cache = cache.borrow_mut();
             if cache.len() >= CACHE_CAP {

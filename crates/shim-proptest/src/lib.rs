@@ -11,7 +11,11 @@
 //! Differences from upstream, deliberate and test-visible only on failure:
 //! no shrinking (the failing case is reported as-is), and deterministic
 //! per-test seeding (each named test explores the same case sequence every
-//! run, which doubles as reproducibility).
+//! run, which doubles as reproducibility). The `PROPTEST_CASES`
+//! environment variable overrides the case count of *every* config —
+//! upstream honours it only for `default()` — so CI can deepen a suite
+//! without code changes. Failure messages carry the failing case's rng
+//! seed; `TestRng::new(seed)` replays exactly that case.
 
 pub mod test_runner {
     /// Why a test case failed.
@@ -51,15 +55,22 @@ pub mod test_runner {
     }
 
     impl ProptestConfig {
+        /// Unlike upstream, `PROPTEST_CASES` (a positive integer) overrides
+        /// explicit counts too, so a nightly job can deepen every suite.
         pub fn with_cases(cases: u32) -> Self {
-            ProptestConfig { cases }
+            ProptestConfig { cases: env_cases().unwrap_or(cases) }
         }
     }
 
     impl Default for ProptestConfig {
         fn default() -> Self {
-            ProptestConfig { cases: 64 }
+            ProptestConfig { cases: env_cases().unwrap_or(64) }
         }
+    }
+
+    /// `PROPTEST_CASES` when set to a positive integer, else `None`.
+    fn env_cases() -> Option<u32> {
+        std::env::var("PROPTEST_CASES").ok()?.trim().parse().ok().filter(|&n| n > 0)
     }
 
     /// SplitMix64 — deterministic case-generation randomness.
@@ -101,11 +112,16 @@ pub mod test_runner {
             seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
         }
         for i in 0..config.cases {
-            let mut rng = TestRng::new(seed ^ (u64::from(i).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+            let case_seed = seed ^ (u64::from(i).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut rng = TestRng::new(case_seed);
             match case(&mut rng) {
                 Ok(()) | Err(TestCaseError::Reject(_)) => {}
                 Err(TestCaseError::Fail(reason)) => {
-                    panic!("proptest `{test_name}` failed at case {i}/{}: {reason}", config.cases)
+                    // the seed alone replays the case: TestRng::new(seed)
+                    panic!(
+                        "proptest `{test_name}` failed at case {i}/{} (rng seed {case_seed:#018x}): {reason}",
+                        config.cases
+                    )
                 }
             }
         }
@@ -561,6 +577,19 @@ mod tests {
             assert!(a < 10);
             assert_eq!(b, 5);
         }
+    }
+
+    #[test]
+    fn proptest_cases_env_overrides_all_configs() {
+        // safe: no other test in this crate reads the variable mid-run, and
+        // the proptest-driven test below passes at any case count
+        std::env::set_var("PROPTEST_CASES", "7");
+        assert_eq!(ProptestConfig::default().cases, 7);
+        assert_eq!(ProptestConfig::with_cases(32).cases, 7);
+        std::env::set_var("PROPTEST_CASES", "not a number");
+        assert_eq!(ProptestConfig::with_cases(32).cases, 32);
+        std::env::remove_var("PROPTEST_CASES");
+        assert_eq!(ProptestConfig::default().cases, 64);
     }
 
     #[test]

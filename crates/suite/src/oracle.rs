@@ -78,12 +78,15 @@ pub fn explore(program: &Program, spec: &Spec, config: OracleConfig) -> OracleRe
 }
 
 fn explore_on_this_stack(program: &Program, spec: &Spec, config: OracleConfig) -> OracleResult {
+    static ORACLE_PATHS: canvas_telemetry::Counter =
+        canvas_telemetry::Counter::new("oracle.paths_explored");
     let main = program.main_method().expect("oracle needs a main");
     let mut o =
         Oracle { program, spec, config, violations: BTreeSet::new(), paths: 0, truncated: false };
     let entry = State { objects: Vec::new(), vars: HashMap::new() };
     let exits = o.run_from(main, main.cfg.entry(), entry, 0, 0);
     o.paths += exits.len();
+    ORACLE_PATHS.add(o.paths as u64);
     OracleResult { violation_lines: o.violations, paths: o.paths, truncated: o.truncated }
 }
 

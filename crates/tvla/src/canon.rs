@@ -20,6 +20,11 @@ pub fn signature(s: &Structure, preds: &[PredDecl], u: usize) -> Vec<Kleene> {
 /// joining predicate values; the result's individuals are ordered by
 /// signature, so equal canonical structures compare equal structurally.
 pub fn canonicalize(s: &Structure, preds: &[PredDecl]) -> Structure {
+    static CANONICALIZATIONS: canvas_telemetry::Counter =
+        canvas_telemetry::Counter::new("tvla.canonicalizations");
+    static CANON_TIME: canvas_telemetry::Timer = canvas_telemetry::Timer::new("tvla.canon");
+    CANONICALIZATIONS.incr();
+    let _span = CANON_TIME.span();
     let n = s.universe_len();
     // group indices by signature
     let mut groups: Vec<(Vec<Kleene>, Vec<usize>)> = Vec::new();

@@ -9,6 +9,17 @@ use crate::structure::Structure;
 use crate::transfer::apply;
 use crate::tvp::TvpProgram;
 
+static TVLA_WORKLIST_POPS: canvas_telemetry::Counter =
+    canvas_telemetry::Counter::new("tvla.worklist_pops");
+static TVLA_APPLICATIONS: canvas_telemetry::Counter =
+    canvas_telemetry::Counter::new("tvla.applications");
+static TVLA_STRUCTURES_CREATED: canvas_telemetry::Counter =
+    canvas_telemetry::Counter::new("tvla.structures_created");
+static TVLA_DEDUP_HITS: canvas_telemetry::Counter =
+    canvas_telemetry::Counter::new("tvla.dedup_hits");
+static TVLA_JOINS: canvas_telemetry::Counter = canvas_telemetry::Counter::new("tvla.joins");
+static TVLA_SOLVE_TIME: canvas_telemetry::Timer = canvas_telemetry::Timer::new("tvla.solve");
+
 /// Which abstract-state representation to use per CFG node.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum EngineMode {
@@ -77,6 +88,11 @@ fn collect_states(
     max_structs_per_node: usize,
     entry: Vec<Structure>,
 ) -> (TvlaResult, Vec<Vec<Structure>>) {
+    let _span = TVLA_SOLVE_TIME.span();
+    let mut pops = 0u64;
+    let mut structs_created = 0u64;
+    let mut dedup_hits = 0u64;
+    let mut joins = 0u64;
     let mut states: Vec<Vec<Structure>> = vec![Vec::new(); p.nodes];
     // Hash-set mirror of `states` for O(1) membership in relational mode
     // (structures are canonicalized, so hashing sees the isomorphism-
@@ -87,13 +103,19 @@ fn collect_states(
         match mode {
             EngineMode::Relational => {
                 if seen[p.entry].insert(s.clone()) {
+                    structs_created += 1;
                     states[p.entry].push(s);
+                } else {
+                    dedup_hits += 1;
                 }
             }
             EngineMode::IndependentAttribute => {
                 let acc = match states[p.entry].pop() {
                     None => s,
-                    Some(t) => crate::canon::join(&t, &s, &p.preds),
+                    Some(t) => {
+                        joins += 1;
+                        crate::canon::join(&t, &s, &p.preds)
+                    }
                 };
                 states[p.entry] = vec![acc];
             }
@@ -114,6 +136,7 @@ fn collect_states(
     let mut exhausted = false;
 
     while let Some(node) = work.pop() {
+        pops += 1;
         on_work[node] = false;
         let cur = states[node].clone();
         for &ek in &out_edges[node] {
@@ -135,8 +158,11 @@ fn collect_states(
                 EngineMode::Relational => {
                     for s in new_structs {
                         if seen[*to].insert(s.clone()) {
+                            structs_created += 1;
                             target.push(s);
                             changed = true;
+                        } else {
+                            dedup_hits += 1;
                         }
                     }
                 }
@@ -145,7 +171,10 @@ fn collect_states(
                     for s in new_structs {
                         acc = Some(match acc {
                             None => s,
-                            Some(t) => join(&t, &s, &p.preds),
+                            Some(t) => {
+                                joins += 1;
+                                join(&t, &s, &p.preds)
+                            }
                         });
                     }
                     if let Some(s) = acc {
@@ -182,6 +211,11 @@ fn collect_states(
     let mut violations: Vec<TvlaViolation> =
         violations.into_iter().map(|site| TvlaViolation { site }).collect();
     violations.sort_by_key(|v| (v.site.method, v.site.line, v.site.what.clone()));
+    TVLA_WORKLIST_POPS.add(pops);
+    TVLA_APPLICATIONS.add(applications as u64);
+    TVLA_STRUCTURES_CREATED.add(structs_created);
+    TVLA_DEDUP_HITS.add(dedup_hits);
+    TVLA_JOINS.add(joins);
     (TvlaResult { violations, applications, max_states, exhausted }, states)
 }
 

@@ -18,6 +18,19 @@ use canvas_logic::{models, FieldId, Formula, PredId, Term, TypeName, TypeOracle,
 use crate::simplify::Simplifier;
 use crate::sym::{bind_requires, client_stmt_actions, wp_through_actions, OperandBinding};
 
+static WP_COMPUTATIONS: canvas_telemetry::Counter =
+    canvas_telemetry::Counter::new("wp.computations");
+static WP_DISJUNCT_SPLITS: canvas_telemetry::Counter =
+    canvas_telemetry::Counter::new("wp.disjunct_splits");
+static WP_EQUIV_CHECKS: canvas_telemetry::Counter =
+    canvas_telemetry::Counter::new("wp.equiv_checks");
+static WP_FAMILIES: canvas_telemetry::Counter = canvas_telemetry::Counter::new("wp.families");
+static WP_EQUIV_MEMO_HITS: canvas_telemetry::Counter =
+    canvas_telemetry::Counter::new("wp.equiv_memo_hits");
+static WP_EQUIV_MEMO_MISSES: canvas_telemetry::Counter =
+    canvas_telemetry::Counter::new("wp.equiv_memo_misses");
+static WP_DERIVE_TIME: canvas_telemetry::Timer = canvas_telemetry::Timer::new("wp.derive");
+
 /// Identifier of a [`Family`] in [`Derived::families`].
 ///
 /// Family ids are dense [`PredId`]s: `id.index()` is the family's position
@@ -338,6 +351,7 @@ fn derive_impl(
     max_families: usize,
     conservative: bool,
 ) -> Result<Derived, DeriveError> {
+    let _span = WP_DERIVE_TIME.span();
     let oracle = spec.oracle();
     let mut d = Deriver {
         spec,
@@ -382,6 +396,10 @@ fn derive_impl(
         d.stats.families_discovered.push(d.families.len());
     }
 
+    WP_COMPUTATIONS.add(d.stats.wp_count as u64);
+    WP_DISJUNCT_SPLITS.add(d.stats.candidates as u64);
+    WP_EQUIV_CHECKS.add(d.stats.equiv_checks as u64);
+    WP_FAMILIES.add(d.families.len() as u64);
     Ok(Derived { spec_name: spec.name().to_string(), families: d.families, stmts, stats: d.stats })
 }
 
@@ -465,8 +483,10 @@ impl Deriver<'_> {
     fn equivalent_memo(&mut self, assumption: &Formula, f: &Formula, g: &Formula) -> bool {
         let key = (assumption.clone(), f.clone(), g.clone());
         if let Some(&v) = self.equiv_memo.get(&key) {
+            WP_EQUIV_MEMO_HITS.incr();
             return v;
         }
+        WP_EQUIV_MEMO_MISSES.incr();
         let v = models::equivalent(self.oracle, assumption, f, g);
         self.equiv_memo.insert(key, v);
         v

@@ -1,0 +1,25 @@
+//! Golden test pinning the deterministic telemetry counters each engine
+//! produces on the Fig. 3 benchmark (`eval fig3-metrics`).
+//!
+//! This is the counter-level analogue of `golden_eval.rs`: if an engine
+//! starts doing a different *amount* of work (more worklist pops, extra
+//! canonicalisations, ...) this test catches it even when the certified
+//! verdicts are unchanged. Regenerate with
+//! `cargo run --release -p canvas-bench --bin eval -- fig3-metrics`
+//! after auditing the diff.
+//!
+//! Kept as its own integration-test binary: telemetry counters are
+//! process-global, so this must not share a process with tests that run
+//! the engines concurrently.
+
+#[test]
+fn fig3_metrics_match_golden() {
+    let expected = include_str!("golden/fig3_metrics.txt");
+    let actual = canvas_bench::render_fig3_metrics();
+    assert_eq!(
+        actual, expected,
+        "deterministic per-engine counters on Fig. 3 drifted; if the change \
+         is intended, regenerate tests/golden/fig3_metrics.txt (and check \
+         bench/baseline.json)"
+    );
+}
