@@ -1,8 +1,10 @@
 //! Regenerates the paper's evaluation tables and figures (DESIGN.md E1–E9).
 //!
 //! ```text
-//! eval [TABLE] [--metrics] [--metrics-json [PATH]] [--check-baseline PATH]
+//! eval [TABLE] [--explain] [--trace-out PATH] [--metrics] [--metrics-json [PATH]]
+//!      [--check-baseline PATH]
 //! eval compare A.json B.json
+//! eval trace-check PATH
 //! ```
 //!
 //! `TABLE` is one of `derive|fig3|fig3-metrics|fig6|fig7|fig8|
@@ -16,6 +18,12 @@
 //! committed baseline and exits 1 on drift. `compare` diffs the
 //! deterministic sections of two emitted documents (the CI determinism
 //! check runs the evaluation twice and compares).
+//!
+//! `--explain` switches the `fig3` table to the witness-trace rendering
+//! (rustc-style labeled diagnostics). `--trace-out` collects structured
+//! trace events during the run and writes them as Chrome Trace Format JSON;
+//! `trace-check` validates such a file (valid JSON, >0 events) — CI runs it
+//! against the bench-smoke artifact.
 
 use std::collections::BTreeMap;
 use std::env;
@@ -50,15 +58,31 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("compare") {
         return compare(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("trace-check") {
+        return trace_check(&args[1..]);
+    }
 
     let mut table: Option<String> = None;
     let mut metrics = false;
+    let mut explain = false;
+    let mut trace_out: Option<String> = None;
     let mut metrics_json: Option<String> = None;
     let mut baseline: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--metrics" => metrics = true,
+            "--explain" => explain = true,
+            "--trace-out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => trace_out = Some(p.clone()),
+                    None => {
+                        eprintln!("--trace-out needs a path");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--metrics-json" => {
                 // optional PATH operand (anything that is not a flag/table)
                 let path = match args.get(i + 1) {
@@ -107,7 +131,7 @@ fn main() -> ExitCode {
             print!("{}", m.snapshot);
         }
         if let Some(t) = &table {
-            run_table(t);
+            run_table(t, explain);
         }
         if let Some(path) = &baseline {
             let base =
@@ -138,11 +162,53 @@ fn main() -> ExitCode {
     if metrics {
         canvas_telemetry::set_enabled(true);
     }
-    run_table(table.as_deref().unwrap_or("all"));
+    canvas_telemetry::trace::set_tracing(trace_out.is_some());
+    run_table(table.as_deref().unwrap_or("all"), explain);
     if metrics {
         print!("{}", canvas_telemetry::snapshot());
     }
+    if let Some(path) = &trace_out {
+        let json = canvas_telemetry::trace::export_chrome_json();
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("cannot write trace {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("wrote trace to {path}");
+    }
     ExitCode::SUCCESS
+}
+
+/// `eval trace-check PATH`: exit 1 unless `PATH` is a valid Chrome Trace
+/// Format document with at least one event (the CI bench-smoke gate).
+fn trace_check(paths: &[String]) -> ExitCode {
+    let [path] = paths else {
+        eprintln!("usage: eval trace-check PATH");
+        return ExitCode::from(2);
+    };
+    let doc = match std::fs::read_to_string(path)
+        .map_err(|e| e.to_string())
+        .and_then(|text| Json::parse(&text))
+    {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("{path}: not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match doc.get("traceEvents") {
+        Some(Json::Arr(events)) if !events.is_empty() => {
+            println!("{path}: valid Chrome Trace JSON with {} event(s)", events.len());
+            ExitCode::SUCCESS
+        }
+        Some(Json::Arr(_)) => {
+            eprintln!("{path}: traceEvents is empty");
+            ExitCode::FAILURE
+        }
+        _ => {
+            eprintln!("{path}: missing traceEvents array");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// `eval compare A.json B.json`: exit 1 when the deterministic sections of
@@ -174,9 +240,10 @@ fn compare(paths: &[String]) -> ExitCode {
     }
 }
 
-fn run_table(what: &str) {
+fn run_table(what: &str, explain: bool) {
     match what {
         "derive" => table_derive(),
+        "fig3" if explain => print!("{}", canvas_bench::render_fig3_explained()),
         "fig3" => table_fig3(),
         "fig3-metrics" => table_fig3_metrics(),
         "fig6" => figure_fig6(),

@@ -375,6 +375,42 @@ mod tests {
     }
 
     #[test]
+    fn parse_rejects_trailing_garbage_after_the_top_level_value() {
+        // a valid prefix must not parse prefix-only; the error names the
+        // byte offset of the first trailing character
+        for (input, at) in
+            [("{} {}", 3), ("[1] 2", 4), ("true false", 5), ("null,", 4), ("\"s\"x", 3)]
+        {
+            let err = Json::parse(input).expect_err(input);
+            assert!(
+                err.contains(&format!("trailing input at byte {at}")),
+                "{input:?}: error {err:?} should point at byte {at}"
+            );
+        }
+        // trailing *whitespace* is not garbage
+        assert_eq!(Json::parse("42 \n"), Ok(Json::Int(42)));
+    }
+
+    #[test]
+    fn parse_error_paths_report_offsets() {
+        for (bad, needle) in [
+            ("{\"k\" 1}", "expected ':'"),
+            ("[1 2]", "expected ',' or ']'"),
+            ("{\"a\":1 \"b\":2}", "expected ',' or '}'"),
+            ("\"\\q\"", "bad escape"),
+            ("\"\\u12\"", "bad \\u escape"),
+            ("\"\\ud800\"", "bad codepoint"),
+            ("1e3", "non-integer"),
+            ("99999999999999999999", "bad number"),
+            ("tru", "expected \"true\""),
+            ("\"open", "unterminated string"),
+        ] {
+            let err = Json::parse(bad).expect_err(bad);
+            assert!(err.contains(needle), "{bad:?}: error {err:?} should mention {needle:?}");
+        }
+    }
+
+    #[test]
     fn diff_reports_paths() {
         let a = obj(vec![("x", Json::Int(1)), ("y", Json::Arr(vec![Json::Int(2)]))]);
         let b = obj(vec![("x", Json::Int(3)), ("y", Json::Arr(vec![Json::Int(2)]))]);

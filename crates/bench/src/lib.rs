@@ -380,6 +380,21 @@ pub fn render_fig3() -> String {
     out
 }
 
+/// E2 with witness evidence, exactly as `eval -- fig3 --explain` prints it:
+/// the specialized FDS certifier run with provenance recording on, every
+/// violation rendered as a rustc-style labeled diagnostic whose secondary
+/// labels replay the witness trace (create → mutate → stale use).
+/// Deterministic, so golden-testable.
+pub fn render_fig3_explained() -> String {
+    let mut out =
+        render_header("E2 (explained): Fig. 3 witness traces (specialized FDS certifier)");
+    let c =
+        Certifier::from_spec(canvas_easl::builtin::cmp()).expect("cmp derives").with_explain(true);
+    let r = c.certify_source(FIG3, Engine::ScmpFds).expect("fig3 certifies");
+    out.push_str(&r.render_explained("fig3.mj", FIG3));
+    out
+}
+
 /// Renders a duration compactly.
 pub fn fmt_duration(d: Duration) -> String {
     if d.as_millis() >= 10 {

@@ -2,12 +2,17 @@
 //!
 //! ```text
 //! canvas derive  --spec <cmp|grp|imp|aop|PATH.easl> [--metrics]
-//! canvas certify --spec <...> [--engine <name>] [--whole-program|--inline] [--metrics] CLIENT.mj
+//! canvas certify --spec <...> [--engine <name>] [--whole-program|--inline]
+//!                [--explain] [--trace-out PATH] [--metrics] CLIENT.mj
 //! canvas engines
 //! ```
 //!
 //! `--metrics` enables pipeline telemetry and prints a summary (counters,
-//! timers) after the command's normal output.
+//! timers) after the command's normal output. `--explain` records per-fact
+//! provenance during the analysis and renders each violation as a
+//! rustc-style labeled diagnostic with its witness trace. `--trace-out`
+//! records solver/certification trace events and writes them as Chrome
+//! Trace Format JSON (loadable in Perfetto / `chrome://tracing`).
 //!
 //! Exit status: 0 = certified conformant, 1 = potential violations found,
 //! 2 = usage/spec/client error.
@@ -67,12 +72,14 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "certify" => {
             let opts = parse_opts(it.as_slice())?;
             canvas_telemetry::set_enabled(opts.metrics);
+            canvas_telemetry::trace::set_tracing(opts.trace_out.is_some());
             let client_path =
                 opts.client.as_deref().ok_or("certify needs a client file argument")?;
             let source = std::fs::read_to_string(client_path)
                 .map_err(|e| format!("cannot read {client_path}: {e}"))?;
             let spec = load_spec(&opts.spec)?;
-            let certifier = Certifier::from_spec(spec).map_err(|e| e.to_string())?;
+            let certifier =
+                Certifier::from_spec(spec).map_err(|e| e.to_string())?.with_explain(opts.explain);
             let program = canvas_minijava::Program::parse(&source, certifier.spec())
                 .map_err(|e| format!("{client_path}: {e}"))?;
             let report = if opts.inline {
@@ -83,16 +90,27 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 certifier.certify(&program, opts.engine)
             }
             .map_err(|e| e.to_string())?;
-            print!("{report}");
+            if opts.explain {
+                print!("{}", report.render_explained(client_path, &source));
+            } else {
+                print!("{report}");
+            }
             if opts.metrics {
                 print!("{}", canvas_telemetry::snapshot());
+            }
+            if let Some(path) = &opts.trace_out {
+                let json = canvas_telemetry::trace::export_chrome_json();
+                std::fs::write(path, &json)
+                    .map_err(|e| format!("cannot write trace {path}: {e}"))?;
+                eprintln!("canvas: wrote trace to {path}");
             }
             Ok(if report.certified() { ExitCode::SUCCESS } else { ExitCode::from(1) })
         }
         _ => {
             println!(
                 "usage:\n  canvas derive  --spec <cmp|grp|imp|aop|PATH.easl> [--metrics]\n  \
-                 canvas certify --spec <...> [--engine <name>] [--whole-program|--inline] [--metrics] CLIENT.mj\n  \
+                 canvas certify --spec <...> [--engine <name>] [--whole-program|--inline] \
+                 [--explain] [--trace-out PATH] [--metrics] CLIENT.mj\n  \
                  canvas engines"
             );
             Ok(ExitCode::from(2))
@@ -106,6 +124,8 @@ struct Opts {
     whole_program: bool,
     inline: bool,
     metrics: bool,
+    explain: bool,
+    trace_out: Option<String>,
     client: Option<String>,
 }
 
@@ -116,6 +136,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         whole_program: false,
         inline: false,
         metrics: false,
+        explain: false,
+        trace_out: None,
         client: None,
     };
     let mut it = args.iter();
@@ -132,6 +154,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--whole-program" => opts.whole_program = true,
             "--inline" => opts.inline = true,
             "--metrics" => opts.metrics = true,
+            "--explain" => opts.explain = true,
+            "--trace-out" => {
+                opts.trace_out = Some(it.next().ok_or("--trace-out needs a path")?.clone());
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown option {other:?}"));
             }

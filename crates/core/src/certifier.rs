@@ -124,6 +124,7 @@ pub struct Certifier {
     derived: Derived,
     relational_budget: usize,
     tvla_budget: usize,
+    explain: bool,
 }
 
 impl Certifier {
@@ -136,7 +137,13 @@ impl Certifier {
     /// exceeded (the spec is probably not mutation-restricted, §6).
     pub fn from_spec(spec: Spec) -> Result<Certifier, CertifyError> {
         let derived = derive_abstraction(&spec)?;
-        Ok(Certifier { spec, derived, relational_budget: 1 << 14, tvla_budget: 50_000 })
+        Ok(Certifier {
+            spec,
+            derived,
+            relational_budget: 1 << 14,
+            tvla_budget: 50_000,
+            explain: false,
+        })
     }
 
     /// Like [`Certifier::from_spec`], but falls back to the *conservative*
@@ -153,7 +160,13 @@ impl Certifier {
         max_families: usize,
     ) -> Result<Certifier, CertifyError> {
         let derived = canvas_wp::derive_conservative(&spec, max_families)?;
-        Ok(Certifier { spec, derived, relational_budget: 1 << 14, tvla_budget: 50_000 })
+        Ok(Certifier {
+            spec,
+            derived,
+            relational_budget: 1 << 14,
+            tvla_budget: 50_000,
+            explain: false,
+        })
     }
 
     /// The component specification.
@@ -170,6 +183,15 @@ impl Certifier {
     pub fn with_budgets(mut self, relational: usize, tvla: usize) -> Certifier {
         self.relational_budget = relational;
         self.tvla_budget = tvla;
+        self
+    }
+
+    /// Turns witness recording on: the solver engines take their
+    /// provenance-recording paths and every violation carries a
+    /// [`crate::report::Witness`]. Off by default (the plain paths stay
+    /// within the telemetry-overhead budget).
+    pub fn with_explain(mut self, on: bool) -> Certifier {
+        self.explain = on;
         self
     }
 
@@ -256,8 +278,7 @@ impl Certifier {
             report.stats.max_states = report.stats.max_states.max(r.stats.max_states);
             report.stats.exhausted |= r.stats.exhausted;
         }
-        report.violations.sort();
-        report.violations.dedup();
+        report.normalize();
         Ok(report)
     }
 
@@ -310,6 +331,13 @@ impl Certifier {
         shared: &SharedTransforms,
     ) -> Result<Report, CertifyError> {
         let start = Instant::now();
+        // the guard (not the format!) is what must be cheap when tracing is off
+        let _trace = canvas_telemetry::trace::tracing().then(|| {
+            canvas_telemetry::trace::span(
+                &format!("certify {} [{engine}]", method.qualified_name()),
+                "certify",
+            )
+        });
         let cx = MethodContext {
             program,
             method,
@@ -318,12 +346,12 @@ impl Certifier {
             entry,
             relational_budget: self.relational_budget,
             tvla_budget: self.tvla_budget,
+            explain: self.explain,
             shared,
         };
         let mut report = engine.info().run(&cx)?;
         report.stats.duration = start.elapsed();
-        report.violations.sort();
-        report.violations.dedup();
+        report.normalize();
         Ok(report)
     }
 }

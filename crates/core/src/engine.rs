@@ -19,7 +19,7 @@ use canvas_tvla::TvpProgram;
 use canvas_wp::Derived;
 
 use crate::certifier::{CertifyError, Engine};
-use crate::report::{Report, Stats, Violation};
+use crate::report::{Report, Stats, Violation, Witness, WitnessStep};
 
 // Which engine wins the `OnceLock` init race depends on worker scheduling,
 // so these are recorded but never baseline-gated.
@@ -89,6 +89,9 @@ pub struct MethodContext<'a> {
     pub relational_budget: usize,
     /// Structure budget for the TVLA engines.
     pub tvla_budget: usize,
+    /// Whether to record provenance and attach witness traces to the
+    /// violations (slower solve paths; off for plain certification).
+    pub explain: bool,
     /// Shared transform cache for this `(method, entry)` pair.
     pub shared: &'a SharedTransforms,
 }
@@ -131,9 +134,54 @@ impl MethodContext<'_> {
     fn violation(&self, site: &canvas_minijava::Site) -> Violation {
         Violation {
             method: self.program.method(site.method).qualified_name(),
-            line: site.line,
+            line: site.span.line,
+            col: site.span.col,
             what: site.what.clone(),
+            witness: None,
         }
+    }
+
+    /// A violation carrying a conservative "no witness" marker (the TVLA and
+    /// alloc-site engines do not record provenance).
+    fn violation_unavailable(
+        &self,
+        site: &canvas_minijava::Site,
+        reason: &'static str,
+    ) -> Violation {
+        Violation { witness: Some(Witness::Unavailable(reason)), ..self.violation(site) }
+    }
+
+    /// A violation with its solver witness resolved to source terms. The
+    /// boolean program's edges are index-aligned with the method's IR edges,
+    /// so each trace step maps back to one source instruction.
+    fn violation_witnessed(&self, v: &canvas_dataflow::Violation) -> Violation {
+        let witness = v
+            .witness
+            .as_ref()
+            .map(|steps| Witness::Trace(steps.iter().map(|s| self.witness_step(s)).collect()));
+        Violation { witness, ..self.violation(&v.site) }
+    }
+
+    fn witness_step(&self, step: &canvas_dataflow::TraceStep) -> WitnessStep {
+        use canvas_minijava::Instr;
+        let m = self.program.method(step.method);
+        let e = &m.cfg.edges()[step.edge];
+        let name = |v: canvas_minijava::VarId| self.program.var(v).name.clone();
+        let (line, col, what) = match &e.instr {
+            Instr::New { at, .. }
+            | Instr::CallComponent { at, .. }
+            | Instr::CallClient { at, .. } => (at.span.line, at.span.col, at.what.clone()),
+            Instr::Copy { dst, src } => (0, 0, format!("{} = {}", name(*dst), name(*src))),
+            Instr::Load { dst, base, field } => {
+                (0, 0, format!("{} = {}.{}", name(*dst), name(*base), field))
+            }
+            Instr::Store { base, field, src } => {
+                (0, 0, format!("{}.{} = {}", name(*base), field, name(*src)))
+            }
+            Instr::Nullify { dst } => (0, 0, format!("{} = null", name(*dst))),
+            Instr::Nop => (0, 0, "(no-op)".to_string()),
+        };
+        WitnessStep { line, col, what, fact: step.fact.clone() }
     }
 }
 
@@ -193,11 +241,19 @@ impl AnalysisEngine for ScmpFdsEngine {
 
     fn run(&self, cx: &MethodContext<'_>) -> Result<Report, CertifyError> {
         let bp = cx.boolprog();
-        let res = canvas_dataflow::fds::analyze(bp);
-        let violations = canvas_dataflow::fds::violations(bp, &res);
+        let (res, violations) = if cx.explain {
+            let (res, prov) = canvas_dataflow::fds::analyze_traced(bp);
+            let violations =
+                canvas_dataflow::fds::violations_explained(bp, &res, &prov, cx.program, cx.derived);
+            (res, violations)
+        } else {
+            let res = canvas_dataflow::fds::analyze(bp);
+            let violations = canvas_dataflow::fds::violations(bp, &res);
+            (res, violations)
+        };
         Ok(Report {
             engine: self.id(),
-            violations: violations.iter().map(|v| cx.violation(&v.site)).collect(),
+            violations: violations.iter().map(|v| cx.violation_witnessed(v)).collect(),
             stats: Stats {
                 predicates: bp.preds.len(),
                 work: res.edge_visits,
@@ -226,13 +282,24 @@ impl AnalysisEngine for ScmpRelationalEngine {
 
     fn run(&self, cx: &MethodContext<'_>) -> Result<Report, CertifyError> {
         let bp = cx.boolprog();
-        let res = canvas_dataflow::relational::analyze(bp, cx.relational_budget)
-            .map_err(|_| CertifyError::StateBudget { engine: self.id() })?;
-        let violations = canvas_dataflow::relational::violations(bp, &res);
+        let budget_err = |_| CertifyError::StateBudget { engine: self.id() };
+        let (res, violations) = if cx.explain {
+            let (res, prov) = canvas_dataflow::relational::analyze_traced(bp, cx.relational_budget)
+                .map_err(budget_err)?;
+            let violations = canvas_dataflow::relational::violations_explained(
+                bp, &res, &prov, cx.program, cx.derived,
+            );
+            (res, violations)
+        } else {
+            let res = canvas_dataflow::relational::analyze(bp, cx.relational_budget)
+                .map_err(budget_err)?;
+            let violations = canvas_dataflow::relational::violations(bp, &res);
+            (res, violations)
+        };
         let max_states = res.states.iter().map(|s| s.len()).max().unwrap_or(0);
         Ok(Report {
             engine: self.id(),
-            violations: violations.iter().map(|v| cx.violation(&v.site)).collect(),
+            violations: violations.iter().map(|v| cx.violation_witnessed(v)).collect(),
             stats: Stats {
                 predicates: bp.preds.len(),
                 work: res.transfers,
@@ -260,10 +327,14 @@ impl AnalysisEngine for ScmpInterprocEngine {
     }
 
     fn run(&self, cx: &MethodContext<'_>) -> Result<Report, CertifyError> {
-        let res = canvas_dataflow::interproc::analyze(cx.program, cx.spec, cx.derived);
+        let res = if cx.explain {
+            canvas_dataflow::interproc::analyze_explained(cx.program, cx.spec, cx.derived)
+        } else {
+            canvas_dataflow::interproc::analyze(cx.program, cx.spec, cx.derived)
+        };
         Ok(Report {
             engine: self.id(),
-            violations: res.violations.iter().map(|v| cx.violation(&v.site)).collect(),
+            violations: res.violations.iter().map(|v| cx.violation_witnessed(v)).collect(),
             stats: Stats {
                 predicates: res.max_instances,
                 work: res.summary_iterations,
@@ -401,9 +472,19 @@ impl AnalysisEngine for GenericAllocSiteEngine {
             cx.spec,
             cx.entry == EntryAssumption::Unknown,
         );
+        let violation = |s: &canvas_minijava::Site| {
+            if cx.explain {
+                cx.violation_unavailable(
+                    s,
+                    "the allocation-site baseline does not record provenance",
+                )
+            } else {
+                cx.violation(s)
+            }
+        };
         Ok(Report {
             engine: self.id(),
-            violations: res.violations.iter().map(|s| cx.violation(s)).collect(),
+            violations: res.violations.iter().map(violation).collect(),
             stats: Stats { work: res.edge_visits, max_states: 1, ..Stats::default() },
         })
     }
@@ -435,9 +516,16 @@ fn run_tvla(
         }
     };
     let res = canvas_tvla::run_from(tvp, mode, cx.tvla_budget, entry_structs);
+    let violation = |v: &canvas_tvla::TvlaViolation| {
+        if cx.explain {
+            cx.violation_unavailable(&v.site, "the TVLA engines do not record provenance")
+        } else {
+            cx.violation(&v.site)
+        }
+    };
     Report {
         engine,
-        violations: res.violations.iter().map(|v| cx.violation(&v.site)).collect(),
+        violations: res.violations.iter().map(violation).collect(),
         stats: Stats {
             predicates: tvp.preds.len(),
             work: res.applications,
@@ -492,6 +580,7 @@ mod tests {
             entry: EntryAssumption::Clean,
             relational_budget: 1 << 14,
             tvla_budget: 50_000,
+            explain: false,
             shared: &shared,
         };
         let a = cx.boolprog() as *const BoolProgram;

@@ -47,4 +47,4 @@ mod report;
 
 pub use certifier::{Certifier, CertifyError, Engine};
 pub use engine::{registry, AnalysisEngine, MethodContext, PreparedProgram, SharedTransforms};
-pub use report::{Report, Stats, Violation};
+pub use report::{Report, Stats, Violation, Witness, WitnessStep};

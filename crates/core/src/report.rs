@@ -1,17 +1,92 @@
-//! Certification reports.
+//! Certification reports: violations, witness evidence, statistics, and the
+//! rustc-style `--explain` rendering.
 
+use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::time::Duration;
 
+use canvas_diagnostics::{Diagnostic, Label};
+
+/// One step of a violation's witness trace, in source terms: the location
+/// whose instruction established `fact` on the path to the violation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WitnessStep {
+    /// 1-based source line (`0` = the establishing instruction has no
+    /// source location, e.g. compiler-inserted glue).
+    pub line: u32,
+    /// 1-based source column (`0` with `line == 0`).
+    pub col: u32,
+    /// The establishing instruction, human-readable (e.g. `v.add("x")`).
+    pub what: String,
+    /// The established fact (e.g. `stale{i1}`).
+    pub fact: String,
+}
+
+/// The evidence attached to a violation when `--explain` is on.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Witness {
+    /// A chain of fact-establishment steps ending at the violating use
+    /// (empty when the precondition is violated unconditionally). The
+    /// solvers validate these chains against the boolean-program semantics
+    /// (see `canvas_dataflow::provenance::replay`).
+    Trace(Vec<WitnessStep>),
+    /// The engine cannot produce a witness; the reason is reported instead
+    /// of a fabricated trace.
+    Unavailable(&'static str),
+}
+
 /// A potential conformance violation.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+///
+/// Equality, ordering, and hashing ignore the witness: two reports of the
+/// same `(method, line, col, what)` are the *same* violation (inlining can
+/// duplicate a site per inline copy), and [`Report::normalize`] merges them,
+/// keeping the most informative witness.
+#[derive(Clone, Debug)]
 pub struct Violation {
     /// Qualified name of the containing method, e.g. `Main.main`.
     pub method: String,
     /// 1-based source line of the offending call.
     pub line: u32,
+    /// 1-based source column of the offending call.
+    pub col: u32,
     /// Human-readable description, e.g. `i.next()`.
     pub what: String,
+    /// Witness evidence (`None` unless the certifier ran with explanations
+    /// enabled).
+    pub witness: Option<Witness>,
+}
+
+impl Violation {
+    fn key(&self) -> (&str, u32, u32, &str) {
+        (&self.method, self.line, self.col, &self.what)
+    }
+}
+
+impl PartialEq for Violation {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl Eq for Violation {}
+
+impl PartialOrd for Violation {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Violation {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+impl Hash for Violation {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.key().hash(state);
+    }
 }
 
 impl fmt::Display for Violation {
@@ -43,7 +118,7 @@ pub struct Stats {
 pub struct Report {
     /// The engine used.
     pub engine: crate::Engine,
-    /// Potential violations, ordered by (method, line).
+    /// Potential violations, ordered by (method, line, col).
     pub violations: Vec<Violation>,
     /// Run statistics.
     pub stats: Stats,
@@ -59,6 +134,99 @@ impl Report {
     pub fn certified(&self) -> bool {
         self.violations.is_empty()
     }
+
+    /// Sorts the violations and merges duplicates of the same source site
+    /// (inlining replicates call sites, so one source violation can be
+    /// reported once per inline copy), keeping the most informative witness
+    /// of each group.
+    pub fn normalize(&mut self) {
+        fn rank(w: &Option<Witness>) -> u8 {
+            match w {
+                None => 0,
+                Some(Witness::Unavailable(_)) => 1,
+                Some(Witness::Trace(_)) => 2,
+            }
+        }
+        self.violations.sort();
+        let mut out: Vec<Violation> = Vec::with_capacity(self.violations.len());
+        for v in self.violations.drain(..) {
+            match out.last_mut() {
+                Some(last) if *last == v => {
+                    if rank(&v.witness) > rank(&last.witness) {
+                        last.witness = v.witness;
+                    }
+                }
+                _ => out.push(v),
+            }
+        }
+        self.violations = out;
+    }
+
+    /// Renders every violation as a rustc-style labeled diagnostic against
+    /// the client source (`file` is the display name shown in `-->` lines).
+    /// Violations without witness data fall back to a location-only
+    /// diagnostic.
+    pub fn render_explained(&self, file: &str, source: &str) -> String {
+        if self.certified() {
+            return format!("{}: no potential violations — client certified\n", self.engine);
+        }
+        let mut out = String::new();
+        for (k, v) in self.violations.iter().enumerate() {
+            if k > 0 {
+                out.push('\n');
+            }
+            out.push_str(&explain_violation(v, file).render(source));
+        }
+        out
+    }
+}
+
+/// Builds the diagnostic for one violation from its witness.
+fn explain_violation(v: &Violation, file: &str) -> Diagnostic {
+    let mut d = Diagnostic::error(
+        format!("potential conformance violation: {} in {}", v.what, v.method),
+        file,
+    );
+    match &v.witness {
+        Some(Witness::Trace(steps)) => {
+            for s in steps {
+                if s.line > 0 {
+                    d = d.with_label(Label::secondary(
+                        s.line,
+                        s.col,
+                        format!("{} established here by {}", s.fact, s.what),
+                    ));
+                } else {
+                    d = d.with_note(format!(
+                        "{} established by {} (no source location)",
+                        s.fact, s.what
+                    ));
+                }
+            }
+            let primary = match steps.last() {
+                Some(last) => format!("{} requires !{}, which may hold here", v.what, last.fact),
+                None => format!("{} violates its precondition unconditionally", v.what),
+            };
+            d = d.with_label(Label::primary(v.line, v.col, primary));
+        }
+        Some(Witness::Unavailable(reason)) => {
+            d = d
+                .with_label(Label::primary(
+                    v.line,
+                    v.col,
+                    format!("{} may violate its precondition", v.what),
+                ))
+                .with_note(format!("no witness available: {reason}"));
+        }
+        None => {
+            d = d.with_label(Label::primary(
+                v.line,
+                v.col,
+                format!("{} may violate its precondition", v.what),
+            ));
+        }
+    }
+    d
 }
 
 impl fmt::Display for Report {
@@ -76,5 +244,104 @@ impl fmt::Display for Report {
             writeln!(f, "  potential violation at {v}")?;
         }
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(line: u32, col: u32, witness: Option<Witness>) -> Violation {
+        Violation { method: "Main.main".into(), line, col, what: "i.next()".into(), witness }
+    }
+
+    #[test]
+    fn equality_and_ordering_ignore_the_witness() {
+        let a = v(6, 9, None);
+        let b = v(6, 9, Some(Witness::Unavailable("x")));
+        assert_eq!(a, b);
+        assert_eq!(a.cmp(&b), Ordering::Equal);
+        let mut hs = std::collections::HashSet::new();
+        hs.insert(a);
+        assert!(!hs.insert(b));
+    }
+
+    #[test]
+    fn normalize_merges_duplicates_keeping_the_best_witness() {
+        let trace = Witness::Trace(vec![WitnessStep {
+            line: 5,
+            col: 9,
+            what: "s.add(\"x\")".into(),
+            fact: "stale{i}".into(),
+        }]);
+        let mut r = Report {
+            engine: crate::Engine::ScmpFds,
+            violations: vec![
+                v(9, 1, None),
+                v(6, 9, Some(trace.clone())),
+                v(6, 9, None),
+                v(6, 9, Some(Witness::Unavailable("baseline"))),
+            ],
+            stats: Stats::default(),
+        };
+        r.normalize();
+        assert_eq!(r.lines(), vec![6, 9]);
+        assert_eq!(r.violations[0].witness, Some(trace));
+    }
+
+    #[test]
+    fn explained_rendering_labels_trace_steps() {
+        const SRC: &str = "\
+class Main {
+    static void main() {
+        Set s = new Set();
+        Iterator i = s.iterator();
+        s.add(\"x\");
+        i.next();
+    }
+}
+";
+        let witness = Witness::Trace(vec![WitnessStep {
+            line: 5,
+            col: 9,
+            what: "s.add(\"x\")".into(),
+            fact: "stale{i}".into(),
+        }]);
+        let r = Report {
+            engine: crate::Engine::ScmpFds,
+            violations: vec![v(6, 9, Some(witness))],
+            stats: Stats::default(),
+        };
+        let text = r.render_explained("client.mj", SRC);
+        assert!(text.contains("--> client.mj:6:9"), "{text}");
+        assert!(text.contains("stale{i} established here by s.add(\"x\")"), "{text}");
+        assert!(
+            text.contains("^^^^^^^^ i.next() requires !stale{i}, which may hold here"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn explained_rendering_handles_unavailable_and_certified() {
+        let r = Report {
+            engine: crate::Engine::TvlaRelational,
+            violations: vec![v(
+                6,
+                9,
+                Some(Witness::Unavailable("the TVLA engine does not record provenance")),
+            )],
+            stats: Stats::default(),
+        };
+        let text = r.render_explained("client.mj", "a\nb\nc\nd\ne\n        i.next();\n");
+        assert!(text.contains("no witness available: the TVLA engine"), "{text}");
+        let certified =
+            Report { engine: crate::Engine::ScmpFds, violations: vec![], stats: Stats::default() };
+        assert!(certified.render_explained("x", "").contains("certified"));
+    }
+
+    #[test]
+    fn display_is_unchanged_by_the_witness() {
+        let a = v(6, 9, Some(Witness::Unavailable("r")));
+        assert_eq!(a.to_string(), "Main.main: line 6: i.next()");
     }
 }

@@ -11,9 +11,11 @@
 //! the bit.
 
 use canvas_abstraction::{BoolProgram, Operand, Rhs};
-use canvas_minijava::Site;
+use canvas_minijava::{Program, Site};
+use canvas_wp::Derived;
 
 use crate::bitset::BitSet;
+use crate::provenance::{justify, Provenance, TraceStep};
 
 static FDS_WORKLIST_POPS: canvas_telemetry::Counter =
     canvas_telemetry::Counter::new("fds.worklist_pops");
@@ -38,13 +40,27 @@ pub struct Violation {
     /// The predicate instances that may be 1 (empty when the check fires on
     /// a constant-true disjunct).
     pub culprits: Vec<usize>,
+    /// Witness trace for the first culprit, when the solver recorded
+    /// provenance (`None` on the default fast path).
+    pub witness: Option<Vec<TraceStep>>,
 }
 
 /// Runs the may-be-1 analysis to fixpoint.
 pub fn analyze(bp: &BoolProgram) -> FdsResult {
+    analyze_inner::<false>(bp).0
+}
+
+/// Like [`analyze`], but records per-fact provenance for witness traces.
+/// A separate monomorphization, so [`analyze`] pays nothing for it.
+pub fn analyze_traced(bp: &BoolProgram) -> (FdsResult, Provenance) {
+    analyze_inner::<true>(bp)
+}
+
+fn analyze_inner<const TRACE: bool>(bp: &BoolProgram) -> (FdsResult, Provenance) {
     let _span = FDS_SOLVE_TIME.span();
     let n = bp.node_count;
     let width = bp.preds.len();
+    let mut prov = if TRACE { Provenance::new(n, width) } else { Provenance::empty() };
     let mut state: Vec<BitSet> = (0..n).map(|_| BitSet::new(width)).collect();
     for &k in &bp.entry_unknown {
         state[bp.entry].set(k, true);
@@ -80,6 +96,14 @@ pub fn analyze(bp: &BoolProgram) -> FdsResult {
                 };
                 out.set(*dst, bit);
             }
+            if TRACE {
+                for p in out.iter_ones() {
+                    if !state[e.to].get(p) {
+                        let src = justify(e, p, |q| state[e.from].get(q));
+                        prov.record(e.to, p, ek, src);
+                    }
+                }
+            }
             let grew = state[e.to].union_with(&out);
             let first_visit = !reached[e.to];
             reached[e.to] = true;
@@ -91,7 +115,12 @@ pub fn analyze(bp: &BoolProgram) -> FdsResult {
     }
     FDS_WORKLIST_POPS.add(pops);
     FDS_EDGE_VISITS.add(edge_visits as u64);
-    FdsResult { may_one: state, edge_visits }
+    canvas_telemetry::trace::instant(
+        "fds.fixpoint",
+        "solver",
+        &[("edge_visits", edge_visits as u64), ("worklist_pops", pops)],
+    );
+    (FdsResult { may_one: state, edge_visits }, prov)
 }
 
 /// Extracts the potential violations from a fixpoint.
@@ -113,7 +142,45 @@ pub fn violations(bp: &BoolProgram, res: &FdsResult) -> Vec<Violation> {
             }
         }
         if fires {
-            out.push(Violation { site: c.site.clone(), culprits });
+            out.push(Violation { site: c.site.clone(), culprits, witness: None });
+        }
+    }
+    out
+}
+
+/// Like [`violations`], but resolves a witness trace for each violation from
+/// the provenance recorded by [`analyze_traced`]. Checks that fire only on a
+/// constant-true disjunct get an empty trace (the precondition is violated
+/// unconditionally).
+pub fn violations_explained(
+    bp: &BoolProgram,
+    res: &FdsResult,
+    prov: &Provenance,
+    program: &Program,
+    derived: &Derived,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for c in &bp.checks {
+        let mut culprits = Vec::new();
+        let mut fires = false;
+        for op in &c.preds {
+            match op {
+                Operand::Const(true) => fires = true,
+                Operand::Const(false) => {}
+                Operand::Var(v) => {
+                    if res.may_one[c.node].get(*v) {
+                        fires = true;
+                        culprits.push(*v);
+                    }
+                }
+            }
+        }
+        if fires {
+            let steps = match culprits.first() {
+                Some(&p) => prov.trace(bp, program, derived, c.node, p),
+                None => Vec::new(),
+            };
+            out.push(Violation { site: c.site.clone(), culprits, witness: Some(steps) });
         }
     }
     out
@@ -159,7 +226,7 @@ class Main {
 }
 "#,
         );
-        let lines: Vec<u32> = v.iter().map(|x| x.site.line).collect();
+        let lines: Vec<u32> = v.iter().map(|x| x.site.line()).collect();
         assert_eq!(lines, vec![10, 13], "violations: {v:#?}");
     }
 

@@ -46,6 +46,7 @@ use canvas_wp::Derived;
 
 use crate::bitset::BitSet;
 use crate::fds::Violation;
+use crate::provenance::{justify, Provenance};
 
 static INTERPROC_ANALYSES: canvas_telemetry::Counter =
     canvas_telemetry::Counter::new("interproc.analyses");
@@ -117,6 +118,26 @@ struct Ctx<'a> {
 ///
 /// Panics if the program has no static `main` method.
 pub fn analyze(program: &Program, spec: &Spec, derived: &Derived) -> InterprocResult {
+    analyze_impl(program, spec, derived, false)
+}
+
+/// Like [`analyze`], but records per-fact provenance during tabulation and
+/// attaches a witness trace to every violation. Witness chains stop at a
+/// method's entry when the justifying fact flowed in from a caller.
+///
+/// # Panics
+///
+/// As [`analyze`].
+pub fn analyze_explained(program: &Program, spec: &Spec, derived: &Derived) -> InterprocResult {
+    analyze_impl(program, spec, derived, true)
+}
+
+fn analyze_impl(
+    program: &Program,
+    spec: &Spec,
+    derived: &Derived,
+    explain: bool,
+) -> InterprocResult {
     let _span = INTERPROC_ANALYZE_TIME.span();
     INTERPROC_ANALYSES.incr();
     let main_id = program.main_method().expect("interprocedural analysis needs a main").id;
@@ -170,9 +191,17 @@ pub fn analyze(program: &Program, spec: &Spec, derived: &Derived) -> InterprocRe
     let mut ctx = Ctx { program: ext, spec, methods, ghost_of, formal_of, phantoms };
     ctx.compute_seeds();
     let (summaries, summary_iterations) = ctx.summary_fixpoint();
-    let (violations, reachable) = ctx.tabulate(main_id, &summaries);
+    let (violations, reachable) = ctx.tabulate(main_id, &summaries, derived, explain);
     let max_instances = ctx.methods.iter().map(|m| m.bp.preds.len()).max().unwrap_or(0);
     INTERPROC_SUMMARY_ITERATIONS.add(summary_iterations as u64);
+    canvas_telemetry::trace::instant(
+        "interproc.fixpoint",
+        "solver",
+        &[
+            ("summary_iterations", summary_iterations as u64),
+            ("reachable_methods", reachable.len() as u64),
+        ],
+    );
     InterprocResult { violations, reachable, summary_iterations, max_instances }
 }
 
@@ -490,6 +519,8 @@ impl Ctx<'_> {
         &self,
         main: MethodId,
         summaries: &[Vec<BitSet>],
+        derived: &Derived,
+        explain: bool,
     ) -> (Vec<Violation>, Vec<MethodId>) {
         let n = self.methods.len();
         let mut entry_in: Vec<Option<BitSet>> = vec![None; n];
@@ -499,7 +530,7 @@ impl Ctx<'_> {
 
         while let Some(m) = work.pop() {
             let entry = entry_in[m].clone().expect("queued methods have entries");
-            let (state, viols) = self.run_concrete(m, &entry, summaries);
+            let (state, viols) = self.run_concrete(m, &entry, summaries, derived, explain);
             per_method_violations[m] = viols;
             // propagate callee entries
             let bp = &self.methods[m].bp;
@@ -530,7 +561,7 @@ impl Ctx<'_> {
                 violations.extend(per_method_violations[m].clone());
             }
         }
-        violations.sort_by_key(|v| (v.site.method, v.site.line, v.site.what.clone()));
+        violations.sort_by_key(|v| (v.site.method, v.site.span, v.site.what.clone()));
         violations.dedup_by(|a, b| a.site == b.site);
         (violations, reachable)
     }
@@ -542,9 +573,13 @@ impl Ctx<'_> {
         m: usize,
         entry: &BitSet,
         summaries: &[Vec<BitSet>],
+        derived: &Derived,
+        explain: bool,
     ) -> (Vec<Option<BitSet>>, Vec<Violation>) {
         let bp = &self.methods[m].bp;
         let nodes = bp.node_count;
+        let mut prov =
+            if explain { Provenance::new(nodes, bp.preds.len()) } else { Provenance::empty() };
         let mut state: Vec<Option<BitSet>> = vec![None; nodes];
         state[bp.entry] = Some(entry.clone());
         let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); nodes];
@@ -560,6 +595,14 @@ impl Ctx<'_> {
             for &ek in &out_edges[node] {
                 let e = &bp.edges[ek];
                 let out = self.transfer_concrete(m, ek, &cur, summaries);
+                if explain {
+                    for p in out.iter_ones() {
+                        if !state[e.to].as_ref().is_some_and(|t| t.get(p)) {
+                            let src = self.justify_concrete(m, ek, p, &cur, summaries);
+                            prov.record(e.to, p, ek, src);
+                        }
+                    }
+                }
                 let changed = match &mut state[e.to] {
                     t @ None => {
                         *t = Some(out);
@@ -592,10 +635,47 @@ impl Ctx<'_> {
                 }
             }
             if fires {
-                viols.push(Violation { site: c.site.clone(), culprits });
+                let witness = explain.then(|| match culprits.first() {
+                    Some(&p) => prov.trace(bp, &self.program, derived, c.node, p),
+                    None => Vec::new(),
+                });
+                viols.push(Violation { site: c.site.clone(), culprits, witness });
             }
         }
         (state, viols)
+    }
+
+    /// Which pre-state fact justifies `p` being true after edge `ek`
+    /// (provenance recording; explain mode only). Call edges attribute facts
+    /// set by the callee's summary to the call itself (`None`) unless they
+    /// are pure propagations of a caller fact.
+    fn justify_concrete(
+        &self,
+        m: usize,
+        ek: usize,
+        p: usize,
+        cur: &BitSet,
+        summaries: &[Vec<BitSet>],
+    ) -> Option<usize> {
+        let bp = &self.methods[m].bp;
+        let ir_edge = &self.program.method(bp.method).cfg.edges()[ek];
+        if let Instr::CallClient { dst, callee, args, .. } = &ir_edge.instr {
+            return match self.translate_effect(m, callee.0, args, *dst, p, summaries) {
+                Some(backs) => {
+                    if backs.contains(&Back::Const1) {
+                        None
+                    } else {
+                        backs.iter().find_map(|b| match b {
+                            Back::Pred(j) if cur.get(*j) => Some(*j),
+                            _ => None,
+                        })
+                    }
+                }
+                // untranslatable: conservatively set by the call
+                None => None,
+            };
+        }
+        justify(&bp.edges[ek], p, |q| cur.get(q))
     }
 
     fn transfer_concrete(

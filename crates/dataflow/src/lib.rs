@@ -16,8 +16,10 @@
 pub mod bitset;
 pub mod fds;
 pub mod interproc;
+pub mod provenance;
 pub mod relational;
 
 pub use bitset::BitSet;
 pub use fds::{FdsResult, Violation};
+pub use provenance::{Provenance, TraceStep};
 pub use relational::{RelError, RelResult};

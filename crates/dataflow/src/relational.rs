@@ -10,10 +10,12 @@
 use std::collections::HashSet;
 
 use canvas_abstraction::{BoolProgram, Operand, Rhs};
-use canvas_minijava::Site;
+use canvas_minijava::{Program, Site};
+use canvas_wp::Derived;
 
 use crate::bitset::BitSet;
 use crate::fds::Violation;
+use crate::provenance::{justify, Provenance};
 
 static REL_WORKLIST_POPS: canvas_telemetry::Counter =
     canvas_telemetry::Counter::new("relational.worklist_pops");
@@ -54,6 +56,26 @@ pub struct RelResult {
 /// Returns [`RelError`] if any node accumulates more than `budget`
 /// valuations (the engine is exponential in the worst case).
 pub fn analyze(bp: &BoolProgram, budget: usize) -> Result<RelResult, RelError> {
+    analyze_inner::<false>(bp, budget).map(|(res, _)| res)
+}
+
+/// Like [`analyze`], but records per-fact provenance (over the may-union of
+/// the valuation sets) for witness traces.
+///
+/// # Errors
+///
+/// As [`analyze`].
+pub fn analyze_traced(
+    bp: &BoolProgram,
+    budget: usize,
+) -> Result<(RelResult, Provenance), RelError> {
+    analyze_inner::<true>(bp, budget)
+}
+
+fn analyze_inner<const TRACE: bool>(
+    bp: &BoolProgram,
+    budget: usize,
+) -> Result<(RelResult, Provenance), RelError> {
     let _span = REL_SOLVE_TIME.span();
     // Publishes on drop so the budget-exceeded `Err` exits are counted too.
     struct Tally {
@@ -71,6 +93,9 @@ pub fn analyze(bp: &BoolProgram, budget: usize) -> Result<RelResult, RelError> {
     let n = bp.node_count;
     let width = bp.preds.len();
     let mut states: Vec<HashSet<BitSet>> = vec![HashSet::new(); n];
+    // provenance over the may-union of each node's valuation set
+    let mut prov = if TRACE { Provenance::new(n, width) } else { Provenance::empty() };
+    let mut may: Vec<BitSet> = if TRACE { vec![BitSet::new(width); n] } else { Vec::new() };
 
     // entry states: all combinations of the unknown bits
     let mut entry_states = vec![BitSet::new(width)];
@@ -87,6 +112,12 @@ pub fn analyze(bp: &BoolProgram, budget: usize) -> Result<RelResult, RelError> {
         }
     }
     states[bp.entry] = entry_states.into_iter().collect();
+    if TRACE {
+        // entry facts carry no justification: witness chains stop there
+        for &k in &bp.entry_unknown {
+            may[bp.entry].set(k, true);
+        }
+    }
 
     let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
     for (k, e) in bp.edges.iter().enumerate() {
@@ -134,6 +165,16 @@ pub fn analyze(bp: &BoolProgram, budget: usize) -> Result<RelResult, RelError> {
                         }
                     }
                 }
+                if TRACE {
+                    for o in &outs {
+                        for p in o.iter_ones() {
+                            if !may[e.to].get(p) {
+                                may[e.to].set(p, true);
+                                prov.record(e.to, p, ek, justify(e, p, |q| s.get(q)));
+                            }
+                        }
+                    }
+                }
                 new_states.extend(outs);
             }
             let target = &mut states[e.to];
@@ -150,7 +191,13 @@ pub fn analyze(bp: &BoolProgram, budget: usize) -> Result<RelResult, RelError> {
             }
         }
     }
-    Ok(RelResult { states, transfers: tally.transfers as usize })
+    let transfers = tally.transfers as usize;
+    canvas_telemetry::trace::instant(
+        "relational.fixpoint",
+        "solver",
+        &[("transfers", transfers as u64), ("worklist_pops", tally.pops)],
+    );
+    Ok((RelResult { states, transfers }, prov))
 }
 
 /// Extracts potential violations from a relational fixpoint.
@@ -172,7 +219,43 @@ pub fn violations(bp: &BoolProgram, res: &RelResult) -> Vec<Violation> {
             }
         }
         if fires {
-            out.push(Violation { site: c.site.clone(), culprits });
+            out.push(Violation { site: c.site.clone(), culprits, witness: None });
+        }
+    }
+    out
+}
+
+/// Like [`violations`], but resolves a witness trace per violation from the
+/// provenance recorded by [`analyze_traced`].
+pub fn violations_explained(
+    bp: &BoolProgram,
+    res: &RelResult,
+    prov: &Provenance,
+    program: &Program,
+    derived: &Derived,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for c in &bp.checks {
+        let mut culprits = Vec::new();
+        let mut fires = false;
+        for op in &c.preds {
+            match op {
+                Operand::Const(true) => fires = true,
+                Operand::Const(false) => {}
+                Operand::Var(v) => {
+                    if res.states[c.node].iter().any(|s| s.get(*v)) {
+                        fires = true;
+                        culprits.push(*v);
+                    }
+                }
+            }
+        }
+        if fires {
+            let steps = match culprits.first() {
+                Some(&p) => prov.trace(bp, program, derived, c.node, p),
+                None => Vec::new(),
+            };
+            out.push(Violation { site: c.site.clone(), culprits, witness: Some(steps) });
         }
     }
     out
@@ -220,10 +303,10 @@ class Main {
     fn relational_matches_fds_on_fig3() {
         let bp = build(FIG3);
         let rel = analyze(&bp, 1 << 16).unwrap();
-        let rel_sites: Vec<u32> = violations(&bp, &rel).iter().map(|v| v.site.line).collect();
+        let rel_sites: Vec<u32> = violations(&bp, &rel).iter().map(|v| v.site.line()).collect();
         let fds = crate::fds::analyze(&bp);
         let fds_sites: Vec<u32> =
-            crate::fds::violations(&bp, &fds).iter().map(|v| v.site.line).collect();
+            crate::fds::violations(&bp, &fds).iter().map(|v| v.site.line()).collect();
         assert_eq!(rel_sites, fds_sites);
         assert_eq!(rel_sites, vec![10, 13]);
     }

@@ -1,0 +1,283 @@
+//! Rustc-style labeled source diagnostics.
+//!
+//! The certifier's witness traces (see `canvas-dataflow::provenance`) are
+//! sequences of source locations with facts attached. This crate renders
+//! them the way `rustc` renders borrow-check errors: the offending lines
+//! quoted from the client source with a line-number gutter, carets under the
+//! primary location, dashes under the secondary ones, and a message per
+//! label:
+//!
+//! ```text
+//! error: i1.next() may violate: requires !stale{i1}
+//!   --> examples/fig3.mj:6:9
+//!    |
+//!  3 |         Iterator i1 = s.iterator();
+//!    |                       ------------ iterof{i1,s} established here
+//!  ...
+//!  6 |         i1.next();
+//!    |         ^^^^^^^^^ stale{i1} may hold here
+//! ```
+//!
+//! No colors, no terminal probing: the output is plain text, stable enough
+//! to golden-test.
+
+use std::fmt::Write as _;
+
+/// Diagnostic severity, controlling the header keyword.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Severity {
+    /// A certain or potential conformance violation.
+    Error,
+    /// A lesser finding.
+    Warning,
+    /// Supplementary information.
+    Note,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        })
+    }
+}
+
+/// One labeled source location.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Label {
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+    /// Underline length in bytes; `0` = underline to the end of the
+    /// statement (trailing whitespace and semicolons excluded).
+    pub len: usize,
+    /// Primary labels are underlined with `^`, secondary ones with `-`.
+    pub primary: bool,
+    /// The message printed after the underline.
+    pub message: String,
+}
+
+impl Label {
+    /// A primary label (`^^^`).
+    pub fn primary(line: u32, col: u32, message: impl Into<String>) -> Label {
+        Label { line, col, len: 0, primary: true, message: message.into() }
+    }
+
+    /// A secondary label (`---`).
+    pub fn secondary(line: u32, col: u32, message: impl Into<String>) -> Label {
+        Label { line, col, len: 0, primary: false, message: message.into() }
+    }
+}
+
+/// A renderable diagnostic: header, labeled source lines, trailing notes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// Severity keyword for the header.
+    pub severity: Severity,
+    /// Header message.
+    pub message: String,
+    /// Display name of the source file (shown in the `-->` line).
+    pub file: String,
+    /// Labels into the source; rendered in line order.
+    pub labels: Vec<Label>,
+    /// Trailing `= note:` lines.
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// A new error-severity diagnostic.
+    pub fn error(message: impl Into<String>, file: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Error,
+            message: message.into(),
+            file: file.into(),
+            labels: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Adds a label.
+    pub fn with_label(mut self, label: Label) -> Diagnostic {
+        self.labels.push(label);
+        self
+    }
+
+    /// Adds a trailing note.
+    pub fn with_note(mut self, note: impl Into<String>) -> Diagnostic {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Renders the diagnostic against the source text it points into.
+    /// Labels whose line is out of range are skipped.
+    pub fn render(&self, source: &str) -> String {
+        let lines: Vec<&str> = source.lines().collect();
+        let mut labels: Vec<&Label> = self
+            .labels
+            .iter()
+            .filter(|l| l.line >= 1 && (l.line as usize) <= lines.len())
+            .collect();
+        labels.sort_by_key(|l| (l.line, l.col));
+
+        let mut out = String::new();
+        // header: point at the first primary label (or the first label)
+        let anchor = labels.iter().find(|l| l.primary).or_else(|| labels.first());
+        let _ = writeln!(out, "{}: {}", self.severity, self.message);
+        match anchor {
+            Some(a) => {
+                let _ = writeln!(out, "  --> {}:{}:{}", self.file, a.line, a.col);
+            }
+            None => {
+                let _ = writeln!(out, "  --> {}", self.file);
+            }
+        }
+
+        let gutter = labels.iter().map(|l| decimal_width(l.line)).max().unwrap_or(1);
+        if !labels.is_empty() {
+            let _ = writeln!(out, "{:gutter$} |", "");
+        }
+        let mut prev_line: Option<u32> = None;
+        let mut i = 0;
+        while i < labels.len() {
+            let line_no = labels[i].line;
+            if let Some(p) = prev_line {
+                if line_no > p + 1 {
+                    // elide the unlabeled span between labeled lines
+                    let _ = writeln!(out, "{:.<gutter$}.", "");
+                }
+            }
+            if prev_line != Some(line_no) {
+                let text = lines[line_no as usize - 1];
+                let _ = writeln!(out, "{line_no:gutter$} | {text}");
+            }
+            // all labels on this line, one annotation row each
+            while i < labels.len() && labels[i].line == line_no {
+                let l = labels[i];
+                let text = lines[line_no as usize - 1];
+                let col = (l.col.max(1) as usize - 1).min(text.len());
+                let len = if l.len > 0 {
+                    l.len
+                } else {
+                    text[col..].trim_end().trim_end_matches(';').trim_end().len().max(1)
+                };
+                let marker = if l.primary { "^" } else { "-" };
+                let _ = writeln!(
+                    out,
+                    "{:gutter$} | {:col$}{} {}",
+                    "",
+                    "",
+                    marker.repeat(len),
+                    l.message
+                );
+                i += 1;
+            }
+            prev_line = Some(line_no);
+        }
+        if !labels.is_empty() && !self.notes.is_empty() {
+            let _ = writeln!(out, "{:gutter$} |", "");
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "{:gutter$} = note: {}", "", n);
+        }
+        out
+    }
+}
+
+fn decimal_width(n: u32) -> usize {
+    n.max(1).ilog10() as usize + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "\
+class Main {
+    static void main() {
+        Set s = new Set();
+        Iterator i = s.iterator();
+        s.add(\"x\");
+        i.next();
+    }
+}
+";
+
+    #[test]
+    fn renders_labels_in_line_order_with_gap_elision() {
+        let d = Diagnostic::error("i.next() may violate: requires !stale{i}", "client.mj")
+            .with_label(Label::primary(6, 9, "stale{i} may hold here"))
+            .with_label(Label::secondary(4, 22, "iterator created here"))
+            .with_note("witness recorded by the scmp-fds engine");
+        let r = d.render(SRC);
+        assert_eq!(
+            r,
+            "error: i.next() may violate: requires !stale{i}\n\
+             \x20 --> client.mj:6:9\n\
+             \x20 |\n\
+             4 |         Iterator i = s.iterator();\n\
+             \x20 |                      ------------ iterator created here\n\
+             ..\n\
+             6 |         i.next();\n\
+             \x20 |         ^^^^^^^^ stale{i} may hold here\n\
+             \x20 |\n\
+             \x20 = note: witness recorded by the scmp-fds engine\n",
+            "got:\n{r}"
+        );
+    }
+
+    #[test]
+    fn adjacent_lines_are_not_elided() {
+        let d = Diagnostic::error("two steps", "x.mj")
+            .with_label(Label::secondary(5, 9, "mutation"))
+            .with_label(Label::primary(6, 9, "use"));
+        let r = d.render(SRC);
+        assert!(!r.contains(".."), "{r}");
+        assert!(r.contains("5 |         s.add(\"x\");"), "{r}");
+        assert!(r.contains("6 |         i.next();"), "{r}");
+    }
+
+    #[test]
+    fn multiple_labels_on_one_line_stack() {
+        let d = Diagnostic::error("stacked", "x.mj")
+            .with_label(Label::primary(6, 9, "first"))
+            .with_label(Label::secondary(6, 11, "second"));
+        let r = d.render(SRC);
+        let line_rows = r.lines().filter(|l| l.starts_with("6 |")).count();
+        assert_eq!(line_rows, 1, "{r}");
+        assert!(r.contains("first") && r.contains("second"), "{r}");
+    }
+
+    #[test]
+    fn no_labels_still_renders_header() {
+        let d = Diagnostic {
+            severity: Severity::Note,
+            message: "no witness available".into(),
+            file: "x.mj".into(),
+            labels: Vec::new(),
+            notes: vec!["the tvla engine does not record provenance".into()],
+        };
+        let r = d.render(SRC);
+        assert!(r.starts_with("note: no witness available\n  --> x.mj\n"), "{r}");
+        assert!(r.contains("= note: the tvla engine"), "{r}");
+    }
+
+    #[test]
+    fn explicit_len_and_out_of_range_labels() {
+        let d = Diagnostic::error("e", "x.mj")
+            .with_label(Label { line: 6, col: 9, len: 1, primary: true, message: "m".into() })
+            .with_label(Label::primary(999, 1, "dropped"));
+        let r = d.render(SRC);
+        assert!(r.contains("^ m"), "{r}");
+        assert!(!r.contains("dropped"), "{r}");
+    }
+
+    #[test]
+    fn severity_display() {
+        assert_eq!(Severity::Error.to_string(), "error");
+        assert_eq!(Severity::Warning.to_string(), "warning");
+        assert_eq!(Severity::Note.to_string(), "note");
+    }
+}

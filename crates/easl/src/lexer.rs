@@ -26,18 +26,25 @@ impl Tok {
     }
 }
 
-/// A token paired with its 1-based source line.
+/// A token paired with its 1-based source line and column.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct SpannedTok {
     /// The token.
     pub tok: Tok,
     /// 1-based source line.
     pub line: u32,
+    /// 1-based source column (byte-based; the input is ASCII-only).
+    pub col: u32,
 }
 
 const PUNCTS2: [&str; 7] = ["==", "!=", "&&", "||", "<=", ">=", "++"];
 const PUNCTS1: [&str; 15] =
     ["{", "}", "(", ")", ";", ".", ",", "=", "!", "<", ">", "[", "]", "+", "-"];
+
+/// 1-based column of byte `i` on the line starting at byte `line_start`.
+fn col_at(i: usize, line_start: usize) -> u32 {
+    (i - line_start + 1) as u32
+}
 
 /// Tokenizes `src`, skipping whitespace and `//`, `/* */` comments.
 ///
@@ -49,6 +56,7 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, EaslError> {
     let mut out = Vec::new();
     let mut i = 0;
     let mut line: u32 = 1;
+    let mut line_start = 0usize;
     while i < bytes.len() {
         let c = bytes[i] as char;
         if !c.is_ascii() {
@@ -60,6 +68,7 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, EaslError> {
         if c == '\n' {
             line += 1;
             i += 1;
+            line_start = i;
             continue;
         }
         if c.is_whitespace() {
@@ -81,6 +90,7 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, EaslError> {
                 }
                 if bytes[i] == b'\n' {
                     line += 1;
+                    line_start = i + 1;
                 }
                 if bytes[i] == b'*' && bytes[i + 1] == b'/' {
                     i += 2;
@@ -102,7 +112,11 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, EaslError> {
             if j >= bytes.len() {
                 return Err(EaslError::new(start_line, "unterminated string literal"));
             }
-            out.push(SpannedTok { tok: Tok::Str(src[i + 1..j].to_string()), line });
+            out.push(SpannedTok {
+                tok: Tok::Str(src[i + 1..j].to_string()),
+                line,
+                col: col_at(i, line_start),
+            });
             i = j + 1;
             continue;
         }
@@ -113,7 +127,11 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, EaslError> {
             {
                 j += 1;
             }
-            out.push(SpannedTok { tok: Tok::Ident(src[i..j].to_string()), line });
+            out.push(SpannedTok {
+                tok: Tok::Ident(src[i..j].to_string()),
+                line,
+                col: col_at(i, line_start),
+            });
             i = j;
             continue;
         }
@@ -125,7 +143,7 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, EaslError> {
             let n: i64 = src[i..j]
                 .parse()
                 .map_err(|_| EaslError::new(line, "integer literal out of range"))?;
-            out.push(SpannedTok { tok: Tok::Int(n), line });
+            out.push(SpannedTok { tok: Tok::Int(n), line, col: col_at(i, line_start) });
             i = j;
             continue;
         }
@@ -133,14 +151,14 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, EaslError> {
             // compare raw bytes: i+2 may not be a char boundary
             let two = &bytes[i..i + 2];
             if let Some(p) = PUNCTS2.iter().find(|p| p.as_bytes() == two) {
-                out.push(SpannedTok { tok: Tok::Punct(p), line });
+                out.push(SpannedTok { tok: Tok::Punct(p), line, col: col_at(i, line_start) });
                 i += 2;
                 continue;
             }
         }
         let one = &src[i..i + 1];
         if let Some(p) = PUNCTS1.iter().find(|p| **p == one) {
-            out.push(SpannedTok { tok: Tok::Punct(p), line });
+            out.push(SpannedTok { tok: Tok::Punct(p), line, col: col_at(i, line_start) });
             i += 1;
             continue;
         }
@@ -166,6 +184,11 @@ impl Cursor {
     /// The current line (or the last token's line at end of input).
     pub fn line(&self) -> u32 {
         self.toks.get(self.pos.min(self.toks.len().saturating_sub(1))).map_or(0, |t| t.line)
+    }
+
+    /// The current column (or the last token's column at end of input).
+    pub fn col(&self) -> u32 {
+        self.toks.get(self.pos.min(self.toks.len().saturating_sub(1))).map_or(0, |t| t.col)
     }
 
     /// Whether all tokens are consumed.
@@ -285,6 +308,22 @@ mod tests {
         assert!(lex("=é").is_err());
         assert!(lex("x = ☃;").is_err());
         assert!(lex("a\u{1F600}b").is_err());
+    }
+
+    #[test]
+    fn lex_tracks_columns() {
+        // columns are 1-based and reset per line; tabs count one column
+        let toks = lex("ab == cd\n  x\n\ty").unwrap();
+        let at = |i: usize| {
+            let t = &toks[i];
+            (format!("{:?}", t.tok), t.line, t.col)
+        };
+        assert_eq!(at(0).1, 1);
+        assert_eq!(at(0).2, 1, "first token starts at column 1");
+        assert_eq!((at(1).1, at(1).2), (1, 4), "`==` follows `ab ` on line 1");
+        assert_eq!((at(2).1, at(2).2), (1, 7), "`cd` follows `ab == `");
+        assert_eq!((at(3).1, at(3).2), (2, 3), "indentation advances the column");
+        assert_eq!((at(4).1, at(4).2), (3, 2), "a tab advances one column");
     }
 
     #[test]

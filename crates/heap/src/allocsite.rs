@@ -471,7 +471,7 @@ mod tests {
         let spec = canvas_easl::builtin::cmp();
         let program = Program::parse(src, &spec).unwrap();
         let main = program.main_method().expect("main required");
-        analyze(&program, main, &spec).violations.iter().map(|s| s.line).collect()
+        analyze(&program, main, &spec).violations.iter().map(|s| s.line()).collect()
     }
 
     #[test]

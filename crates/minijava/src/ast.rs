@@ -2,6 +2,8 @@
 
 use canvas_logic::TypeName;
 
+use crate::ir::Span;
+
 /// A class declaration.
 #[derive(Clone, PartialEq, Debug)]
 pub struct ClassDecl {
@@ -13,8 +15,8 @@ pub struct ClassDecl {
     pub statics: Vec<FieldDecl>,
     /// Methods, including constructors under the name `<init>`.
     pub methods: Vec<MethodDecl>,
-    /// 1-based declaration line.
-    pub line: u32,
+    /// Declaration position.
+    pub span: Span,
 }
 
 /// A field declaration.
@@ -24,8 +26,8 @@ pub struct FieldDecl {
     pub name: String,
     /// Declared type (component, client, or opaque like `Object`).
     pub ty: TypeName,
-    /// 1-based declaration line.
-    pub line: u32,
+    /// Declaration position.
+    pub span: Span,
 }
 
 /// A method declaration.
@@ -41,8 +43,10 @@ pub struct MethodDecl {
     pub ret_ty: Option<TypeName>,
     /// Body statements.
     pub body: Vec<Stmt>,
-    /// 1-based declaration line.
-    pub line: u32,
+    /// Declaration position.
+    pub span: Span,
+    /// Line of the body's closing brace.
+    pub end_line: u32,
 }
 
 /// A statement.
@@ -56,8 +60,8 @@ pub enum Stmt {
         ty: TypeName,
         /// Optional initializer.
         init: Option<Expr>,
-        /// Source line.
-        line: u32,
+        /// Source position.
+        span: Span,
     },
     /// `lhs = e;`
     Assign {
@@ -65,15 +69,15 @@ pub enum Stmt {
         lhs: LValue,
         /// Assigned value.
         rhs: Expr,
-        /// Source line.
-        line: u32,
+        /// Source position.
+        span: Span,
     },
     /// An expression evaluated for effect, e.g. a call.
     ExprStmt {
         /// The expression.
         expr: Expr,
-        /// Source line.
-        line: u32,
+        /// Source position.
+        span: Span,
     },
     /// `if (cond) { … } else { … }` — the condition is kept only for the
     /// component calls it contains; the branch itself is nondeterministic.
@@ -84,8 +88,8 @@ pub enum Stmt {
         then: Vec<Stmt>,
         /// Else branch.
         els: Vec<Stmt>,
-        /// Source line.
-        line: u32,
+        /// Source position.
+        span: Span,
     },
     /// `while (cond) { … }` — condition handled as in [`Stmt::If`]; its
     /// effects are evaluated before every iteration test.
@@ -94,15 +98,15 @@ pub enum Stmt {
         cond_effects: Vec<Expr>,
         /// Loop body.
         body: Vec<Stmt>,
-        /// Source line.
-        line: u32,
+        /// Source position.
+        span: Span,
     },
     /// `return;` or `return e;`
     Return {
         /// Returned value.
         value: Option<Expr>,
-        /// Source line.
-        line: u32,
+        /// Source position.
+        span: Span,
     },
     /// A statement sequence with no branching (used by the `for` desugar to
     /// splice the init statement before the loop).
@@ -142,8 +146,8 @@ pub enum Expr {
         ty: TypeName,
         /// Constructor arguments.
         args: Vec<Expr>,
-        /// Source line (identifies the allocation site).
-        line: u32,
+        /// Source position (identifies the allocation site).
+        span: Span,
     },
     /// `recv.m(args)` or `m(args)` (implicit receiver / static call).
     Call {
@@ -153,8 +157,8 @@ pub enum Expr {
         method: String,
         /// Arguments.
         args: Vec<Expr>,
-        /// Source line (identifies the call site).
-        line: u32,
+        /// Source position (identifies the call site).
+        span: Span,
     },
     /// Anything the analyses do not track: literals, arithmetic, `null`, …
     Opaque,

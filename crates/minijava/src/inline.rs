@@ -51,7 +51,7 @@ impl Inliner<'_> {
     ) -> Result<Cfg, SourceError> {
         if on_stack.contains(&mid) {
             return Err(SourceError::new(
-                self.src.method(mid).line,
+                self.src.method(mid).span.line,
                 format!("cannot inline recursive method {}", self.src.method(mid).qualified_name()),
             ));
         }
@@ -72,7 +72,7 @@ impl Inliner<'_> {
             if cfg.node_count() > self.max_nodes {
                 on_stack.pop();
                 return Err(SourceError::new(
-                    self.src.method(mid).line,
+                    self.src.method(mid).span.line,
                     format!("inlined control-flow graph exceeds {} nodes", self.max_nodes),
                 ));
             }

@@ -25,20 +25,52 @@ pub struct NodeId(pub usize);
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct AllocSite(pub u32);
 
-/// A program point used in reports: method plus source line.
+/// A source position: 1-based line and column.
+///
+/// Columns are byte-based (the accepted surface syntax is ASCII-only). A
+/// column of 0 means "unknown" — e.g. synthetic code with no source text.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
+pub struct Span {
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (0 = unknown).
+    pub col: u32,
+}
+
+impl Span {
+    /// Creates a span at `line:col`.
+    pub fn new(line: u32, col: u32) -> Self {
+        Span { line, col }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A program point used in reports: method plus source span.
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct Site {
     /// The enclosing method.
     pub method: MethodId,
-    /// 1-based source line.
-    pub line: u32,
+    /// Source position (line and column).
+    pub span: Span,
     /// Human-readable description, e.g. `i.next()`.
     pub what: String,
 }
 
+impl Site {
+    /// 1-based source line (shorthand for `span.line`).
+    pub fn line(&self) -> u32 {
+        self.span.line
+    }
+}
+
 impl fmt::Display for Site {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.what)
+        write!(f, "line {}: {}", self.span.line, self.what)
     }
 }
 
@@ -251,8 +283,11 @@ pub struct MethodIr {
     pub ret_var: Option<VarId>,
     /// The control-flow graph.
     pub cfg: Cfg,
-    /// Declaration line.
-    pub line: u32,
+    /// Position of the declaration (the return type / `static` keyword).
+    pub span: Span,
+    /// Line of the body's closing brace (the method covers
+    /// `span.line..=end_line`).
+    pub end_line: u32,
 }
 
 impl MethodIr {

@@ -51,7 +51,7 @@ mod parser;
 
 pub use ast::{ClassDecl, Expr, FieldDecl, LValue, MethodDecl, Stmt};
 pub use ir::{
-    AllocSite, Cfg, Edge, Instr, MethodId, MethodIr, NodeId, Program, Site, VarId, VarKind,
+    AllocSite, Cfg, Edge, Instr, MethodId, MethodIr, NodeId, Program, Site, Span, VarId, VarKind,
     Variable,
 };
 

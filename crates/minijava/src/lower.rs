@@ -14,7 +14,8 @@ use canvas_logic::TypeName;
 
 use crate::ast::{ClassDecl, Expr, LValue, Stmt};
 use crate::ir::{
-    AllocSite, Cfg, Instr, MethodId, MethodIr, NodeId, Program, Site, VarId, VarKind, Variable,
+    AllocSite, Cfg, Instr, MethodId, MethodIr, NodeId, Program, Site, Span, VarId, VarKind,
+    Variable,
 };
 use crate::{parser, SourceError};
 
@@ -69,12 +70,12 @@ pub(crate) fn parse_and_lower(src: &str, spec: &Spec) -> Result<Program, SourceE
     for (k, c) in classes.iter().enumerate() {
         if spec.is_component_type(&c.name) {
             return Err(SourceError::new(
-                c.line,
+                c.span.line,
                 format!("client class {} shadows a component class", c.name),
             ));
         }
         if class_idx.insert(c.name.as_str().to_string(), k).is_some() {
-            return Err(SourceError::new(c.line, format!("duplicate class {}", c.name)));
+            return Err(SourceError::new(c.span.line, format!("duplicate class {}", c.name)));
         }
     }
 
@@ -87,7 +88,7 @@ pub(crate) fn parse_and_lower(src: &str, spec: &Spec) -> Result<Program, SourceE
             let key = (c.name.as_str().to_string(), m.name.clone());
             if method_ids.insert(key, id).is_some() {
                 return Err(SourceError::new(
-                    m.line,
+                    m.span.line,
                     format!("duplicate method {}.{} (no overloading)", c.name, m.name),
                 ));
             }
@@ -177,8 +178,8 @@ impl Lower<'_, '_> {
         self.cur = next;
     }
 
-    fn site(&self, line: u32, what: impl Into<String>) -> Site {
-        Site { method: self.mid, line, what: what.into() }
+    fn site(&self, span: Span, what: impl Into<String>) -> Site {
+        Site { method: self.mid, span, what: what.into() }
     }
 
     fn var_ty(&self, v: VarId) -> TypeName {
@@ -203,27 +204,27 @@ impl Lower<'_, '_> {
 
     /// Lowers `e` to a variable holding its value, or `None` for opaque
     /// values. Side effects are emitted either way.
-    fn lower_expr(&mut self, e: &Expr, line: u32) -> Result<Option<VarId>, SourceError> {
+    fn lower_expr(&mut self, e: &Expr, span: Span) -> Result<Option<VarId>, SourceError> {
         match e {
             Expr::Opaque => Ok(None),
-            Expr::Var(name) => self.lower_var_read(name, line),
-            Expr::FieldGet { base, field } => self.lower_field_get(base, field, line),
-            Expr::New { ty, args, line } => self.lower_new(ty, args, *line, None).map(Some),
-            Expr::Call { recv, method, args, line } => {
-                self.lower_call(recv.as_deref(), method, args, *line, None)
+            Expr::Var(name) => self.lower_var_read(name, span),
+            Expr::FieldGet { base, field } => self.lower_field_get(base, field, span),
+            Expr::New { ty, args, span } => self.lower_new(ty, args, *span, None).map(Some),
+            Expr::Call { recv, method, args, span } => {
+                self.lower_call(recv.as_deref(), method, args, *span, None)
             }
         }
     }
 
     /// Lowers `e` and assigns the result to `dst` (nullifying for opaque).
-    fn lower_expr_into(&mut self, e: &Expr, dst: VarId, line: u32) -> Result<(), SourceError> {
+    fn lower_expr_into(&mut self, e: &Expr, dst: VarId, span: Span) -> Result<(), SourceError> {
         match e {
-            Expr::New { ty, args, line } => {
-                self.lower_new(ty, args, *line, Some(dst))?;
+            Expr::New { ty, args, span } => {
+                self.lower_new(ty, args, *span, Some(dst))?;
                 Ok(())
             }
-            Expr::Call { recv, method, args, line } => {
-                match self.lower_call(recv.as_deref(), method, args, *line, Some(dst))? {
+            Expr::Call { recv, method, args, span } => {
+                match self.lower_call(recv.as_deref(), method, args, *span, Some(dst))? {
                     Some(v) if v == dst => Ok(()),
                     Some(v) => {
                         self.emit(Instr::Copy { dst, src: v });
@@ -235,7 +236,7 @@ impl Lower<'_, '_> {
                     }
                 }
             }
-            other => match self.lower_expr(other, line)? {
+            other => match self.lower_expr(other, span)? {
                 Some(v) => {
                     self.emit(Instr::Copy { dst, src: v });
                     Ok(())
@@ -248,12 +249,12 @@ impl Lower<'_, '_> {
         }
     }
 
-    fn lower_var_read(&mut self, name: &str, line: u32) -> Result<Option<VarId>, SourceError> {
+    fn lower_var_read(&mut self, name: &str, span: Span) -> Result<Option<VarId>, SourceError> {
         if name == "this" {
             return self
                 .this_var
                 .map(Some)
-                .ok_or_else(|| SourceError::new(line, "`this` used in a static method"));
+                .ok_or_else(|| SourceError::new(span.line, "`this` used in a static method"));
         }
         if let Some(&v) = self.locals.get(name) {
             return Ok(Some(v));
@@ -261,7 +262,7 @@ impl Lower<'_, '_> {
         // instance field of the current class
         if self.class.fields.iter().any(|f| f.name == name) {
             let this = self.this_var.ok_or_else(|| {
-                SourceError::new(line, format!("field {name:?} used in a static method"))
+                SourceError::new(span.line, format!("field {name:?} used in a static method"))
             })?;
             let fty =
                 self.t.client_field_ty(&self.class.name, name).expect("field existence checked");
@@ -275,14 +276,14 @@ impl Lower<'_, '_> {
         {
             return Ok(Some(v));
         }
-        Err(SourceError::new(line, format!("unknown identifier {name:?}")))
+        Err(SourceError::new(span.line, format!("unknown identifier {name:?}")))
     }
 
     fn lower_field_get(
         &mut self,
         base: &Expr,
         field: &str,
-        line: u32,
+        span: Span,
     ) -> Result<Option<VarId>, SourceError> {
         // `ClassName.staticField`
         if let Expr::Var(n) = base {
@@ -292,27 +293,27 @@ impl Lower<'_, '_> {
                 }
                 if self.t.class_idx.contains_key(n.as_str()) {
                     return Err(SourceError::new(
-                        line,
+                        span.line,
                         format!("class {n} has no static field {field:?}"),
                     ));
                 }
             }
         }
-        let Some(b) = self.lower_expr(base, line)? else {
+        let Some(b) = self.lower_expr(base, span)? else {
             return Ok(None); // reading a field of an opaque value
         };
         let bty = self.var_ty(b);
         match self.t.ty_kind(&bty) {
             TyKind::Client => {
                 let fty = self.t.client_field_ty(&bty, field).ok_or_else(|| {
-                    SourceError::new(line, format!("type {bty} has no field {field:?}"))
+                    SourceError::new(span.line, format!("type {bty} has no field {field:?}"))
                 })?;
                 let dst = self.temp(fty);
                 self.emit(Instr::Load { dst, base: b, field: field.to_string() });
                 Ok(Some(dst))
             }
             TyKind::Component => Err(SourceError::new(
-                line,
+                span.line,
                 format!("client code may not access fields of component type {bty}"),
             )),
             TyKind::Opaque => Ok(None),
@@ -331,10 +332,10 @@ impl Lower<'_, '_> {
                 .contains_key(&(self.class.name.as_str().to_string(), name.to_string()))
     }
 
-    fn lower_args(&mut self, args: &[Expr], line: u32) -> Result<Vec<VarId>, SourceError> {
+    fn lower_args(&mut self, args: &[Expr], span: Span) -> Result<Vec<VarId>, SourceError> {
         let mut out = Vec::with_capacity(args.len());
         for a in args {
-            match self.lower_expr(a, line)? {
+            match self.lower_expr(a, span)? {
                 Some(v) => out.push(v),
                 None => {
                     let t = self.opaque_temp();
@@ -349,17 +350,17 @@ impl Lower<'_, '_> {
         &mut self,
         ty: &TypeName,
         args: &[Expr],
-        line: u32,
+        span: Span,
         preferred: Option<VarId>,
     ) -> Result<VarId, SourceError> {
-        let avars = self.lower_args(args, line)?;
+        let avars = self.lower_args(args, span)?;
         match self.t.ty_kind(ty) {
             TyKind::Component => {
                 let class = self.t.spec.class(ty.as_str()).expect("component kind");
                 let arity = class.ctor().map_or(0, |c| c.params().len());
                 if avars.len() != arity {
                     return Err(SourceError::new(
-                        line,
+                        span.line,
                         format!(
                             "constructor of {ty} expects {arity} argument(s), got {}",
                             avars.len()
@@ -369,7 +370,7 @@ impl Lower<'_, '_> {
                 let dst =
                     preferred.filter(|d| self.var_ty(*d) == *ty).unwrap_or_else(|| self.temp(*ty));
                 let site = self.fresh_alloc();
-                let at = self.site(line, format!("new {ty}(...)"));
+                let at = self.site(span, format!("new {ty}(...)"));
                 self.emit(Instr::New { dst, ty: *ty, site, args: avars, at });
                 Ok(dst)
             }
@@ -378,7 +379,7 @@ impl Lower<'_, '_> {
                     self.t.method_ids.get(&(ty.as_str().to_string(), ClassSpec::CTOR.to_string()));
                 match ctor {
                     None if !avars.is_empty() => Err(SourceError::new(
-                        line,
+                        span.line,
                         format!("class {ty} has no constructor but arguments were supplied"),
                     )),
                     ctor => {
@@ -386,13 +387,13 @@ impl Lower<'_, '_> {
                             .filter(|d| self.var_ty(*d) == *ty)
                             .unwrap_or_else(|| self.temp(*ty));
                         let site = self.fresh_alloc();
-                        let at = self.site(line, format!("new {ty}(...)"));
+                        let at = self.site(span, format!("new {ty}(...)"));
                         self.emit(Instr::New { dst, ty: *ty, site, args: Vec::new(), at });
                         if let Some(&callee) = ctor {
                             let sig = &self.t.sigs[callee.0];
                             if sig.params.len() != avars.len() {
                                 return Err(SourceError::new(
-                                    line,
+                                    span.line,
                                     format!(
                                         "constructor of {ty} expects {} argument(s), got {}",
                                         sig.params.len(),
@@ -402,7 +403,7 @@ impl Lower<'_, '_> {
                             }
                             let mut cargs = vec![dst];
                             cargs.extend(avars);
-                            let at = self.site(line, format!("{ty}.<init>"));
+                            let at = self.site(span, format!("{ty}.<init>"));
                             self.emit(Instr::CallClient { dst: None, callee, args: cargs, at });
                         }
                         Ok(dst)
@@ -410,7 +411,7 @@ impl Lower<'_, '_> {
                 }
             }
             TyKind::Opaque => {
-                Err(SourceError::new(line, format!("allocation of unknown type {ty}")))
+                Err(SourceError::new(span.line, format!("allocation of unknown type {ty}")))
             }
         }
     }
@@ -420,7 +421,7 @@ impl Lower<'_, '_> {
         recv: Option<&Expr>,
         method: &str,
         args: &[Expr],
-        line: u32,
+        span: Span,
         preferred: Option<VarId>,
     ) -> Result<Option<VarId>, SourceError> {
         // resolve receiver
@@ -432,9 +433,9 @@ impl Lower<'_, '_> {
                 ResolvedRecv::StaticClass(n.clone())
             }
             Some(e) => {
-                let Some(rv) = self.lower_expr(e, line)? else {
+                let Some(rv) = self.lower_expr(e, span)? else {
                     // call on an opaque value: evaluate args for effect
-                    self.lower_args(args, line)?;
+                    self.lower_args(args, span)?;
                     return Ok(None);
                 };
                 ResolvedRecv::Value(rv)
@@ -446,7 +447,7 @@ impl Lower<'_, '_> {
                 let rty = self.var_ty(rv);
                 match self.t.ty_kind(&rty) {
                     TyKind::Component => {
-                        self.lower_component_call(rv, method, args, line, preferred)
+                        self.lower_component_call(rv, method, args, span, preferred)
                     }
                     TyKind::Client => {
                         let callee = self
@@ -456,22 +457,22 @@ impl Lower<'_, '_> {
                             .copied()
                             .ok_or_else(|| {
                                 SourceError::new(
-                                    line,
+                                    span.line,
                                     format!("class {rty} has no method {method:?}"),
                                 )
                             })?;
                         if self.t.sigs[callee.0].is_static {
                             return Err(SourceError::new(
-                                line,
+                                span.line,
                                 format!("static method {rty}.{method} called through an instance"),
                             ));
                         }
                         let mut cargs = vec![rv];
-                        cargs.extend(self.lower_args(args, line)?);
-                        self.finish_client_call(callee, cargs, line, preferred, method)
+                        cargs.extend(self.lower_args(args, span)?);
+                        self.finish_client_call(callee, cargs, span, preferred, method)
                     }
                     TyKind::Opaque => {
-                        self.lower_args(args, line)?;
+                        self.lower_args(args, span)?;
                         Ok(None)
                     }
                 }
@@ -483,16 +484,16 @@ impl Lower<'_, '_> {
                     .get(&(cname.clone(), method.to_string()))
                     .copied()
                     .ok_or_else(|| {
-                    SourceError::new(line, format!("class {cname} has no method {method:?}"))
+                    SourceError::new(span.line, format!("class {cname} has no method {method:?}"))
                 })?;
                 if !self.t.sigs[callee.0].is_static {
                     return Err(SourceError::new(
-                        line,
+                        span.line,
                         format!("instance method {cname}.{method} called without a receiver"),
                     ));
                 }
-                let cargs = self.lower_args(args, line)?;
-                self.finish_client_call(callee, cargs, line, preferred, method)
+                let cargs = self.lower_args(args, span)?;
+                self.finish_client_call(callee, cargs, span, preferred, method)
             }
             ResolvedRecv::CurrentClass => {
                 let cname = self.class.name.as_str().to_string();
@@ -502,20 +503,20 @@ impl Lower<'_, '_> {
                     .get(&(cname.clone(), method.to_string()))
                     .copied()
                     .ok_or_else(|| {
-                    SourceError::new(line, format!("class {cname} has no method {method:?}"))
+                    SourceError::new(span.line, format!("class {cname} has no method {method:?}"))
                 })?;
                 let mut cargs = Vec::new();
                 if !self.t.sigs[callee.0].is_static {
                     let this = self.this_var.ok_or_else(|| {
                         SourceError::new(
-                            line,
+                            span.line,
                             format!("instance method {method:?} called from a static context"),
                         )
                     })?;
                     cargs.push(this);
                 }
-                cargs.extend(self.lower_args(args, line)?);
-                self.finish_client_call(callee, cargs, line, preferred, method)
+                cargs.extend(self.lower_args(args, span)?);
+                self.finish_client_call(callee, cargs, span, preferred, method)
             }
         }
     }
@@ -525,18 +526,18 @@ impl Lower<'_, '_> {
         rv: VarId,
         method: &str,
         args: &[Expr],
-        line: u32,
+        span: Span,
         preferred: Option<VarId>,
     ) -> Result<Option<VarId>, SourceError> {
         let rty = self.var_ty(rv);
         let class = self.t.spec.class(rty.as_str()).expect("component type");
         let m = class.method(method);
         let known = m.is_some();
-        let avars = self.lower_args(args, line)?;
+        let avars = self.lower_args(args, span)?;
         if let Some(m) = m {
             if m.params().len() != avars.len() {
                 return Err(SourceError::new(
-                    line,
+                    span.line,
                     format!(
                         "component method {rty}.{method} expects {} argument(s), got {}",
                         m.params().len(),
@@ -549,7 +550,7 @@ impl Lower<'_, '_> {
             preferred.filter(|d| self.var_ty(*d) == *rt).unwrap_or_else(|| self.temp(*rt))
         });
         let what = format!("{}.{method}()", self.var_name(rv));
-        let at = self.site(line, what);
+        let at = self.site(span, what);
         self.emit(Instr::CallComponent {
             dst,
             recv: rv,
@@ -565,7 +566,7 @@ impl Lower<'_, '_> {
         &mut self,
         callee: MethodId,
         args: Vec<VarId>,
-        line: u32,
+        span: Span,
         preferred: Option<VarId>,
         method: &str,
     ) -> Result<Option<VarId>, SourceError> {
@@ -573,7 +574,7 @@ impl Lower<'_, '_> {
         let expected = sig.params.len() + usize::from(!sig.is_static);
         if args.len() != expected {
             return Err(SourceError::new(
-                line,
+                span.line,
                 format!(
                     "method {}.{} expects {expected} argument(s), got {}",
                     sig.class,
@@ -586,36 +587,36 @@ impl Lower<'_, '_> {
             .ret_ty
             .filter(|rt| self.t.ty_kind(rt) != TyKind::Opaque)
             .map(|rt| preferred.filter(|d| self.var_ty(*d) == rt).unwrap_or_else(|| self.temp(rt)));
-        let at = self.site(line, format!("{method}(...)"));
+        let at = self.site(span, format!("{method}(...)"));
         self.emit(Instr::CallClient { dst, callee, args, at });
         Ok(dst)
     }
 
     fn lower_stmt(&mut self, s: &Stmt) -> Result<(), SourceError> {
         match s {
-            Stmt::VarDecl { name, ty, init, line } => {
+            Stmt::VarDecl { name, ty, init, span } => {
                 if self.locals.contains_key(name) {
                     return Err(SourceError::new(
-                        *line,
+                        span.line,
                         format!("duplicate local variable {name:?} (shadowing unsupported)"),
                     ));
                 }
                 let v = self.new_var(name.clone(), *ty, VarKind::Local);
                 self.locals.insert(name.clone(), v);
                 match init {
-                    Some(e) => self.lower_expr_into(e, v, *line)?,
+                    Some(e) => self.lower_expr_into(e, v, *span)?,
                     None => self.emit(Instr::Nullify { dst: v }),
                 }
                 Ok(())
             }
-            Stmt::Assign { lhs, rhs, line } => self.lower_assign(lhs, rhs, *line),
-            Stmt::ExprStmt { expr, line } => {
-                self.lower_expr(expr, *line)?;
+            Stmt::Assign { lhs, rhs, span } => self.lower_assign(lhs, rhs, *span),
+            Stmt::ExprStmt { expr, span } => {
+                self.lower_expr(expr, *span)?;
                 Ok(())
             }
-            Stmt::If { cond_effects, then, els, line } => {
+            Stmt::If { cond_effects, then, els, span } => {
                 for e in cond_effects {
-                    self.lower_expr(e, *line)?;
+                    self.lower_expr(e, *span)?;
                 }
                 let branch = self.cur;
                 let join = self.cfg.fresh_node();
@@ -631,12 +632,12 @@ impl Lower<'_, '_> {
                 self.cur = join;
                 Ok(())
             }
-            Stmt::While { cond_effects, body, line } => {
+            Stmt::While { cond_effects, body, span } => {
                 let head = self.cfg.fresh_node();
                 self.cfg.add_edge(self.cur, Instr::Nop, head);
                 self.cur = head;
                 for e in cond_effects {
-                    self.lower_expr(e, *line)?;
+                    self.lower_expr(e, *span)?;
                 }
                 let test = self.cur;
                 let body_entry = self.cfg.fresh_node();
@@ -657,11 +658,11 @@ impl Lower<'_, '_> {
                 }
                 Ok(())
             }
-            Stmt::Return { value, line } => {
+            Stmt::Return { value, span } => {
                 match (value, self.ret_var) {
-                    (Some(e), Some(rv)) => self.lower_expr_into(e, rv, *line)?,
+                    (Some(e), Some(rv)) => self.lower_expr_into(e, rv, *span)?,
                     (Some(e), None) => {
-                        self.lower_expr(e, *line)?;
+                        self.lower_expr(e, *span)?;
                     }
                     (None, _) => {}
                 }
@@ -673,65 +674,65 @@ impl Lower<'_, '_> {
         }
     }
 
-    fn lower_assign(&mut self, lhs: &LValue, rhs: &Expr, line: u32) -> Result<(), SourceError> {
+    fn lower_assign(&mut self, lhs: &LValue, rhs: &Expr, span: Span) -> Result<(), SourceError> {
         match lhs {
             LValue::Var(name) => {
                 if let Some(&v) = self.locals.get(name) {
-                    return self.lower_expr_into(rhs, v, line);
+                    return self.lower_expr_into(rhs, v, span);
                 }
                 // instance field of current class: this.name = rhs
                 if self.class.fields.iter().any(|f| f.name == name.as_str()) {
                     let this = self.this_var.ok_or_else(|| {
                         SourceError::new(
-                            line,
+                            span.line,
                             format!("field {name:?} assigned in a static method"),
                         )
                     })?;
-                    let src = self.rhs_to_var(rhs, line)?;
+                    let src = self.rhs_to_var(rhs, span)?;
                     self.emit(Instr::Store { base: this, field: name.clone(), src });
                     return Ok(());
                 }
                 if let Some(&v) =
                     self.t.statics.get(&(self.class.name.as_str().to_string(), name.clone()))
                 {
-                    return self.lower_expr_into(rhs, v, line);
+                    return self.lower_expr_into(rhs, v, span);
                 }
-                Err(SourceError::new(line, format!("unknown identifier {name:?}")))
+                Err(SourceError::new(span.line, format!("unknown identifier {name:?}")))
             }
             LValue::Field { base, field } => {
                 // `ClassName.staticField = rhs`
                 if let Expr::Var(n) = &**base {
                     if !self.is_value_name(n) {
                         if let Some(&v) = self.t.statics.get(&(n.clone(), field.clone())) {
-                            return self.lower_expr_into(rhs, v, line);
+                            return self.lower_expr_into(rhs, v, span);
                         }
                     }
                 }
-                let Some(b) = self.lower_expr(base, line)? else {
-                    return Err(SourceError::new(line, "assignment through an opaque value"));
+                let Some(b) = self.lower_expr(base, span)? else {
+                    return Err(SourceError::new(span.line, "assignment through an opaque value"));
                 };
                 let bty = self.var_ty(b);
                 if self.t.ty_kind(&bty) != TyKind::Client {
                     return Err(SourceError::new(
-                        line,
+                        span.line,
                         format!("cannot assign field of non-client type {bty}"),
                     ));
                 }
                 if self.t.client_field_ty(&bty, field).is_none() {
                     return Err(SourceError::new(
-                        line,
+                        span.line,
                         format!("type {bty} has no field {field:?}"),
                     ));
                 }
-                let src = self.rhs_to_var(rhs, line)?;
+                let src = self.rhs_to_var(rhs, span)?;
                 self.emit(Instr::Store { base: b, field: field.clone(), src });
                 Ok(())
             }
         }
     }
 
-    fn rhs_to_var(&mut self, rhs: &Expr, line: u32) -> Result<VarId, SourceError> {
-        match self.lower_expr(rhs, line)? {
+    fn rhs_to_var(&mut self, rhs: &Expr, span: Span) -> Result<VarId, SourceError> {
+        match self.lower_expr(rhs, span)? {
             Some(v) => Ok(v),
             None => Ok(self.opaque_temp()),
         }
@@ -777,7 +778,7 @@ fn lower_method(
         let idx = k + usize::from(!m.is_static);
         let v = lw.new_var(name.clone(), *ty, VarKind::Param(idx));
         if lw.locals.insert(name.clone(), v).is_some() {
-            return Err(SourceError::new(m.line, format!("duplicate parameter {name:?}")));
+            return Err(SourceError::new(m.span.line, format!("duplicate parameter {name:?}")));
         }
         params.push(v);
     }
@@ -801,7 +802,8 @@ fn lower_method(
         params,
         ret_var: lw.ret_var,
         cfg: lw.cfg,
-        line: m.line,
+        span: m.span,
+        end_line: m.end_line,
     })
 }
 

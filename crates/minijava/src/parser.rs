@@ -10,7 +10,13 @@ use canvas_easl::lexer::{lex, Cursor, Tok};
 use canvas_logic::TypeName;
 
 use crate::ast::{ClassDecl, Expr, FieldDecl, LValue, MethodDecl, Stmt};
+use crate::ir::Span;
 use crate::SourceError;
+
+/// The span of the token the cursor currently points at.
+fn pos(cur: &Cursor) -> Span {
+    Span::new(cur.line(), cur.col())
+}
 
 const CTOR: &str = "<init>";
 
@@ -27,7 +33,7 @@ pub(crate) fn parse_program(src: &str) -> Result<Vec<ClassDecl>, SourceError> {
 }
 
 fn parse_class(cur: &mut Cursor) -> Result<ClassDecl, SourceError> {
-    let line = cur.line();
+    let span = pos(cur);
     cur.expect_kw("class")?;
     let name = cur.expect_ident()?;
     cur.expect("{")?;
@@ -35,7 +41,8 @@ fn parse_class(cur: &mut Cursor) -> Result<ClassDecl, SourceError> {
     let mut statics = Vec::new();
     let mut methods = Vec::new();
     while !cur.eat("}") {
-        let mline = cur.line();
+        let mspan = pos(cur);
+        let mline = mspan.line;
         let is_static = cur.eat_kw("static");
         let first = cur.expect_ident()?;
         if matches!(cur.peek(), Some(Tok::Punct("("))) {
@@ -50,23 +57,32 @@ fn parse_class(cur: &mut Cursor) -> Result<ClassDecl, SourceError> {
                 return Err(SourceError::new(mline, "constructors cannot be static"));
             }
             let params = parse_params(cur)?;
-            let body = parse_block(cur)?;
+            let (body, end_line) = parse_block(cur)?;
             methods.push(MethodDecl {
                 name: CTOR.to_string(),
                 is_static: false,
                 params,
                 ret_ty: None,
                 body,
-                line: mline,
+                span: mspan,
+                end_line,
             });
             continue;
         }
         let second = cur.expect_ident()?;
         if matches!(cur.peek(), Some(Tok::Punct("("))) {
             let params = parse_params(cur)?;
-            let body = parse_block(cur)?;
+            let (body, end_line) = parse_block(cur)?;
             let ret_ty = (first != "void").then(|| TypeName::new(first));
-            methods.push(MethodDecl { name: second, is_static, params, ret_ty, body, line: mline });
+            methods.push(MethodDecl {
+                name: second,
+                is_static,
+                params,
+                ret_ty,
+                body,
+                span: mspan,
+                end_line,
+            });
         } else {
             if cur.eat("=") {
                 return Err(SourceError::new(
@@ -75,7 +91,7 @@ fn parse_class(cur: &mut Cursor) -> Result<ClassDecl, SourceError> {
                 ));
             }
             cur.expect(";")?;
-            let decl = FieldDecl { name: second, ty: TypeName::new(first), line: mline };
+            let decl = FieldDecl { name: second, ty: TypeName::new(first), span: mspan };
             if is_static {
                 statics.push(decl);
             } else {
@@ -83,7 +99,7 @@ fn parse_class(cur: &mut Cursor) -> Result<ClassDecl, SourceError> {
             }
         }
     }
-    Ok(ClassDecl { name: TypeName::new(name), fields, statics, methods, line })
+    Ok(ClassDecl { name: TypeName::new(name), fields, statics, methods, span })
 }
 
 fn parse_params(cur: &mut Cursor) -> Result<Vec<(String, TypeName)>, SourceError> {
@@ -103,50 +119,54 @@ fn parse_params(cur: &mut Cursor) -> Result<Vec<(String, TypeName)>, SourceError
     Ok(out)
 }
 
-fn parse_block(cur: &mut Cursor) -> Result<Vec<Stmt>, SourceError> {
+/// Parses `{ stmts }`; also returns the line of the closing brace.
+fn parse_block(cur: &mut Cursor) -> Result<(Vec<Stmt>, u32), SourceError> {
     cur.expect("{")?;
     let mut out = Vec::new();
-    while !cur.eat("}") {
+    loop {
+        let close_line = cur.line();
+        if cur.eat("}") {
+            return Ok((out, close_line));
+        }
         out.push(parse_stmt(cur)?);
     }
-    Ok(out)
 }
 
 fn parse_block_or_stmt(cur: &mut Cursor) -> Result<Vec<Stmt>, SourceError> {
     if matches!(cur.peek(), Some(Tok::Punct("{"))) {
-        parse_block(cur)
+        Ok(parse_block(cur)?.0)
     } else {
         Ok(vec![parse_stmt(cur)?])
     }
 }
 
 fn parse_stmt(cur: &mut Cursor) -> Result<Stmt, SourceError> {
-    let line = cur.line();
+    let span = pos(cur);
     if cur.eat_kw("if") {
         cur.expect("(")?;
         let cond_effects = parse_cond(cur)?;
         cur.expect(")")?;
         let then = parse_block_or_stmt(cur)?;
         let els = if cur.eat_kw("else") { parse_block_or_stmt(cur)? } else { Vec::new() };
-        return Ok(Stmt::If { cond_effects, then, els, line });
+        return Ok(Stmt::If { cond_effects, then, els, span });
     }
     if cur.eat_kw("while") {
         cur.expect("(")?;
         let cond_effects = parse_cond(cur)?;
         cur.expect(")")?;
         let body = parse_block_or_stmt(cur)?;
-        return Ok(Stmt::While { cond_effects, body, line });
+        return Ok(Stmt::While { cond_effects, body, span });
     }
     if cur.eat_kw("for") {
-        return parse_for(cur, line);
+        return parse_for(cur, span);
     }
     if cur.eat_kw("return") {
         if cur.eat(";") {
-            return Ok(Stmt::Return { value: None, line });
+            return Ok(Stmt::Return { value: None, span });
         }
         let value = parse_expr(cur)?;
         cur.expect(";")?;
-        return Ok(Stmt::Return { value: Some(value), line });
+        return Ok(Stmt::Return { value: Some(value), span });
     }
     // declaration? two consecutive identifiers
     if let (Some(Tok::Ident(_)), Some(Tok::Ident(_))) = (cur.peek(), cur.peek_at(1)) {
@@ -154,9 +174,9 @@ fn parse_stmt(cur: &mut Cursor) -> Result<Stmt, SourceError> {
         let name = cur.expect_ident()?;
         let init = if cur.eat("=") { Some(parse_expr(cur)?) } else { None };
         cur.expect(";")?;
-        return Ok(Stmt::VarDecl { name, ty, init, line });
+        return Ok(Stmt::VarDecl { name, ty, init, span });
     }
-    let s = parse_simple(cur, line)?;
+    let s = parse_simple(cur, span)?;
     cur.expect(";")?;
     Ok(s)
 }
@@ -164,7 +184,7 @@ fn parse_stmt(cur: &mut Cursor) -> Result<Stmt, SourceError> {
 /// `for (init; cond; update) body` desugars to
 /// `{ init; while (cond) { body; update; } }` using [`Stmt::Block`] for the
 /// init+loop sequence (a block introduces no branching).
-fn parse_for(cur: &mut Cursor, line: u32) -> Result<Stmt, SourceError> {
+fn parse_for(cur: &mut Cursor, span: Span) -> Result<Stmt, SourceError> {
     cur.expect("(")?;
     // init
     let mut pre: Vec<Stmt> = Vec::new();
@@ -173,9 +193,9 @@ fn parse_for(cur: &mut Cursor, line: u32) -> Result<Stmt, SourceError> {
             let ty = TypeName::new(cur.expect_ident()?);
             let name = cur.expect_ident()?;
             let init = if cur.eat("=") { Some(parse_expr(cur)?) } else { None };
-            pre.push(Stmt::VarDecl { name, ty, init, line });
+            pre.push(Stmt::VarDecl { name, ty, init, span });
         } else {
-            pre.push(parse_simple(cur, line)?);
+            pre.push(parse_simple(cur, span)?);
         }
         cur.expect(";")?;
     }
@@ -187,14 +207,14 @@ fn parse_for(cur: &mut Cursor, line: u32) -> Result<Stmt, SourceError> {
     let update = if matches!(cur.peek(), Some(Tok::Punct(")"))) {
         None
     } else {
-        Some(parse_simple(cur, line)?)
+        Some(parse_simple(cur, span)?)
     };
     cur.expect(")")?;
     let mut body = parse_block_or_stmt(cur)?;
     if let Some(u) = update {
         body.push(u);
     }
-    let whl = Stmt::While { cond_effects, body, line };
+    let whl = Stmt::While { cond_effects, body, span };
     if pre.is_empty() {
         Ok(whl)
     } else {
@@ -204,10 +224,10 @@ fn parse_for(cur: &mut Cursor, line: u32) -> Result<Stmt, SourceError> {
 }
 
 /// Assignment or expression statement (no trailing `;`).
-fn parse_simple(cur: &mut Cursor, line: u32) -> Result<Stmt, SourceError> {
+fn parse_simple(cur: &mut Cursor, span: Span) -> Result<Stmt, SourceError> {
     let e = parse_expr(cur)?;
     if cur.eat("++") {
-        return Ok(Stmt::ExprStmt { expr: Expr::Opaque, line });
+        return Ok(Stmt::ExprStmt { expr: Expr::Opaque, span });
     }
     if cur.eat("=") {
         let rhs = parse_expr(cur)?;
@@ -216,14 +236,14 @@ fn parse_simple(cur: &mut Cursor, line: u32) -> Result<Stmt, SourceError> {
             Expr::FieldGet { base, field } => LValue::Field { base, field },
             other => {
                 return Err(SourceError::new(
-                    line,
+                    span.line,
                     format!("expression {other:?} is not assignable"),
                 ))
             }
         };
-        return Ok(Stmt::Assign { lhs, rhs, line });
+        return Ok(Stmt::Assign { lhs, rhs, span });
     }
-    Ok(Stmt::ExprStmt { expr: e, line })
+    Ok(Stmt::ExprStmt { expr: e, span })
 }
 
 /// Parses a boolean condition, returning the tracked subexpressions it
@@ -303,13 +323,13 @@ fn contains_call(e: &Expr) -> bool {
 }
 
 fn parse_expr(cur: &mut Cursor) -> Result<Expr, SourceError> {
-    let line = cur.line();
+    let span = pos(cur);
     let mut e = match cur.peek() {
         Some(Tok::Ident(id)) if id == "new" => {
             cur.next_tok()?;
             let ty = cur.expect_ident()?;
             let args = parse_args(cur)?;
-            Expr::New { ty: TypeName::new(ty), args, line }
+            Expr::New { ty: TypeName::new(ty), args, span }
         }
         Some(Tok::Ident(id)) if id == "null" || id == "true" || id == "false" => {
             cur.next_tok()?;
@@ -319,7 +339,7 @@ fn parse_expr(cur: &mut Cursor) -> Result<Expr, SourceError> {
             let name = cur.expect_ident()?;
             if matches!(cur.peek(), Some(Tok::Punct("("))) {
                 let args = parse_args(cur)?;
-                Expr::Call { recv: None, method: name, args, line }
+                Expr::Call { recv: None, method: name, args, span }
             } else {
                 Expr::Var(name)
             }
@@ -335,16 +355,19 @@ fn parse_expr(cur: &mut Cursor) -> Result<Expr, SourceError> {
             inner
         }
         other => {
-            return Err(SourceError::new(line, format!("expected expression, found {other:?}")))
+            return Err(SourceError::new(
+                span.line,
+                format!("expected expression, found {other:?}"),
+            ))
         }
     };
-    // postfix chain
+    // postfix chain; calls keep the span of the whole chain's start so a
+    // diagnostic underlines `i.next()` from `i`, not from `next`
     while cur.eat(".") {
-        let pline = cur.line();
         let member = cur.expect_ident()?;
         if matches!(cur.peek(), Some(Tok::Punct("("))) {
             let args = parse_args(cur)?;
-            e = Expr::Call { recv: Some(Box::new(e)), method: member, args, line: pline };
+            e = Expr::Call { recv: Some(Box::new(e)), method: member, args, span };
         } else {
             e = Expr::FieldGet { base: Box::new(e), field: member };
         }

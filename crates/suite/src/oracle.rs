@@ -230,7 +230,7 @@ impl Oracle<'_> {
                     match self.eval_formula(&class, &mspec, req, robj, &argv, &state) {
                         Ok(true) => {}
                         Ok(false) => {
-                            self.violations.insert(at.line);
+                            self.violations.insert(at.line());
                             self.end_path(); // the thrown exception ends it
                             return vec![];
                         }

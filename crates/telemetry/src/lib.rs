@@ -52,6 +52,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, Once, OnceLock};
 use std::time::{Duration, Instant};
 
+pub mod trace;
+
 /// Number of log₂ buckets ([`Histogram`]); covers the full `u64` range.
 const BUCKETS: usize = 65;
 
@@ -241,9 +243,16 @@ impl Timer {
 
     /// Starts a span; the elapsed time is recorded when the guard drops.
     /// While telemetry is disabled the guard is inert (no clock read).
+    /// While [`trace::tracing`] is on, the span additionally emits paired
+    /// begin/end trace events, so every instrumented site shows up in the
+    /// Chrome-trace export without further changes.
     #[inline]
     pub fn span(&'static self) -> Span {
-        Span { timer: self, start: if enabled() { Some(Instant::now()) } else { None } }
+        Span {
+            timer: self,
+            start: if enabled() { Some(Instant::now()) } else { None },
+            trace: trace::tracing().then(|| trace::span(self.name, "timer")),
+        }
     }
 
     /// Records an explicitly measured duration.
@@ -261,6 +270,7 @@ impl Timer {
 pub struct Span {
     timer: &'static Timer,
     start: Option<Instant>,
+    trace: Option<trace::TraceSpan>,
 }
 
 impl Drop for Span {
@@ -268,6 +278,7 @@ impl Drop for Span {
         if let Some(start) = self.start {
             self.timer.observe(start.elapsed());
         }
+        self.trace.take();
     }
 }
 

@@ -210,7 +210,7 @@ fn collect_states(
 
     let mut violations: Vec<TvlaViolation> =
         violations.into_iter().map(|site| TvlaViolation { site }).collect();
-    violations.sort_by_key(|v| (v.site.method, v.site.line, v.site.what.clone()));
+    violations.sort_by_key(|v| (v.site.method, v.site.span, v.site.what.clone()));
     TVLA_WORKLIST_POPS.add(pops);
     TVLA_APPLICATIONS.add(applications as u64);
     TVLA_STRUCTURES_CREATED.add(structs_created);
@@ -321,7 +321,11 @@ mod tests {
     use canvas_minijava::MethodId;
 
     fn site(line: u32) -> Site {
-        Site { method: MethodId(0), line, what: format!("check@{line}") }
+        Site {
+            method: MethodId(0),
+            span: canvas_minijava::Span::new(line, 1),
+            what: format!("check@{line}"),
+        }
     }
 
     /// x = new; maybe (x = new); check x-pointed-thing is p1

@@ -364,7 +364,7 @@ mod tests {
                 Formula3::exists("o", Formula3::App(1, vec!["o".into()])),
                 canvas_minijava::Site {
                     method: canvas_minijava::MethodId(0),
-                    line: 1,
+                    span: canvas_minijava::Span::new(1, 1),
                     what: "t".into(),
                 },
             )),
@@ -387,7 +387,7 @@ mod tests {
                 Formula3::True,
                 canvas_minijava::Site {
                     method: canvas_minijava::MethodId(0),
-                    line: 1,
+                    span: canvas_minijava::Span::new(1, 1),
                     what: "t".into(),
                 },
             )),

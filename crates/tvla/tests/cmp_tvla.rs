@@ -31,7 +31,7 @@ fn specialized_lines(src: &str, mode: EngineMode) -> Vec<u32> {
     let tvp = translate_specialized(&program, main, &spec, &derived);
     let r = run(&tvp, mode, 20_000);
     assert!(!r.exhausted, "budget exhausted");
-    r.violations.iter().map(|v| v.site.line).collect()
+    r.violations.iter().map(|v| v.site.line()).collect()
 }
 
 fn generic_lines(src: &str, mode: EngineMode) -> Vec<u32> {
@@ -41,7 +41,7 @@ fn generic_lines(src: &str, mode: EngineMode) -> Vec<u32> {
     let tvp = translate_generic(&program, main, &spec);
     let r = run(&tvp, mode, 20_000);
     assert!(!r.exhausted, "budget exhausted");
-    r.violations.iter().map(|v| v.site.line).collect()
+    r.violations.iter().map(|v| v.site.line()).collect()
 }
 
 #[test]
@@ -182,7 +182,7 @@ class Main {
     let main = program.main_method().unwrap();
     let tvp = translate_specialized(&program, main, &spec, &derived);
     let r = run(&tvp, EngineMode::Relational, 20_000);
-    let lines: Vec<u32> = r.violations.iter().map(|v| v.site.line).collect();
+    let lines: Vec<u32> = r.violations.iter().map(|v| v.site.line()).collect();
     // only the resumed t1 traversal (line 9) is invalid
     assert_eq!(lines, vec![9], "{:?}", r.violations);
 }

@@ -21,3 +21,35 @@ fn fig3_table_matches_golden() {
     let actual = canvas_bench::render_fig3();
     assert_eq!(actual, expected, "`eval -- fig3` output drifted from tests/golden/fig3.txt");
 }
+
+#[test]
+fn fig3_explained_matches_golden() {
+    let expected = include_str!("golden/fig3_explain.txt");
+    let actual = canvas_bench::render_fig3_explained();
+    assert_eq!(
+        actual, expected,
+        "`eval -- fig3 --explain` output drifted from tests/golden/fig3_explain.txt"
+    );
+}
+
+/// Pins `canvas certify --spec cmp --explain examples/fig3.mj`: errors at
+/// lines 6 and 9 with full witness traces (create → mutate → stale use),
+/// nothing reported at line 7.
+#[test]
+fn fig3_example_explained_matches_golden() {
+    let expected = include_str!("golden/fig3_example_explain.txt");
+    let source = include_str!("../examples/fig3.mj");
+    let certifier = canvas_core::Certifier::from_spec(canvas_easl::builtin::cmp())
+        .expect("cmp derives")
+        .with_explain(true);
+    let report = certifier
+        .certify_source(source, canvas_core::Engine::ScmpFds)
+        .expect("fig3 example certifies");
+    assert_eq!(report.lines(), vec![6, 9], "errors at lines 6 and 9, line 7 clean");
+    let actual = report.render_explained("examples/fig3.mj", source);
+    assert_eq!(
+        actual, expected,
+        "`canvas --explain examples/fig3.mj` output drifted from \
+         tests/golden/fig3_example_explain.txt"
+    );
+}
