@@ -2,9 +2,10 @@
 //!
 //! ```text
 //! eval [TABLE] [--explain] [--trace-out PATH] [--metrics] [--metrics-json [PATH]]
-//!      [--check-baseline PATH]
+//!      [--check-baseline PATH] [--max-steps N] [--deadline-ms N]
 //! eval compare A.json B.json
 //! eval trace-check PATH
+//! eval oracle
 //! ```
 //!
 //! `TABLE` is one of `derive|fig3|fig3-metrics|fig6|fig7|fig8|
@@ -24,6 +25,13 @@
 //! trace events during the run and writes them as Chrome Trace Format JSON;
 //! `trace-check` validates such a file (valid JSON, >0 events) — CI runs it
 //! against the bench-smoke artifact.
+//!
+//! `--max-steps` / `--deadline-ms` install a process-wide resource budget:
+//! every certifier the evaluation constructs inherits it, and engines whose
+//! fixpoints exhaust it degrade to inconclusive verdicts instead of running
+//! away. `oracle` runs the concrete-execution oracle on the Fig. 3 client
+//! (exit 1 on an oracle error, e.g. a contained interpreter panic — the CI
+//! fault-injection matrix drives this with `CANVAS_FAULT=oracle-death`).
 
 use std::collections::BTreeMap;
 use std::env;
@@ -61,8 +69,12 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("trace-check") {
         return trace_check(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("oracle") {
+        return oracle_check();
+    }
 
     let mut table: Option<String> = None;
+    let mut budget = canvas_faults::Budget::unlimited();
     let mut metrics = false;
     let mut explain = false;
     let mut trace_out: Option<String> = None;
@@ -104,6 +116,21 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--max-steps" | "--deadline-ms" => {
+                let flag = args[i].clone();
+                i += 1;
+                let n: u64 = match args.get(i).map(|v| v.parse()) {
+                    Some(Ok(n)) => n,
+                    _ => {
+                        eprintln!("{flag} needs a number");
+                        return ExitCode::from(2);
+                    }
+                };
+                budget = match flag.as_str() {
+                    "--max-steps" => budget.with_max_steps(n),
+                    _ => budget.with_deadline_ms(n),
+                };
+            }
             other if other.starts_with("--") => {
                 eprintln!("unknown option {other:?}");
                 return ExitCode::from(2);
@@ -115,6 +142,10 @@ fn main() -> ExitCode {
             }
         }
         i += 1;
+    }
+
+    if !budget.is_unlimited() {
+        canvas_faults::set_process_budget(budget);
     }
 
     if metrics_json.is_some() || baseline.is_some() {
@@ -176,6 +207,37 @@ fn main() -> ExitCode {
         println!("wrote trace to {path}");
     }
     ExitCode::SUCCESS
+}
+
+/// `eval oracle`: run the concrete-execution oracle on the Fig. 3 client.
+/// Exit 1 on an oracle error (no main, spawn failure, or a contained
+/// interpreter panic — the injected `oracle-death` fault lands here).
+fn oracle_check() -> ExitCode {
+    use canvas_suite::oracle::{explore, OracleConfig};
+    let spec = canvas_easl::builtin::cmp();
+    let program = match canvas_minijava::Program::parse(FIG3, &spec) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("eval oracle: fig3 does not parse: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match explore(&program, &spec, OracleConfig::default()) {
+        Ok(r) => {
+            println!(
+                "oracle: {} violation line(s) {:?}, {} path(s), truncated: {}",
+                r.violation_lines.len(),
+                r.violation_lines,
+                r.paths,
+                r.truncated
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("eval oracle: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// `eval trace-check PATH`: exit 1 unless `PATH` is a valid Chrome Trace
@@ -440,6 +502,7 @@ fn table_precision() {
                 .find(|c| c.benchmark == name && c.engine == *e)
                 .expect("every cell present");
             let s = match &cell.failed {
+                Some(_) if cell.poisoned => "poisoned".to_string(),
                 Some(_) => "budget".to_string(),
                 None => format!("{}+{}fa", cell.reported - cell.false_alarms, cell.false_alarms),
             };
@@ -453,10 +516,15 @@ fn table_precision() {
         let ok: Vec<_> = cs.iter().filter(|c| c.failed.is_none()).collect();
         let fa: usize = ok.iter().map(|c| c.false_alarms).sum();
         let missed: usize = ok.iter().map(|c| c.missed).sum();
-        let failed = cs.len() - ok.len();
-        println!(
+        let poisoned = cs.iter().filter(|c| c.poisoned).count();
+        let failed = cs.len() - ok.len() - poisoned;
+        print!(
             "{engine:<26} false alarms: {fa:>3}   missed: {missed:>2}   budget failures: {failed}"
         );
+        if poisoned > 0 {
+            print!("   poisoned: {poisoned}");
+        }
+        println!();
     }
 }
 

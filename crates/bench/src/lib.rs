@@ -25,6 +25,8 @@ static SUITE_WORKER_BUSY: canvas_telemetry::Timer =
     canvas_telemetry::Timer::new("suite.worker_busy");
 static SUITE_WORKER_IDLE: canvas_telemetry::Timer =
     canvas_telemetry::Timer::new("suite.worker_idle");
+static SUITE_POISONED: canvas_telemetry::Counter =
+    canvas_telemetry::Counter::non_deterministic("suite.poisoned_cases");
 
 /// One row of the precision table (experiment E4): a benchmark × engine
 /// cell with the usual soundness/precision accounting.
@@ -55,6 +57,9 @@ pub struct PrecisionCell {
     pub time: Duration,
     /// `None` when the engine errored (e.g. state budget).
     pub failed: Option<String>,
+    /// The engine panicked on this case; the panic was contained by the
+    /// per-case isolation layer and the rest of the suite still ran.
+    pub poisoned: bool,
 }
 
 /// Runs one engine on one benchmark, with whole-program coverage.
@@ -95,7 +100,14 @@ pub fn run_cell_prepared(
                 exhausted: report.stats.exhausted,
                 time: report.stats.duration,
                 failed: None,
+                poisoned: false,
             }
+        }
+        // an engine panic contained by the certifier's isolation layer is a
+        // poisoned case, not an ordinary budget failure
+        Err(e @ CertifyError::Panicked { .. }) => {
+            SUITE_POISONED.add(1);
+            PrecisionCell { poisoned: true, ..failed_cell(b, engine, e.to_string()) }
         }
         Err(e) => failed_cell(b, engine, e.to_string()),
     }
@@ -116,6 +128,24 @@ fn failed_cell(b: &Benchmark, engine: Engine, why: String) -> PrecisionCell {
         exhausted: false,
         time: Duration::ZERO,
         failed: Some(why),
+        poisoned: false,
+    }
+}
+
+/// A cell for a case whose engine run panicked: reported as failed with the
+/// contained panic message, and flagged so the E4 rendering can call it out.
+fn poisoned_cell(b: &Benchmark, engine: Engine, message: String) -> PrecisionCell {
+    SUITE_POISONED.add(1);
+    PrecisionCell { poisoned: true, ..failed_cell(b, engine, format!("panicked: {message}")) }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -204,9 +234,17 @@ pub fn precision_table() -> Vec<PrecisionCell> {
                     let started = Instant::now();
                     let b = &benchmarks[bi];
                     let certifier = &certifiers[cert_idx[bi]].1;
+                    // isolate the case: a panicking engine poisons this one
+                    // cell, the worker survives, and every other cell is
+                    // still computed and re-aggregated deterministically
                     let cell = match &parsed[bi] {
                         Ok((program, prepared)) => {
-                            run_cell_prepared(certifier, b, program, prepared, engine)
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                run_cell_prepared(certifier, b, program, prepared, engine)
+                            }))
+                            .unwrap_or_else(|payload| {
+                                poisoned_cell(b, engine, panic_message(payload.as_ref()))
+                            })
                         }
                         Err(why) => failed_cell(b, engine, why.clone()),
                     };
@@ -369,9 +407,14 @@ pub fn render_fig3() -> String {
     let c = Certifier::from_spec(canvas_easl::builtin::cmp()).expect("cmp derives");
     for engine in Engine::all() {
         match c.certify_source(FIG3, engine) {
-            Ok(r) => {
-                let _ = writeln!(out, "{:<26} -> lines {:?}", engine.to_string(), r.lines());
-            }
+            Ok(r) => match r.verdict.reason() {
+                Some(reason) => {
+                    let _ = writeln!(out, "{:<26} -> inconclusive ({reason})", engine.to_string());
+                }
+                None => {
+                    let _ = writeln!(out, "{:<26} -> lines {:?}", engine.to_string(), r.lines());
+                }
+            },
             Err(e) => {
                 let _ = writeln!(out, "{:<26} -> {e}", engine.to_string());
             }

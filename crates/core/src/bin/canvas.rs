@@ -3,7 +3,8 @@
 //! ```text
 //! canvas derive  --spec <cmp|grp|imp|aop|PATH.easl> [--metrics]
 //! canvas certify --spec <...> [--engine <name>] [--whole-program|--inline]
-//!                [--explain] [--trace-out PATH] [--metrics] CLIENT.mj
+//!                [--explain] [--trace-out PATH] [--metrics]
+//!                [--max-steps N] [--deadline-ms N] CLIENT.mj
 //! canvas engines
 //! ```
 //!
@@ -14,26 +15,32 @@
 //! records solver/certification trace events and writes them as Chrome
 //! Trace Format JSON (loadable in Perfetto / `chrome://tracing`).
 //!
+//! `--max-steps` and `--deadline-ms` bound the engine fixpoints through the
+//! resource governor (`canvas-faults`): when a budget trips, the engine
+//! degrades to an inconclusive verdict instead of running away.
+//!
 //! Exit status: 0 = certified conformant, 1 = potential violations found,
-//! 2 = usage/spec/client error.
+//! 2 = usage/spec/client/engine error, 3 = analysis inconclusive (resource
+//! budget exhausted before a verdict was reached).
 
 use std::process::ExitCode;
 
-use canvas_core::{Certifier, Engine};
+use canvas_core::{CanvasError, Certifier, Engine, Stage};
 use canvas_easl::Spec;
+use canvas_faults::Budget;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(code) => code,
-        Err(msg) => {
-            eprintln!("canvas: {msg}");
+        Err(e) => {
+            eprintln!("canvas: {e}");
             ExitCode::from(2)
         }
     }
 }
 
-fn run(args: &[String]) -> Result<ExitCode, String> {
+fn run(args: &[String]) -> Result<ExitCode, CanvasError> {
     let mut it = args.iter();
     let cmd = it.next().map(String::as_str).unwrap_or("help");
     match cmd {
@@ -52,7 +59,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             canvas_telemetry::set_enabled(opts.metrics);
             let spec = load_spec(&opts.spec)?;
             println!("specification {} ({:?})", spec.name(), canvas_easl::classify(&spec));
-            let certifier = Certifier::from_spec(spec).map_err(|e| e.to_string())?;
+            let certifier = Certifier::from_spec(spec)?;
             println!("derived instrumentation-predicate families:");
             for f in certifier.derived().families() {
                 println!("  {f}");
@@ -73,23 +80,24 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let opts = parse_opts(it.as_slice())?;
             canvas_telemetry::set_enabled(opts.metrics);
             canvas_telemetry::trace::set_tracing(opts.trace_out.is_some());
-            let client_path =
-                opts.client.as_deref().ok_or("certify needs a client file argument")?;
+            let client_path = opts
+                .client
+                .as_deref()
+                .ok_or_else(|| CanvasError::usage("certify needs a client file argument"))?;
             let source = std::fs::read_to_string(client_path)
-                .map_err(|e| format!("cannot read {client_path}: {e}"))?;
+                .map_err(|e| CanvasError::io(Stage::ClientFrontend, client_path, &e))?;
             let spec = load_spec(&opts.spec)?;
             let certifier =
-                Certifier::from_spec(spec).map_err(|e| e.to_string())?.with_explain(opts.explain);
+                Certifier::from_spec(spec)?.with_explain(opts.explain).with_budget(opts.budget);
             let program = canvas_minijava::Program::parse(&source, certifier.spec())
-                .map_err(|e| format!("{client_path}: {e}"))?;
+                .map_err(|e| CanvasError::client(&e))?;
             let report = if opts.inline {
                 certifier.certify_inlined(&program, opts.engine)
             } else if opts.whole_program {
                 certifier.certify_program(&program, opts.engine)
             } else {
                 certifier.certify(&program, opts.engine)
-            }
-            .map_err(|e| e.to_string())?;
+            }?;
             if opts.explain {
                 print!("{}", report.render_explained(client_path, &source));
             } else {
@@ -100,17 +108,23 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             }
             if let Some(path) = &opts.trace_out {
                 let json = canvas_telemetry::trace::export_chrome_json();
-                std::fs::write(path, &json)
-                    .map_err(|e| format!("cannot write trace {path}: {e}"))?;
+                std::fs::write(path, &json).map_err(|e| CanvasError::io(Stage::Cli, path, &e))?;
                 eprintln!("canvas: wrote trace to {path}");
             }
-            Ok(if report.certified() { ExitCode::SUCCESS } else { ExitCode::from(1) })
+            Ok(if report.is_inconclusive() {
+                ExitCode::from(3)
+            } else if report.certified() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            })
         }
         _ => {
             println!(
                 "usage:\n  canvas derive  --spec <cmp|grp|imp|aop|PATH.easl> [--metrics]\n  \
                  canvas certify --spec <...> [--engine <name>] [--whole-program|--inline] \
-                 [--explain] [--trace-out PATH] [--metrics] CLIENT.mj\n  \
+                 [--explain] [--trace-out PATH] [--metrics] \
+                 [--max-steps N] [--deadline-ms N] CLIENT.mj\n  \
                  canvas engines"
             );
             Ok(ExitCode::from(2))
@@ -126,10 +140,11 @@ struct Opts {
     metrics: bool,
     explain: bool,
     trace_out: Option<String>,
+    budget: Budget,
     client: Option<String>,
 }
 
-fn parse_opts(args: &[String]) -> Result<Opts, String> {
+fn parse_opts(args: &[String]) -> Result<Opts, CanvasError> {
     let mut opts = Opts {
         spec: "cmp".to_string(),
         engine: Engine::ScmpFds,
@@ -138,32 +153,50 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         metrics: false,
         explain: false,
         trace_out: None,
+        budget: Budget::unlimited(),
         client: None,
     };
+    fn usage(m: impl Into<String>) -> CanvasError {
+        CanvasError::usage(m)
+    }
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--spec" => {
-                opts.spec = it.next().ok_or("--spec needs a value")?.clone();
+                opts.spec = it.next().ok_or_else(|| usage("--spec needs a value"))?.clone();
             }
             "--engine" => {
-                let name = it.next().ok_or("--engine needs a value")?;
-                opts.engine = Engine::by_name(name)
-                    .ok_or_else(|| format!("unknown engine {name:?} (see `canvas engines`)"))?;
+                let name = it.next().ok_or_else(|| usage("--engine needs a value"))?;
+                opts.engine = Engine::by_name(name).ok_or_else(|| {
+                    usage(format!("unknown engine {name:?} (see `canvas engines`)"))
+                })?;
             }
             "--whole-program" => opts.whole_program = true,
             "--inline" => opts.inline = true,
             "--metrics" => opts.metrics = true,
             "--explain" => opts.explain = true,
             "--trace-out" => {
-                opts.trace_out = Some(it.next().ok_or("--trace-out needs a path")?.clone());
+                opts.trace_out =
+                    Some(it.next().ok_or_else(|| usage("--trace-out needs a path"))?.clone());
+            }
+            "--max-steps" => {
+                let n = it.next().ok_or_else(|| usage("--max-steps needs a number"))?;
+                let n: u64 =
+                    n.parse().map_err(|_| usage(format!("--max-steps: not a number: {n:?}")))?;
+                opts.budget = opts.budget.with_max_steps(n);
+            }
+            "--deadline-ms" => {
+                let n = it.next().ok_or_else(|| usage("--deadline-ms needs a number"))?;
+                let n: u64 =
+                    n.parse().map_err(|_| usage(format!("--deadline-ms: not a number: {n:?}")))?;
+                opts.budget = opts.budget.with_deadline_ms(n);
             }
             other if other.starts_with("--") => {
-                return Err(format!("unknown option {other:?}"));
+                return Err(usage(format!("unknown option {other:?}")));
             }
             other => {
                 if opts.client.replace(other.to_string()).is_some() {
-                    return Err("more than one client file given".to_string());
+                    return Err(usage("more than one client file given"));
                 }
             }
         }
@@ -171,7 +204,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     Ok(opts)
 }
 
-fn load_spec(name: &str) -> Result<Spec, String> {
+fn load_spec(name: &str) -> Result<Spec, CanvasError> {
     match name {
         "cmp" => Ok(canvas_easl::builtin::cmp()),
         "grp" => Ok(canvas_easl::builtin::grp()),
@@ -179,13 +212,13 @@ fn load_spec(name: &str) -> Result<Spec, String> {
         "aop" => Ok(canvas_easl::builtin::aop()),
         path => {
             let src = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read spec {path}: {e}"))?;
+                .map_err(|e| CanvasError::io(Stage::SpecLoad, path, &e))?;
             let stem = std::path::Path::new(path)
                 .file_stem()
                 .and_then(|s| s.to_str())
                 .unwrap_or("spec")
                 .to_string();
-            Spec::parse(stem, &src).map_err(|e| format!("{path}: {e}"))
+            Spec::parse(stem, &src).map_err(|e| CanvasError::spec(&e))
         }
     }
 }

@@ -1,10 +1,12 @@
 //! The certifier: derived abstraction + analysis engine.
 
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 use canvas_abstraction::EntryAssumption;
 use canvas_easl::Spec;
+use canvas_faults::Budget;
 use canvas_minijava::{MethodIr, Program};
 use canvas_wp::{derive_abstraction, DeriveError, Derived};
 
@@ -58,6 +60,9 @@ impl Engine {
     }
 
     /// The registry entry backing this id.
+    // the registry is a static table covering every variant; a miss is a
+    // compile-time-shaped bug, not an input-dependent condition
+    #[allow(clippy::expect_used)]
     fn info(self) -> &'static dyn AnalysisEngine {
         registry()
             .iter()
@@ -87,6 +92,14 @@ pub enum CertifyError {
         /// Engine that blew up.
         engine: Engine,
     },
+    /// An engine panicked; the panic was contained by the isolation layer
+    /// and converted into this structured error.
+    Panicked {
+        /// Engine whose solve panicked.
+        engine: Engine,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for CertifyError {
@@ -97,6 +110,9 @@ impl fmt::Display for CertifyError {
             CertifyError::NoMain => f.write_str("client has no static main method"),
             CertifyError::StateBudget { engine } => {
                 write!(f, "{engine} exceeded its state budget")
+            }
+            CertifyError::Panicked { engine, message } => {
+                write!(f, "{engine} panicked: {message}")
             }
         }
     }
@@ -124,6 +140,7 @@ pub struct Certifier {
     derived: Derived,
     relational_budget: usize,
     tvla_budget: usize,
+    budget: Budget,
     explain: bool,
 }
 
@@ -142,6 +159,7 @@ impl Certifier {
             derived,
             relational_budget: 1 << 14,
             tvla_budget: 50_000,
+            budget: canvas_faults::process_budget(),
             explain: false,
         })
     }
@@ -165,6 +183,7 @@ impl Certifier {
             derived,
             relational_budget: 1 << 14,
             tvla_budget: 50_000,
+            budget: canvas_faults::process_budget(),
             explain: false,
         })
     }
@@ -183,6 +202,15 @@ impl Certifier {
     pub fn with_budgets(mut self, relational: usize, tvla: usize) -> Certifier {
         self.relational_budget = relational;
         self.tvla_budget = tvla;
+        self
+    }
+
+    /// Sets the shared resource-governor budget (steps, deadline, states).
+    /// Defaults to the process-wide budget (unlimited unless a binary
+    /// installed one via `canvas_faults::set_process_budget`). Exhaustion
+    /// degrades reports to [`crate::report::Verdict::Inconclusive`].
+    pub fn with_budget(mut self, budget: Budget) -> Certifier {
+        self.budget = budget;
         self
     }
 
@@ -277,6 +305,11 @@ impl Certifier {
             report.stats.predicates = report.stats.predicates.max(r.stats.predicates);
             report.stats.max_states = report.stats.max_states.max(r.stats.max_states);
             report.stats.exhausted |= r.stats.exhausted;
+            // any inconclusive method makes the whole program inconclusive
+            // (first reason wins; the others are duplicates in practice)
+            if report.verdict == crate::report::Verdict::Complete {
+                report.verdict = r.verdict;
+            }
         }
         report.normalize();
         Ok(report)
@@ -346,13 +379,37 @@ impl Certifier {
             entry,
             relational_budget: self.relational_budget,
             tvla_budget: self.tvla_budget,
+            budget: self.budget,
             explain: self.explain,
             shared,
         };
-        let mut report = engine.info().run(&cx)?;
+        // Isolation layer: a panicking engine must not take down the caller
+        // (one method of one suite case, or one request of a service). The
+        // panic surfaces as a structured `CertifyError::Panicked` instead.
+        let run = catch_unwind(AssertUnwindSafe(|| engine.info().run(&cx)));
+        let mut report = match run {
+            Ok(result) => result?,
+            Err(payload) => {
+                return Err(CertifyError::Panicked {
+                    engine,
+                    message: panic_message(payload.as_ref()),
+                })
+            }
+        };
         report.stats.duration = start.elapsed();
         report.normalize();
         Ok(report)
+    }
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 

@@ -14,6 +14,7 @@ use std::sync::OnceLock;
 
 use canvas_abstraction::{transform_method, BoolProgram, EntryAssumption};
 use canvas_easl::Spec;
+use canvas_faults::{Budget, Meter};
 use canvas_minijava::{MethodIr, Program};
 use canvas_tvla::TvpProgram;
 use canvas_wp::Derived;
@@ -89,6 +90,10 @@ pub struct MethodContext<'a> {
     pub relational_budget: usize,
     /// Structure budget for the TVLA engines.
     pub tvla_budget: usize,
+    /// Shared resource governor budget (steps, deadline, states). Unlimited
+    /// by default; exhaustion degrades the report to an inconclusive
+    /// verdict.
+    pub budget: Budget,
     /// Whether to record provenance and attach witness traces to the
     /// violations (slower solve paths; off for plain certification).
     pub explain: bool,
@@ -200,10 +205,14 @@ pub trait AnalysisEngine: Sync {
     }
     /// Analyses one method and reports the potential violations.
     ///
+    /// When the shared resource governor (`cx.budget`) trips, engines return
+    /// `Ok` with an inconclusive report rather than an error: degraded, not
+    /// broken.
+    ///
     /// # Errors
     ///
     /// [`CertifyError::StateBudget`] when a relational engine exceeds its
-    /// budget; engines must not fail otherwise.
+    /// own state budget; engines must not fail otherwise.
     fn run(&self, cx: &MethodContext<'_>) -> Result<Report, CertifyError>;
 }
 
@@ -241,13 +250,27 @@ impl AnalysisEngine for ScmpFdsEngine {
 
     fn run(&self, cx: &MethodContext<'_>) -> Result<Report, CertifyError> {
         let bp = cx.boolprog();
+        let gov = Meter::new(cx.budget);
+        let inconclusive = |ex: canvas_faults::Exhaustion| {
+            Report::inconclusive(
+                self.id(),
+                ex.reason(),
+                Stats { predicates: bp.preds.len(), exhausted: true, ..Stats::default() },
+            )
+        };
         let (res, violations) = if cx.explain {
-            let (res, prov) = canvas_dataflow::fds::analyze_traced(bp);
+            let (res, prov) = match canvas_dataflow::fds::analyze_traced_with(bp, &gov) {
+                Ok(pair) => pair,
+                Err(ex) => return Ok(inconclusive(ex)),
+            };
             let violations =
                 canvas_dataflow::fds::violations_explained(bp, &res, &prov, cx.program, cx.derived);
             (res, violations)
         } else {
-            let res = canvas_dataflow::fds::analyze(bp);
+            let res = match canvas_dataflow::fds::analyze_with(bp, &gov) {
+                Ok(res) => res,
+                Err(ex) => return Ok(inconclusive(ex)),
+            };
             let violations = canvas_dataflow::fds::violations(bp, &res);
             (res, violations)
         };
@@ -260,6 +283,7 @@ impl AnalysisEngine for ScmpFdsEngine {
                 max_states: 1,
                 ..Stats::default()
             },
+            verdict: Default::default(),
         })
     }
 }
@@ -281,18 +305,48 @@ impl AnalysisEngine for ScmpRelationalEngine {
     }
 
     fn run(&self, cx: &MethodContext<'_>) -> Result<Report, CertifyError> {
+        use canvas_dataflow::relational::RelStop;
         let bp = cx.boolprog();
-        let budget_err = |_| CertifyError::StateBudget { engine: self.id() };
+        let gov = Meter::new(cx.budget);
+        // The engine's own per-node valuation budget stays a hard error; only
+        // the shared governor degrades to an inconclusive verdict.
+        enum Stop {
+            Hard(CertifyError),
+            Soft(Report),
+        }
+        let stop = |s: RelStop, engine: Engine, preds: usize| match s {
+            RelStop::States(_) => Stop::Hard(CertifyError::StateBudget { engine }),
+            RelStop::Budget(ex) => Stop::Soft(Report::inconclusive(
+                engine,
+                ex.reason(),
+                Stats { predicates: preds, exhausted: true, ..Stats::default() },
+            )),
+        };
         let (res, violations) = if cx.explain {
-            let (res, prov) = canvas_dataflow::relational::analyze_traced(bp, cx.relational_budget)
-                .map_err(budget_err)?;
+            let (res, prov) = match canvas_dataflow::relational::analyze_traced_with(
+                bp,
+                cx.relational_budget,
+                &gov,
+            ) {
+                Ok(pair) => pair,
+                Err(e) => match stop(e, self.id(), bp.preds.len()) {
+                    Stop::Hard(err) => return Err(err),
+                    Stop::Soft(report) => return Ok(report),
+                },
+            };
             let violations = canvas_dataflow::relational::violations_explained(
                 bp, &res, &prov, cx.program, cx.derived,
             );
             (res, violations)
         } else {
-            let res = canvas_dataflow::relational::analyze(bp, cx.relational_budget)
-                .map_err(budget_err)?;
+            let res =
+                match canvas_dataflow::relational::analyze_with(bp, cx.relational_budget, &gov) {
+                    Ok(res) => res,
+                    Err(e) => match stop(e, self.id(), bp.preds.len()) {
+                        Stop::Hard(err) => return Err(err),
+                        Stop::Soft(report) => return Ok(report),
+                    },
+                };
             let violations = canvas_dataflow::relational::violations(bp, &res);
             (res, violations)
         };
@@ -306,6 +360,7 @@ impl AnalysisEngine for ScmpRelationalEngine {
                 max_states,
                 ..Stats::default()
             },
+            verdict: Default::default(),
         })
     }
 }
@@ -327,10 +382,23 @@ impl AnalysisEngine for ScmpInterprocEngine {
     }
 
     fn run(&self, cx: &MethodContext<'_>) -> Result<Report, CertifyError> {
+        let gov = Meter::new(cx.budget);
         let res = if cx.explain {
-            canvas_dataflow::interproc::analyze_explained(cx.program, cx.spec, cx.derived)
+            canvas_dataflow::interproc::analyze_explained_with(
+                cx.program, cx.spec, cx.derived, &gov,
+            )
         } else {
-            canvas_dataflow::interproc::analyze(cx.program, cx.spec, cx.derived)
+            canvas_dataflow::interproc::analyze_with(cx.program, cx.spec, cx.derived, &gov)
+        };
+        let res = match res {
+            Ok(res) => res,
+            Err(ex) => {
+                return Ok(Report::inconclusive(
+                    self.id(),
+                    ex.reason(),
+                    Stats { exhausted: true, ..Stats::default() },
+                ))
+            }
         };
         Ok(Report {
             engine: self.id(),
@@ -341,6 +409,7 @@ impl AnalysisEngine for ScmpInterprocEngine {
                 max_states: 1,
                 ..Stats::default()
             },
+            verdict: Default::default(),
         })
     }
 }
@@ -466,6 +535,20 @@ impl AnalysisEngine for GenericAllocSiteEngine {
     }
 
     fn run(&self, cx: &MethodContext<'_>) -> Result<Report, CertifyError> {
+        canvas_faults::solver_abort();
+        // The alloc-site baseline is a single linear pass, so account its
+        // whole cost up front: one step per CFG edge (plus one so an empty
+        // method still checks the deadline / injected trip).
+        let gov = Meter::new(cx.budget);
+        for _ in 0..=cx.method.cfg.edges().len() {
+            if let Err(ex) = gov.tick() {
+                return Ok(Report::inconclusive(
+                    self.id(),
+                    ex.reason(),
+                    Stats { exhausted: true, ..Stats::default() },
+                ));
+            }
+        }
         let res = canvas_heap::allocsite_analyze_with_entry(
             cx.program,
             cx.method,
@@ -486,6 +569,7 @@ impl AnalysisEngine for GenericAllocSiteEngine {
             engine: self.id(),
             violations: res.violations.iter().map(violation).collect(),
             stats: Stats { work: res.edge_visits, max_states: 1, ..Stats::default() },
+            verdict: Default::default(),
         })
     }
 }
@@ -515,7 +599,17 @@ fn run_tvla(
             vec![s]
         }
     };
-    let res = canvas_tvla::run_from(tvp, mode, cx.tvla_budget, entry_structs);
+    let gov = Meter::new(cx.budget);
+    let res = match canvas_tvla::run_from_with(tvp, mode, cx.tvla_budget, entry_structs, &gov) {
+        Ok(res) => res,
+        Err(ex) => {
+            return Report::inconclusive(
+                engine,
+                ex.reason(),
+                Stats { predicates: tvp.preds.len(), exhausted: true, ..Stats::default() },
+            )
+        }
+    };
     let violation = |v: &canvas_tvla::TvlaViolation| {
         if cx.explain {
             cx.violation_unavailable(&v.site, "the TVLA engines do not record provenance")
@@ -533,6 +627,7 @@ fn run_tvla(
             exhausted: res.exhausted,
             ..Stats::default()
         },
+        verdict: Default::default(),
     }
 }
 
@@ -580,6 +675,7 @@ mod tests {
             entry: EntryAssumption::Clean,
             relational_budget: 1 << 14,
             tvla_budget: 50_000,
+            budget: Budget::unlimited(),
             explain: false,
             shared: &shared,
         };

@@ -41,10 +41,16 @@
 //! # Ok::<(), canvas_core::CertifyError>(())
 //! ```
 
+// the panic-free frontier: code reachable from external input must
+// return typed errors, never panic (test code is exempt)
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod certifier;
 mod engine;
+mod error;
 mod report;
 
 pub use certifier::{Certifier, CertifyError, Engine};
 pub use engine::{registry, AnalysisEngine, MethodContext, PreparedProgram, SharedTransforms};
-pub use report::{Report, Stats, Violation, Witness, WitnessStep};
+pub use error::{CanvasError, ErrorKind, Stage};
+pub use report::{Report, Stats, Verdict, Violation, Witness, WitnessStep};

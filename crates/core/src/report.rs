@@ -113,6 +113,37 @@ pub struct Stats {
     pub exhausted: bool,
 }
 
+/// Whether a certification run produced a definitive answer.
+///
+/// Certification is a three-valued question: *certified*, *potential
+/// violations*, or — when the resource governor stopped an engine early —
+/// *inconclusive*. An inconclusive run is a sound "cannot certify": it never
+/// upgrades to certification, mirroring the conservative-analysis contract.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub enum Verdict {
+    /// Every fixpoint ran to completion; `violations` is the engine's full
+    /// answer.
+    #[default]
+    Complete,
+    /// The resource governor (step budget, deadline, or state budget)
+    /// stopped the engine early. Absence of violations does *not* certify
+    /// the client.
+    Inconclusive {
+        /// Why, e.g. `step budget of 1000 exhausted`.
+        reason: String,
+    },
+}
+
+impl Verdict {
+    /// The exhaustion reason, if inconclusive.
+    pub fn reason(&self) -> Option<&str> {
+        match self {
+            Verdict::Complete => None,
+            Verdict::Inconclusive { reason } => Some(reason),
+        }
+    }
+}
+
 /// The result of certifying one client.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Report {
@@ -122,17 +153,36 @@ pub struct Report {
     pub violations: Vec<Violation>,
     /// Run statistics.
     pub stats: Stats,
+    /// Whether the engine ran to completion or was stopped by the governor.
+    pub verdict: Verdict,
 }
 
+static INCONCLUSIVE_REPORTS: canvas_telemetry::Counter =
+    canvas_telemetry::Counter::non_deterministic("certifier.inconclusive_reports");
+
 impl Report {
+    /// An inconclusive report: the governor stopped `engine` early.
+    /// Counted in telemetry (non-deterministic: deadline trips depend on
+    /// wall-clock).
+    pub fn inconclusive(engine: crate::Engine, reason: String, stats: Stats) -> Report {
+        INCONCLUSIVE_REPORTS.incr();
+        Report { engine, violations: Vec::new(), stats, verdict: Verdict::Inconclusive { reason } }
+    }
+
     /// The violation lines (convenience for tests and tables).
     pub fn lines(&self) -> Vec<u32> {
         self.violations.iter().map(|v| v.line).collect()
     }
 
-    /// Whether the client is certified conformant (no potential violation).
+    /// Whether the client is certified conformant: no potential violation
+    /// *and* a complete run (an inconclusive run certifies nothing).
     pub fn certified(&self) -> bool {
-        self.violations.is_empty()
+        self.violations.is_empty() && !self.is_inconclusive()
+    }
+
+    /// Whether the governor stopped the engine before a definitive answer.
+    pub fn is_inconclusive(&self) -> bool {
+        matches!(self.verdict, Verdict::Inconclusive { .. })
     }
 
     /// Sorts the violations and merges duplicates of the same source site
@@ -167,10 +217,22 @@ impl Report {
     /// Violations without witness data fall back to a location-only
     /// diagnostic.
     pub fn render_explained(&self, file: &str, source: &str) -> String {
-        if self.certified() {
+        let mut out = String::new();
+        if let Verdict::Inconclusive { reason } = &self.verdict {
+            let warn = Diagnostic::warning(format!("analysis inconclusive: {reason}"), file)
+                .with_note(format!(
+                    "the {} engine was stopped by the resource governor; absence of \
+                     reported violations does not certify the client",
+                    self.engine
+                ));
+            out.push_str(&warn.render(source));
+            if self.violations.is_empty() {
+                return out;
+            }
+            out.push('\n');
+        } else if self.certified() {
             return format!("{}: no potential violations — client certified\n", self.engine);
         }
-        let mut out = String::new();
         for (k, v) in self.violations.iter().enumerate() {
             if k > 0 {
                 out.push('\n');
@@ -240,6 +302,9 @@ impl fmt::Display for Report {
             self.stats.predicates,
             self.stats.work
         )?;
+        if let Verdict::Inconclusive { reason } = &self.verdict {
+            writeln!(f, "  inconclusive: {reason}")?;
+        }
         for v in &self.violations {
             writeln!(f, "  potential violation at {v}")?;
         }
@@ -283,6 +348,7 @@ mod tests {
                 v(6, 9, Some(Witness::Unavailable("baseline"))),
             ],
             stats: Stats::default(),
+            verdict: Verdict::default(),
         };
         r.normalize();
         assert_eq!(r.lines(), vec![6, 9]);
@@ -311,6 +377,7 @@ class Main {
             engine: crate::Engine::ScmpFds,
             violations: vec![v(6, 9, Some(witness))],
             stats: Stats::default(),
+            verdict: Verdict::default(),
         };
         let text = r.render_explained("client.mj", SRC);
         assert!(text.contains("--> client.mj:6:9"), "{text}");
@@ -331,12 +398,33 @@ class Main {
                 Some(Witness::Unavailable("the TVLA engine does not record provenance")),
             )],
             stats: Stats::default(),
+            verdict: Verdict::default(),
         };
         let text = r.render_explained("client.mj", "a\nb\nc\nd\ne\n        i.next();\n");
         assert!(text.contains("no witness available: the TVLA engine"), "{text}");
-        let certified =
-            Report { engine: crate::Engine::ScmpFds, violations: vec![], stats: Stats::default() };
+        let certified = Report {
+            engine: crate::Engine::ScmpFds,
+            violations: vec![],
+            stats: Stats::default(),
+            verdict: Verdict::default(),
+        };
         assert!(certified.render_explained("x", "").contains("certified"));
+    }
+
+    #[test]
+    fn inconclusive_reports_do_not_certify_and_render_a_warning() {
+        let r = Report::inconclusive(
+            crate::Engine::ScmpFds,
+            "step budget of 10 exhausted".into(),
+            Stats::default(),
+        );
+        assert!(!r.certified());
+        assert!(r.is_inconclusive());
+        assert_eq!(r.verdict.reason(), Some("step budget of 10 exhausted"));
+        let text = r.render_explained("client.mj", "");
+        assert!(text.contains("warning: analysis inconclusive: step budget of 10"), "{text}");
+        assert!(text.contains("does not certify"), "{text}");
+        assert!(r.to_string().contains("inconclusive: step budget of 10"), "{}", r);
     }
 
     #[test]

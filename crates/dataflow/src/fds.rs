@@ -11,6 +11,7 @@
 //! the bit.
 
 use canvas_abstraction::{BoolProgram, Operand, Rhs};
+use canvas_faults::{Exhaustion, Meter};
 use canvas_minijava::{Program, Site};
 use canvas_wp::Derived;
 
@@ -47,16 +48,51 @@ pub struct Violation {
 
 /// Runs the may-be-1 analysis to fixpoint.
 pub fn analyze(bp: &BoolProgram) -> FdsResult {
-    analyze_inner::<false>(bp).0
+    let disarmed = Meter::disarmed();
+    match analyze_inner::<false>(bp, &disarmed) {
+        Ok((res, _)) => res,
+        Err(ex) => unreachable!("disarmed meter tripped: {ex}"),
+    }
 }
 
 /// Like [`analyze`], but records per-fact provenance for witness traces.
 /// A separate monomorphization, so [`analyze`] pays nothing for it.
 pub fn analyze_traced(bp: &BoolProgram) -> (FdsResult, Provenance) {
-    analyze_inner::<true>(bp)
+    let disarmed = Meter::disarmed();
+    match analyze_inner::<true>(bp, &disarmed) {
+        Ok(pair) => pair,
+        Err(ex) => unreachable!("disarmed meter tripped: {ex}"),
+    }
 }
 
-fn analyze_inner<const TRACE: bool>(bp: &BoolProgram) -> (FdsResult, Provenance) {
+/// Governed variant of [`analyze`]: one meter tick per edge visit.
+///
+/// # Errors
+///
+/// Returns the [`Exhaustion`] when the governor budget trips; the caller
+/// degrades to an inconclusive verdict.
+pub fn analyze_with(bp: &BoolProgram, gov: &Meter) -> Result<FdsResult, Exhaustion> {
+    canvas_faults::solver_abort();
+    analyze_inner::<false>(bp, gov).map(|(res, _)| res)
+}
+
+/// Governed variant of [`analyze_traced`].
+///
+/// # Errors
+///
+/// As [`analyze_with`].
+pub fn analyze_traced_with(
+    bp: &BoolProgram,
+    gov: &Meter,
+) -> Result<(FdsResult, Provenance), Exhaustion> {
+    canvas_faults::solver_abort();
+    analyze_inner::<true>(bp, gov)
+}
+
+fn analyze_inner<const TRACE: bool>(
+    bp: &BoolProgram,
+    gov: &Meter,
+) -> Result<(FdsResult, Provenance), Exhaustion> {
     let _span = FDS_SOLVE_TIME.span();
     let n = bp.node_count;
     let width = bp.preds.len();
@@ -85,6 +121,11 @@ fn analyze_inner<const TRACE: bool>(bp: &BoolProgram) -> (FdsResult, Provenance)
         for &ek in &out_edges[node] {
             let e = &bp.edges[ek];
             edge_visits += 1;
+            if let Err(ex) = gov.tick() {
+                FDS_WORKLIST_POPS.add(pops);
+                FDS_EDGE_VISITS.add(edge_visits as u64);
+                return Err(ex);
+            }
             let mut out = state[e.from].clone();
             for (dst, rhs) in &e.assigns {
                 let bit = match rhs {
@@ -120,7 +161,7 @@ fn analyze_inner<const TRACE: bool>(bp: &BoolProgram) -> (FdsResult, Provenance)
         "solver",
         &[("edge_visits", edge_visits as u64), ("worklist_pops", pops)],
     );
-    (FdsResult { may_one: state, edge_visits }, prov)
+    Ok((FdsResult { may_one: state, edge_visits }, prov))
 }
 
 /// Extracts the potential violations from a fixpoint.

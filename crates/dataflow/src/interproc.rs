@@ -44,6 +44,8 @@ use canvas_logic::{Symbol, TypeName};
 use canvas_minijava::{Instr, MethodId, Program, VarId};
 use canvas_wp::Derived;
 
+use canvas_faults::{Exhaustion, Meter};
+
 use crate::bitset::BitSet;
 use crate::fds::Violation;
 use crate::provenance::{justify, Provenance};
@@ -118,7 +120,11 @@ struct Ctx<'a> {
 ///
 /// Panics if the program has no static `main` method.
 pub fn analyze(program: &Program, spec: &Spec, derived: &Derived) -> InterprocResult {
-    analyze_impl(program, spec, derived, false)
+    let disarmed = Meter::disarmed();
+    match analyze_impl(program, spec, derived, false, &disarmed) {
+        Ok(res) => res,
+        Err(ex) => unreachable!("disarmed meter tripped: {ex}"),
+    }
 }
 
 /// Like [`analyze`], but records per-fact provenance during tabulation and
@@ -129,7 +135,51 @@ pub fn analyze(program: &Program, spec: &Spec, derived: &Derived) -> InterprocRe
 ///
 /// As [`analyze`].
 pub fn analyze_explained(program: &Program, spec: &Spec, derived: &Derived) -> InterprocResult {
-    analyze_impl(program, spec, derived, true)
+    let disarmed = Meter::disarmed();
+    match analyze_impl(program, spec, derived, true, &disarmed) {
+        Ok(res) => res,
+        Err(ex) => unreachable!("disarmed meter tripped: {ex}"),
+    }
+}
+
+/// Governed variant of [`analyze`]: one meter tick per worklist pop in the
+/// summary, tabulation, and concrete fixpoints.
+///
+/// # Errors
+///
+/// Returns the [`Exhaustion`] when the governor budget trips; the caller
+/// degrades to an inconclusive verdict.
+///
+/// # Panics
+///
+/// As [`analyze`].
+pub fn analyze_with(
+    program: &Program,
+    spec: &Spec,
+    derived: &Derived,
+    gov: &Meter,
+) -> Result<InterprocResult, Exhaustion> {
+    canvas_faults::solver_abort();
+    analyze_impl(program, spec, derived, false, gov)
+}
+
+/// Governed variant of [`analyze_explained`].
+///
+/// # Errors
+///
+/// As [`analyze_with`].
+///
+/// # Panics
+///
+/// As [`analyze`].
+pub fn analyze_explained_with(
+    program: &Program,
+    spec: &Spec,
+    derived: &Derived,
+    gov: &Meter,
+) -> Result<InterprocResult, Exhaustion> {
+    canvas_faults::solver_abort();
+    analyze_impl(program, spec, derived, true, gov)
 }
 
 fn analyze_impl(
@@ -137,7 +187,8 @@ fn analyze_impl(
     spec: &Spec,
     derived: &Derived,
     explain: bool,
-) -> InterprocResult {
+    gov: &Meter,
+) -> Result<InterprocResult, Exhaustion> {
     let _span = INTERPROC_ANALYZE_TIME.span();
     INTERPROC_ANALYSES.incr();
     let main_id = program.main_method().expect("interprocedural analysis needs a main").id;
@@ -190,8 +241,8 @@ fn analyze_impl(
 
     let mut ctx = Ctx { program: ext, spec, methods, ghost_of, formal_of, phantoms };
     ctx.compute_seeds();
-    let (summaries, summary_iterations) = ctx.summary_fixpoint();
-    let (violations, reachable) = ctx.tabulate(main_id, &summaries, derived, explain);
+    let (summaries, summary_iterations) = ctx.summary_fixpoint(gov)?;
+    let (violations, reachable) = ctx.tabulate(main_id, &summaries, derived, explain, gov)?;
     let max_instances = ctx.methods.iter().map(|m| m.bp.preds.len()).max().unwrap_or(0);
     INTERPROC_SUMMARY_ITERATIONS.add(summary_iterations as u64);
     canvas_telemetry::trace::instant(
@@ -202,7 +253,7 @@ fn analyze_impl(
             ("reachable_methods", reachable.len() as u64),
         ],
     );
-    InterprocResult { violations, reachable, summary_iterations, max_instances }
+    Ok(InterprocResult { violations, reachable, summary_iterations, max_instances })
 }
 
 impl Ctx<'_> {
@@ -256,7 +307,7 @@ impl Ctx<'_> {
     }
 
     /// Phase 1: exit summaries (sets of entry facts per instance).
-    fn summary_fixpoint(&self) -> (Vec<Vec<BitSet>>, usize) {
+    fn summary_fixpoint(&self, gov: &Meter) -> Result<(Vec<Vec<BitSet>>, usize), Exhaustion> {
         let n = self.methods.len();
         let mut summaries: Vec<Vec<BitSet>> = (0..n)
             .map(|m| vec![BitSet::new(self.width(m)); self.methods[m].bp.preds.len()])
@@ -266,7 +317,7 @@ impl Ctx<'_> {
             iterations += 1;
             let mut changed = false;
             for m in 0..n {
-                let new = self.run_summary(m, &summaries);
+                let new = self.run_summary(m, &summaries, gov)?;
                 if new != summaries[m] {
                     summaries[m] = new;
                     changed = true;
@@ -276,11 +327,16 @@ impl Ctx<'_> {
                 break;
             }
         }
-        (summaries, iterations)
+        Ok((summaries, iterations))
     }
 
     /// One set-domain pass over method `m` with the current summary map.
-    fn run_summary(&self, m: usize, summaries: &[Vec<BitSet>]) -> Vec<BitSet> {
+    fn run_summary(
+        &self,
+        m: usize,
+        summaries: &[Vec<BitSet>],
+        gov: &Meter,
+    ) -> Result<Vec<BitSet>, Exhaustion> {
         let mt = &self.methods[m];
         let bp = &mt.bp;
         let width = self.width(m);
@@ -305,6 +361,7 @@ impl Ctx<'_> {
         let mut on_work = vec![false; nodes];
         on_work[bp.entry] = true;
         while let Some(node) = work.pop() {
+            gov.tick()?;
             on_work[node] = false;
             let Some(cur) = state[node].clone() else { continue };
             for &ek in &out_edges[node] {
@@ -329,10 +386,10 @@ impl Ctx<'_> {
                 }
             }
         }
-        match state[mt.exit].take() {
+        Ok(match state[mt.exit].take() {
             Some(s) => s,
             None => vec![BitSet::new(width); npreds], // exit unreachable
-        }
+        })
     }
 
     /// Set-domain transfer across edge `ek` of method `m`.
@@ -521,7 +578,8 @@ impl Ctx<'_> {
         summaries: &[Vec<BitSet>],
         derived: &Derived,
         explain: bool,
-    ) -> (Vec<Violation>, Vec<MethodId>) {
+        gov: &Meter,
+    ) -> Result<(Vec<Violation>, Vec<MethodId>), Exhaustion> {
         let n = self.methods.len();
         let mut entry_in: Vec<Option<BitSet>> = vec![None; n];
         entry_in[main.0] = Some(BitSet::new(self.methods[main.0].bp.preds.len()));
@@ -529,8 +587,9 @@ impl Ctx<'_> {
         let mut per_method_violations: Vec<Vec<Violation>> = vec![Vec::new(); n];
 
         while let Some(m) = work.pop() {
+            gov.tick()?;
             let entry = entry_in[m].clone().expect("queued methods have entries");
-            let (state, viols) = self.run_concrete(m, &entry, summaries, derived, explain);
+            let (state, viols) = self.run_concrete(m, &entry, summaries, derived, explain, gov)?;
             per_method_violations[m] = viols;
             // propagate callee entries
             let bp = &self.methods[m].bp;
@@ -563,7 +622,7 @@ impl Ctx<'_> {
         }
         violations.sort_by_key(|v| (v.site.method, v.site.span, v.site.what.clone()));
         violations.dedup_by(|a, b| a.site == b.site);
-        (violations, reachable)
+        Ok((violations, reachable))
     }
 
     /// Concrete may-be-1 pass over method `m` (summaries applied at calls).
@@ -575,7 +634,8 @@ impl Ctx<'_> {
         summaries: &[Vec<BitSet>],
         derived: &Derived,
         explain: bool,
-    ) -> (Vec<Option<BitSet>>, Vec<Violation>) {
+        gov: &Meter,
+    ) -> Result<(Vec<Option<BitSet>>, Vec<Violation>), Exhaustion> {
         let bp = &self.methods[m].bp;
         let nodes = bp.node_count;
         let mut prov =
@@ -590,6 +650,7 @@ impl Ctx<'_> {
         let mut on_work = vec![false; nodes];
         on_work[bp.entry] = true;
         while let Some(node) = work.pop() {
+            gov.tick()?;
             on_work[node] = false;
             let Some(cur) = state[node].clone() else { continue };
             for &ek in &out_edges[node] {
@@ -642,7 +703,7 @@ impl Ctx<'_> {
                 viols.push(Violation { site: c.site.clone(), culprits, witness });
             }
         }
-        (state, viols)
+        Ok((state, viols))
     }
 
     /// Which pre-state fact justifies `p` being true after edge `ek`

@@ -10,6 +10,7 @@
 use std::collections::HashSet;
 
 use canvas_abstraction::{BoolProgram, Operand, Rhs};
+use canvas_faults::{Exhaustion, Meter};
 use canvas_minijava::{Program, Site};
 use canvas_wp::Derived;
 
@@ -40,6 +41,27 @@ impl std::fmt::Display for RelError {
 
 impl std::error::Error for RelError {}
 
+/// Why a governed relational run stopped early: the engine-specific
+/// per-node state budget, or the shared resource governor.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RelStop {
+    /// The engine's own per-node valuation budget (a hard analysis failure).
+    States(RelError),
+    /// The shared governor tripped (degrades to an inconclusive verdict).
+    Budget(Exhaustion),
+}
+
+impl std::fmt::Display for RelStop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RelStop::States(e) => e.fmt(f),
+            RelStop::Budget(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for RelStop {}
+
 /// The relational fixpoint: per-node sets of valuations.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct RelResult {
@@ -56,7 +78,12 @@ pub struct RelResult {
 /// Returns [`RelError`] if any node accumulates more than `budget`
 /// valuations (the engine is exponential in the worst case).
 pub fn analyze(bp: &BoolProgram, budget: usize) -> Result<RelResult, RelError> {
-    analyze_inner::<false>(bp, budget).map(|(res, _)| res)
+    let disarmed = Meter::disarmed();
+    match analyze_inner::<false>(bp, budget, &disarmed) {
+        Ok((res, _)) => Ok(res),
+        Err(RelStop::States(e)) => Err(e),
+        Err(RelStop::Budget(ex)) => unreachable!("disarmed meter tripped: {ex}"),
+    }
 }
 
 /// Like [`analyze`], but records per-fact provenance (over the may-union of
@@ -69,13 +96,45 @@ pub fn analyze_traced(
     bp: &BoolProgram,
     budget: usize,
 ) -> Result<(RelResult, Provenance), RelError> {
-    analyze_inner::<true>(bp, budget)
+    let disarmed = Meter::disarmed();
+    match analyze_inner::<true>(bp, budget, &disarmed) {
+        Ok(pair) => Ok(pair),
+        Err(RelStop::States(e)) => Err(e),
+        Err(RelStop::Budget(ex)) => unreachable!("disarmed meter tripped: {ex}"),
+    }
+}
+
+/// Governed variant of [`analyze`]: one meter tick per valuation transfer,
+/// plus governor state checks wherever the engine budget is checked.
+///
+/// # Errors
+///
+/// [`RelStop::States`] on the engine's own budget, [`RelStop::Budget`] when
+/// the shared governor trips.
+pub fn analyze_with(bp: &BoolProgram, budget: usize, gov: &Meter) -> Result<RelResult, RelStop> {
+    canvas_faults::solver_abort();
+    analyze_inner::<false>(bp, budget, gov).map(|(res, _)| res)
+}
+
+/// Governed variant of [`analyze_traced`].
+///
+/// # Errors
+///
+/// As [`analyze_with`].
+pub fn analyze_traced_with(
+    bp: &BoolProgram,
+    budget: usize,
+    gov: &Meter,
+) -> Result<(RelResult, Provenance), RelStop> {
+    canvas_faults::solver_abort();
+    analyze_inner::<true>(bp, budget, gov)
 }
 
 fn analyze_inner<const TRACE: bool>(
     bp: &BoolProgram,
     budget: usize,
-) -> Result<(RelResult, Provenance), RelError> {
+    gov: &Meter,
+) -> Result<(RelResult, Provenance), RelStop> {
     let _span = REL_SOLVE_TIME.span();
     // Publishes on drop so the budget-exceeded `Err` exits are counted too.
     struct Tally {
@@ -108,8 +167,9 @@ fn analyze_inner<const TRACE: bool>(
         }
         entry_states.extend(more);
         if entry_states.len() > budget {
-            return Err(RelError { node: bp.entry, budget });
+            return Err(RelStop::States(RelError { node: bp.entry, budget }));
         }
+        gov.check_states(entry_states.len()).map_err(RelStop::Budget)?;
     }
     states[bp.entry] = entry_states.into_iter().collect();
     if TRACE {
@@ -135,6 +195,7 @@ fn analyze_inner<const TRACE: bool>(
             let mut new_states: Vec<BitSet> = Vec::new();
             for s in &states[e.from] {
                 tally.transfers += 1;
+                gov.tick().map_err(RelStop::Budget)?;
                 // apply parallel assignment; Havoc forks
                 let mut outs = vec![s.clone()];
                 for (dst, rhs) in &e.assigns {
@@ -160,8 +221,9 @@ fn analyze_inner<const TRACE: bool>(
                             }
                             outs = forked;
                             if outs.len() > budget {
-                                return Err(RelError { node: e.to, budget });
+                                return Err(RelStop::States(RelError { node: e.to, budget }));
                             }
+                            gov.check_states(outs.len()).map_err(RelStop::Budget)?;
                         }
                     }
                 }
@@ -183,8 +245,9 @@ fn analyze_inner<const TRACE: bool>(
                 changed |= target.insert(s);
             }
             if target.len() > budget {
-                return Err(RelError { node: e.to, budget });
+                return Err(RelStop::States(RelError { node: e.to, budget }));
             }
+            gov.check_states(target.len()).map_err(RelStop::Budget)?;
             if changed && !on_work[e.to] {
                 on_work[e.to] = true;
                 work.push(e.to);

@@ -99,6 +99,11 @@ impl Diagnostic {
         }
     }
 
+    /// A new warning-severity diagnostic (e.g. an inconclusive verdict).
+    pub fn warning(message: impl Into<String>, file: impl Into<String>) -> Diagnostic {
+        Diagnostic { severity: Severity::Warning, ..Diagnostic::error(message, file) }
+    }
+
     /// Adds a label.
     pub fn with_label(mut self, label: Label) -> Diagnostic {
         self.labels.push(label);

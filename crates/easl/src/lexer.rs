@@ -60,9 +60,13 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, EaslError> {
     while i < bytes.len() {
         let c = bytes[i] as char;
         if !c.is_ascii() {
-            // decode the full character for the error message (slicing at a
-            // non-boundary would panic)
-            let ch = src[i..].chars().next().expect("index is a char boundary");
+            // decode the full character for the error message; `i` sits on
+            // a lead byte (everything before was ASCII), but fall back to
+            // U+FFFD rather than trusting that with a panic
+            let ch = src
+                .get(i..)
+                .and_then(|rest| rest.chars().next())
+                .unwrap_or(char::REPLACEMENT_CHARACTER);
             return Err(EaslError::new(line, format!("unexpected character {ch:?}")));
         }
         if c == '\n' {

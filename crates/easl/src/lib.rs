@@ -30,6 +30,10 @@
 //! # Ok::<(), canvas_easl::EaslError>(())
 //! ```
 
+// the panic-free frontier: code reachable from external input must
+// return typed errors, never panic (test code is exempt)
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod ast;
 pub mod builtin;
 mod error;

@@ -43,6 +43,10 @@
 //! # Ok::<(), canvas_minijava::SourceError>(())
 //! ```
 
+// the panic-free frontier: code reachable from external input must
+// return typed errors, never panic (test code is exempt)
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod ast;
 pub mod inline;
 mod ir;

@@ -264,8 +264,10 @@ impl Lower<'_, '_> {
             let this = self.this_var.ok_or_else(|| {
                 SourceError::new(span.line, format!("field {name:?} used in a static method"))
             })?;
-            let fty =
-                self.t.client_field_ty(&self.class.name, name).expect("field existence checked");
+            let fty = self
+                .t
+                .client_field_ty(&self.class.name, name)
+                .ok_or_else(|| SourceError::new(span.line, format!("unknown field {name:?}")))?;
             let dst = self.temp(fty);
             self.emit(Instr::Load { dst, base: this, field: name.to_string() });
             return Ok(Some(dst));
@@ -356,7 +358,9 @@ impl Lower<'_, '_> {
         let avars = self.lower_args(args, span)?;
         match self.t.ty_kind(ty) {
             TyKind::Component => {
-                let class = self.t.spec.class(ty.as_str()).expect("component kind");
+                let class = self.t.spec.class(ty.as_str()).ok_or_else(|| {
+                    SourceError::new(span.line, format!("unknown component type {ty}"))
+                })?;
                 let arity = class.ctor().map_or(0, |c| c.params().len());
                 if avars.len() != arity {
                     return Err(SourceError::new(
@@ -530,7 +534,10 @@ impl Lower<'_, '_> {
         preferred: Option<VarId>,
     ) -> Result<Option<VarId>, SourceError> {
         let rty = self.var_ty(rv);
-        let class = self.t.spec.class(rty.as_str()).expect("component type");
+        let class =
+            self.t.spec.class(rty.as_str()).ok_or_else(|| {
+                SourceError::new(span.line, format!("unknown component type {rty}"))
+            })?;
         let m = class.method(method);
         let known = m.is_some();
         let avars = self.lower_args(args, span)?;

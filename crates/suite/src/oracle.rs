@@ -39,6 +39,30 @@ pub struct OracleResult {
     pub truncated: bool,
 }
 
+/// Why the oracle could not produce a result.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum OracleError {
+    /// The program has no static `main` entry point.
+    NoMain,
+    /// The dedicated interpreter thread could not be spawned.
+    Spawn(String),
+    /// The interpreter thread panicked; the panic was contained and its
+    /// payload (when it was a string) is carried here.
+    Panicked(String),
+}
+
+impl std::fmt::Display for OracleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OracleError::NoMain => f.write_str("oracle needs a static main method"),
+            OracleError::Spawn(e) => write!(f, "cannot spawn oracle thread: {e}"),
+            OracleError::Panicked(m) => write!(f, "oracle thread panicked: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for OracleError {}
+
 /// Concrete interpreter budgets.
 #[derive(Clone, Copy, Debug)]
 pub struct OracleConfig {
@@ -59,10 +83,14 @@ impl Default for OracleConfig {
 /// Explores all branch choices of `main` and returns every line whose
 /// `requires` concretely fails on some path.
 ///
-/// # Panics
-///
-/// Panics if the program has no static `main`.
-pub fn explore(program: &Program, spec: &Spec, config: OracleConfig) -> OracleResult {
+/// The interpreter runs on a dedicated thread; a panic there (including the
+/// injected `oracle-death` fault) is contained and surfaced as
+/// [`OracleError::Panicked`] rather than tearing down the caller.
+pub fn explore(
+    program: &Program,
+    spec: &Spec,
+    config: OracleConfig,
+) -> Result<OracleResult, OracleError> {
     // the exhaustive DFS can recurse up to `max_steps` frames; run it on a
     // dedicated thread with a generous stack so callers need no special
     // configuration
@@ -72,22 +100,37 @@ pub fn explore(program: &Program, spec: &Spec, config: OracleConfig) -> OracleRe
         .name("oracle".to_string())
         .stack_size(256 << 20)
         .spawn(move || explore_on_this_stack(&program, &spec, config))
-        .expect("spawn oracle thread")
+        .map_err(|e| OracleError::Spawn(e.to_string()))?
         .join()
-        .expect("oracle thread completes")
+        .map_err(|payload| OracleError::Panicked(panic_payload(payload.as_ref())))?
 }
 
-fn explore_on_this_stack(program: &Program, spec: &Spec, config: OracleConfig) -> OracleResult {
+fn panic_payload(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn explore_on_this_stack(
+    program: &Program,
+    spec: &Spec,
+    config: OracleConfig,
+) -> Result<OracleResult, OracleError> {
     static ORACLE_PATHS: canvas_telemetry::Counter =
         canvas_telemetry::Counter::new("oracle.paths_explored");
-    let main = program.main_method().expect("oracle needs a main");
+    canvas_faults::oracle_death();
+    let main = program.main_method().ok_or(OracleError::NoMain)?;
     let mut o =
         Oracle { program, spec, config, violations: BTreeSet::new(), paths: 0, truncated: false };
     let entry = State { objects: Vec::new(), vars: HashMap::new() };
     let exits = o.run_from(main, main.cfg.entry(), entry, 0, 0);
     o.paths += exits.len();
     ORACLE_PATHS.add(o.paths as u64);
-    OracleResult { violation_lines: o.violations, paths: o.paths, truncated: o.truncated }
+    Ok(OracleResult { violation_lines: o.violations, paths: o.paths, truncated: o.truncated })
 }
 
 #[derive(Clone, Debug)]
@@ -442,7 +485,7 @@ mod tests {
     fn explore_src(src: &str) -> OracleResult {
         let spec = canvas_easl::builtin::cmp();
         let program = Program::parse(src, &spec).unwrap();
-        explore(&program, &spec, OracleConfig::default())
+        explore(&program, &spec, OracleConfig::default()).expect("oracle runs")
     }
 
     #[test]
@@ -603,7 +646,7 @@ class Main {
             &spec,
         )
         .unwrap();
-        let r = explore(&program, &spec, OracleConfig::default());
+        let r = explore(&program, &spec, OracleConfig::default()).expect("oracle runs");
         assert_eq!(r.violation_lines, BTreeSet::from([8]));
     }
 }

@@ -2,6 +2,7 @@
 
 use std::collections::HashSet;
 
+use canvas_faults::{Exhaustion, Meter};
 use canvas_minijava::Site;
 
 use crate::canon::{canonicalize, join};
@@ -68,7 +69,12 @@ pub fn run_collect(
 ) -> (TvlaResult, Vec<Vec<Structure>>) {
     // re-run the fixpoint while keeping the states: the engine is
     // deterministic, so running it once with collection is equivalent
-    collect_states(p, mode, max_structs_per_node, vec![Structure::empty(&p.preds)])
+    let disarmed = Meter::disarmed();
+    match collect_states(p, mode, max_structs_per_node, vec![Structure::empty(&p.preds)], &disarmed)
+    {
+        Ok(pair) => pair,
+        Err(ex) => unreachable!("disarmed meter tripped: {ex}"),
+    }
 }
 
 /// Runs the abstract interpreter from explicit entry structures (used to
@@ -79,7 +85,33 @@ pub fn run_from(
     max_structs_per_node: usize,
     entry: Vec<Structure>,
 ) -> TvlaResult {
-    collect_states(p, mode, max_structs_per_node, entry).0
+    let disarmed = Meter::disarmed();
+    match collect_states(p, mode, max_structs_per_node, entry, &disarmed) {
+        Ok((res, _)) => res,
+        Err(ex) => unreachable!("disarmed meter tripped: {ex}"),
+    }
+}
+
+/// Governed variant of [`run_from`]: one meter tick per structure-transformer
+/// application, plus governor state checks on every target set.
+///
+/// The engine's own `max_structs_per_node` budget keeps its legacy meaning
+/// (conservative bail-out with `exhausted = true`); only the shared governor
+/// produces an [`Exhaustion`], which the caller degrades to an inconclusive
+/// verdict.
+///
+/// # Errors
+///
+/// Returns the [`Exhaustion`] when the governor budget trips.
+pub fn run_from_with(
+    p: &TvpProgram,
+    mode: EngineMode,
+    max_structs_per_node: usize,
+    entry: Vec<Structure>,
+    gov: &Meter,
+) -> Result<TvlaResult, Exhaustion> {
+    canvas_faults::solver_abort();
+    collect_states(p, mode, max_structs_per_node, entry, gov).map(|(res, _)| res)
 }
 
 fn collect_states(
@@ -87,12 +119,27 @@ fn collect_states(
     mode: EngineMode,
     max_structs_per_node: usize,
     entry: Vec<Structure>,
-) -> (TvlaResult, Vec<Vec<Structure>>) {
+    gov: &Meter,
+) -> Result<(TvlaResult, Vec<Vec<Structure>>), Exhaustion> {
     let _span = TVLA_SOLVE_TIME.span();
-    let mut pops = 0u64;
-    let mut structs_created = 0u64;
-    let mut dedup_hits = 0u64;
-    let mut joins = 0u64;
+    // Publishes on drop so governor-tripped early exits are counted too.
+    struct Tally {
+        pops: u64,
+        applications: u64,
+        structs_created: u64,
+        dedup_hits: u64,
+        joins: u64,
+    }
+    impl Drop for Tally {
+        fn drop(&mut self) {
+            TVLA_WORKLIST_POPS.add(self.pops);
+            TVLA_APPLICATIONS.add(self.applications);
+            TVLA_STRUCTURES_CREATED.add(self.structs_created);
+            TVLA_DEDUP_HITS.add(self.dedup_hits);
+            TVLA_JOINS.add(self.joins);
+        }
+    }
+    let mut tally = Tally { pops: 0, applications: 0, structs_created: 0, dedup_hits: 0, joins: 0 };
     let mut states: Vec<Vec<Structure>> = vec![Vec::new(); p.nodes];
     // Hash-set mirror of `states` for O(1) membership in relational mode
     // (structures are canonicalized, so hashing sees the isomorphism-
@@ -103,17 +150,17 @@ fn collect_states(
         match mode {
             EngineMode::Relational => {
                 if seen[p.entry].insert(s.clone()) {
-                    structs_created += 1;
+                    tally.structs_created += 1;
                     states[p.entry].push(s);
                 } else {
-                    dedup_hits += 1;
+                    tally.dedup_hits += 1;
                 }
             }
             EngineMode::IndependentAttribute => {
                 let acc = match states[p.entry].pop() {
                     None => s,
                     Some(t) => {
-                        joins += 1;
+                        tally.joins += 1;
                         crate::canon::join(&t, &s, &p.preds)
                     }
                 };
@@ -131,19 +178,19 @@ fn collect_states(
     let mut on_work = vec![false; p.nodes];
     on_work[p.entry] = true;
     let mut violations: HashSet<Site> = HashSet::new();
-    let mut applications = 0;
     let mut max_states = 1;
     let mut exhausted = false;
 
     while let Some(node) = work.pop() {
-        pops += 1;
+        tally.pops += 1;
         on_work[node] = false;
         let cur = states[node].clone();
         for &ek in &out_edges[node] {
             let (_, action, to) = &p.edges[ek];
             let mut new_structs = Vec::new();
             for s in &cur {
-                applications += 1;
+                tally.applications += 1;
+                gov.tick()?;
                 let r = apply(action, s, &p.preds);
                 if r.check_fired {
                     if let Some((_, site)) = &action.check {
@@ -158,11 +205,11 @@ fn collect_states(
                 EngineMode::Relational => {
                     for s in new_structs {
                         if seen[*to].insert(s.clone()) {
-                            structs_created += 1;
+                            tally.structs_created += 1;
                             target.push(s);
                             changed = true;
                         } else {
-                            dedup_hits += 1;
+                            tally.dedup_hits += 1;
                         }
                     }
                 }
@@ -172,7 +219,7 @@ fn collect_states(
                         acc = Some(match acc {
                             None => s,
                             Some(t) => {
-                                joins += 1;
+                                tally.joins += 1;
                                 join(&t, &s, &p.preds)
                             }
                         });
@@ -186,6 +233,7 @@ fn collect_states(
                 }
             }
             max_states = max_states.max(target.len());
+            gov.check_states(target.len())?;
             if target.len() > max_structs_per_node {
                 exhausted = true;
             }
@@ -211,12 +259,8 @@ fn collect_states(
     let mut violations: Vec<TvlaViolation> =
         violations.into_iter().map(|site| TvlaViolation { site }).collect();
     violations.sort_by_key(|v| (v.site.method, v.site.span, v.site.what.clone()));
-    TVLA_WORKLIST_POPS.add(pops);
-    TVLA_APPLICATIONS.add(applications as u64);
-    TVLA_STRUCTURES_CREATED.add(structs_created);
-    TVLA_DEDUP_HITS.add(dedup_hits);
-    TVLA_JOINS.add(joins);
-    (TvlaResult { violations, applications, max_states, exhausted }, states)
+    let applications = tally.applications as usize;
+    Ok((TvlaResult { violations, applications, max_states, exhausted }, states))
 }
 
 /// Renders a structure as a Graphviz DOT digraph (for visual inspection of

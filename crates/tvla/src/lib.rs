@@ -37,7 +37,8 @@ pub mod translate;
 pub mod tvp;
 
 pub use engine::{
-    render_structure, run, run_collect, run_from, to_dot, EngineMode, TvlaResult, TvlaViolation,
+    render_structure, run, run_collect, run_from, run_from_with, to_dot, EngineMode, TvlaResult,
+    TvlaViolation,
 };
 pub use structure::Structure;
 pub use translate::{translate_generic, translate_specialized};

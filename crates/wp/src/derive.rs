@@ -493,6 +493,11 @@ impl Deriver<'_> {
     }
 
     /// Derives the update rules for family `fid` through one statement form.
+    // the expects encode form invariants established case-by-case in this
+    // function (copy forms carry a parameter type, bound subsets bind an
+    // lhs); they cannot be reached from malformed external input, which is
+    // rejected during spec resolution
+    #[allow(clippy::expect_used)]
     fn rules_for(
         &mut self,
         fid: FamilyId,
@@ -786,6 +791,8 @@ fn formula_reads_mutable(spec: &Spec, formula: &Formula) -> bool {
 }
 
 /// The set of `(owner type, field)` pairs assigned outside construction.
+// assignment paths always end in a field: enforced by the EASL parser
+#[allow(clippy::expect_used)]
 pub(crate) fn mutable_fields(spec: &Spec) -> std::collections::HashSet<(TypeName, FieldId)> {
     let mut out = std::collections::HashSet::new();
     for class in spec.classes() {

@@ -28,6 +28,10 @@
 //! # Ok::<(), canvas_wp::DeriveError>(())
 //! ```
 
+// the panic-free frontier: code reachable from external input must
+// return typed errors, never panic (test code is exempt)
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod derive;
 mod simplify;
 mod sym;

@@ -71,6 +71,7 @@ pub struct OperandBinding {
 ///
 /// Panics if the binding does not provide the operands the form needs; the
 /// derivation driver constructs bindings consistently.
+#[allow(clippy::expect_used)] // the documented contract above
 pub fn client_stmt_actions(
     spec: &Spec,
     class: Option<&ClassSpec>,
@@ -153,6 +154,9 @@ impl ActionBuilder<'_> {
     }
 
     /// Evaluates a spec expression to a path (allocations yield `$new` vars).
+    // `new T(..)` inside a spec body names a spec class: checked at resolve
+    // time, so the lookup cannot miss on a resolved spec
+    #[allow(clippy::expect_used)]
     fn eval_expr(
         &mut self,
         e: &SpecExpr,
@@ -178,6 +182,9 @@ struct Env {
 }
 
 impl Env {
+    // `sp` is rooted at exactly the variable we rebase from, so the rebase
+    // cannot fail
+    #[allow(clippy::expect_used)]
     fn resolve_spec_path(
         &self,
         m: &MethodSpec,
@@ -323,6 +330,9 @@ fn field_of(t: &Term, g: &str, fresh: &mut FreshFields) -> Term {
 
 /// Computes WP of `phi` through `actions` (executed forward), resolving
 /// `$new` variables to allocation tokens at the end.
+// heap-write actions are built from field assignments only (see
+// `ActionBuilder`), so their target paths always end in a field
+#[allow(clippy::expect_used)]
 pub fn wp_through_actions(phi: &Formula, actions: &[Action]) -> Formula {
     let mut f = phi.clone();
     let mut fresh = FreshFields::new();
@@ -342,6 +352,8 @@ pub fn wp_through_actions(phi: &Formula, actions: &[Action]) -> Formula {
 }
 
 /// Replaces paths rooted at `var` by the same path rooted at `path`.
+// the guard `p.base() == var` is exactly the rebase precondition
+#[allow(clippy::expect_used)]
 fn rebase_var(f: &Formula, var: &Var, path: &AccessPath) -> Formula {
     let root = AccessPath::of(*var);
     f.map_terms(&mut |t| match t {

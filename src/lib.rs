@@ -12,6 +12,7 @@
 //! * [`dataflow`] — FDS / relational / interprocedural engines (§4, §8);
 //! * [`tvla`] — the TVP IR and 3-valued-logic engine (§5);
 //! * [`heap`] — the allocation-site baseline (§3);
+//! * [`faults`] — resource budgets, graceful degradation, fault injection;
 //! * [`core`] — the [`Certifier`] pipeline tying everything together;
 //! * [`suite`] — the evaluation corpus and generators (§7).
 //!
@@ -37,6 +38,7 @@ pub use canvas_abstraction as abstraction;
 pub use canvas_core as core;
 pub use canvas_dataflow as dataflow;
 pub use canvas_easl as easl;
+pub use canvas_faults as faults;
 pub use canvas_heap as heap;
 pub use canvas_logic as logic;
 pub use canvas_minijava as minijava;

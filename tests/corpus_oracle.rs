@@ -14,7 +14,7 @@ fn corpus_truth_matches_concrete_oracle() {
         let spec = b.spec.spec();
         let program =
             canvas_conformance::minijava::Program::parse(b.source, &spec).expect("parses");
-        let r = explore(&program, &spec, OracleConfig::default());
+        let r = explore(&program, &spec, OracleConfig::default()).expect("oracle runs");
         let truth: BTreeSet<u32> = b.truth().into_iter().collect();
         if r.truncated {
             // unbounded loops: the oracle's set is a lower bound

@@ -1,0 +1,113 @@
+//! Deterministic fault injection end to end.
+//!
+//! Forces each named fault point (`canvas_faults::force`, the in-process
+//! equivalent of `CANVAS_FAULT=<point>`) and asserts the documented
+//! containment: a typed error, an inconclusive verdict, or a poisoned suite
+//! cell — never an uncontained panic and never a silently wrong verdict.
+//!
+//! Everything lives in ONE test function: the force override is process
+//! global, so the faults must be injected sequentially.
+
+use canvas_conformance::faults::{force, unforce, Fault};
+use canvas_conformance::suite::oracle::{explore, OracleConfig, OracleError};
+use canvas_conformance::{Certifier, CertifyError, Engine};
+use canvas_easl::Spec;
+use canvas_minijava::Program;
+
+const FIG3: &str = r#"
+class Main {
+    static void main() {
+        Set v = new Set();
+        Iterator i1 = v.iterator();
+        Iterator i2 = v.iterator();
+        Iterator i3 = i1;
+        i1.next();
+        i1.remove();
+        if (true) { i2.next(); }
+        if (true) { i3.next(); }
+        v.add("x");
+        if (true) { i1.next(); }
+    }
+}
+"#;
+
+/// Runs `f` with panic output silenced (the injected panics are expected
+/// and would otherwise spam the test log), restoring the previous hook.
+fn quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    std::panic::set_hook(prev);
+    out
+}
+
+#[test]
+fn every_injected_fault_is_contained() {
+    let spec = canvas_conformance::easl::builtin::cmp();
+    let certifier = Certifier::from_spec(spec.clone()).expect("cmp derives");
+
+    // truncate-input: both parsers see half the source and must Err
+    force(Some(Fault::TruncateInput));
+    assert!(Spec::parse("spec", "class Set { Set() { } }").is_err());
+    assert!(Program::parse(FIG3, &spec).is_err());
+    unforce();
+
+    // solver-abort: every engine's solve panics; the isolation layer in the
+    // certifier converts that into a structured CertifyError::Panicked
+    force(Some(Fault::SolverAbort));
+    quiet_panics(|| {
+        for engine in Engine::all() {
+            match certifier.certify_source(FIG3, engine) {
+                Err(CertifyError::Panicked { engine: e, message }) => {
+                    assert_eq!(e, engine);
+                    assert!(message.contains("solver-abort"), "{engine}: {message}");
+                }
+                other => panic!("{engine}: expected a contained panic, got {other:?}"),
+            }
+        }
+    });
+    unforce();
+
+    // budget-trip: the governor trips immediately and every engine degrades
+    // to an inconclusive verdict carrying the injected reason
+    force(Some(Fault::BudgetTrip));
+    for engine in Engine::all() {
+        let r = certifier.certify_source(FIG3, engine).expect("trip is not a hard error");
+        assert!(r.is_inconclusive(), "{engine}");
+        assert!(!r.certified(), "{engine}: inconclusive must not certify");
+        assert_eq!(r.verdict.reason(), Some("injected budget-trip fault"), "{engine}");
+    }
+    unforce();
+
+    // oracle-death: the interpreter thread dies; the thread boundary
+    // contains it as OracleError::Panicked
+    force(Some(Fault::OracleDeath));
+    let program = Program::parse(FIG3, &spec).expect("fig3 parses");
+    let got = quiet_panics(|| explore(&program, &spec, OracleConfig::default()));
+    match got {
+        Err(OracleError::Panicked(msg)) => {
+            assert!(msg.contains("oracle-death"), "{msg}");
+        }
+        other => panic!("expected a contained oracle panic, got {other:?}"),
+    }
+    unforce();
+
+    // suite poisoning: with every solve panicking, the parallel driver
+    // still completes the whole table, reporting every cell as poisoned in
+    // the usual deterministic order
+    force(Some(Fault::SolverAbort));
+    let cells = quiet_panics(canvas_bench::precision_table);
+    unforce();
+    let benchmarks = canvas_conformance::suite::corpus().len();
+    let engines = Engine::all().len();
+    assert_eq!(cells.len(), benchmarks * engines, "every cell computed");
+    for cell in &cells {
+        assert!(cell.poisoned, "{} x {}: expected poisoned", cell.benchmark, cell.engine);
+        let why = cell.failed.as_deref().expect("poisoned cells carry the panic message");
+        assert!(why.contains("panicked"), "{} x {}: {why}", cell.benchmark, cell.engine);
+    }
+
+    // and with the fault gone, the same driver produces a clean table again
+    let cells = canvas_bench::precision_table();
+    assert!(cells.iter().all(|c| !c.poisoned), "no poisoned cells at defaults");
+}

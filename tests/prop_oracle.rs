@@ -35,7 +35,7 @@ fn certifier() -> Certifier {
 fn oracle_lines(src: &str) -> BTreeSet<u32> {
     let spec = canvas_conformance::easl::builtin::cmp();
     let program = canvas_conformance::minijava::Program::parse(src, &spec).expect("parses");
-    let r = explore(&program, &spec, OracleConfig::default());
+    let r = explore(&program, &spec, OracleConfig::default()).expect("oracle runs");
     assert!(!r.truncated, "generated clients are loop-free\n{src}");
     r.violation_lines
 }
@@ -141,7 +141,7 @@ proptest! {
         let src = canvas_conformance::suite::generators::random_grp_client(2, 3, 10, seed);
         let program =
             canvas_conformance::minijava::Program::parse(&src, &spec).expect("parses");
-        let r = explore(&program, &spec, OracleConfig::default());
+        let r = explore(&program, &spec, OracleConfig::default()).expect("oracle runs");
         prop_assert!(!r.truncated);
         let truth = r.violation_lines;
         let c = Certifier::from_spec(spec).expect("grp derives");
@@ -164,7 +164,7 @@ proptest! {
         let src = canvas_conformance::suite::generators::random_imp_client(2, 3, 8, seed);
         let program =
             canvas_conformance::minijava::Program::parse(&src, &spec).expect("parses");
-        let r = explore(&program, &spec, OracleConfig::default());
+        let r = explore(&program, &spec, OracleConfig::default()).expect("oracle runs");
         prop_assert!(!r.truncated);
         let truth = r.violation_lines;
         let c = Certifier::from_spec(spec).expect("imp derives");

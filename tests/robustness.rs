@@ -1,0 +1,172 @@
+//! Robustness properties of the resilience layer.
+//!
+//! Two families of checks:
+//!
+//! * **panic-free frontier** — mutated and truncated `.mj` / `.easl`
+//!   sources must produce `Err`, never a panic, through `Spec::parse`,
+//!   `Program::parse` and the full certification pipeline;
+//! * **graceful degradation** — every governor budget (steps, deadline,
+//!   states) trips every engine into `Verdict::Inconclusive` with the
+//!   matching reason, and the default (unlimited) budget changes nothing.
+
+use canvas_conformance::faults::Budget;
+use canvas_conformance::suite::generators::{random_client, RandomCfg};
+use canvas_conformance::{Certifier, Engine};
+use canvas_easl::Spec;
+use canvas_minijava::Program;
+use proptest::prelude::*;
+
+/// The EASL source of the CMP spec, for spec-side mutation.
+const CMP_EASL: &str = r#"
+class Set {
+    Version ver;
+    Set() { ver = new Version(); }
+    void add(Object o) { ver = new Version(); }
+    Iterator iterator() { return new Iterator(this); }
+}
+class Iterator {
+    Set set;
+    Version ver;
+    Iterator(Set s) { set = s; ver = s.ver; }
+    Object next() { requires (ver == set.ver); }
+    void remove() { requires (ver == set.ver); set.ver = new Version(); ver = set.ver; }
+    boolean hasNext() { requires (ver == set.ver); }
+}
+class Version { Version() { } }
+"#;
+
+/// Deterministically mutates `src`: truncate at `cut`, then flip one byte
+/// at `pos` to `with`.
+fn mutate(src: &str, cut: usize, pos: usize, with: u8) -> String {
+    let cut = cut % (src.len() + 1);
+    let mut s: Vec<u8> = src.as_bytes()[..cut].to_vec();
+    if !s.is_empty() {
+        let pos = pos % s.len();
+        s[pos] = with;
+    }
+    // arbitrary byte flips can break UTF-8; parse from the lossy decoding,
+    // exactly what a file read via `read_to_string` could never produce a
+    // panic for either
+    String::from_utf8_lossy(&s).into_owned()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Mutated/truncated EASL specs: `Err` or a valid `Spec`, never a panic.
+    #[test]
+    fn mutated_spec_never_panics(cut in 0usize..2048, pos in 0usize..2048, with in 0usize..256) {
+        let src = mutate(CMP_EASL, cut, pos, with as u8);
+        let _ = Spec::parse("mutated", &src);
+    }
+
+    /// Mutated/truncated mini-Java clients: `Err` or a program, never a
+    /// panic — through parsing *and* full certification with every engine.
+    #[test]
+    fn mutated_client_never_panics(
+        seed in 0u64..500,
+        cut in 0usize..2048,
+        pos in 0usize..2048,
+        with in 0usize..256,
+    ) {
+        let spec = canvas_conformance::easl::builtin::cmp();
+        let src = mutate(&random_client(RandomCfg::default(), seed), cut, pos, with as u8);
+        if let Ok(program) = Program::parse(&src, &spec) {
+            let c = Certifier::from_spec(spec).expect("cmp derives");
+            for engine in Engine::all() {
+                // hard errors (state budget) are fine; panics are not
+                let _ = c.certify_program(&program, engine);
+            }
+        }
+    }
+}
+
+const FIG3: &str = r#"
+class Main {
+    static void main() {
+        Set v = new Set();
+        Iterator i1 = v.iterator();
+        Iterator i2 = v.iterator();
+        Iterator i3 = i1;
+        i1.next();
+        i1.remove();
+        if (true) { i2.next(); }
+        if (true) { i3.next(); }
+        v.add("x");
+        if (true) { i1.next(); }
+    }
+}
+"#;
+
+fn certify_with_budget(budget: Budget, engine: Engine) -> canvas_conformance::Report {
+    Certifier::from_spec(canvas_conformance::easl::builtin::cmp())
+        .expect("cmp derives")
+        .with_budget(budget)
+        .certify_source(FIG3, engine)
+        .expect("budget exhaustion is not a hard error")
+}
+
+#[test]
+fn step_budget_trips_every_engine_to_inconclusive() {
+    for engine in Engine::all() {
+        let r = certify_with_budget(Budget::unlimited().with_max_steps(1), engine);
+        assert!(r.is_inconclusive(), "{engine}: {:?}", r.verdict);
+        assert!(!r.certified(), "{engine}: inconclusive must not certify");
+        let reason = r.verdict.reason().expect("inconclusive carries a reason");
+        assert_eq!(reason, "step budget of 1 exhausted", "{engine}");
+    }
+}
+
+#[test]
+fn expired_deadline_trips_every_engine_to_inconclusive() {
+    for engine in Engine::all() {
+        let r = certify_with_budget(Budget::unlimited().with_deadline_ms(0), engine);
+        assert!(r.is_inconclusive(), "{engine}: {:?}", r.verdict);
+        let reason = r.verdict.reason().expect("inconclusive carries a reason");
+        assert_eq!(reason, "wall-clock deadline exceeded", "{engine}");
+    }
+}
+
+#[test]
+fn state_budget_trips_the_state_set_engines_to_inconclusive() {
+    // a branch whose arms yield *different* abstract states, so the
+    // per-node state sets genuinely grow past 1 at the join
+    let src = r#"
+class Main {
+    static void main() {
+        Set s = new Set();
+        Iterator i = s.iterator();
+        if (true) { s.add("x"); }
+        i.next();
+    }
+}
+"#;
+    // only the engines tracking per-point state sets can outgrow a state
+    // budget (the independent-attribute mode merges to one structure per
+    // node, so it can never trip this limit)
+    for engine in [Engine::ScmpRelational, Engine::TvlaRelational] {
+        let r = Certifier::from_spec(canvas_conformance::easl::builtin::cmp())
+            .expect("cmp derives")
+            .with_budget(Budget::unlimited().with_max_states(1))
+            .certify_source(src, engine)
+            .expect("budget exhaustion is not a hard error");
+        assert!(r.is_inconclusive(), "{engine}: {:?}", r.verdict);
+        let reason = r.verdict.reason().expect("inconclusive carries a reason");
+        assert!(reason.starts_with("state budget of 1 exceeded"), "{engine}: {reason}");
+    }
+}
+
+#[test]
+fn unlimited_budget_changes_nothing() {
+    let baseline = certify_with_budget(Budget::unlimited(), Engine::ScmpFds);
+    assert!(!baseline.is_inconclusive());
+    assert_eq!(baseline.lines(), vec![10, 13]);
+}
+
+#[test]
+fn inconclusive_renders_as_a_warning_diagnostic() {
+    let r = certify_with_budget(Budget::unlimited().with_max_steps(1), Engine::ScmpFds);
+    let rendered = r.render_explained("fig3.mj", FIG3);
+    assert!(rendered.contains("warning: analysis inconclusive"), "{rendered}");
+    assert!(rendered.contains("step budget of 1 exhausted"), "{rendered}");
+}
