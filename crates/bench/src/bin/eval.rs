@@ -9,12 +9,15 @@
 //! ```
 //!
 //! `TABLE` is one of `derive|fig3|fig3-metrics|fig6|fig7|fig8|
-//! generic-vs-specialized|precision|timing|modes|scaling|specs|interproc|all`
-//! (default `all`).
+//! generic-vs-specialized|precision|timing|modes|scaling|specs|interproc|
+//! incr|all` (default `all`). `incr` is the warm-vs-cold benchmark: each
+//! engine certifies the E10 workload cold, warm (identical rerun), and
+//! after a one-line single-method edit, through the content-addressed
+//! certificate cache, reporting hit/miss counts and the wall-clock speedup.
 //!
 //! `--metrics` prints a telemetry summary after the run. `--metrics-json`
 //! runs the full evaluation with telemetry on and writes the stable
-//! `canvas-bench-eval/1` document (default path `BENCH_eval.json`);
+//! `canvas-bench-eval/2` document (default path `BENCH_eval.json`);
 //! `--check-baseline` compares the run's deterministic section against a
 //! committed baseline and exits 1 on drift. `compare` diffs the
 //! deterministic sections of two emitted documents (the CI determinism
@@ -58,6 +61,7 @@ const TABLES: &[&str] = &[
     "scaling",
     "specs",
     "interproc",
+    "incr",
     "all",
 ];
 
@@ -318,6 +322,7 @@ fn run_table(what: &str, explain: bool) {
         "scaling" => figure_scaling(),
         "specs" => table_specs(),
         "interproc" => table_interproc(),
+        "incr" => table_incr(),
         "all" => {
             table_derive();
             table_fig3();
@@ -332,6 +337,7 @@ fn run_table(what: &str, explain: bool) {
             figure_scaling();
             table_specs();
             table_interproc();
+            table_incr();
         }
         other => unreachable!("table {other:?} was validated during parsing"),
     }
@@ -665,6 +671,11 @@ fn table_specs() {
             Err(e) => format!("{e}"),
         }
     );
+}
+
+/// E10: incremental certification — cold vs warm vs edited-one-method.
+fn table_incr() {
+    print!("{}", canvas_bench::render_incr());
 }
 
 /// E9: interprocedural certification.

@@ -12,7 +12,10 @@ use std::time::{Duration, Instant};
 use canvas_core::{Certifier, CertifyError, Engine, PreparedProgram};
 use canvas_suite::{corpus, generators, Benchmark};
 
-pub mod json;
+// the JSON support moved into `canvas-incr` (the certificate store and
+// serve protocol share it); re-exported so `canvas_bench::json` callers
+// keep working
+pub use canvas_incr::json;
 
 static SUITE_JOBS: canvas_telemetry::Counter = canvas_telemetry::Counter::new("suite.jobs");
 // Worker count follows the machine (or CANVAS_EVAL_THREADS), so it is
@@ -149,33 +152,6 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Worker count for the parallel suite driver: `CANVAS_EVAL_THREADS` when
-/// set (use `1` to force the sequential order), else the machine's
-/// parallelism. Unusable values (`0`, non-numeric) fall back to the default
-/// with a warning instead of being silently ignored.
-fn worker_count(jobs: usize) -> usize {
-    worker_count_from(std::env::var("CANVAS_EVAL_THREADS").ok().as_deref(), jobs)
-}
-
-fn worker_count_from(raw: Option<&str>, jobs: usize) -> usize {
-    let default = || std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let n = match raw {
-        None => default(),
-        Some(v) => match v.trim().parse::<usize>() {
-            Ok(n) if n > 0 => n,
-            _ => {
-                let d = default();
-                eprintln!(
-                    "warning: CANVAS_EVAL_THREADS={v:?} is not a positive integer; \
-                     using the default of {d} worker(s)"
-                );
-                d
-            }
-        },
-    };
-    n.min(jobs).max(1)
-}
-
 /// The full precision table (E4): all benchmarks × all engines.
 ///
 /// Cells run concurrently on scoped worker threads. Each benchmark is parsed
@@ -219,7 +195,7 @@ pub fn precision_table() -> Vec<PrecisionCell> {
         (0..benchmarks.len()).flat_map(|bi| engines.iter().map(move |&e| (bi, e))).collect();
     let slots: Vec<Mutex<Option<PrecisionCell>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
-    let workers = worker_count(jobs.len());
+    let workers = canvas_suite::worker_count(jobs.len());
     SUITE_JOBS.add(jobs.len() as u64);
     SUITE_WORKERS.add(workers as u64);
     std::thread::scope(|s| {
@@ -454,21 +430,26 @@ pub struct EvalMetrics {
     pub derivation: Vec<DerivationRow>,
     /// All benchmark × engine cells.
     pub cells: Vec<PrecisionCell>,
+    /// E10 incremental-certification phases (cold → warm → edited).
+    pub incremental: Vec<IncrPhase>,
     /// Pipeline telemetry accumulated over the run.
     pub snapshot: canvas_telemetry::Snapshot,
 }
 
-/// Runs the full evaluation (derivation + precision tables) with telemetry
-/// enabled and captures the resulting metrics.
+/// Runs the full evaluation (derivation + precision + incremental tables)
+/// with telemetry enabled and captures the resulting metrics. The
+/// incremental stage runs sequentially, so its `incr.cache_*` counters are
+/// deterministic and baseline-gated.
 pub fn collect_eval_metrics() -> EvalMetrics {
     let was = canvas_telemetry::enabled();
     canvas_telemetry::set_enabled(true);
     canvas_telemetry::reset();
     let derivation = derivation_table();
     let cells = precision_table();
+    let incremental = incremental_table();
     let snapshot = canvas_telemetry::snapshot();
     canvas_telemetry::set_enabled(was);
-    EvalMetrics { derivation, cells, snapshot }
+    EvalMetrics { derivation, cells, incremental, snapshot }
 }
 
 /// Builds the stable `canvas-bench-eval/1` document. Everything under
@@ -554,11 +535,30 @@ pub fn metrics_to_json(m: &EvalMetrics) -> json::Json {
             })
             .collect(),
     );
+    let det_incremental = Json::Arr(
+        m.incremental
+            .iter()
+            .map(|p| {
+                obj(vec![
+                    ("engine", Json::Str(p.engine.to_string())),
+                    ("phase", Json::Str(p.phase.to_string())),
+                    ("hits", Json::Int(p.hits)),
+                    ("misses", Json::Int(p.misses)),
+                    ("digest_ok", Json::Bool(p.digest_ok)),
+                ])
+            })
+            .collect(),
+    );
     obj(vec![
-        ("schema", Json::Str("canvas-bench-eval/1".to_string())),
+        ("schema", Json::Str("canvas-bench-eval/2".to_string())),
         (
             "deterministic",
-            obj(vec![("derivation", derivation), ("cells", det_cells), ("counters", det_counters)]),
+            obj(vec![
+                ("derivation", derivation),
+                ("cells", det_cells),
+                ("incremental", det_incremental),
+                ("counters", det_counters),
+            ]),
         ),
         (
             "measured",
@@ -601,6 +601,171 @@ pub fn render_fig3_metrics() -> String {
     out
 }
 
+/// The E10 incremental workload: four methods, with the *edited* method
+/// last and the edit confined to one line, so no other method's span (and
+/// hence no other fingerprint) shifts.
+pub const INCR_BASE: &str = r#"
+class Main {
+    static void fill(Set s) {
+        s.add("a");
+        s.add("b");
+    }
+    static void scan(Set s) {
+        for (Iterator i = s.iterator(); i.hasNext(); ) { i.next(); }
+    }
+    static void main() {
+        Set v = new Set();
+        Main.fill(v);
+        Main.scan(v);
+        Iterator late = v.iterator();
+        v.add("c");
+        if (true) { late.next(); }
+    }
+    static void audit(Set s) {
+        Iterator i = s.iterator();
+        s.add("x");
+        i.next();
+    }
+}
+"#;
+
+/// The one-line, span-preserving edit applied to [`INCR_BASE`]'s `audit`.
+pub const INCR_EDIT_FROM: &str = "s.add(\"x\");";
+/// See [`INCR_EDIT_FROM`].
+pub const INCR_EDIT_TO: &str = "s.add(\"x\"); s.add(\"y\");";
+
+/// One phase of the E10 incremental-certification experiment.
+#[derive(Clone, Debug)]
+pub struct IncrPhase {
+    /// Engine under test.
+    pub engine: Engine,
+    /// `cold` (empty cache), `warm` (identical rerun) or `edited`
+    /// (one-line edit to one method).
+    pub phase: &'static str,
+    /// Cells answered from the certificate cache.
+    pub hits: u64,
+    /// Cells analysed fresh.
+    pub misses: u64,
+    /// Whether the (partially) cached report is semantically identical to
+    /// an uncached run — the invalidation-soundness check.
+    pub digest_ok: bool,
+    /// Wall-clock time of the cached certification call.
+    pub time: Duration,
+    /// `Some` when the engine errored on this workload.
+    pub failed: Option<String>,
+}
+
+/// E10: cold → warm → edited-one-method certification through one shared
+/// in-memory certificate cache, per engine. Everything except `time` is
+/// deterministic (cache keys are content hashes; the traffic pattern is a
+/// function of the workload alone), so the hit/miss counts and digest
+/// checks are baseline-gated.
+pub fn incremental_table() -> Vec<IncrPhase> {
+    use canvas_incr::{report_digest, store::CertCache, IncrementalCertifier};
+    let certifier = Certifier::from_spec(canvas_easl::builtin::cmp()).expect("cmp derives");
+    let reference = certifier.clone();
+    let inc = IncrementalCertifier::new(certifier, CertCache::in_memory());
+    let base = canvas_minijava::Program::parse(INCR_BASE, inc.certifier().spec())
+        .expect("incr base parses");
+    let edited_src = INCR_BASE.replace(INCR_EDIT_FROM, INCR_EDIT_TO);
+    assert_ne!(edited_src, INCR_BASE, "the edit marker must match");
+    let edited = canvas_minijava::Program::parse(&edited_src, inc.certifier().spec())
+        .expect("incr edited parses");
+    let mut out = Vec::new();
+    for engine in Engine::all() {
+        for (phase, program) in [("cold", &base), ("warm", &base), ("edited", &edited)] {
+            let start = Instant::now();
+            let run = inc.certify_program_cached_with_stats(program, engine);
+            let time = start.elapsed();
+            let row = match run {
+                Ok((report, stats)) => {
+                    // invalidation soundness: the cached answer must match
+                    // a from-scratch certification of the same program
+                    let digest_ok = match reference.certify_program(program, engine) {
+                        Ok(fresh) => report_digest(&fresh) == report_digest(&report),
+                        Err(_) => false,
+                    };
+                    IncrPhase {
+                        engine,
+                        phase,
+                        hits: stats.hits,
+                        misses: stats.misses,
+                        digest_ok,
+                        time,
+                        failed: None,
+                    }
+                }
+                Err(e) => IncrPhase {
+                    engine,
+                    phase,
+                    hits: 0,
+                    misses: 0,
+                    digest_ok: false,
+                    time,
+                    failed: Some(e.to_string()),
+                },
+            };
+            out.push(row);
+        }
+    }
+    out
+}
+
+/// E10 as text: the per-engine cold/warm/edited phases with their cache
+/// traffic and the warm-vs-cold wall-clock speedup.
+pub fn render_incr() -> String {
+    use std::fmt::Write as _;
+    let mut out =
+        render_header("E10: incremental certification (content-addressed certificate cache)");
+    let rows = incremental_table();
+    let _ = writeln!(
+        out,
+        "{:<26} {:>8} {:>6} {:>8} {:>10} {:>8}",
+        "engine", "phase", "hits", "misses", "time", "sound"
+    );
+    for r in &rows {
+        match &r.failed {
+            Some(e) => {
+                let _ = writeln!(out, "{:<26} {:>8} {e}", r.engine.to_string(), r.phase);
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "{:<26} {:>8} {:>6} {:>8} {:>10} {:>8}",
+                    r.engine.to_string(),
+                    r.phase,
+                    r.hits,
+                    r.misses,
+                    fmt_duration(r.time),
+                    if r.digest_ok { "yes" } else { "NO" }
+                );
+            }
+        }
+    }
+    let total = |phase: &str| -> Duration {
+        rows.iter().filter(|r| r.phase == phase && r.failed.is_none()).map(|r| r.time).sum()
+    };
+    let (cold, warm, edited) = (total("cold"), total("warm"), total("edited"));
+    let speedup = |fast: Duration| {
+        if fast.as_nanos() == 0 {
+            f64::INFINITY
+        } else {
+            cold.as_secs_f64() / fast.as_secs_f64()
+        }
+    };
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "totals: cold {}  warm {} ({:.1}x)  edited-one-method {} ({:.1}x)",
+        fmt_duration(cold),
+        fmt_duration(warm),
+        speedup(warm),
+        fmt_duration(edited),
+        speedup(edited),
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -623,20 +788,23 @@ mod tests {
     }
 
     #[test]
-    fn worker_count_fallbacks() {
-        // unset: machine default, clamped to the job count
-        assert_eq!(worker_count_from(None, 1), 1);
-        assert!(worker_count_from(None, 1000) >= 1);
-        // explicit positive values are honoured (clamped to jobs)
-        assert_eq!(worker_count_from(Some("3"), 100), 3);
-        assert_eq!(worker_count_from(Some(" 2 "), 100), 2);
-        assert_eq!(worker_count_from(Some("64"), 4), 4);
-        // zero and garbage fall back to the default instead of wedging
-        let default = worker_count_from(None, 1000);
-        assert_eq!(worker_count_from(Some("0"), 1000), default);
-        assert_eq!(worker_count_from(Some("lots"), 1000), default);
-        assert_eq!(worker_count_from(Some(""), 1000), default);
-        assert_eq!(worker_count_from(Some("-2"), 1000), default);
+    fn incremental_table_shape_and_soundness() {
+        let rows = incremental_table();
+        assert_eq!(rows.len(), Engine::all().len() * 3);
+        for r in &rows {
+            assert!(r.failed.is_none(), "{} {}: {:?}", r.engine, r.phase, r.failed);
+            assert!(r.digest_ok, "{} {}: cached result diverged", r.engine, r.phase);
+            match r.phase {
+                "cold" => assert_eq!(r.hits, 0, "{}", r.engine),
+                "warm" => assert_eq!(r.misses, 0, "{}", r.engine),
+                "edited" => {
+                    // exactly the edited method's cell re-runs (the
+                    // interprocedural engine has a single whole-program cell)
+                    assert_eq!(r.misses, 1, "{}", r.engine);
+                }
+                other => panic!("unexpected phase {other}"),
+            }
+        }
     }
 
     #[test]

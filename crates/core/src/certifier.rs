@@ -198,6 +198,21 @@ impl Certifier {
         &self.derived
     }
 
+    /// The state budgets for the exponential engines, `(relational, tvla)`.
+    pub fn budgets(&self) -> (usize, usize) {
+        (self.relational_budget, self.tvla_budget)
+    }
+
+    /// The shared resource-governor budget.
+    pub fn budget(&self) -> Budget {
+        self.budget
+    }
+
+    /// Whether witness recording is on.
+    pub fn explain(&self) -> bool {
+        self.explain
+    }
+
     /// Sets the state budgets for the exponential engines.
     pub fn with_budgets(mut self, relational: usize, tvla: usize) -> Certifier {
         self.relational_budget = relational;
@@ -299,17 +314,9 @@ impl Certifier {
                 EntryAssumption::Unknown,
                 prepared.shared(m, EntryAssumption::Unknown),
             )?;
-            report.violations.extend(r.violations);
-            report.stats.duration += r.stats.duration;
-            report.stats.work += r.stats.work;
-            report.stats.predicates = report.stats.predicates.max(r.stats.predicates);
-            report.stats.max_states = report.stats.max_states.max(r.stats.max_states);
-            report.stats.exhausted |= r.stats.exhausted;
             // any inconclusive method makes the whole program inconclusive
             // (first reason wins; the others are duplicates in practice)
-            if report.verdict == crate::report::Verdict::Complete {
-                report.verdict = r.verdict;
-            }
+            report.merge(r);
         }
         report.normalize();
         Ok(report)

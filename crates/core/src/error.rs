@@ -26,6 +26,8 @@ pub enum Stage {
     ClientFrontend,
     /// Running a certification engine over the client.
     Certification,
+    /// Loading or persisting the incremental certificate cache.
+    Cache,
 }
 
 impl Stage {
@@ -37,6 +39,7 @@ impl Stage {
             Stage::Derivation => "derivation",
             Stage::ClientFrontend => "client-frontend",
             Stage::Certification => "certification",
+            Stage::Cache => "cache",
         }
     }
 }

@@ -185,6 +185,25 @@ impl Report {
         matches!(self.verdict, Verdict::Inconclusive { .. })
     }
 
+    /// Folds another per-method report into this one: violations
+    /// concatenate (callers [`Report::normalize`] once at the end),
+    /// statistics aggregate (durations and work add, predicate counts and
+    /// state peaks take the maximum, exhaustion is sticky), and any
+    /// inconclusive verdict makes the whole report inconclusive (the first
+    /// reason wins). The whole-program driver and the incremental certifier
+    /// share this so cold and warm aggregation are the same code path.
+    pub fn merge(&mut self, other: Report) {
+        self.violations.extend(other.violations);
+        self.stats.duration += other.stats.duration;
+        self.stats.work += other.stats.work;
+        self.stats.predicates = self.stats.predicates.max(other.stats.predicates);
+        self.stats.max_states = self.stats.max_states.max(other.stats.max_states);
+        self.stats.exhausted |= other.stats.exhausted;
+        if self.verdict == Verdict::Complete {
+            self.verdict = other.verdict;
+        }
+    }
+
     /// Sorts the violations and merges duplicates of the same source site
     /// (inlining replicates call sites, so one source violation can be
     /// reported once per inline copy), keeping the most informative witness

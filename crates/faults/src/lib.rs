@@ -13,7 +13,7 @@
 //!   The default budget is unlimited and costs one predictable branch per
 //!   fixpoint step.
 //! * **Named fault-injection points** — deterministic, env-toggled failures
-//!   (`CANVAS_FAULT=truncate-input|solver-abort|budget-trip|oracle-death`)
+//!   (`CANVAS_FAULT=truncate-input|solver-abort|budget-trip|oracle-death|cache-corrupt`)
 //!   that let CI prove each class of fault surfaces as a structured error or
 //!   inconclusive verdict, never a crash. Injection is off unless explicitly
 //!   requested, and each point fires identically on every run.
@@ -281,12 +281,21 @@ pub enum Fault {
     /// The suite oracle's exploration thread panics: models worker death,
     /// proving thread failures surface as oracle errors.
     OracleDeath,
+    /// The certificate cache sees a corrupted on-disk store: models a
+    /// truncated or bit-rotted cache file, proving the cache degrades to a
+    /// cold miss instead of erroring out.
+    CacheCorrupt,
 }
 
 impl Fault {
     /// Every injection point, in catalog order.
-    pub const ALL: [Fault; 4] =
-        [Fault::TruncateInput, Fault::SolverAbort, Fault::BudgetTrip, Fault::OracleDeath];
+    pub const ALL: [Fault; 5] = [
+        Fault::TruncateInput,
+        Fault::SolverAbort,
+        Fault::BudgetTrip,
+        Fault::OracleDeath,
+        Fault::CacheCorrupt,
+    ];
 
     /// The `CANVAS_FAULT` name of this point.
     #[must_use]
@@ -296,6 +305,7 @@ impl Fault {
             Fault::SolverAbort => "solver-abort",
             Fault::BudgetTrip => "budget-trip",
             Fault::OracleDeath => "oracle-death",
+            Fault::CacheCorrupt => "cache-corrupt",
         }
     }
 

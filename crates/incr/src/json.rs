@@ -1,9 +1,11 @@
-//! A minimal JSON value, emitter, and parser for the `BENCH_eval.json`
-//! metrics document (the workspace builds offline, so no serde).
+//! A minimal JSON value, emitter, and parser shared by the metrics
+//! documents (`BENCH_eval.json`), the certificate store, and the `canvas
+//! serve` newline-delimited protocol (the workspace builds offline, so no
+//! serde).
 //!
-//! The schema needs only unsigned 64-bit integers (counters, nanosecond
+//! The schemas need only unsigned 64-bit integers (counters, nanosecond
 //! totals), strings, booleans, arrays, and objects; object keys keep
-//! insertion order so the emitted document is byte-stable run-to-run.
+//! insertion order so the emitted documents are byte-stable run-to-run.
 
 use std::fmt::Write as _;
 
@@ -44,6 +46,48 @@ impl Json {
         self.render_into(&mut out, 0);
         out.push('\n');
         out
+    }
+
+    /// Renders on a single line with no whitespace — the form required by
+    /// newline-delimited protocols (`canvas serve`) and the line-oriented
+    /// certificate store, where one value must be one line.
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.render_compact_into(&mut out);
+        out
+    }
+
+    fn render_compact_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Str(s) => escape_into(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_compact_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(k, out);
+                    out.push(':');
+                    v.render_compact_into(out);
+                }
+                out.push('}');
+            }
+        }
     }
 
     fn render_into(&self, out: &mut String, indent: usize) {
@@ -365,6 +409,17 @@ mod tests {
         assert_eq!(back, d);
         // and re-rendering is byte-stable
         assert_eq!(back.render(), text);
+    }
+
+    #[test]
+    fn compact_rendering_is_one_line_and_round_trips() {
+        let d = doc();
+        let line = d.render_compact();
+        assert!(!line.contains('\n'), "{line:?}");
+        assert!(!line.contains(": "), "no pretty separators: {line:?}");
+        assert_eq!(Json::parse(&line), Ok(d));
+        assert_eq!(Json::Obj(vec![]).render_compact(), "{}");
+        assert_eq!(Json::Arr(vec![]).render_compact(), "[]");
     }
 
     #[test]

@@ -1,0 +1,411 @@
+//! Incremental certification: a content-addressed certificate cache over
+//! the staged certifier, plus the `canvas serve` request protocol.
+//!
+//! The staged pipeline already splits *certifier generation* (derive the
+//! abstraction once per spec) from *client analysis* (run an engine per
+//! client). This crate adds the third axis: *reuse across runs*. Every
+//! `(method, entry, engine)` cell of a whole-program certification is keyed
+//! by a content fingerprint of exactly what that cell's analysis can
+//! observe ([`fingerprint`]), and its completed verdict is a certificate
+//! stored in a [`store::CertCache`]. Editing one method re-runs only the
+//! cells that could observe the edit; everything else is answered from the
+//! cache, byte-identically (modulo wall-clock duration).
+//!
+//! [`service`] turns this into a long-lived `canvas serve` daemon speaking
+//! newline-delimited JSON on stdin/stdout, with a warm shared cache across
+//! concurrent requests.
+
+use canvas_abstraction::EntryAssumption;
+use canvas_core::{Certifier, CertifyError, Engine, PreparedProgram, Report, Witness};
+use canvas_minijava::{MethodIr, Program};
+
+pub mod fingerprint;
+pub mod json;
+pub mod service;
+pub mod store;
+
+use fingerprint::{
+    cell_key, fingerprint_config, fingerprint_derived, fingerprint_spec, Fingerprint, Hasher64,
+    ProgramFingerprints,
+};
+use store::{CachedReport, CertCache};
+
+/// Per-run cache traffic of one certification call (deterministic per
+/// request even when other requests share the store concurrently).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RunCacheStats {
+    /// Cells answered from the certificate cache.
+    pub hits: u64,
+    /// Cells that ran fresh.
+    pub misses: u64,
+}
+
+/// A [`Certifier`] paired with a certificate cache: whole-program
+/// certification that re-runs only the cells invalidated since the last
+/// run with the same store.
+pub struct IncrementalCertifier {
+    certifier: Certifier,
+    cache: std::sync::Arc<CertCache>,
+    spec_fp: Fingerprint,
+    derived_fp: Fingerprint,
+}
+
+impl IncrementalCertifier {
+    /// Wraps `certifier` with `cache` (fingerprints the spec and the
+    /// derived abstraction once, up front).
+    pub fn new(certifier: Certifier, cache: CertCache) -> IncrementalCertifier {
+        IncrementalCertifier::shared(certifier, std::sync::Arc::new(cache))
+    }
+
+    /// As [`IncrementalCertifier::new`], sharing an existing store (the
+    /// serve daemon keeps one warm store across specs and requests).
+    pub fn shared(certifier: Certifier, cache: std::sync::Arc<CertCache>) -> IncrementalCertifier {
+        let spec_fp = fingerprint_spec(certifier.spec());
+        let derived_fp = fingerprint_derived(certifier.derived());
+        IncrementalCertifier { certifier, cache, spec_fp, derived_fp }
+    }
+
+    /// The wrapped certifier.
+    pub fn certifier(&self) -> &Certifier {
+        &self.certifier
+    }
+
+    /// The certificate store.
+    pub fn cache(&self) -> &CertCache {
+        &self.cache
+    }
+
+    /// A sibling certifier with a per-request budget, sharing this store.
+    /// The budget is part of the cache key, so differently-budgeted
+    /// requests never alias.
+    pub fn with_budget(&self, budget: canvas_faults::Budget) -> IncrementalCertifier {
+        IncrementalCertifier::shared(
+            self.certifier.clone().with_budget(budget),
+            std::sync::Arc::clone(&self.cache),
+        )
+    }
+
+    /// Persists the store (see [`CertCache::persist`]).
+    ///
+    /// # Errors
+    ///
+    /// A `cache`-stage I/O error when the store file cannot be written.
+    pub fn persist(&self) -> Result<(), canvas_core::CanvasError> {
+        self.cache.persist()
+    }
+
+    /// Cached equivalent of [`Certifier::certify_program`]: `main` with
+    /// clean entry plus every other method out of context, each cell
+    /// answered from the store when its key matches.
+    ///
+    /// # Errors
+    ///
+    /// As [`Certifier::certify`].
+    pub fn certify_program_cached(
+        &self,
+        program: &Program,
+        engine: Engine,
+    ) -> Result<Report, CertifyError> {
+        Ok(self.certify_program_cached_with_stats(program, engine)?.0)
+    }
+
+    /// As [`IncrementalCertifier::certify_program_cached`], also reporting
+    /// this run's own hit/miss traffic.
+    ///
+    /// # Errors
+    ///
+    /// As [`Certifier::certify`].
+    pub fn certify_program_cached_with_stats(
+        &self,
+        program: &Program,
+        engine: Engine,
+    ) -> Result<(Report, RunCacheStats), CertifyError> {
+        let fps = ProgramFingerprints::new(program);
+        let config_fp = fingerprint_config(&self.certifier, engine);
+        let mut run = RunCacheStats::default();
+
+        // The interprocedural engine observes the whole program: one cell,
+        // keyed on the whole-program fingerprint.
+        if engine == Engine::ScmpInterproc {
+            let key = cell_key(
+                fps.program(),
+                fps.environment(),
+                self.spec_fp,
+                self.derived_fp,
+                config_fp,
+                false,
+            );
+            if let Some(hit) = self.cache.lookup(key, "<whole-program>", false, "scmp-interproc") {
+                run.hits += 1;
+                return Ok((hit.to_report(engine), run));
+            }
+            run.misses += 1;
+            let report = self.certifier.certify(program, engine)?;
+            if let Some(cert) = CachedReport::from_report(&report) {
+                self.cache.store(key, cert);
+            }
+            return Ok((report, run));
+        }
+
+        // Per-method cells, merged in the same order as
+        // `certify_program_prepared` so the aggregate report matches the
+        // uncached path byte for byte (modulo duration).
+        let main = program.main_method().ok_or(CertifyError::NoMain)?;
+        let prepared = PreparedProgram::new(program);
+        let mut report = self.certify_cell(
+            program,
+            &prepared,
+            &fps,
+            main,
+            engine,
+            EntryAssumption::Clean,
+            config_fp,
+            &mut run,
+        )?;
+        for m in program.methods() {
+            if m.id == main.id {
+                continue;
+            }
+            let r = self.certify_cell(
+                program,
+                &prepared,
+                &fps,
+                m,
+                engine,
+                EntryAssumption::Unknown,
+                config_fp,
+                &mut run,
+            )?;
+            report.merge(r);
+        }
+        report.normalize();
+        Ok((report, run))
+    }
+
+    /// Parses and certifies a source text (cached).
+    ///
+    /// # Errors
+    ///
+    /// As [`Certifier::certify_source`].
+    pub fn certify_source_cached(
+        &self,
+        src: &str,
+        engine: Engine,
+    ) -> Result<(Report, RunCacheStats), CertifyError> {
+        let program = Program::parse(src, self.certifier.spec())?;
+        self.certify_program_cached_with_stats(&program, engine)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn certify_cell(
+        &self,
+        program: &Program,
+        prepared: &PreparedProgram,
+        fps: &ProgramFingerprints,
+        method: &MethodIr,
+        engine: Engine,
+        entry: EntryAssumption,
+        config_fp: Fingerprint,
+        run: &mut RunCacheStats,
+    ) -> Result<Report, CertifyError> {
+        let entry_unknown = entry == EntryAssumption::Unknown;
+        let key = cell_key(
+            fps.method(method.id),
+            fps.deps(method.id),
+            self.spec_fp,
+            self.derived_fp,
+            config_fp,
+            entry_unknown,
+        );
+        let engine_name = engine.to_string();
+        if let Some(hit) =
+            self.cache.lookup(key, &method.qualified_name(), entry_unknown, &engine_name)
+        {
+            run.hits += 1;
+            return Ok(hit.to_report(engine));
+        }
+        run.misses += 1;
+        let report = self.certifier.certify_method_shared(
+            program,
+            method,
+            engine,
+            entry,
+            prepared.shared(method, entry),
+        )?;
+        // inconclusive verdicts are budget/wall-clock-dependent: never cached
+        if let Some(cert) = CachedReport::from_report(&report) {
+            self.cache.store(key, cert);
+        }
+        Ok(report)
+    }
+}
+
+/// A duration-independent digest of a report: everything the verdict,
+/// violations (including witnesses) and deterministic stats say, excluding
+/// wall-clock time. Two certifications agree semantically iff their digests
+/// are equal — the property the warm path is tested against.
+pub fn report_digest(report: &Report) -> Fingerprint {
+    let mut h = Hasher64::new();
+    h.write_str(&report.engine.to_string());
+    h.write_str(&format!("{:?}", report.verdict));
+    h.write_usize(report.stats.predicates);
+    h.write_usize(report.stats.work);
+    h.write_usize(report.stats.max_states);
+    h.write_bool(report.stats.exhausted);
+    h.write_usize(report.violations.len());
+    for v in &report.violations {
+        h.write_str(&v.method);
+        h.write_u32(v.line);
+        h.write_u32(v.col);
+        h.write_str(&v.what);
+        match &v.witness {
+            None => h.write_u8(0),
+            Some(Witness::Unavailable(reason)) => {
+                h.write_u8(1);
+                h.write_str(reason);
+            }
+            Some(Witness::Trace(steps)) => {
+                h.write_u8(2);
+                h.write_usize(steps.len());
+                for s in steps {
+                    h.write_u32(s.line);
+                    h.write_u32(s.col);
+                    h.write_str(&s.what);
+                    h.write_str(&s.fact);
+                }
+            }
+        }
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG3: &str = r#"
+class Main {
+    static void main() {
+        Set v = new Set();
+        Iterator i1 = v.iterator();
+        Iterator i2 = v.iterator();
+        i1.next();
+        v.add("x");
+        if (true) { i1.next(); }
+        i2.next();
+    }
+}
+"#;
+
+    const HELPERS: &str = r#"
+class Main {
+    static void poke(Set s) { s.add("x"); }
+    static void scan(Set s) {
+        Iterator i = s.iterator();
+        i.next();
+    }
+    static void main() {
+        Set v = new Set();
+        Main.scan(v);
+        Main.poke(v);
+    }
+}
+"#;
+
+    fn incr() -> IncrementalCertifier {
+        let c = Certifier::from_spec(canvas_easl::builtin::cmp()).expect("cmp derives");
+        IncrementalCertifier::new(c, CertCache::in_memory())
+    }
+
+    fn parse(inc: &IncrementalCertifier, src: &str) -> Program {
+        Program::parse(src, inc.certifier().spec()).expect("parses")
+    }
+
+    #[test]
+    fn warm_run_is_all_hits_and_semantically_identical() {
+        let inc = incr();
+        let program = parse(&inc, FIG3);
+        for engine in Engine::all() {
+            let (cold, cs) = inc.certify_program_cached_with_stats(&program, engine).expect("cold");
+            let (warm, ws) = inc.certify_program_cached_with_stats(&program, engine).expect("warm");
+            assert_eq!(cs.hits, 0, "{engine}: first run must be cold");
+            assert_eq!(ws.misses, 0, "{engine}: second run must be fully warm");
+            assert_eq!(ws.hits, cs.misses, "{engine}");
+            assert_eq!(report_digest(&cold), report_digest(&warm), "{engine}");
+        }
+    }
+
+    #[test]
+    fn cached_report_matches_the_uncached_path() {
+        let inc = incr();
+        let program = parse(&inc, HELPERS);
+        for engine in Engine::all() {
+            let reference = inc.certifier().certify_program(&program, engine).expect("reference");
+            let cold = inc.certify_program_cached(&program, engine).expect("cold");
+            let warm = inc.certify_program_cached(&program, engine).expect("warm");
+            assert_eq!(report_digest(&reference), report_digest(&cold), "{engine}");
+            assert_eq!(report_digest(&reference), report_digest(&warm), "{engine}");
+        }
+    }
+
+    #[test]
+    fn editing_one_method_reruns_only_its_cells() {
+        let edited = HELPERS.replace(
+            "static void poke(Set s) { s.add(\"x\"); }",
+            "static void poke(Set s) { s.add(\"x\"); s.add(\"y\"); }",
+        );
+        assert_ne!(edited, HELPERS);
+        let inc = incr();
+        let before = parse(&inc, HELPERS);
+        let after = parse(&inc, &edited);
+        let engine = Engine::ScmpFds;
+        inc.certify_program_cached(&before, engine).expect("cold");
+        let (_, stats) = inc.certify_program_cached_with_stats(&after, engine).expect("edited");
+        // exactly one cell (the edited method, out-of-context) re-runs: the
+        // other methods' bodies, spans, and dependency sets are unchanged
+        assert_eq!(stats.misses, 1, "{stats:?}");
+        assert_eq!(stats.hits, 2, "{stats:?}");
+        assert_eq!(inc.cache().stats().invalidations, 1);
+    }
+
+    #[test]
+    fn interproc_uses_a_whole_program_cell() {
+        let inc = incr();
+        let program = parse(&inc, HELPERS);
+        let engine = Engine::ScmpInterproc;
+        let (_, cold) = inc.certify_program_cached_with_stats(&program, engine).expect("cold");
+        assert_eq!((cold.hits, cold.misses), (0, 1));
+        let (_, warm) = inc.certify_program_cached_with_stats(&program, engine).expect("warm");
+        assert_eq!((warm.hits, warm.misses), (1, 0));
+        // any body edit invalidates the whole-program cell
+        let edited = parse(&inc, &HELPERS.replace("i.next();", "i.next(); i.next();"));
+        let (_, e) = inc.certify_program_cached_with_stats(&edited, engine).expect("edited");
+        assert_eq!((e.hits, e.misses), (0, 1));
+    }
+
+    #[test]
+    fn per_request_budgets_do_not_alias_cache_keys() {
+        let inc = incr();
+        let program = parse(&inc, FIG3);
+        inc.certify_program_cached(&program, Engine::ScmpFds).expect("cold");
+        let budgeted = inc.with_budget(canvas_faults::Budget::unlimited().with_max_steps(1 << 20));
+        let (_, stats) =
+            budgeted.certify_program_cached_with_stats(&program, Engine::ScmpFds).expect("runs");
+        assert_eq!(stats.hits, 0, "a different budget is a different certificate");
+    }
+
+    #[test]
+    fn witnesses_survive_the_cache_round_trip() {
+        let c = Certifier::from_spec(canvas_easl::builtin::cmp())
+            .expect("cmp derives")
+            .with_explain(true);
+        let inc = IncrementalCertifier::new(c, CertCache::in_memory());
+        let program = parse(&inc, FIG3);
+        let (cold, _) = inc.certify_source_cached(FIG3, Engine::ScmpFds).expect("cold");
+        let (warm, stats) =
+            inc.certify_program_cached_with_stats(&program, Engine::ScmpFds).expect("warm");
+        assert_eq!(stats.misses, 0);
+        assert!(cold.violations.iter().any(|v| matches!(v.witness, Some(Witness::Trace(_)))));
+        assert_eq!(report_digest(&cold), report_digest(&warm));
+    }
+}

@@ -1,0 +1,490 @@
+//! The `canvas serve` protocol: a long-lived certification daemon.
+//!
+//! Requests arrive as newline-delimited JSON objects on the input stream;
+//! each gets exactly one JSON response line on the output stream, **in
+//! request order** (responses are sequenced even though requests are
+//! dispatched to a worker pool and certified concurrently against one
+//! shared warm certificate cache).
+//!
+//! ```text
+//! {"id":1,"cmd":"certify","file":"client.mj","engine":"scmp-fds"}
+//! {"id":2,"cmd":"certify","source":"class Main { ... }","spec":"cmp"}
+//! {"id":3,"cmd":"stats"}
+//! {"id":4,"cmd":"shutdown"}
+//! ```
+//!
+//! A `certify` request runs a whole-program certification (`main` plus
+//! every method out of context) and reports its verdict, its violations,
+//! and its own cache traffic (`{"cache":{"hits":..,"misses":..}}`) — the
+//! traffic the request itself observed. Verdicts are always deterministic;
+//! with several workers, *identical* concurrent requests race for who
+//! computes a cell first, so their hit/miss attribution can swap (run
+//! `--threads 1` when exact per-request traffic matters, as the CI
+//! serve-smoke job does). Per-request
+//! budgets (`"budget_steps"`, `"budget_ms"`) run the request under a
+//! tighter resource governor; the budget is part of the cache key, so
+//! budgeted and unbudgeted requests never alias. `stats` reports the
+//! store-wide counters; `shutdown` persists the store and ends the loop.
+//! Malformed lines produce an `{"ok":false,...}` response and the daemon
+//! keeps serving.
+
+use std::collections::{BTreeMap, HashMap};
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+use std::sync::{mpsc, Arc, Mutex};
+
+use canvas_core::{CanvasError, Certifier, Engine, Report, Stage, Verdict};
+use canvas_easl::Spec;
+use canvas_faults::Budget;
+
+use crate::json::{obj, Json};
+use crate::store::CertCache;
+use crate::{IncrementalCertifier, RunCacheStats};
+
+/// Configuration of one serve loop.
+pub struct ServeConfig {
+    /// Concurrent certification workers (≥ 1).
+    pub workers: usize,
+    /// Directory of the persistent certificate store; `None` = in-memory.
+    pub cache_dir: Option<PathBuf>,
+}
+
+/// Loads a spec by builtin name (`cmp`/`grp`/`imp`/`aop`) or file path.
+///
+/// # Errors
+///
+/// A `spec-load` error when the file cannot be read or parsed.
+pub fn load_spec(name: &str) -> Result<Spec, CanvasError> {
+    match name {
+        "cmp" => Ok(canvas_easl::builtin::cmp()),
+        "grp" => Ok(canvas_easl::builtin::grp()),
+        "imp" => Ok(canvas_easl::builtin::imp()),
+        "aop" => Ok(canvas_easl::builtin::aop()),
+        path => {
+            let src = std::fs::read_to_string(path)
+                .map_err(|e| CanvasError::io(Stage::SpecLoad, path, &e))?;
+            let stem = std::path::Path::new(path)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("spec")
+                .to_string();
+            Spec::parse(stem, &src).map_err(|e| CanvasError::spec(&e))
+        }
+    }
+}
+
+/// One parsed request.
+struct Request {
+    id: Json,
+    cmd: Cmd,
+}
+
+enum Cmd {
+    Certify {
+        source: Source,
+        spec: String,
+        engine: Engine,
+        budget_steps: Option<u64>,
+        budget_ms: Option<u64>,
+    },
+    Stats,
+    Shutdown,
+}
+
+enum Source {
+    File(String),
+    Inline(String),
+}
+
+fn parse_request(line: &str) -> Result<Request, CanvasError> {
+    let bad = |m: String| CanvasError::new(Stage::Cli, canvas_core::ErrorKind::Parse, m);
+    let json = Json::parse(line).map_err(|e| bad(format!("bad request JSON: {e}")))?;
+    let id = json.get("id").cloned().unwrap_or(Json::Null);
+    let str_field = |key: &str| match json.get(key) {
+        Some(Json::Str(s)) => Some(s.clone()),
+        _ => None,
+    };
+    let int_field = |key: &str| match json.get(key) {
+        Some(Json::Int(n)) => Some(*n),
+        _ => None,
+    };
+    let cmd = match str_field("cmd").as_deref() {
+        Some("stats") => Cmd::Stats,
+        Some("shutdown") => Cmd::Shutdown,
+        Some("certify") => {
+            let source = match (str_field("file"), str_field("source")) {
+                (Some(path), None) => Source::File(path),
+                (None, Some(src)) => Source::Inline(src),
+                (Some(_), Some(_)) => {
+                    return Err(bad("certify takes \"file\" or \"source\", not both".to_string()))
+                }
+                (None, None) => {
+                    return Err(bad("certify needs a \"file\" or \"source\" field".to_string()))
+                }
+            };
+            let engine_name = str_field("engine").unwrap_or_else(|| "scmp-fds".to_string());
+            let engine = Engine::by_name(&engine_name)
+                .ok_or_else(|| bad(format!("unknown engine {engine_name:?}")))?;
+            Cmd::Certify {
+                source,
+                spec: str_field("spec").unwrap_or_else(|| "cmp".to_string()),
+                engine,
+                budget_steps: int_field("budget_steps"),
+                budget_ms: int_field("budget_ms"),
+            }
+        }
+        Some(other) => return Err(bad(format!("unknown cmd {other:?}"))),
+        None => return Err(bad("request has no \"cmd\" field".to_string())),
+    };
+    Ok(Request { id, cmd })
+}
+
+/// Shared serve-loop state: the warm store plus one incremental certifier
+/// per spec, built on demand.
+struct ServeState {
+    cache: Arc<CertCache>,
+    certifiers: Mutex<HashMap<String, Arc<IncrementalCertifier>>>,
+}
+
+impl ServeState {
+    fn certifier_for(&self, spec_name: &str) -> Result<Arc<IncrementalCertifier>, CanvasError> {
+        let mut map = self.certifiers.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(inc) = map.get(spec_name) {
+            return Ok(Arc::clone(inc));
+        }
+        let spec = load_spec(spec_name)?;
+        let certifier = Certifier::from_spec(spec)?;
+        let inc = Arc::new(IncrementalCertifier::shared(certifier, Arc::clone(&self.cache)));
+        map.insert(spec_name.to_string(), Arc::clone(&inc));
+        Ok(inc)
+    }
+
+    fn handle(&self, request: &Request) -> Json {
+        match &request.cmd {
+            Cmd::Stats => {
+                let stats = self.cache.stats();
+                ok_response(
+                    &request.id,
+                    vec![(
+                        "cache",
+                        obj(vec![
+                            ("entries", Json::Int(self.cache.len() as u64)),
+                            ("hits", Json::Int(stats.hits)),
+                            ("misses", Json::Int(stats.misses)),
+                            ("stores", Json::Int(stats.stores)),
+                            ("invalidations", Json::Int(stats.invalidations)),
+                            ("loaded", Json::Int(stats.loaded)),
+                            ("recovered", Json::Bool(stats.recovered_from_corruption)),
+                        ]),
+                    )],
+                )
+            }
+            Cmd::Shutdown => ok_response(&request.id, vec![("shutdown", Json::Bool(true))]),
+            Cmd::Certify { source, spec, engine, budget_steps, budget_ms } => {
+                match self.certify(source, spec, *engine, *budget_steps, *budget_ms) {
+                    Ok((report, stats)) => certify_response(&request.id, &report, stats),
+                    Err(e) => error_response(&request.id, &e),
+                }
+            }
+        }
+    }
+
+    fn certify(
+        &self,
+        source: &Source,
+        spec: &str,
+        engine: Engine,
+        budget_steps: Option<u64>,
+        budget_ms: Option<u64>,
+    ) -> Result<(Report, RunCacheStats), CanvasError> {
+        let text = match source {
+            Source::Inline(src) => src.clone(),
+            Source::File(path) => std::fs::read_to_string(path)
+                .map_err(|e| CanvasError::io(Stage::ClientFrontend, path, &e))?,
+        };
+        let base = self.certifier_for(spec)?;
+        // the deadline clock starts when the request is picked up, not when
+        // it was enqueued
+        let budgeted;
+        let inc: &IncrementalCertifier = if budget_steps.is_some() || budget_ms.is_some() {
+            let mut budget = Budget::unlimited();
+            if let Some(n) = budget_steps {
+                budget = budget.with_max_steps(n);
+            }
+            if let Some(ms) = budget_ms {
+                budget = budget.with_deadline_ms(ms);
+            }
+            budgeted = base.with_budget(budget);
+            &budgeted
+        } else {
+            &base
+        };
+        let program = canvas_minijava::Program::parse(&text, inc.certifier().spec())
+            .map_err(|e| CanvasError::client(&e))?;
+        let result =
+            inc.certify_program_cached_with_stats(&program, engine).map_err(CanvasError::from)?;
+        if let Err(e) = self.cache.persist() {
+            eprintln!("warning: {e}");
+        }
+        Ok(result)
+    }
+}
+
+fn ok_response(id: &Json, fields: Vec<(&str, Json)>) -> Json {
+    let mut pairs = vec![("id", id.clone()), ("ok", Json::Bool(true))];
+    pairs.extend(fields);
+    obj(pairs)
+}
+
+fn error_response(id: &Json, error: &CanvasError) -> Json {
+    obj(vec![
+        ("id", id.clone()),
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(error.to_string())),
+    ])
+}
+
+fn certify_response(id: &Json, report: &Report, stats: RunCacheStats) -> Json {
+    let (verdict, reason) = match &report.verdict {
+        Verdict::Inconclusive { reason } => ("inconclusive", Some(reason.clone())),
+        Verdict::Complete if report.certified() => ("certified", None),
+        Verdict::Complete => ("violations", None),
+    };
+    let mut fields = vec![
+        ("engine", Json::Str(report.engine.to_string())),
+        ("verdict", Json::Str(verdict.to_string())),
+    ];
+    if let Some(reason) = reason {
+        fields.push(("reason", Json::Str(reason)));
+    }
+    fields.push((
+        "violations",
+        Json::Arr(
+            report
+                .violations
+                .iter()
+                .map(|v| {
+                    obj(vec![
+                        ("method", Json::Str(v.method.clone())),
+                        ("line", Json::Int(u64::from(v.line))),
+                        ("col", Json::Int(u64::from(v.col))),
+                        ("what", Json::Str(v.what.clone())),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    fields.push((
+        "cache",
+        obj(vec![("hits", Json::Int(stats.hits)), ("misses", Json::Int(stats.misses))]),
+    ));
+    ok_response(id, fields)
+}
+
+/// In-order response writer: workers finish in any order, lines go out in
+/// request order.
+struct Sequencer<W: Write> {
+    next: usize,
+    pending: BTreeMap<usize, String>,
+    out: W,
+}
+
+impl<W: Write> Sequencer<W> {
+    fn submit(&mut self, seq: usize, line: String) {
+        self.pending.insert(seq, line);
+        while let Some(line) = self.pending.remove(&self.next) {
+            // a failed write means the client hung up; drop the response
+            // (the daemon winds down when input closes too)
+            let _ = writeln!(self.out, "{line}");
+            let _ = self.out.flush();
+            self.next += 1;
+        }
+    }
+}
+
+/// Runs the serve loop until `shutdown` or end of input. Persists the
+/// store on the way out.
+///
+/// # Errors
+///
+/// A `cache`-stage error when the final persist fails; per-request errors
+/// are answered in-band and never end the loop.
+pub fn serve(
+    input: impl BufRead,
+    output: impl Write + Send,
+    config: &ServeConfig,
+) -> Result<(), CanvasError> {
+    let cache = Arc::new(match &config.cache_dir {
+        Some(dir) => CertCache::open(dir),
+        None => CertCache::in_memory(),
+    });
+    let state = ServeState { cache: Arc::clone(&cache), certifiers: Mutex::new(HashMap::new()) };
+    let sequencer = Mutex::new(Sequencer { next: 0, pending: BTreeMap::new(), out: output });
+    let (tx, rx) = mpsc::channel::<(usize, String)>();
+    let rx = Mutex::new(rx);
+
+    std::thread::scope(|scope| {
+        for _ in 0..config.workers.max(1) {
+            scope.spawn(|| loop {
+                let received = rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner).recv();
+                let Ok((seq, line)) = received else { break };
+                let response = match parse_request(&line) {
+                    Ok(request) => state.handle(&request),
+                    Err(e) => error_response(&Json::Null, &e),
+                };
+                sequencer
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .submit(seq, response.render_compact());
+            });
+        }
+        let mut seq = 0;
+        for line in input.lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            // peek for shutdown on the reader thread so the loop stops
+            // accepting input as soon as the request is *enqueued*
+            let is_shutdown =
+                matches!(parse_request(&line), Ok(Request { cmd: Cmd::Shutdown, .. }));
+            if tx.send((seq, line)).is_err() {
+                break;
+            }
+            seq += 1;
+            if is_shutdown {
+                break;
+            }
+        }
+        drop(tx);
+    });
+    cache.persist()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG3: &str = "class Main { static void main() { Set v = new Set(); Iterator i = v.iterator(); v.add(\\\"x\\\"); i.next(); } }";
+
+    fn run_script(script: &str, workers: usize) -> Vec<Json> {
+        let mut out = Vec::new();
+        serve(
+            std::io::Cursor::new(script.to_string()),
+            &mut out,
+            &ServeConfig { workers, cache_dir: None },
+        )
+        .expect("serve runs");
+        let text = String::from_utf8(out).expect("utf8");
+        text.lines().map(|l| Json::parse(l).expect("response parses")).collect()
+    }
+
+    fn certify_line(id: u64) -> String {
+        format!("{{\"id\":{id},\"cmd\":\"certify\",\"source\":\"{FIG3}\"}}")
+    }
+
+    #[test]
+    fn certify_stats_shutdown_round_trip() {
+        let script = format!(
+            "{}\n{}\n{{\"id\":3,\"cmd\":\"stats\"}}\n{{\"id\":4,\"cmd\":\"shutdown\"}}\n",
+            certify_line(1),
+            certify_line(2)
+        );
+        let responses = run_script(&script, 1);
+        assert_eq!(responses.len(), 4);
+        for (i, r) in responses.iter().enumerate() {
+            assert_eq!(r.get("id"), Some(&Json::Int(i as u64 + 1)), "{r:?}");
+            assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r:?}");
+        }
+        // cold then fully warm
+        assert_eq!(responses[0].get("verdict"), Some(&Json::Str("violations".to_string())));
+        let cold = responses[0].get("cache").expect("cache");
+        let warm = responses[1].get("cache").expect("cache");
+        assert_eq!(cold.get("hits"), Some(&Json::Int(0)));
+        assert_eq!(warm.get("misses"), Some(&Json::Int(0)));
+        assert_eq!(warm.get("hits"), cold.get("misses"));
+        // identical verdict payloads either way
+        assert_eq!(responses[0].get("violations"), responses[1].get("violations"));
+        let stats = responses[2].get("cache").expect("stats cache");
+        assert_eq!(stats.get("hits"), warm.get("hits"));
+        assert_eq!(responses[3].get("shutdown"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn responses_stay_in_request_order_under_concurrency() {
+        let mut script = String::new();
+        for id in 1..=6 {
+            script.push_str(&certify_line(id));
+            script.push('\n');
+        }
+        script.push_str("{\"id\":7,\"cmd\":\"shutdown\"}\n");
+        let responses = run_script(&script, 4);
+        assert_eq!(responses.len(), 7);
+        for (i, r) in responses.iter().enumerate() {
+            assert_eq!(r.get("id"), Some(&Json::Int(i as u64 + 1)), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_requests_do_not_kill_the_daemon() {
+        let script =
+            format!("this is not json\n{{\"id\":2,\"cmd\":\"frobnicate\"}}\n{}\n", certify_line(3));
+        let responses = run_script(&script, 1);
+        assert_eq!(responses.len(), 3);
+        for r in &responses[..2] {
+            assert_eq!(r.get("ok"), Some(&Json::Bool(false)), "{r:?}");
+            let Some(Json::Str(e)) = r.get("error") else { panic!("no error: {r:?}") };
+            assert!(e.starts_with("error[cli/parse]"), "{e}");
+        }
+        assert_eq!(responses[2].get("ok"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn unknown_specs_and_missing_files_answer_in_band() {
+        let script = "{\"id\":1,\"cmd\":\"certify\",\"file\":\"/nonexistent/x.mj\"}\n\
+                      {\"id\":2,\"cmd\":\"certify\",\"source\":\"class Main {}\",\"spec\":\"/nonexistent/s.easl\"}\n\
+                      {\"id\":3,\"cmd\":\"shutdown\"}\n";
+        let responses = run_script(script, 2);
+        assert_eq!(responses.len(), 3);
+        let Some(Json::Str(e1)) = responses[0].get("error") else { panic!() };
+        assert!(e1.starts_with("error[client-frontend/io]"), "{e1}");
+        let Some(Json::Str(e2)) = responses[1].get("error") else { panic!() };
+        assert!(e2.starts_with("error[spec-load/io]"), "{e2}");
+    }
+
+    #[test]
+    fn per_request_budget_is_honored_and_not_cached() {
+        // an absurdly tight step budget forces an inconclusive verdict;
+        // rerunning unbudgeted must not see a cached cell for it
+        let script = format!(
+            "{{\"id\":1,\"cmd\":\"certify\",\"source\":\"{FIG3}\",\"budget_steps\":1}}\n{}\n{{\"id\":3,\"cmd\":\"shutdown\"}}\n",
+            certify_line(2)
+        );
+        let responses = run_script(&script, 1);
+        assert_eq!(responses[0].get("verdict"), Some(&Json::Str("inconclusive".to_string())));
+        let unbudgeted = responses[1].get("cache").expect("cache");
+        assert_eq!(unbudgeted.get("hits"), Some(&Json::Int(0)), "budget keys must not alias");
+        assert_eq!(responses[1].get("verdict"), Some(&Json::Str("violations".to_string())));
+    }
+
+    #[test]
+    fn the_store_persists_across_serve_sessions() {
+        let dir = std::env::temp_dir().join(format!("canvas-serve-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = ServeConfig { workers: 1, cache_dir: Some(dir.clone()) };
+        let run = |script: &str| {
+            let mut out = Vec::new();
+            serve(std::io::Cursor::new(script.to_string()), &mut out, &config).expect("serves");
+            let text = String::from_utf8(out).expect("utf8");
+            text.lines().map(|l| Json::parse(l).expect("parses")).collect::<Vec<_>>()
+        };
+        let first = run(&format!("{}\n{{\"id\":2,\"cmd\":\"shutdown\"}}\n", certify_line(1)));
+        assert_eq!(first[0].get("cache").and_then(|c| c.get("hits")), Some(&Json::Int(0)));
+        // a fresh daemon on the same directory starts warm
+        let second = run(&format!("{}\n{{\"id\":2,\"cmd\":\"shutdown\"}}\n", certify_line(1)));
+        let cache = second[0].get("cache").expect("cache");
+        assert_eq!(cache.get("misses"), Some(&Json::Int(0)), "{cache:?}");
+        assert_eq!(second[0].get("violations"), first[0].get("violations"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

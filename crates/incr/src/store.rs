@@ -1,0 +1,735 @@
+//! The certificate store: an in-memory map of content-addressed
+//! certificates with an optional versioned on-disk mirror.
+//!
+//! The disk format is deliberately line-oriented so a torn write degrades
+//! gracefully: a `canvas-cert-cache/1` header line followed by one
+//! `<key-hex> <compact-json>` line per certificate. Loading tolerates any
+//! corruption — a bad header drops the whole file, a bad line drops that
+//! line and everything after it (a truncated tail is the common tear) —
+//! and *always* comes back as a usable store; corruption is a warm-start
+//! miss, never an error. The `cache-corrupt` fault-injection point
+//! simulates a torn file so CI can prove the recovery path.
+//!
+//! Only **complete** verdicts are stored. Inconclusive verdicts depend on
+//! wall-clock deadlines and would make cache behavior time-dependent;
+//! re-running them is the sound choice.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use canvas_core::{
+    CanvasError, Engine, ErrorKind, Report, Stage, Stats, Verdict, Violation, Witness, WitnessStep,
+};
+
+use crate::fingerprint::Fingerprint;
+use crate::json::{obj, Json};
+
+/// Header line of the on-disk store; bumped together with
+/// [`crate::fingerprint::KEY_VERSION`] on breaking changes.
+pub const STORE_FORMAT: &str = "canvas-cert-cache/1";
+
+const FILE_NAME: &str = "certs.v1";
+
+// Cache traffic is deterministic for a fixed sequential workload (the eval
+// incremental stage), so the counters are baseline-gated.
+static CACHE_HITS: canvas_telemetry::Counter = canvas_telemetry::Counter::new("incr.cache_hits");
+static CACHE_MISSES: canvas_telemetry::Counter =
+    canvas_telemetry::Counter::new("incr.cache_misses");
+static CACHE_STORES: canvas_telemetry::Counter =
+    canvas_telemetry::Counter::new("incr.cache_stores");
+static CACHE_INVALIDATIONS: canvas_telemetry::Counter =
+    canvas_telemetry::Counter::new("incr.cache_invalidations");
+
+/// The engines' known static witness-unavailability reasons.
+/// `Witness::Unavailable` holds a `&'static str`, so a reason loaded from
+/// disk must be mapped back onto one of these (or a generic fallback).
+const KNOWN_REASONS: &[&str] = &[
+    "the TVLA engines do not record provenance",
+    "the allocation-site baseline does not record provenance",
+];
+
+fn static_reason(reason: &str) -> &'static str {
+    KNOWN_REASONS
+        .iter()
+        .copied()
+        .find(|&k| k == reason)
+        .unwrap_or("witness detail not retained by the certificate cache")
+}
+
+/// The serializable certificate of one complete `(method, entry, engine)`
+/// run: the verdict payload without the wall-clock duration.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CachedReport {
+    /// Engine name (sanity-checked on reuse).
+    pub engine: String,
+    /// Predicate instances in play.
+    pub predicates: u64,
+    /// Deterministic engine work units.
+    pub work: u64,
+    /// Peak per-node abstract-state size.
+    pub max_states: u64,
+    /// Whether a state budget degraded the result to conservative.
+    pub exhausted: bool,
+    /// The violations, in normalized order.
+    pub violations: Vec<CachedViolation>,
+}
+
+/// One serialized violation (witness provenance included).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CachedViolation {
+    /// Qualified method name.
+    pub method: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+    /// Human-readable call description.
+    pub what: String,
+    /// Serialized witness (`None` = no witness recorded).
+    pub witness: Option<CachedWitness>,
+}
+
+/// Serialized witness evidence.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CachedWitness {
+    /// A fact-establishment trace.
+    Trace(Vec<CachedStep>),
+    /// The engine reported no witness, with its reason.
+    Unavailable(String),
+}
+
+/// One serialized witness step.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CachedStep {
+    /// 1-based source line (0 = no location).
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+    /// The establishing instruction.
+    pub what: String,
+    /// The established fact.
+    pub fact: String,
+}
+
+impl CachedReport {
+    /// Extracts the cacheable certificate from a report, or `None` when the
+    /// verdict is inconclusive (never cached — see the module docs).
+    pub fn from_report(report: &Report) -> Option<CachedReport> {
+        if report.verdict != Verdict::Complete {
+            return None;
+        }
+        let violations = report
+            .violations
+            .iter()
+            .map(|v| CachedViolation {
+                method: v.method.clone(),
+                line: v.line,
+                col: v.col,
+                what: v.what.clone(),
+                witness: v.witness.as_ref().map(|w| match w {
+                    Witness::Trace(steps) => CachedWitness::Trace(
+                        steps
+                            .iter()
+                            .map(|s| CachedStep {
+                                line: s.line,
+                                col: s.col,
+                                what: s.what.clone(),
+                                fact: s.fact.clone(),
+                            })
+                            .collect(),
+                    ),
+                    Witness::Unavailable(reason) => CachedWitness::Unavailable(reason.to_string()),
+                }),
+            })
+            .collect();
+        Some(CachedReport {
+            engine: report.engine.to_string(),
+            predicates: report.stats.predicates as u64,
+            work: report.stats.work as u64,
+            max_states: report.stats.max_states as u64,
+            exhausted: report.stats.exhausted,
+            violations,
+        })
+    }
+
+    /// Rehydrates the certificate as a [`Report`] (duration zero — the
+    /// whole point is that no time was spent).
+    pub fn to_report(&self, engine: Engine) -> Report {
+        let violations = self
+            .violations
+            .iter()
+            .map(|v| Violation {
+                method: v.method.clone(),
+                line: v.line,
+                col: v.col,
+                what: v.what.clone(),
+                witness: v.witness.as_ref().map(|w| match w {
+                    CachedWitness::Trace(steps) => Witness::Trace(
+                        steps
+                            .iter()
+                            .map(|s| WitnessStep {
+                                line: s.line,
+                                col: s.col,
+                                what: s.what.clone(),
+                                fact: s.fact.clone(),
+                            })
+                            .collect(),
+                    ),
+                    CachedWitness::Unavailable(reason) => {
+                        Witness::Unavailable(static_reason(reason))
+                    }
+                }),
+            })
+            .collect();
+        Report {
+            engine,
+            violations,
+            stats: Stats {
+                duration: std::time::Duration::ZERO,
+                predicates: self.predicates as usize,
+                work: self.work as usize,
+                max_states: self.max_states as usize,
+                exhausted: self.exhausted,
+            },
+            verdict: Verdict::Complete,
+        }
+    }
+
+    /// The compact JSON form stored on disk (one line).
+    pub fn to_json(&self) -> Json {
+        let witness = |w: &Option<CachedWitness>| match w {
+            None => Json::Null,
+            Some(CachedWitness::Unavailable(reason)) => {
+                obj(vec![("unavailable", Json::Str(reason.clone()))])
+            }
+            Some(CachedWitness::Trace(steps)) => obj(vec![(
+                "trace",
+                Json::Arr(
+                    steps
+                        .iter()
+                        .map(|s| {
+                            obj(vec![
+                                ("line", Json::Int(u64::from(s.line))),
+                                ("col", Json::Int(u64::from(s.col))),
+                                ("what", Json::Str(s.what.clone())),
+                                ("fact", Json::Str(s.fact.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            )]),
+        };
+        obj(vec![
+            ("engine", Json::Str(self.engine.clone())),
+            ("predicates", Json::Int(self.predicates)),
+            ("work", Json::Int(self.work)),
+            ("max_states", Json::Int(self.max_states)),
+            ("exhausted", Json::Bool(self.exhausted)),
+            (
+                "violations",
+                Json::Arr(
+                    self.violations
+                        .iter()
+                        .map(|v| {
+                            obj(vec![
+                                ("method", Json::Str(v.method.clone())),
+                                ("line", Json::Int(u64::from(v.line))),
+                                ("col", Json::Int(u64::from(v.col))),
+                                ("what", Json::Str(v.what.clone())),
+                                ("witness", witness(&v.witness)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses the compact JSON form, strictly: a missing or mistyped field
+    /// is corruption, reported as `Err` so the loader can drop the line.
+    pub fn from_json(json: &Json) -> Result<CachedReport, String> {
+        let str_of = |j: &Json, key: &str| -> Result<String, String> {
+            match j.get(key) {
+                Some(Json::Str(s)) => Ok(s.clone()),
+                _ => Err(format!("missing string field {key:?}")),
+            }
+        };
+        let int_of = |j: &Json, key: &str| -> Result<u64, String> {
+            match j.get(key) {
+                Some(Json::Int(n)) => Ok(*n),
+                _ => Err(format!("missing integer field {key:?}")),
+            }
+        };
+        let bool_of = |j: &Json, key: &str| -> Result<bool, String> {
+            match j.get(key) {
+                Some(Json::Bool(b)) => Ok(*b),
+                _ => Err(format!("missing boolean field {key:?}")),
+            }
+        };
+        let line_col = |n: u64, key: &str| -> Result<u32, String> {
+            u32::try_from(n).map_err(|_| format!("{key} out of range"))
+        };
+        let Some(Json::Arr(raw_violations)) = json.get("violations") else {
+            return Err("missing violations array".to_string());
+        };
+        let mut violations = Vec::with_capacity(raw_violations.len());
+        for rv in raw_violations {
+            let witness = match rv.get("witness") {
+                Some(Json::Null) | None => None,
+                Some(w) => {
+                    if let Some(Json::Str(reason)) = w.get("unavailable") {
+                        Some(CachedWitness::Unavailable(reason.clone()))
+                    } else if let Some(Json::Arr(raw_steps)) = w.get("trace") {
+                        let mut steps = Vec::with_capacity(raw_steps.len());
+                        for rs in raw_steps {
+                            steps.push(CachedStep {
+                                line: line_col(int_of(rs, "line")?, "step line")?,
+                                col: line_col(int_of(rs, "col")?, "step col")?,
+                                what: str_of(rs, "what")?,
+                                fact: str_of(rs, "fact")?,
+                            });
+                        }
+                        Some(CachedWitness::Trace(steps))
+                    } else {
+                        return Err("malformed witness".to_string());
+                    }
+                }
+            };
+            violations.push(CachedViolation {
+                method: str_of(rv, "method")?,
+                line: line_col(int_of(rv, "line")?, "line")?,
+                col: line_col(int_of(rv, "col")?, "col")?,
+                what: str_of(rv, "what")?,
+                witness,
+            });
+        }
+        Ok(CachedReport {
+            engine: str_of(json, "engine")?,
+            predicates: int_of(json, "predicates")?,
+            work: int_of(json, "work")?,
+            max_states: int_of(json, "max_states")?,
+            exhausted: bool_of(json, "exhausted")?,
+            violations,
+        })
+    }
+}
+
+/// Hit/miss/invalidation accounting of one store, mirrored into the
+/// `incr.cache_*` telemetry counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the store.
+    pub hits: u64,
+    /// Lookups that fell through to a fresh run.
+    pub misses: u64,
+    /// Certificates inserted.
+    pub stores: u64,
+    /// Misses where the same `(method, entry, engine)` cell was previously
+    /// cached under a different key — i.e. an edit invalidated it.
+    pub invalidations: u64,
+    /// Certificates loaded from disk at open time.
+    pub loaded: u64,
+    /// Whether the on-disk file was corrupt (fully or partially dropped).
+    pub recovered_from_corruption: bool,
+}
+
+struct Inner {
+    entries: HashMap<u64, CachedReport>,
+    /// Last key seen per `(method, entry_unknown, engine)` cell, for
+    /// invalidation accounting.
+    last_keys: HashMap<(String, bool, String), u64>,
+    stats: CacheStats,
+    dirty: bool,
+}
+
+/// A thread-safe certificate store. Construction never fails: a missing,
+/// unreadable, or corrupt disk file is a cold (or partially warm) start.
+pub struct CertCache {
+    inner: Mutex<Inner>,
+    path: Option<PathBuf>,
+}
+
+impl CertCache {
+    /// A purely in-memory store ([`CertCache::persist`] is a no-op).
+    pub fn in_memory() -> CertCache {
+        CertCache {
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                last_keys: HashMap::new(),
+                stats: CacheStats::default(),
+                dirty: false,
+            }),
+            path: None,
+        }
+    }
+
+    /// Opens (or cold-starts) the store under `dir`. Any disk problem —
+    /// missing file, unreadable file, bad header, torn lines — degrades to
+    /// fewer warm entries, with a `warning: error[cache/...]` diagnostic on
+    /// stderr for anything that was actually dropped.
+    pub fn open(dir: &Path) -> CertCache {
+        let path = dir.join(FILE_NAME);
+        let mut entries = HashMap::new();
+        let mut stats = CacheStats::default();
+        match std::fs::read_to_string(&path) {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => {
+                // readable-but-failing is worth a warning; still cold-start
+                warn(&CanvasError::io(Stage::Cache, &path.display().to_string(), &e));
+                stats.recovered_from_corruption = true;
+            }
+            Ok(text) => {
+                // fault-injection point: simulate a torn write by handing
+                // the parser only the first half of the file
+                let text = if canvas_faults::active(canvas_faults::Fault::CacheCorrupt) {
+                    let mut cut = text.len() / 2;
+                    while cut > 0 && !text.is_char_boundary(cut) {
+                        cut -= 1;
+                    }
+                    text[..cut].to_string()
+                } else {
+                    text
+                };
+                match Self::parse_store(&text) {
+                    Ok((loaded, dropped)) => {
+                        stats.loaded = loaded.len() as u64;
+                        entries = loaded;
+                        if let Some(why) = dropped {
+                            warn(&CanvasError::new(
+                                Stage::Cache,
+                                ErrorKind::Parse,
+                                format!(
+                                    "{}: {why}; kept {} valid certificate(s)",
+                                    path.display(),
+                                    stats.loaded
+                                ),
+                            ));
+                            stats.recovered_from_corruption = true;
+                        }
+                    }
+                    Err(why) => {
+                        warn(&CanvasError::new(
+                            Stage::Cache,
+                            ErrorKind::Parse,
+                            format!("{}: {why}; starting cold", path.display()),
+                        ));
+                        stats.recovered_from_corruption = true;
+                    }
+                }
+            }
+        }
+        CertCache {
+            inner: Mutex::new(Inner { entries, last_keys: HashMap::new(), stats, dirty: false }),
+            path: Some(path),
+        }
+    }
+
+    /// Parses the store text. `Err` = nothing salvageable (bad header);
+    /// `Ok((entries, Some(why)))` = a valid prefix with the tail dropped.
+    fn parse_store(text: &str) -> Result<(HashMap<u64, CachedReport>, Option<String>), String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(header) if header == STORE_FORMAT => {}
+            Some(other) => {
+                return Err(format!("unrecognized store header {other:?} (want {STORE_FORMAT})"))
+            }
+            None => return Err("empty store file".to_string()),
+        }
+        let mut entries = HashMap::new();
+        for (i, line) in lines.enumerate() {
+            let parsed = (|| -> Result<(u64, CachedReport), String> {
+                let (key_hex, json_text) =
+                    line.split_once(' ').ok_or("line is not `<key> <json>`")?;
+                let key = Fingerprint::parse(key_hex).ok_or("bad key hex")?;
+                let json = Json::parse(json_text).map_err(|e| format!("bad JSON: {e}"))?;
+                Ok((key.0, CachedReport::from_json(&json)?))
+            })();
+            match parsed {
+                Ok((key, report)) => {
+                    entries.insert(key, report);
+                }
+                // drop this line AND the rest: mid-file corruption means the
+                // tail cannot be trusted either (torn writes tear the tail)
+                Err(why) => return Ok((entries, Some(format!("line {}: {why}", i + 2)))),
+            }
+        }
+        Ok((entries, None))
+    }
+
+    /// Looks a cell's certificate up, doing hit/miss/invalidation
+    /// accounting. `method`/`entry_unknown`/`engine` identify the logical
+    /// cell, so a key change for a cell the store answered before is
+    /// counted as an invalidation.
+    pub fn lookup(
+        &self,
+        key: Fingerprint,
+        method: &str,
+        entry_unknown: bool,
+        engine: &str,
+    ) -> Option<CachedReport> {
+        let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let cell = (method.to_string(), entry_unknown, engine.to_string());
+        let previous = inner.last_keys.insert(cell, key.0);
+        let found = inner.entries.get(&key.0).cloned();
+        match &found {
+            Some(_) => {
+                inner.stats.hits += 1;
+                CACHE_HITS.incr();
+            }
+            None => {
+                inner.stats.misses += 1;
+                CACHE_MISSES.incr();
+                if previous.is_some_and(|p| p != key.0) {
+                    inner.stats.invalidations += 1;
+                    CACHE_INVALIDATIONS.incr();
+                }
+            }
+        }
+        found
+    }
+
+    /// Inserts a certificate under `key`.
+    pub fn store(&self, key: Fingerprint, report: CachedReport) {
+        let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        inner.entries.insert(key.0, report);
+        inner.stats.stores += 1;
+        inner.dirty = true;
+        CACHE_STORES.incr();
+    }
+
+    /// Number of certificates currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner).entries.len()
+    }
+
+    /// Whether the store holds no certificates.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of the accounting counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner).stats
+    }
+
+    /// Resets the hit/miss/invalidation counters (entries are kept).
+    pub fn reset_stats(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let loaded = inner.stats.loaded;
+        let recovered = inner.stats.recovered_from_corruption;
+        inner.stats =
+            CacheStats { loaded, recovered_from_corruption: recovered, ..CacheStats::default() };
+    }
+
+    /// Writes the store to disk (no-op for in-memory stores or when nothing
+    /// changed since the last persist). Keys are written in sorted order so
+    /// the file is byte-stable for identical contents.
+    ///
+    /// # Errors
+    ///
+    /// A `cache`-stage I/O error when the directory or file cannot be
+    /// written; callers typically warn and continue.
+    pub fn persist(&self) -> Result<(), CanvasError> {
+        let Some(path) = &self.path else { return Ok(()) };
+        let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if !inner.dirty {
+            return Ok(());
+        }
+        let mut keys: Vec<u64> = inner.entries.keys().copied().collect();
+        keys.sort_unstable();
+        let mut out = String::with_capacity(64 * keys.len());
+        out.push_str(STORE_FORMAT);
+        out.push('\n');
+        for key in keys {
+            if let Some(report) = inner.entries.get(&key) {
+                out.push_str(&Fingerprint(key).to_string());
+                out.push(' ');
+                out.push_str(&report.to_json().render_compact());
+                out.push('\n');
+            }
+        }
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| CanvasError::io(Stage::Cache, &dir.display().to_string(), &e))?;
+        }
+        std::fs::write(path, out)
+            .map_err(|e| CanvasError::io(Stage::Cache, &path.display().to_string(), &e))?;
+        inner.dirty = false;
+        Ok(())
+    }
+}
+
+fn warn(e: &CanvasError) {
+    eprintln!("warning: {e}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CachedReport {
+        CachedReport {
+            engine: "scmp-fds".to_string(),
+            predicates: 12,
+            work: 345,
+            max_states: 1,
+            exhausted: false,
+            violations: vec![
+                CachedViolation {
+                    method: "Main.main".to_string(),
+                    line: 10,
+                    col: 21,
+                    what: "i1.next()".to_string(),
+                    witness: Some(CachedWitness::Trace(vec![CachedStep {
+                        line: 9,
+                        col: 9,
+                        what: "v.add(\"x\")".to_string(),
+                        fact: "stale{i1}".to_string(),
+                    }])),
+                },
+                CachedViolation {
+                    method: "Main.main".to_string(),
+                    line: 13,
+                    col: 21,
+                    what: "i1.next()".to_string(),
+                    witness: Some(CachedWitness::Unavailable(
+                        "the TVLA engines do not record provenance".to_string(),
+                    )),
+                },
+                CachedViolation {
+                    method: "Main.main".to_string(),
+                    line: 14,
+                    col: 1,
+                    what: "i2.next()".to_string(),
+                    witness: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn cached_report_json_round_trips() {
+        let r = sample();
+        let line = r.to_json().render_compact();
+        assert!(!line.contains('\n'));
+        let back = CachedReport::from_json(&Json::parse(&line).expect("parses")).expect("decodes");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn report_round_trip_preserves_everything_but_duration() {
+        let cached = sample();
+        let report = cached.to_report(Engine::ScmpFds);
+        assert_eq!(report.stats.duration, std::time::Duration::ZERO);
+        assert_eq!(report.stats.work, 345);
+        assert_eq!(report.lines(), vec![10, 13, 14]);
+        let back = CachedReport::from_report(&report).expect("complete");
+        assert_eq!(back, cached);
+    }
+
+    #[test]
+    fn inconclusive_reports_are_never_cached() {
+        let r = Report::inconclusive(Engine::ScmpFds, "deadline".to_string(), Stats::default());
+        assert_eq!(CachedReport::from_report(&r), None);
+    }
+
+    #[test]
+    fn unknown_unavailable_reasons_degrade_to_the_generic_static() {
+        let cached = CachedReport {
+            violations: vec![CachedViolation {
+                method: "M.m".to_string(),
+                line: 1,
+                col: 1,
+                what: "x".to_string(),
+                witness: Some(CachedWitness::Unavailable("made-up reason".to_string())),
+            }],
+            ..sample()
+        };
+        let report = cached.to_report(Engine::ScmpFds);
+        match &report.violations[0].witness {
+            Some(Witness::Unavailable(reason)) => {
+                assert_eq!(*reason, "witness detail not retained by the certificate cache");
+            }
+            other => panic!("expected unavailable witness, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lookup_accounts_hits_misses_and_invalidations() {
+        let cache = CertCache::in_memory();
+        let k1 = Fingerprint(1);
+        let k2 = Fingerprint(2);
+        assert!(cache.lookup(k1, "Main.main", false, "scmp-fds").is_none());
+        cache.store(k1, sample());
+        assert!(cache.lookup(k1, "Main.main", false, "scmp-fds").is_some());
+        // same cell, new key: the miss is an invalidation
+        assert!(cache.lookup(k2, "Main.main", false, "scmp-fds").is_none());
+        // different cell, first sighting: a plain miss
+        assert!(cache.lookup(k2, "Main.other", false, "scmp-fds").is_none());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.stores), (1, 3, 1));
+        assert_eq!(stats.invalidations, 1);
+    }
+
+    #[test]
+    fn persist_and_reopen_round_trips() {
+        let dir = std::env::temp_dir().join(format!("canvas-incr-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = CertCache::open(&dir);
+        assert!(cache.is_empty());
+        cache.store(Fingerprint(42), sample());
+        cache.persist().expect("writes");
+        let reopened = CertCache::open(&dir);
+        assert_eq!(reopened.len(), 1);
+        assert_eq!(reopened.stats().loaded, 1);
+        assert!(!reopened.stats().recovered_from_corruption);
+        assert_eq!(
+            reopened.lookup(Fingerprint(42), "Main.main", false, "scmp-fds"),
+            Some(sample())
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_store_files_degrade_to_cold_or_partial_misses() {
+        let dir = std::env::temp_dir().join(format!("canvas-incr-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join(FILE_NAME);
+        // bad header: everything dropped
+        std::fs::write(&path, "some-other-format/9\n").expect("write");
+        let cache = CertCache::open(&dir);
+        assert!(cache.is_empty());
+        assert!(cache.stats().recovered_from_corruption);
+        // valid first line, torn second line: the prefix survives
+        let good = format!("{} {}", Fingerprint(7), sample().to_json().render_compact());
+        std::fs::write(&path, format!("{STORE_FORMAT}\n{good}\n0bad hex {{\"trunc"))
+            .expect("write");
+        let cache = CertCache::open(&dir);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.stats().recovered_from_corruption);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_cache_corruption_forces_recovery() {
+        let dir = std::env::temp_dir().join(format!("canvas-incr-fault-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = CertCache::open(&dir);
+        for k in 0..8 {
+            cache.store(Fingerprint(k), sample());
+        }
+        cache.persist().expect("writes");
+        canvas_faults::force(Some(canvas_faults::Fault::CacheCorrupt));
+        let torn = CertCache::open(&dir);
+        canvas_faults::unforce();
+        // the torn store recovered (some prefix, strictly fewer entries)
+        assert!(torn.stats().recovered_from_corruption);
+        assert!(torn.len() < 8, "half the file must be gone, got {}", torn.len());
+        // and without the fault the full store is intact
+        let intact = CertCache::open(&dir);
+        assert_eq!(intact.len(), 8);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -21,5 +21,7 @@
 mod corpus;
 pub mod generators;
 pub mod oracle;
+pub mod threads;
 
 pub use corpus::{corpus, Benchmark, SpecKind};
+pub use threads::worker_count;

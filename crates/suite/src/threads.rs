@@ -1,0 +1,76 @@
+//! Shared worker-thread-count policy for the parallel drivers.
+//!
+//! Both the suite/bench driver and the `canvas serve` dispatcher size their
+//! worker pools from `CANVAS_EVAL_THREADS`. The variable is parsed **once**
+//! per process (so a bad value warns once, not once per table), and every
+//! caller clamps the shared answer to its own job count.
+
+use std::sync::OnceLock;
+
+/// Worker count for a parallel driver with `jobs` independent jobs:
+/// `CANVAS_EVAL_THREADS` when set (use `1` to force the sequential order),
+/// else the machine's parallelism, clamped to `[1, jobs]`. Unusable values
+/// (`0`, non-numeric) fall back to the default with a warning instead of
+/// being silently ignored; the warning fires at most once per process.
+pub fn worker_count(jobs: usize) -> usize {
+    static PARSED: OnceLock<usize> = OnceLock::new();
+    let n = *PARSED.get_or_init(|| parse_env(std::env::var("CANVAS_EVAL_THREADS").ok().as_deref()));
+    clamp(n, jobs)
+}
+
+/// The parse-with-warning policy behind [`worker_count`], testable without
+/// touching the process environment.
+pub fn worker_count_from(raw: Option<&str>, jobs: usize) -> usize {
+    clamp(parse_env(raw), jobs)
+}
+
+fn clamp(n: usize, jobs: usize) -> usize {
+    n.min(jobs).max(1)
+}
+
+fn parse_env(raw: Option<&str>) -> usize {
+    let default = || std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    match raw {
+        None => default(),
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                let d = default();
+                eprintln!(
+                    "warning: CANVAS_EVAL_THREADS={v:?} is not a positive integer; \
+                     using the default of {d} worker(s)"
+                );
+                d
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_count_fallbacks() {
+        // unset: machine default, clamped to the job count
+        assert_eq!(worker_count_from(None, 1), 1);
+        assert!(worker_count_from(None, 1000) >= 1);
+        // explicit positive values are honoured (clamped to jobs)
+        assert_eq!(worker_count_from(Some("3"), 100), 3);
+        assert_eq!(worker_count_from(Some(" 2 "), 100), 2);
+        assert_eq!(worker_count_from(Some("64"), 4), 4);
+        // zero and garbage fall back to the default instead of wedging
+        let default = worker_count_from(None, 1000);
+        assert_eq!(worker_count_from(Some("0"), 1000), default);
+        assert_eq!(worker_count_from(Some("lots"), 1000), default);
+        assert_eq!(worker_count_from(Some(""), 1000), default);
+        assert_eq!(worker_count_from(Some("-2"), 1000), default);
+    }
+
+    #[test]
+    fn worker_count_is_parsed_once_and_clamped_per_call() {
+        let a = worker_count(1);
+        assert_eq!(a, 1, "clamped to a single job");
+        assert!(worker_count(1_000) >= a);
+    }
+}

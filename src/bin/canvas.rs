@@ -5,6 +5,7 @@
 //! canvas certify --spec <...> [--engine <name>] [--whole-program|--inline]
 //!                [--explain] [--trace-out PATH] [--metrics]
 //!                [--max-steps N] [--deadline-ms N] CLIENT.mj
+//! canvas serve   [--threads N] [--cache-dir DIR | --no-cache]
 //! canvas engines
 //! ```
 //!
@@ -19,6 +20,14 @@
 //! resource governor (`canvas-faults`): when a budget trips, the engine
 //! degrades to an inconclusive verdict instead of running away.
 //!
+//! `certify --whole-program --cache-dir DIR` certifies through the
+//! content-addressed certificate cache: unchanged `(method, entry, engine)`
+//! cells are answered from `DIR` instead of re-analysed. `canvas serve`
+//! runs the long-lived certification daemon: newline-delimited JSON
+//! requests on stdin, one response line each on stdout (see
+//! `canvas_incr::service`), sharing one warm cache across concurrent
+//! requests (default `.canvas-cache/`; `--no-cache` keeps it in memory).
+//!
 //! Exit status: 0 = certified conformant, 1 = potential violations found,
 //! 2 = usage/spec/client/engine error, 3 = analysis inconclusive (resource
 //! budget exhausted before a verdict was reached).
@@ -26,8 +35,10 @@
 use std::process::ExitCode;
 
 use canvas_core::{CanvasError, Certifier, Engine, Stage};
-use canvas_easl::Spec;
 use canvas_faults::Budget;
+use canvas_incr::service::{load_spec, serve, ServeConfig};
+use canvas_incr::store::CertCache;
+use canvas_incr::IncrementalCertifier;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -92,12 +103,29 @@ fn run(args: &[String]) -> Result<ExitCode, CanvasError> {
             let program = canvas_minijava::Program::parse(&source, certifier.spec())
                 .map_err(|e| CanvasError::client(&e))?;
             let report = if opts.inline {
-                certifier.certify_inlined(&program, opts.engine)
+                certifier.certify_inlined(&program, opts.engine)?
+            } else if let Some(dir) = &opts.cache_dir {
+                if !opts.whole_program {
+                    return Err(CanvasError::usage("--cache-dir requires --whole-program"));
+                }
+                let inc = IncrementalCertifier::new(
+                    certifier,
+                    CertCache::open(std::path::Path::new(dir)),
+                );
+                let (report, stats) = inc
+                    .certify_program_cached_with_stats(&program, opts.engine)
+                    .map_err(CanvasError::from)?;
+                inc.persist()?;
+                eprintln!(
+                    "canvas: certificate cache: {} hit(s), {} miss(es)",
+                    stats.hits, stats.misses
+                );
+                report
             } else if opts.whole_program {
-                certifier.certify_program(&program, opts.engine)
+                certifier.certify_program(&program, opts.engine)?
             } else {
-                certifier.certify(&program, opts.engine)
-            }?;
+                certifier.certify(&program, opts.engine)?
+            };
             if opts.explain {
                 print!("{}", report.render_explained(client_path, &source));
             } else {
@@ -119,12 +147,49 @@ fn run(args: &[String]) -> Result<ExitCode, CanvasError> {
                 ExitCode::from(1)
             })
         }
+        "serve" => {
+            let mut workers = canvas_suite::worker_count(usize::MAX);
+            let mut cache_dir = Some(".canvas-cache".to_string());
+            let mut it = it.clone();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--threads" => {
+                        let n = it
+                            .next()
+                            .ok_or_else(|| CanvasError::usage("--threads needs a number"))?;
+                        workers = n.parse().map_err(|_| {
+                            CanvasError::usage(format!("--threads: not a number: {n:?}"))
+                        })?;
+                        if workers == 0 {
+                            return Err(CanvasError::usage("--threads must be at least 1"));
+                        }
+                    }
+                    "--cache-dir" => {
+                        cache_dir = Some(
+                            it.next()
+                                .ok_or_else(|| CanvasError::usage("--cache-dir needs a path"))?
+                                .clone(),
+                        );
+                    }
+                    "--no-cache" => cache_dir = None,
+                    other => {
+                        return Err(CanvasError::usage(format!("unknown serve option {other:?}")))
+                    }
+                }
+            }
+            let config =
+                ServeConfig { workers, cache_dir: cache_dir.map(std::path::PathBuf::from) };
+            let stdin = std::io::stdin();
+            serve(stdin.lock(), std::io::stdout(), &config)?;
+            Ok(ExitCode::SUCCESS)
+        }
         _ => {
             println!(
                 "usage:\n  canvas derive  --spec <cmp|grp|imp|aop|PATH.easl> [--metrics]\n  \
                  canvas certify --spec <...> [--engine <name>] [--whole-program|--inline] \
                  [--explain] [--trace-out PATH] [--metrics] \
-                 [--max-steps N] [--deadline-ms N] CLIENT.mj\n  \
+                 [--max-steps N] [--deadline-ms N] [--cache-dir DIR] CLIENT.mj\n  \
+                 canvas serve   [--threads N] [--cache-dir DIR | --no-cache]\n  \
                  canvas engines"
             );
             Ok(ExitCode::from(2))
@@ -141,6 +206,7 @@ struct Opts {
     explain: bool,
     trace_out: Option<String>,
     budget: Budget,
+    cache_dir: Option<String>,
     client: Option<String>,
 }
 
@@ -154,6 +220,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, CanvasError> {
         explain: false,
         trace_out: None,
         budget: Budget::unlimited(),
+        cache_dir: None,
         client: None,
     };
     fn usage(m: impl Into<String>) -> CanvasError {
@@ -185,6 +252,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, CanvasError> {
                     n.parse().map_err(|_| usage(format!("--max-steps: not a number: {n:?}")))?;
                 opts.budget = opts.budget.with_max_steps(n);
             }
+            "--cache-dir" => {
+                opts.cache_dir =
+                    Some(it.next().ok_or_else(|| usage("--cache-dir needs a path"))?.clone());
+            }
             "--deadline-ms" => {
                 let n = it.next().ok_or_else(|| usage("--deadline-ms needs a number"))?;
                 let n: u64 =
@@ -202,23 +273,4 @@ fn parse_opts(args: &[String]) -> Result<Opts, CanvasError> {
         }
     }
     Ok(opts)
-}
-
-fn load_spec(name: &str) -> Result<Spec, CanvasError> {
-    match name {
-        "cmp" => Ok(canvas_easl::builtin::cmp()),
-        "grp" => Ok(canvas_easl::builtin::grp()),
-        "imp" => Ok(canvas_easl::builtin::imp()),
-        "aop" => Ok(canvas_easl::builtin::aop()),
-        path => {
-            let src = std::fs::read_to_string(path)
-                .map_err(|e| CanvasError::io(Stage::SpecLoad, path, &e))?;
-            let stem = std::path::Path::new(path)
-                .file_stem()
-                .and_then(|s| s.to_str())
-                .unwrap_or("spec")
-                .to_string();
-            Spec::parse(stem, &src).map_err(|e| CanvasError::spec(&e))
-        }
-    }
 }

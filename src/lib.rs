@@ -14,7 +14,9 @@
 //! * [`heap`] — the allocation-site baseline (§3);
 //! * [`faults`] — resource budgets, graceful degradation, fault injection;
 //! * [`core`] — the [`Certifier`] pipeline tying everything together;
-//! * [`suite`] — the evaluation corpus and generators (§7).
+//! * [`suite`] — the evaluation corpus and generators (§7);
+//! * [`incr`] — incremental certification: the content-addressed
+//!   certificate cache and the `canvas serve` protocol.
 //!
 //! Start with [`Certifier`]:
 //!
@@ -40,6 +42,7 @@ pub use canvas_dataflow as dataflow;
 pub use canvas_easl as easl;
 pub use canvas_faults as faults;
 pub use canvas_heap as heap;
+pub use canvas_incr as incr;
 pub use canvas_logic as logic;
 pub use canvas_minijava as minijava;
 pub use canvas_suite as suite;

@@ -9,6 +9,8 @@
 //! global, so the faults must be injected sequentially.
 
 use canvas_conformance::faults::{force, unforce, Fault};
+use canvas_conformance::incr::store::CertCache;
+use canvas_conformance::incr::{report_digest, IncrementalCertifier};
 use canvas_conformance::suite::oracle::{explore, OracleConfig, OracleError};
 use canvas_conformance::{Certifier, CertifyError, Engine};
 use canvas_easl::Spec;
@@ -110,4 +112,36 @@ fn every_injected_fault_is_contained() {
     // and with the fault gone, the same driver produces a clean table again
     let cells = canvas_bench::precision_table();
     assert!(cells.iter().all(|c| !c.poisoned), "no poisoned cells at defaults");
+
+    // cache-corrupt: the persisted certificate store is truncated on load;
+    // the cache degrades to a cold miss (recovery, not an error) and a
+    // re-certification still produces the uncorrupted answer
+    let dir =
+        std::env::temp_dir().join(format!("canvas-fault-injection-cache-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let inc = IncrementalCertifier::new(
+        Certifier::from_spec(spec.clone()).expect("cmp derives"),
+        CertCache::open(&dir),
+    );
+    let (clean, cold) = inc.certify_source_cached(FIG3, Engine::ScmpFds).expect("cold");
+    assert_eq!(cold.hits, 0, "first run is cold");
+    inc.persist().expect("store persists");
+
+    force(Some(Fault::CacheCorrupt));
+    let reopened = IncrementalCertifier::new(
+        Certifier::from_spec(spec.clone()).expect("cmp derives"),
+        CertCache::open(&dir),
+    );
+    unforce();
+    assert!(
+        reopened.cache().stats().recovered_from_corruption,
+        "the injected corruption must be detected and recovered from"
+    );
+    let (again, _) = reopened.certify_source_cached(FIG3, Engine::ScmpFds).expect("recovered");
+    assert_eq!(
+        report_digest(&clean),
+        report_digest(&again),
+        "recovery must never change the verdict"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
