@@ -1,6 +1,7 @@
 //! Client-side instantiation of derived abstractions (paper §4.3).
 //!
-//! Given the [`canvas_wp::Derived`] abstraction of a component and a
+//! Given the [`Derived`] abstraction of a component (data model in
+//! [`derived`]; produced by the `canvas-wp` derivation engine) and a
 //! mini-Java client, this crate produces the *transformed client program*:
 //! a [`BoolProgram`] over nullary instrumentation-predicate instances (the
 //! paper's Fig. 6) in which
@@ -11,11 +12,24 @@
 //! * every `requires` became a check site: the call may violate its
 //!   precondition iff one of the check predicates may be `1`.
 //!
-//! The boolean program is then analysed by `canvas-dataflow`'s engines.
+//! The boolean program is then analysed by `canvas-dataflow`'s engines — or
+//! *replayed* by the trusted `canvas-check` certificate checker, which is why
+//! both the abstraction data model and the [`certificate`] format live here:
+//! this crate is the engine-free trusted base the checker builds on.
 
 mod boolprog;
+pub mod certificate;
+pub mod derived;
 
 pub use boolprog::{
     transform_method, transform_method_with, BoolEdge, BoolProgram, CheckSite, ClientCallPolicy,
     EntryAssumption, Operand, PredInstance, Rhs,
+};
+pub use certificate::{
+    bp_digest, derived_digest, digest_str, CellSolution, CertCell, CertFormatError, CertViolation,
+    Certificate, CERT_FORMAT,
+};
+pub use derived::{
+    CheckInst, DerivationStats, Derived, Family, FamilyId, RuleRhs, RuleVar, StmtAbstraction,
+    StmtForm, UpdateRule,
 };

@@ -1,4 +1,4 @@
-//! Regenerates the paper's evaluation tables and figures (DESIGN.md E1–E9).
+//! Regenerates the paper's evaluation tables and figures (DESIGN.md E1–E11).
 //!
 //! ```text
 //! eval [TABLE] [--explain] [--trace-out PATH] [--metrics] [--metrics-json [PATH]]
@@ -10,10 +10,13 @@
 //!
 //! `TABLE` is one of `derive|fig3|fig3-metrics|fig6|fig7|fig8|
 //! generic-vs-specialized|precision|timing|modes|scaling|specs|interproc|
-//! incr|all` (default `all`). `incr` is the warm-vs-cold benchmark: each
-//! engine certifies the E10 workload cold, warm (identical rerun), and
+//! incr|certs|all` (default `all`). `incr` is the warm-vs-cold benchmark:
+//! each engine certifies the E10 workload cold, warm (identical rerun), and
 //! after a one-line single-method edit, through the content-addressed
 //! certificate cache, reporting hit/miss counts and the wall-clock speedup.
+//! `certs` is E11: every corpus benchmark's proof-carrying certificate is
+//! emitted (full fixpoint) and re-checked (one `canvas-check` replay pass),
+//! reporting both times and the certificate size.
 //!
 //! `--metrics` prints a telemetry summary after the run. `--metrics-json`
 //! runs the full evaluation with telemetry on and writes the stable
@@ -62,6 +65,7 @@ const TABLES: &[&str] = &[
     "specs",
     "interproc",
     "incr",
+    "certs",
     "all",
 ];
 
@@ -323,6 +327,7 @@ fn run_table(what: &str, explain: bool) {
         "specs" => table_specs(),
         "interproc" => table_interproc(),
         "incr" => table_incr(),
+        "certs" => table_certs(),
         "all" => {
             table_derive();
             table_fig3();
@@ -338,6 +343,7 @@ fn run_table(what: &str, explain: bool) {
             table_specs();
             table_interproc();
             table_incr();
+            table_certs();
         }
         other => unreachable!("table {other:?} was validated during parsing"),
     }
@@ -676,6 +682,11 @@ fn table_specs() {
 /// E10: incremental certification — cold vs warm vs edited-one-method.
 fn table_incr() {
     print!("{}", canvas_bench::render_incr());
+}
+
+/// E11: proof-carrying certificates — emit cost vs replay-check cost vs size.
+fn table_certs() {
+    print!("{}", canvas_bench::render_certs());
 }
 
 /// E9: interprocedural certification.

@@ -4,7 +4,7 @@
 //! data; the `eval` binary renders them as text tables, and EXPERIMENTS.md
 //! records the measured outcomes against the paper's claims.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -601,6 +601,255 @@ pub fn render_fig3_metrics() -> String {
     out
 }
 
+/// One row of the certificate table (E11): a benchmark × engine pair with
+/// the cost of *emitting* a proof-carrying certificate (a full fixpoint
+/// run) against the cost of *checking* it (one replay pass in the
+/// engine-free `canvas-check` crate) and the certificate's size.
+#[derive(Clone, Debug)]
+pub struct CertRow {
+    /// Benchmark name.
+    pub benchmark: &'static str,
+    /// Emitting engine.
+    pub engine: Engine,
+    /// Wall-clock time of the certificate-emitting certification run.
+    pub certify_time: Duration,
+    /// Wall-clock time of the `canvas-check` replay.
+    pub check_time: Duration,
+    /// Size of the serialized `canvas-cert/1` text, in bytes.
+    pub cert_bytes: usize,
+    /// Whether every cell carries a replayable solution.
+    pub checkable: bool,
+    /// Whether the checker accepted the certificate as internally valid.
+    pub accepted: bool,
+    /// The checker's verdict (accepted and no violations implied).
+    pub certified: bool,
+    /// `Some` when the emitting run errored (e.g. state budget).
+    pub failed: Option<String>,
+}
+
+/// E11: emit + re-check a certificate for every corpus benchmark under each
+/// certificate-capable engine. Everything except the timings is
+/// deterministic; the point of the table is `check ≪ certify` with modest
+/// certificate sizes (the abstraction-carrying-code trade).
+pub fn certificate_table() -> Vec<CertRow> {
+    let benchmarks = corpus();
+    let engines: Vec<Engine> =
+        Engine::all().into_iter().filter(|e| e.certificate_unsupported().is_none()).collect();
+    let mut certifiers: Vec<(canvas_suite::SpecKind, Certifier)> = Vec::new();
+    for b in &benchmarks {
+        if !certifiers.iter().any(|(k, _)| *k == b.spec) {
+            let c = Certifier::from_spec(b.spec.spec()).expect("built-in specs derive");
+            certifiers.push((b.spec, c));
+        }
+    }
+    let mut out = Vec::new();
+    for b in &benchmarks {
+        let certifier = &certifiers.iter().find(|(k, _)| *k == b.spec).expect("certifier built").1;
+        let program = match canvas_minijava::Program::parse(b.source, certifier.spec()) {
+            Ok(p) => p,
+            Err(e) => {
+                for &engine in &engines {
+                    out.push(CertRow {
+                        benchmark: b.name,
+                        engine,
+                        certify_time: Duration::ZERO,
+                        check_time: Duration::ZERO,
+                        cert_bytes: 0,
+                        checkable: false,
+                        accepted: false,
+                        certified: false,
+                        failed: Some(e.to_string()),
+                    });
+                }
+                continue;
+            }
+        };
+        for &engine in &engines {
+            let start = Instant::now();
+            let run = certifier.certify_with_certificate(b.source, &program, engine);
+            let certify_time = start.elapsed();
+            let row = match run {
+                Ok((_, cert)) => {
+                    let text = cert.to_text();
+                    let start = Instant::now();
+                    let outcome = canvas_check::check_text(
+                        b.source,
+                        certifier.spec(),
+                        certifier.derived(),
+                        &text,
+                    );
+                    let check_time = start.elapsed();
+                    CertRow {
+                        benchmark: b.name,
+                        engine,
+                        certify_time,
+                        check_time,
+                        cert_bytes: text.len(),
+                        checkable: cert.checkable(),
+                        accepted: outcome.is_ok(),
+                        certified: outcome.map(|o| o.certified).unwrap_or(false),
+                        failed: None,
+                    }
+                }
+                Err(e) => CertRow {
+                    benchmark: b.name,
+                    engine,
+                    certify_time,
+                    check_time: Duration::ZERO,
+                    cert_bytes: 0,
+                    checkable: false,
+                    accepted: false,
+                    certified: false,
+                    failed: Some(e.to_string()),
+                },
+            };
+            out.push(row);
+        }
+    }
+    out
+}
+
+/// One point of the E11 scaling series: a generated client large enough
+/// for the fixpoint to iterate, certified end-to-end (parse + analyse +
+/// emit) and re-checked end-to-end (parse + replay).
+#[derive(Clone, Debug)]
+pub struct CertScalePoint {
+    /// Generated client size (blocks).
+    pub blocks: usize,
+    /// Control-flow edges of the generated client.
+    pub edges: usize,
+    /// End-to-end certificate emission time (parse + fixpoint + serialize).
+    pub certify_time: Duration,
+    /// End-to-end check time (parse + single-pass replay).
+    pub check_time: Duration,
+    /// Serialized certificate size in bytes.
+    pub cert_bytes: usize,
+    /// The checker accepted and the client is violation-free.
+    pub certified: bool,
+}
+
+/// The E11 scaling series on generated CMP clients (FDS certifier). Both
+/// sides are timed end-to-end from source text, so the comparison charges
+/// parsing and the boolean-program transform to both equally; the gap that
+/// remains is fixpoint iteration vs single-pass replay.
+pub fn certificate_scaling(points: &[usize]) -> Vec<CertScalePoint> {
+    let certifier = Certifier::from_spec(canvas_easl::builtin::cmp()).expect("cmp derives");
+    points
+        .iter()
+        .map(|&blocks| {
+            let g = generators::scmp_blocks(blocks, 2, 0.0, 1);
+            let start = Instant::now();
+            let program =
+                canvas_minijava::Program::parse(&g.source, certifier.spec()).expect("generated");
+            let (_, cert) = certifier
+                .certify_with_certificate(&g.source, &program, Engine::ScmpFds)
+                .expect("generated clients certify");
+            let text = cert.to_text();
+            let certify_time = start.elapsed();
+            let start = Instant::now();
+            let outcome =
+                canvas_check::check_text(&g.source, certifier.spec(), certifier.derived(), &text)
+                    .expect("genuine certificate");
+            let check_time = start.elapsed();
+            CertScalePoint {
+                blocks,
+                edges: program.edge_count(),
+                certify_time,
+                check_time,
+                cert_bytes: text.len(),
+                certified: outcome.certified,
+            }
+        })
+        .collect()
+}
+
+/// E11 as text: per-benchmark certify/check/size rows and the per-engine
+/// totals with the check-vs-certify speedup.
+pub fn render_certs() -> String {
+    use std::fmt::Write as _;
+    let mut out = render_header(
+        "E11: proof-carrying certificates (emit once, re-check by replay in canvas-check)",
+    );
+    let rows = certificate_table();
+    let _ = writeln!(
+        out,
+        "{:<20} {:<10} {:>10} {:>10} {:>8} {:>9} {:>10}",
+        "benchmark", "engine", "certify", "check", "bytes", "accepted", "certified"
+    );
+    for r in &rows {
+        match &r.failed {
+            Some(e) => {
+                let _ = writeln!(out, "{:<20} {:<10} {e}", r.benchmark, r.engine.abbrev());
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "{:<20} {:<10} {:>10} {:>10} {:>8} {:>9} {:>10}",
+                    r.benchmark,
+                    r.engine.abbrev(),
+                    fmt_duration(r.certify_time),
+                    fmt_duration(r.check_time),
+                    r.cert_bytes,
+                    if r.accepted { "yes" } else { "NO" },
+                    if r.certified { "yes" } else { "no" }
+                );
+            }
+        }
+    }
+    let _ = writeln!(out);
+    for (engine, rs) in {
+        let mut by: BTreeMap<String, Vec<&CertRow>> = BTreeMap::new();
+        for r in &rows {
+            by.entry(r.engine.to_string()).or_default().push(r);
+        }
+        by
+    } {
+        let ok: Vec<_> = rs.iter().filter(|r| r.failed.is_none()).collect();
+        let certify: Duration = ok.iter().map(|r| r.certify_time).sum();
+        let check: Duration = ok.iter().map(|r| r.check_time).sum();
+        let bytes: usize = ok.iter().map(|r| r.cert_bytes).sum();
+        let accepted = ok.iter().filter(|r| r.accepted).count();
+        let speedup = if check.as_nanos() == 0 {
+            f64::INFINITY
+        } else {
+            certify.as_secs_f64() / check.as_secs_f64()
+        };
+        let _ = writeln!(
+            out,
+            "{engine:<26} certify {}  check {} ({speedup:.1}x faster)  \
+             {accepted}/{} accepted  {bytes} cert bytes total",
+            fmt_duration(certify),
+            fmt_duration(check),
+            ok.len(),
+        );
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "scaling (generated CMP clients, FDS; both sides end-to-end):");
+    let _ = writeln!(
+        out,
+        "{:>8} {:>8} {:>10} {:>10} {:>9} {:>8}",
+        "blocks", "edges", "certify", "check", "check/ce", "bytes"
+    );
+    for p in certificate_scaling(&[8, 16, 32, 64, 128]) {
+        let ratio = if p.certify_time.as_nanos() == 0 {
+            f64::NAN
+        } else {
+            p.check_time.as_secs_f64() / p.certify_time.as_secs_f64()
+        };
+        let _ = writeln!(
+            out,
+            "{:>8} {:>8} {:>10} {:>10} {:>8.0}% {:>8}",
+            p.blocks,
+            p.edges,
+            fmt_duration(p.certify_time),
+            fmt_duration(p.check_time),
+            ratio * 100.0,
+            p.cert_bytes
+        );
+    }
+    out
+}
+
 /// The E10 incremental workload: four methods, with the *edited* method
 /// last and the edit confined to one line, so no other method's span (and
 /// hence no other fingerprint) shifts.
@@ -805,6 +1054,30 @@ mod tests {
                 other => panic!("unexpected phase {other}"),
             }
         }
+    }
+
+    #[test]
+    fn certificate_table_checks_everything_it_emits() {
+        let rows = certificate_table();
+        assert!(!rows.is_empty());
+        let mut checkable = 0;
+        for r in &rows {
+            if r.failed.is_some() {
+                continue; // state-budget failures are allowed on the corpus
+            }
+            if r.checkable {
+                checkable += 1;
+                assert!(
+                    r.accepted,
+                    "{} {}: checker rejected a genuine cert",
+                    r.benchmark, r.engine
+                );
+                assert!(r.cert_bytes > 0, "{} {}: empty cert", r.benchmark, r.engine);
+            } else {
+                assert!(!r.accepted, "{} {}: accepted an uncheckable cert", r.benchmark, r.engine);
+            }
+        }
+        assert!(checkable >= 25, "only {checkable} checkable certificates on the corpus");
     }
 
     #[test]

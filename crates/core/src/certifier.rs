@@ -4,7 +4,10 @@ use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
-use canvas_abstraction::EntryAssumption;
+use canvas_abstraction::{
+    bp_digest, derived_digest, digest_str, CellSolution, CertCell, CertViolation, Certificate,
+    EntryAssumption,
+};
 use canvas_easl::Spec;
 use canvas_faults::Budget;
 use canvas_minijava::{MethodIr, Program};
@@ -57,6 +60,12 @@ impl Engine {
     /// Short column label for the wide evaluation tables, e.g. `fds`.
     pub fn abbrev(self) -> &'static str {
         self.info().abbrev()
+    }
+
+    /// Why this engine cannot emit a replayable certificate, or `None` for
+    /// the engines whose fixpoint solutions `canvas-check` can replay.
+    pub fn certificate_unsupported(self) -> Option<&'static str> {
+        self.info().certificate_unsupported()
     }
 
     /// The registry entry backing this id.
@@ -406,6 +415,154 @@ impl Certifier {
         report.stats.duration = start.elapsed();
         report.normalize();
         Ok(report)
+    }
+
+    /// Like [`Certifier::certify_method_shared`], but also returns the
+    /// certificate cell carrying the engine's fixpoint solution, when the
+    /// engine emits one (the boolean SCMP engines on conclusive runs).
+    ///
+    /// # Errors
+    ///
+    /// As [`Certifier::certify`].
+    pub fn certify_method_shared_certified(
+        &self,
+        program: &Program,
+        method: &MethodIr,
+        engine: Engine,
+        entry: EntryAssumption,
+        shared: &SharedTransforms,
+    ) -> Result<(Report, Option<CertCell>), CertifyError> {
+        let start = Instant::now();
+        let cx = MethodContext {
+            program,
+            method,
+            spec: &self.spec,
+            derived: &self.derived,
+            entry,
+            relational_budget: self.relational_budget,
+            tvla_budget: self.tvla_budget,
+            budget: self.budget,
+            explain: self.explain,
+            shared,
+        };
+        let run = catch_unwind(AssertUnwindSafe(|| engine.info().run_certified(&cx)));
+        let (mut report, solution) = match run {
+            Ok(result) => result?,
+            Err(payload) => {
+                return Err(CertifyError::Panicked {
+                    engine,
+                    message: panic_message(payload.as_ref()),
+                })
+            }
+        };
+        report.stats.duration = start.elapsed();
+        report.normalize();
+        let cell = solution.map(|solution| {
+            // the engine ran on cx.boolprog(), so this re-read is a cache hit
+            let bp = cx.boolprog();
+            CertCell {
+                method: method.qualified_name(),
+                entry,
+                preds: bp.preds.len() as u32,
+                bp_digest: bp_digest(bp),
+                solution,
+            }
+        });
+        Ok((report, cell))
+    }
+
+    /// Whole-program certification that also emits a replayable
+    /// [`Certificate`]: one solution cell per `(method, entry)` pair plus
+    /// the normalized violation list, bound to this exact `source` text,
+    /// spec, and derived abstraction by digest.
+    ///
+    /// Engines that cannot express a replayable solution (the TVLA/heap
+    /// family and the interprocedural engine), and inconclusive runs,
+    /// produce `unavailable` cells: the certificate still records the
+    /// verdict but `canvas-check` will reject it as uncheckable — the
+    /// trusted checker never takes an engine's word for anything.
+    ///
+    /// # Errors
+    ///
+    /// As [`Certifier::certify`].
+    pub fn certify_with_certificate(
+        &self,
+        source: &str,
+        program: &Program,
+        engine: Engine,
+    ) -> Result<(Report, Certificate), CertifyError> {
+        let prepared = PreparedProgram::new(program);
+        let mut cells = Vec::new();
+        let report = if let Some(reason) = engine.info().certificate_unsupported() {
+            let report = self.certify_program_prepared(program, &prepared, engine)?;
+            cells.push(CertCell {
+                method: "<whole-program>".to_string(),
+                entry: EntryAssumption::Clean,
+                preds: 0,
+                bp_digest: 0,
+                solution: CellSolution::Unavailable { reason: reason.to_string() },
+            });
+            report
+        } else {
+            let main = program.main_method().ok_or(CertifyError::NoMain)?;
+            let mut push =
+                |report: &Report, cell: Option<CertCell>, m: &MethodIr, entry: EntryAssumption| {
+                    cells.push(cell.unwrap_or_else(|| CertCell {
+                        method: m.qualified_name(),
+                        entry,
+                        preds: 0,
+                        bp_digest: 0,
+                        solution: CellSolution::Unavailable {
+                            reason: format!(
+                                "inconclusive run ({}): no post-fixpoint reached",
+                                report.verdict.reason().unwrap_or("budget exhausted")
+                            ),
+                        },
+                    }));
+                };
+            let (mut report, cell) = self.certify_method_shared_certified(
+                program,
+                main,
+                engine,
+                EntryAssumption::Clean,
+                prepared.shared(main, EntryAssumption::Clean),
+            )?;
+            push(&report, cell, main, EntryAssumption::Clean);
+            for m in program.methods() {
+                if m.id == main.id {
+                    continue;
+                }
+                let (r, cell) = self.certify_method_shared_certified(
+                    program,
+                    m,
+                    engine,
+                    EntryAssumption::Unknown,
+                    prepared.shared(m, EntryAssumption::Unknown),
+                )?;
+                push(&r, cell, m, EntryAssumption::Unknown);
+                report.merge(r);
+            }
+            report.normalize();
+            report
+        };
+        let certificate = Certificate {
+            engine: engine.to_string(),
+            spec: self.spec.name().to_string(),
+            derived: derived_digest(&self.derived),
+            source: digest_str(source),
+            cells,
+            violations: report
+                .violations
+                .iter()
+                .map(|v| CertViolation {
+                    method: v.method.clone(),
+                    line: v.line,
+                    col: v.col,
+                    what: v.what.clone(),
+                })
+                .collect(),
+        };
+        Ok((report, certificate))
     }
 }
 

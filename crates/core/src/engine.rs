@@ -12,7 +12,7 @@
 
 use std::sync::OnceLock;
 
-use canvas_abstraction::{transform_method, BoolProgram, EntryAssumption};
+use canvas_abstraction::{transform_method, BoolProgram, CellSolution, EntryAssumption};
 use canvas_easl::Spec;
 use canvas_faults::{Budget, Meter};
 use canvas_minijava::{MethodIr, Program};
@@ -214,6 +214,37 @@ pub trait AnalysisEngine: Sync {
     /// [`CertifyError::StateBudget`] when a relational engine exceeds its
     /// own state budget; engines must not fail otherwise.
     fn run(&self, cx: &MethodContext<'_>) -> Result<Report, CertifyError>;
+
+    /// Like [`AnalysisEngine::run`], but additionally returns the fixpoint
+    /// solution as a certificate payload when the engine can express one.
+    ///
+    /// The default keeps the report and returns no solution; the boolean
+    /// SCMP engines (FDS, relational) override it. `None` also covers
+    /// inconclusive runs — a budget-tripped fixpoint is not a post-fixpoint
+    /// and must not be shipped as one.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`AnalysisEngine::run`].
+    fn run_certified(
+        &self,
+        cx: &MethodContext<'_>,
+    ) -> Result<(Report, Option<CellSolution>), CertifyError> {
+        Ok((self.run(cx)?, None))
+    }
+
+    /// When [`AnalysisEngine::run_certified`] never produces a solution,
+    /// the human-readable reason (recorded in the certificate as an
+    /// `unavailable` cell, which the checker rejects as uncheckable).
+    fn certificate_unsupported(&self) -> Option<&'static str> {
+        Some("engine does not emit a replayable fixpoint solution")
+    }
+}
+
+/// The set bits of a boolean-program state, as the certificate's sorted
+/// index list.
+fn solution_bits(bs: &canvas_dataflow::BitSet, width: usize) -> Vec<u32> {
+    (0..width).filter(|&k| bs.get(k)).map(|k| k as u32).collect()
 }
 
 /// All engines, in evaluation-table order.
@@ -249,6 +280,13 @@ impl AnalysisEngine for ScmpFdsEngine {
     }
 
     fn run(&self, cx: &MethodContext<'_>) -> Result<Report, CertifyError> {
+        Ok(self.run_certified(cx)?.0)
+    }
+
+    fn run_certified(
+        &self,
+        cx: &MethodContext<'_>,
+    ) -> Result<(Report, Option<CellSolution>), CertifyError> {
         let bp = cx.boolprog();
         let gov = Meter::new(cx.budget);
         let inconclusive = |ex: canvas_faults::Exhaustion| {
@@ -261,7 +299,7 @@ impl AnalysisEngine for ScmpFdsEngine {
         let (res, violations) = if cx.explain {
             let (res, prov) = match canvas_dataflow::fds::analyze_traced_with(bp, &gov) {
                 Ok(pair) => pair,
-                Err(ex) => return Ok(inconclusive(ex)),
+                Err(ex) => return Ok((inconclusive(ex), None)),
             };
             let violations =
                 canvas_dataflow::fds::violations_explained(bp, &res, &prov, cx.program, cx.derived);
@@ -269,12 +307,15 @@ impl AnalysisEngine for ScmpFdsEngine {
         } else {
             let res = match canvas_dataflow::fds::analyze_with(bp, &gov) {
                 Ok(res) => res,
-                Err(ex) => return Ok(inconclusive(ex)),
+                Err(ex) => return Ok((inconclusive(ex), None)),
             };
             let violations = canvas_dataflow::fds::violations(bp, &res);
             (res, violations)
         };
-        Ok(Report {
+        let solution = CellSolution::MayOne {
+            nodes: res.may_one.iter().map(|bs| solution_bits(bs, bp.preds.len())).collect(),
+        };
+        let report = Report {
             engine: self.id(),
             violations: violations.iter().map(|v| cx.violation_witnessed(v)).collect(),
             stats: Stats {
@@ -284,7 +325,12 @@ impl AnalysisEngine for ScmpFdsEngine {
                 ..Stats::default()
             },
             verdict: Default::default(),
-        })
+        };
+        Ok((report, Some(solution)))
+    }
+
+    fn certificate_unsupported(&self) -> Option<&'static str> {
+        None
     }
 }
 
@@ -305,6 +351,13 @@ impl AnalysisEngine for ScmpRelationalEngine {
     }
 
     fn run(&self, cx: &MethodContext<'_>) -> Result<Report, CertifyError> {
+        Ok(self.run_certified(cx)?.0)
+    }
+
+    fn run_certified(
+        &self,
+        cx: &MethodContext<'_>,
+    ) -> Result<(Report, Option<CellSolution>), CertifyError> {
         use canvas_dataflow::relational::RelStop;
         let bp = cx.boolprog();
         let gov = Meter::new(cx.budget);
@@ -331,7 +384,7 @@ impl AnalysisEngine for ScmpRelationalEngine {
                 Ok(pair) => pair,
                 Err(e) => match stop(e, self.id(), bp.preds.len()) {
                     Stop::Hard(err) => return Err(err),
-                    Stop::Soft(report) => return Ok(report),
+                    Stop::Soft(report) => return Ok((report, None)),
                 },
             };
             let violations = canvas_dataflow::relational::violations_explained(
@@ -344,14 +397,26 @@ impl AnalysisEngine for ScmpRelationalEngine {
                     Ok(res) => res,
                     Err(e) => match stop(e, self.id(), bp.preds.len()) {
                         Stop::Hard(err) => return Err(err),
-                        Stop::Soft(report) => return Ok(report),
+                        Stop::Soft(report) => return Ok((report, None)),
                     },
                 };
             let violations = canvas_dataflow::relational::violations(bp, &res);
             (res, violations)
         };
         let max_states = res.states.iter().map(|s| s.len()).max().unwrap_or(0);
-        Ok(Report {
+        let solution = CellSolution::Relational {
+            nodes: res
+                .states
+                .iter()
+                .map(|set| {
+                    let mut vals: Vec<Vec<u32>> =
+                        set.iter().map(|bs| solution_bits(bs, bp.preds.len())).collect();
+                    vals.sort();
+                    vals
+                })
+                .collect(),
+        };
+        let report = Report {
             engine: self.id(),
             violations: violations.iter().map(|v| cx.violation_witnessed(v)).collect(),
             stats: Stats {
@@ -361,7 +426,12 @@ impl AnalysisEngine for ScmpRelationalEngine {
                 ..Stats::default()
             },
             verdict: Default::default(),
-        })
+        };
+        Ok((report, Some(solution)))
+    }
+
+    fn certificate_unsupported(&self) -> Option<&'static str> {
+        None
     }
 }
 

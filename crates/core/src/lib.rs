@@ -50,6 +50,7 @@ mod engine;
 mod error;
 mod report;
 
+pub use canvas_abstraction::{CellSolution, CertCell, CertFormatError, CertViolation, Certificate};
 pub use certifier::{Certifier, CertifyError, Engine};
 pub use engine::{registry, AnalysisEngine, MethodContext, PreparedProgram, SharedTransforms};
 pub use error::{CanvasError, ErrorKind, Stage};

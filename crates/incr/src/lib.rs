@@ -15,7 +15,9 @@
 //! newline-delimited JSON on stdin/stdout, with a warm shared cache across
 //! concurrent requests.
 
-use canvas_abstraction::EntryAssumption;
+use canvas_abstraction::{
+    derived_digest, digest_str, CellSolution, CertCell, CertViolation, Certificate, EntryAssumption,
+};
 use canvas_core::{Certifier, CertifyError, Engine, PreparedProgram, Report, Witness};
 use canvas_minijava::{MethodIr, Program};
 
@@ -208,6 +210,30 @@ impl IncrementalCertifier {
         config_fp: Fingerprint,
         run: &mut RunCacheStats,
     ) -> Result<Report, CertifyError> {
+        Ok(self
+            .certify_cell_certified(
+                program, prepared, fps, method, engine, entry, config_fp, run, false,
+            )?
+            .0)
+    }
+
+    /// One cell, cached, optionally demanding the replayable certificate
+    /// cell. With `want_cert` a warm entry that predates solution storage
+    /// (or whose run emitted none) degrades to a miss and re-runs — the
+    /// store never serves a certificate it cannot back with a solution.
+    #[allow(clippy::too_many_arguments)]
+    fn certify_cell_certified(
+        &self,
+        program: &Program,
+        prepared: &PreparedProgram,
+        fps: &ProgramFingerprints,
+        method: &MethodIr,
+        engine: Engine,
+        entry: EntryAssumption,
+        config_fp: Fingerprint,
+        run: &mut RunCacheStats,
+        want_cert: bool,
+    ) -> Result<(Report, Option<CertCell>), CertifyError> {
         let entry_unknown = entry == EntryAssumption::Unknown;
         let key = cell_key(
             fps.method(method.id),
@@ -221,11 +247,20 @@ impl IncrementalCertifier {
         if let Some(hit) =
             self.cache.lookup(key, &method.qualified_name(), entry_unknown, &engine_name)
         {
-            run.hits += 1;
-            return Ok(hit.to_report(engine));
+            if !want_cert || hit.cell.is_some() {
+                run.hits += 1;
+                let cell = hit.cell.as_ref().map(|c| CertCell {
+                    method: method.qualified_name(),
+                    entry,
+                    preds: c.preds,
+                    bp_digest: c.bp_digest,
+                    solution: c.solution.clone(),
+                });
+                return Ok((hit.to_report(engine), cell));
+            }
         }
         run.misses += 1;
-        let report = self.certifier.certify_method_shared(
+        let (report, cell) = self.certifier.certify_method_shared_certified(
             program,
             method,
             engine,
@@ -233,10 +268,113 @@ impl IncrementalCertifier {
             prepared.shared(method, entry),
         )?;
         // inconclusive verdicts are budget/wall-clock-dependent: never cached
-        if let Some(cert) = CachedReport::from_report(&report) {
-            self.cache.store(key, cert);
+        if let Some(cached) = CachedReport::from_certified(&report, cell.as_ref()) {
+            self.cache.store(key, cached);
         }
-        Ok(report)
+        Ok((report, cell))
+    }
+
+    /// Cached equivalent of [`Certifier::certify_with_certificate`]: the
+    /// whole-program verdict plus a replayable [`Certificate`], with every
+    /// solution-bearing cell answered from the store when its key matches.
+    /// The certificate is bound to `source` by digest, so `source` must be
+    /// the exact text `program` was parsed from.
+    ///
+    /// # Errors
+    ///
+    /// As [`Certifier::certify`].
+    pub fn certify_program_certified(
+        &self,
+        source: &str,
+        program: &Program,
+        engine: Engine,
+    ) -> Result<(Report, Certificate, RunCacheStats), CertifyError> {
+        let mut run = RunCacheStats::default();
+        let mut cells = Vec::new();
+        let report = if let Some(reason) = engine.certificate_unsupported() {
+            let (report, stats) = self.certify_program_cached_with_stats(program, engine)?;
+            run = stats;
+            cells.push(CertCell {
+                method: "<whole-program>".to_string(),
+                entry: EntryAssumption::Clean,
+                preds: 0,
+                bp_digest: 0,
+                solution: CellSolution::Unavailable { reason: reason.to_string() },
+            });
+            report
+        } else {
+            let fps = ProgramFingerprints::new(program);
+            let config_fp = fingerprint_config(&self.certifier, engine);
+            let main = program.main_method().ok_or(CertifyError::NoMain)?;
+            let prepared = PreparedProgram::new(program);
+            // mirror `Certifier::certify_with_certificate`: a cell without a
+            // solution (inconclusive run) is recorded as unavailable
+            let mut push =
+                |report: &Report, cell: Option<CertCell>, m: &MethodIr, entry: EntryAssumption| {
+                    cells.push(cell.unwrap_or_else(|| CertCell {
+                        method: m.qualified_name(),
+                        entry,
+                        preds: 0,
+                        bp_digest: 0,
+                        solution: CellSolution::Unavailable {
+                            reason: format!(
+                                "inconclusive run ({}): no post-fixpoint reached",
+                                report.verdict.reason().unwrap_or("budget exhausted")
+                            ),
+                        },
+                    }));
+                };
+            let (mut report, cell) = self.certify_cell_certified(
+                program,
+                &prepared,
+                &fps,
+                main,
+                engine,
+                EntryAssumption::Clean,
+                config_fp,
+                &mut run,
+                true,
+            )?;
+            push(&report, cell, main, EntryAssumption::Clean);
+            for m in program.methods() {
+                if m.id == main.id {
+                    continue;
+                }
+                let (r, cell) = self.certify_cell_certified(
+                    program,
+                    &prepared,
+                    &fps,
+                    m,
+                    engine,
+                    EntryAssumption::Unknown,
+                    config_fp,
+                    &mut run,
+                    true,
+                )?;
+                push(&r, cell, m, EntryAssumption::Unknown);
+                report.merge(r);
+            }
+            report.normalize();
+            report
+        };
+        let certificate = Certificate {
+            engine: engine.to_string(),
+            spec: self.certifier.spec().name().to_string(),
+            derived: derived_digest(self.certifier.derived()),
+            source: digest_str(source),
+            cells,
+            violations: report
+                .violations
+                .iter()
+                .map(|v| CertViolation {
+                    method: v.method.clone(),
+                    line: v.line,
+                    col: v.col,
+                    what: v.what.clone(),
+                })
+                .collect(),
+        };
+        Ok((report, certificate, run))
     }
 }
 
@@ -392,6 +530,50 @@ class Main {
         let (_, stats) =
             budgeted.certify_program_cached_with_stats(&program, Engine::ScmpFds).expect("runs");
         assert_eq!(stats.hits, 0, "a different budget is a different certificate");
+    }
+
+    #[test]
+    fn certificates_are_identical_warm_cold_and_uncached() {
+        let inc = incr();
+        let program = parse(&inc, HELPERS);
+        for engine in [Engine::ScmpFds, Engine::ScmpRelational] {
+            let (cold_r, cold_c, cs) =
+                inc.certify_program_certified(HELPERS, &program, engine).expect("cold");
+            let (warm_r, warm_c, ws) =
+                inc.certify_program_certified(HELPERS, &program, engine).expect("warm");
+            assert_eq!(cs.hits, 0, "{engine}");
+            assert_eq!(ws.misses, 0, "{engine}: warm certificate must be all hits");
+            assert_eq!(cold_c, warm_c, "{engine}: warm certificate must be byte-identical");
+            assert_eq!(report_digest(&cold_r), report_digest(&warm_r), "{engine}");
+            let (_, reference) = inc
+                .certifier()
+                .certify_with_certificate(HELPERS, &program, engine)
+                .expect("reference");
+            assert_eq!(cold_c, reference, "{engine}: cached path must match the uncached one");
+        }
+    }
+
+    #[test]
+    fn plain_runs_warm_the_certificate_path() {
+        let inc = incr();
+        let program = parse(&inc, HELPERS);
+        inc.certify_program_cached(&program, Engine::ScmpFds).expect("plain cold");
+        let (_, cert, stats) = inc
+            .certify_program_certified(HELPERS, &program, Engine::ScmpFds)
+            .expect("certificate run");
+        assert_eq!(stats.misses, 0, "plain runs store solutions too: {stats:?}");
+        assert!(cert.checkable());
+    }
+
+    #[test]
+    fn unsupported_engines_emit_an_unavailable_whole_program_cell() {
+        let inc = incr();
+        let program = parse(&inc, FIG3);
+        let (_, cert, _) =
+            inc.certify_program_certified(FIG3, &program, Engine::TvlaRelational).expect("runs");
+        assert!(!cert.checkable());
+        assert_eq!(cert.cells.len(), 1);
+        assert_eq!(cert.cells[0].method, "<whole-program>");
     }
 
     #[test]

@@ -23,7 +23,12 @@
 //! serve-smoke job does). Per-request
 //! budgets (`"budget_steps"`, `"budget_ms"`) run the request under a
 //! tighter resource governor; the budget is part of the cache key, so
-//! budgeted and unbudgeted requests never alias. `stats` reports the
+//! budgeted and unbudgeted requests never alias. `"certificate": true`
+//! asks for a proof-carrying certificate in-band: the response gains a
+//! `"certificate"` field holding the serialized `canvas-cert/1` text, which
+//! the client can revalidate offline with `canvas check` (solution-bearing
+//! cells are answered from the warm store; cells cached before the store
+//! held solutions re-run). `stats` reports the
 //! store-wide counters; `shutdown` persists the store and ends the loop.
 //! Malformed lines produce an `{"ok":false,...}` response and the daemon
 //! keeps serving.
@@ -86,6 +91,7 @@ enum Cmd {
         engine: Engine,
         budget_steps: Option<u64>,
         budget_ms: Option<u64>,
+        certificate: bool,
     },
     Stats,
     Shutdown,
@@ -131,6 +137,7 @@ fn parse_request(line: &str) -> Result<Request, CanvasError> {
                 engine,
                 budget_steps: int_field("budget_steps"),
                 budget_ms: int_field("budget_ms"),
+                certificate: matches!(json.get("certificate"), Some(Json::Bool(true))),
             }
         }
         Some(other) => return Err(bad(format!("unknown cmd {other:?}"))),
@@ -180,9 +187,11 @@ impl ServeState {
                 )
             }
             Cmd::Shutdown => ok_response(&request.id, vec![("shutdown", Json::Bool(true))]),
-            Cmd::Certify { source, spec, engine, budget_steps, budget_ms } => {
-                match self.certify(source, spec, *engine, *budget_steps, *budget_ms) {
-                    Ok((report, stats)) => certify_response(&request.id, &report, stats),
+            Cmd::Certify { source, spec, engine, budget_steps, budget_ms, certificate } => {
+                match self.certify(source, spec, *engine, *budget_steps, *budget_ms, *certificate) {
+                    Ok((report, cert, stats)) => {
+                        certify_response(&request.id, &report, cert.as_deref(), stats)
+                    }
                     Err(e) => error_response(&request.id, &e),
                 }
             }
@@ -196,7 +205,8 @@ impl ServeState {
         engine: Engine,
         budget_steps: Option<u64>,
         budget_ms: Option<u64>,
-    ) -> Result<(Report, RunCacheStats), CanvasError> {
+        certificate: bool,
+    ) -> Result<(Report, Option<String>, RunCacheStats), CanvasError> {
         let text = match source {
             Source::Inline(src) => src.clone(),
             Source::File(path) => std::fs::read_to_string(path)
@@ -221,8 +231,17 @@ impl ServeState {
         };
         let program = canvas_minijava::Program::parse(&text, inc.certifier().spec())
             .map_err(|e| CanvasError::client(&e))?;
-        let result =
-            inc.certify_program_cached_with_stats(&program, engine).map_err(CanvasError::from)?;
+        let result = if certificate {
+            let (report, cert, stats) = inc
+                .certify_program_certified(&text, &program, engine)
+                .map_err(CanvasError::from)?;
+            (report, Some(cert.to_text()), stats)
+        } else {
+            let (report, stats) = inc
+                .certify_program_cached_with_stats(&program, engine)
+                .map_err(CanvasError::from)?;
+            (report, None, stats)
+        };
         if let Err(e) = self.cache.persist() {
             eprintln!("warning: {e}");
         }
@@ -244,7 +263,12 @@ fn error_response(id: &Json, error: &CanvasError) -> Json {
     ])
 }
 
-fn certify_response(id: &Json, report: &Report, stats: RunCacheStats) -> Json {
+fn certify_response(
+    id: &Json,
+    report: &Report,
+    certificate: Option<&str>,
+    stats: RunCacheStats,
+) -> Json {
     let (verdict, reason) = match &report.verdict {
         Verdict::Inconclusive { reason } => ("inconclusive", Some(reason.clone())),
         Verdict::Complete if report.certified() => ("certified", None),
@@ -274,6 +298,9 @@ fn certify_response(id: &Json, report: &Report, stats: RunCacheStats) -> Json {
                 .collect(),
         ),
     ));
+    if let Some(cert) = certificate {
+        fields.push(("certificate", Json::Str(cert.to_string())));
+    }
     fields.push((
         "cache",
         obj(vec![("hits", Json::Int(stats.hits)), ("misses", Json::Int(stats.misses))]),
@@ -423,6 +450,23 @@ mod tests {
         for (i, r) in responses.iter().enumerate() {
             assert_eq!(r.get("id"), Some(&Json::Int(i as u64 + 1)), "{r:?}");
         }
+    }
+
+    #[test]
+    fn certificate_requests_carry_the_certificate_in_band() {
+        let script = format!(
+            "{{\"id\":1,\"cmd\":\"certify\",\"source\":\"{FIG3}\",\"certificate\":true}}\n\
+             {}\n{{\"id\":3,\"cmd\":\"shutdown\"}}\n",
+            certify_line(2)
+        );
+        let responses = run_script(&script, 1);
+        let Some(Json::Str(cert)) = responses[0].get("certificate") else {
+            panic!("no certificate in {:?}", responses[0])
+        };
+        let parsed = canvas_abstraction::Certificate::parse(cert).expect("certificate parses");
+        assert!(parsed.checkable(), "fds run must carry a replayable solution");
+        // requests that did not ask for one don't get one
+        assert!(responses[1].get("certificate").is_none(), "{:?}", responses[1]);
     }
 
     #[test]

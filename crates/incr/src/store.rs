@@ -13,11 +13,18 @@
 //! Only **complete** verdicts are stored. Inconclusive verdicts depend on
 //! wall-clock deadlines and would make cache behavior time-dependent;
 //! re-running them is the sound choice.
+//!
+//! Since format 2 a cached cell can carry the engine's replayable fixpoint
+//! solution ([`CachedCell`]) alongside the verdict, so a warm store can
+//! serve proof-carrying certificates without re-running the engine; cells
+//! cached without a solution degrade to a miss when a certificate is
+//! requested.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
+use canvas_abstraction::{CellSolution, CertCell};
 use canvas_core::{
     CanvasError, Engine, ErrorKind, Report, Stage, Stats, Verdict, Violation, Witness, WitnessStep,
 };
@@ -27,9 +34,9 @@ use crate::json::{obj, Json};
 
 /// Header line of the on-disk store; bumped together with
 /// [`crate::fingerprint::KEY_VERSION`] on breaking changes.
-pub const STORE_FORMAT: &str = "canvas-cert-cache/1";
+pub const STORE_FORMAT: &str = "canvas-cert-cache/2";
 
-const FILE_NAME: &str = "certs.v1";
+const FILE_NAME: &str = "certs.v2";
 
 // Cache traffic is deterministic for a fixed sequential workload (the eval
 // incremental stage), so the counters are baseline-gated.
@@ -73,6 +80,21 @@ pub struct CachedReport {
     pub exhausted: bool,
     /// The violations, in normalized order.
     pub violations: Vec<CachedViolation>,
+    /// The replayable fixpoint solution, when the engine emitted one.
+    pub cell: Option<CachedCell>,
+}
+
+/// The replayable solution of a cached cell: everything a
+/// [`CertCell`] needs except the method name and entry assumption, which
+/// the cache key (and lookup site) already determine.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CachedCell {
+    /// Predicate-instance count (the solution's bit width).
+    pub preds: u32,
+    /// Digest of the boolean program the solution is a fixpoint of.
+    pub bp_digest: u64,
+    /// The solution payload.
+    pub solution: CellSolution,
 }
 
 /// One serialized violation (witness provenance included).
@@ -150,7 +172,21 @@ impl CachedReport {
             max_states: report.stats.max_states as u64,
             exhausted: report.stats.exhausted,
             violations,
+            cell: None,
         })
+    }
+
+    /// As [`CachedReport::from_report`], also capturing the engine's
+    /// certificate cell so the warm path can serve proof-carrying
+    /// certificates.
+    pub fn from_certified(report: &Report, cell: Option<&CertCell>) -> Option<CachedReport> {
+        let mut cached = Self::from_report(report)?;
+        cached.cell = cell.map(|c| CachedCell {
+            preds: c.preds,
+            bp_digest: c.bp_digest,
+            solution: c.solution.clone(),
+        });
+        Some(cached)
     }
 
     /// Rehydrates the certificate as a [`Report`] (duration zero — the
@@ -220,12 +256,43 @@ impl CachedReport {
                 ),
             )]),
         };
+        let indices =
+            |row: &[u32]| Json::Arr(row.iter().map(|&b| Json::Int(u64::from(b))).collect());
+        let cell = match &self.cell {
+            None => Json::Null,
+            Some(c) => {
+                let solution = match &c.solution {
+                    CellSolution::MayOne { nodes } => obj(vec![(
+                        "may",
+                        Json::Arr(nodes.iter().map(|row| indices(row)).collect()),
+                    )]),
+                    CellSolution::Relational { nodes } => obj(vec![(
+                        "rel",
+                        Json::Arr(
+                            nodes
+                                .iter()
+                                .map(|vals| Json::Arr(vals.iter().map(|v| indices(v)).collect()))
+                                .collect(),
+                        ),
+                    )]),
+                    CellSolution::Unavailable { reason } => {
+                        obj(vec![("unavailable", Json::Str(reason.clone()))])
+                    }
+                };
+                obj(vec![
+                    ("preds", Json::Int(u64::from(c.preds))),
+                    ("bp", Json::Int(c.bp_digest)),
+                    ("solution", solution),
+                ])
+            }
+        };
         obj(vec![
             ("engine", Json::Str(self.engine.clone())),
             ("predicates", Json::Int(self.predicates)),
             ("work", Json::Int(self.work)),
             ("max_states", Json::Int(self.max_states)),
             ("exhausted", Json::Bool(self.exhausted)),
+            ("cell", cell),
             (
                 "violations",
                 Json::Arr(
@@ -304,6 +371,48 @@ impl CachedReport {
                 witness,
             });
         }
+        let indices = |j: &Json| -> Result<Vec<u32>, String> {
+            let Json::Arr(row) = j else { return Err("solution row is not an array".to_string()) };
+            row.iter()
+                .map(|b| match b {
+                    Json::Int(n) => {
+                        u32::try_from(*n).map_err(|_| "solution index out of range".to_string())
+                    }
+                    _ => Err("solution index is not an integer".to_string()),
+                })
+                .collect()
+        };
+        let cell = match json.get("cell") {
+            Some(Json::Null) | None => None,
+            Some(c) => {
+                let Some(sol) = c.get("solution") else {
+                    return Err("cell without solution".to_string());
+                };
+                let solution = if let Some(Json::Arr(nodes)) = sol.get("may") {
+                    CellSolution::MayOne {
+                        nodes: nodes.iter().map(&indices).collect::<Result<_, _>>()?,
+                    }
+                } else if let Some(Json::Arr(nodes)) = sol.get("rel") {
+                    let mut rows = Vec::with_capacity(nodes.len());
+                    for vals in nodes {
+                        let Json::Arr(vals) = vals else {
+                            return Err("rel node is not an array".to_string());
+                        };
+                        rows.push(vals.iter().map(&indices).collect::<Result<_, _>>()?);
+                    }
+                    CellSolution::Relational { nodes: rows }
+                } else if let Some(Json::Str(reason)) = sol.get("unavailable") {
+                    CellSolution::Unavailable { reason: reason.clone() }
+                } else {
+                    return Err("malformed cell solution".to_string());
+                };
+                Some(CachedCell {
+                    preds: line_col(int_of(c, "preds")?, "cell preds")?,
+                    bp_digest: int_of(c, "bp")?,
+                    solution,
+                })
+            }
+        };
         Ok(CachedReport {
             engine: str_of(json, "engine")?,
             predicates: int_of(json, "predicates")?,
@@ -311,6 +420,7 @@ impl CachedReport {
             max_states: int_of(json, "max_states")?,
             exhausted: bool_of(json, "exhausted")?,
             violations,
+            cell,
         })
     }
 }
@@ -605,6 +715,32 @@ mod tests {
                     witness: None,
                 },
             ],
+            cell: None,
+        }
+    }
+
+    fn sample_with_cell(solution: CellSolution) -> CachedReport {
+        CachedReport {
+            cell: Some(CachedCell { preds: 4, bp_digest: 0xfeed_f00d_dead_beef, solution }),
+            ..sample()
+        }
+    }
+
+    #[test]
+    fn cell_solutions_round_trip_through_json() {
+        for solution in [
+            CellSolution::MayOne { nodes: vec![vec![], vec![0, 2], vec![1, 3]] },
+            CellSolution::Relational {
+                nodes: vec![vec![vec![], vec![0, 1]], vec![], vec![vec![2]]],
+            },
+            CellSolution::Unavailable { reason: "no solution".to_string() },
+        ] {
+            let r = sample_with_cell(solution);
+            let line = r.to_json().render_compact();
+            assert!(!line.contains('\n'));
+            let back =
+                CachedReport::from_json(&Json::parse(&line).expect("parses")).expect("decodes");
+            assert_eq!(back, r);
         }
     }
 

@@ -12,6 +12,10 @@
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
+use canvas_abstraction::{
+    DerivationStats, Derived, Family, FamilyId, RuleRhs, RuleVar, StmtAbstraction, StmtForm,
+    UpdateRule,
+};
 use canvas_easl::{ClassSpec, MethodSpec, Spec};
 use canvas_logic::{models, FieldId, Formula, PredId, Term, TypeName, TypeOracle, Var};
 
@@ -31,262 +35,11 @@ static WP_EQUIV_MEMO_MISSES: canvas_telemetry::Counter =
     canvas_telemetry::Counter::new("wp.equiv_memo_misses");
 static WP_DERIVE_TIME: canvas_telemetry::Timer = canvas_telemetry::Timer::new("wp.derive");
 
-/// Identifier of a [`Family`] in [`Derived::families`].
-///
-/// Family ids are dense [`PredId`]s: `id.index()` is the family's position
-/// in discovery order, which downstream crates exploit for `Vec`-indexed
-/// tables instead of hash maps.
-pub type FamilyId = PredId;
-
-/// An instrumentation-predicate family (paper Fig. 4): a named formula with
-/// typed canonical parameters. Client analysis instantiates a family once
-/// per type-correct tuple of client variables (or fields, for HCMP).
-#[derive(Clone, PartialEq, Debug)]
-pub struct Family {
-    id: FamilyId,
-    name: String,
-    params: Vec<Var>,
-    formula: Formula,
-    mutable_dep: bool,
-    origin: String,
-}
-
-impl Family {
-    /// The family's id.
-    pub fn id(&self) -> FamilyId {
-        self.id
-    }
-
-    /// A readable name (`stale`, `iterof`, … for the classic shapes,
-    /// `q<N>` otherwise).
-    pub fn name(&self) -> &str {
-        &self.name
-    }
-
-    /// The canonical typed parameters.
-    pub fn params(&self) -> &[Var] {
-        &self.params
-    }
-
-    /// The defining formula over [`Family::params`].
-    pub fn formula(&self) -> &Formula {
-        &self.formula
-    }
-
-    /// Whether the defining formula reads any *mutable* component field.
-    ///
-    /// Instances of families with `mutable_dep() == false` cannot be changed
-    /// by component calls on unrelated receivers or by unknown client code
-    /// (their value depends only on construction-time structure), which the
-    /// interprocedural analysis exploits.
-    pub fn mutable_dep(&self) -> bool {
-        self.mutable_dep
-    }
-
-    /// Where the family came from (diagnostics).
-    pub fn origin(&self) -> &str {
-        &self.origin
-    }
-
-    /// The formula with parameters renamed to `args` (parallel to params).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `args.len() != params.len()`.
-    pub fn instantiate(&self, args: &[Var]) -> Formula {
-        assert_eq!(args.len(), self.params.len(), "family arity mismatch");
-        self.formula.rename_vars(&|v| match self.params.iter().position(|p| p == v) {
-            Some(k) => args[k],
-            None => *v,
-        })
-    }
-}
-
-impl fmt::Display for Family {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}(", self.name)?;
-        for (k, p) in self.params.iter().enumerate() {
-            if k > 0 {
-                write!(f, ", ")?;
-            }
-            write!(f, "{}: {}", p.name(), p.ty())?;
-        }
-        write!(f, ") ≡ {}", self.formula)
-    }
-}
-
-/// A client-visible statement form the abstraction provides rules for.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
-pub enum StmtForm {
-    /// `x = new C(args)`.
-    New {
-        /// The allocated component class.
-        class: TypeName,
-    },
-    /// `[x =] y.m(args)`.
-    Call {
-        /// The receiver's component class.
-        class: TypeName,
-        /// The method name.
-        method: String,
-    },
-    /// `x = y` between two component references of the same type.
-    Copy {
-        /// The copied reference type.
-        ty: TypeName,
-    },
-}
-
-impl fmt::Display for StmtForm {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            StmtForm::New { class } => write!(f, "x = new {class}(...)"),
-            StmtForm::Call { class, method } => write!(f, "[x =] y<{class}>.{method}(...)"),
-            StmtForm::Copy { ty } => write!(f, "x = y  ({ty})"),
-        }
-    }
-}
-
-/// A variable slot in an update rule, resolved against a concrete client
-/// statement at instantiation time.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub enum RuleVar {
-    /// The call receiver.
-    Recv,
-    /// The k-th argument.
-    Arg(usize),
-    /// The client variable the result is assigned to.
-    Lhs,
-    /// The k-th parameter of the *target* family, universally quantified
-    /// over client variables of its type (the paper's `∀z ∈ V` macros).
-    Univ(usize),
-}
-
-/// One disjunct of an update rule's right-hand side.
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub enum RuleRhs {
-    /// A constant.
-    Const(bool),
-    /// An instance of a family over rule variables.
-    Inst(FamilyId, Vec<RuleVar>),
-    /// Unknown value — emitted only by *conservative* derivation (§4.5)
-    /// when the family budget is exhausted: the target may become anything.
-    Unknown,
-}
-
-/// An update rule `target := rhs₁ ∨ … ∨ rhsₖ` (empty rhs means `:= 0`),
-/// applying to instances of the target family whose `Lhs` positions hold the
-/// statement's assigned variable. Families/positions without a rule are
-/// unchanged by the statement.
-#[derive(Clone, PartialEq, Debug)]
-pub struct UpdateRule {
-    /// Target family.
-    pub family: FamilyId,
-    /// Target argument slots (`Lhs` and `Univ` only).
-    pub target_args: Vec<RuleVar>,
-    /// Right-hand-side disjuncts (values read in the pre-state).
-    pub rhs: Vec<RuleRhs>,
-}
-
-/// A precondition check at a statement form: the call may violate its
-/// `requires` iff some disjunct may be true.
-pub type CheckInst = RuleRhs;
-
-/// The abstraction of one statement form: its precondition checks and its
-/// predicate update rules (the machine form of the paper's Fig. 5 rows).
-#[derive(Clone, PartialEq, Debug)]
-pub struct StmtAbstraction {
-    /// The statement form.
-    pub form: StmtForm,
-    /// Disjuncts of the negated `requires` (empty = no precondition).
-    pub checks: Vec<CheckInst>,
-    /// Update rules.
-    pub rules: Vec<UpdateRule>,
-}
-
-impl StmtAbstraction {
-    /// The rule whose target binds exactly `bound` parameter positions to
-    /// the statement's assigned variable.
-    pub fn rule_for(&self, family: FamilyId, bound: &[usize]) -> Option<&UpdateRule> {
-        self.rules.iter().find(|r| {
-            r.family == family
-                && r.target_args.iter().enumerate().all(|(k, a)| match a {
-                    RuleVar::Lhs => bound.contains(&k),
-                    _ => !bound.contains(&k),
-                })
-        })
-    }
-}
-
-/// Convergence statistics of the derivation (experiment E1/E8).
-#[derive(Clone, PartialEq, Eq, Debug, Default)]
-pub struct DerivationStats {
-    /// Number of WP computations performed.
-    pub wp_count: usize,
-    /// Number of candidate disjuncts examined.
-    pub candidates: usize,
-    /// Number of family-equivalence checks.
-    pub equiv_checks: usize,
-    /// `families_discovered[r]` = number of families known after processing
-    /// the r-th worklist item (round 0 = after seeding from `requires`).
-    pub families_discovered: Vec<usize>,
-    /// Number of update disjuncts degraded to [`RuleRhs::Unknown`] because
-    /// the family budget was exhausted (0 for converging derivations).
-    pub unknown_rhs: usize,
-}
-
-/// The result of abstraction derivation for one specification.
-#[derive(Clone, PartialEq, Debug)]
-pub struct Derived {
-    spec_name: String,
-    families: Vec<Family>,
-    stmts: Vec<StmtAbstraction>,
-    stats: DerivationStats,
-}
-
-impl Derived {
-    /// The specification this abstraction was derived from.
-    pub fn spec_name(&self) -> &str {
-        &self.spec_name
-    }
-
-    /// All derived families, in discovery order.
-    pub fn families(&self) -> &[Family] {
-        &self.families
-    }
-
-    /// A family by id.
-    pub fn family(&self, id: FamilyId) -> &Family {
-        &self.families[id.index()]
-    }
-
-    /// All statement abstractions.
-    pub fn stmt_abstractions(&self) -> &[StmtAbstraction] {
-        &self.stmts
-    }
-
-    /// The abstraction for `[x =] y.m(args)`.
-    pub fn for_call(&self, class: &TypeName, method: &str) -> Option<&StmtAbstraction> {
-        self.stmts.iter().find(
-            |s| matches!(&s.form, StmtForm::Call { class: c, method: m } if c == class && m == method),
-        )
-    }
-
-    /// The abstraction for `x = new C(args)`.
-    pub fn for_new(&self, class: &TypeName) -> Option<&StmtAbstraction> {
-        self.stmts.iter().find(|s| matches!(&s.form, StmtForm::New { class: c } if c == class))
-    }
-
-    /// The abstraction for `x = y` at type `ty`.
-    pub fn for_copy(&self, ty: &TypeName) -> Option<&StmtAbstraction> {
-        self.stmts.iter().find(|s| matches!(&s.form, StmtForm::Copy { ty: t } if t == ty))
-    }
-
-    /// Derivation statistics.
-    pub fn stats(&self) -> &DerivationStats {
-        &self.stats
-    }
-}
+// The derived-abstraction data model (Family/StmtAbstraction/Derived and
+// friends) lives in `canvas_abstraction::derived` so the trusted certificate
+// checker can consume abstractions without depending on this crate; it is
+// re-exported from the crate root for compatibility. This module keeps only
+// the derivation *procedure*.
 
 /// Derivation failure.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -400,7 +153,7 @@ fn derive_impl(
     WP_DISJUNCT_SPLITS.add(d.stats.candidates as u64);
     WP_EQUIV_CHECKS.add(d.stats.equiv_checks as u64);
     WP_FAMILIES.add(d.families.len() as u64);
-    Ok(Derived { spec_name: spec.name().to_string(), families: d.families, stmts, stats: d.stats })
+    Ok(Derived::new(spec.name().to_string(), d.families, stmts, d.stats))
 }
 
 type FormEntry = (StmtForm, Option<ClassSpec>, Option<MethodSpec>);
@@ -524,10 +277,14 @@ impl Deriver<'_> {
 
         // enumerate binding subsets: positions of fam params assignable by lhs
         let candidate_positions: Vec<usize> = match (&lhs_ty, form_is_copy) {
-            (_, true) => (0..fam.params.len()).collect(),
-            (Some(t), _) => {
-                fam.params.iter().enumerate().filter(|(_, p)| p.ty() == t).map(|(k, _)| k).collect()
-            }
+            (_, true) => (0..fam.params().len()).collect(),
+            (Some(t), _) => fam
+                .params()
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.ty() == t)
+                .map(|(k, _)| k)
+                .collect(),
             (None, _) => Vec::new(),
         };
 
@@ -537,8 +294,8 @@ impl Deriver<'_> {
                 match subset.first() {
                     None => continue, // a copy with no bound position is the identity
                     Some(&k0) => {
-                        let t = *fam.params[k0].ty();
-                        if subset.iter().any(|&k| fam.params[k].ty() != &t) {
+                        let t = *fam.params()[k0].ty();
+                        if subset.iter().any(|&k| fam.params()[k].ty() != &t) {
                             continue;
                         }
                         Some(t)
@@ -558,7 +315,7 @@ impl Deriver<'_> {
 
             // instance vars for the family params
             let inst_vars: Vec<Var> = fam
-                .params
+                .params()
                 .iter()
                 .enumerate()
                 .map(|(k, p)| {
@@ -623,14 +380,14 @@ impl Deriver<'_> {
             } else {
                 for dj in &disjuncts {
                     self.stats.candidates += 1;
-                    rhs.push(self.intern(dj, &binding, &inst_vars, &fam.name.clone()));
+                    rhs.push(self.intern(dj, &binding, &inst_vars, fam.name()));
                 }
             }
             if self.families.len() > self.max_families {
                 return Err(DeriveError::Budget { max_families: self.max_families });
             }
 
-            let target_args: Vec<RuleVar> = (0..fam.params.len())
+            let target_args: Vec<RuleVar> = (0..fam.params().len())
                 .map(|k| if subset.contains(&k) { RuleVar::Lhs } else { RuleVar::Univ(k) })
                 .collect();
             out.push(UpdateRule { family: fid, target_args, rhs });
@@ -660,12 +417,12 @@ impl Deriver<'_> {
 
         // try existing families
         for g in 0..self.families.len() {
-            if self.families[g].params.len() != fv.len() {
+            if self.families[g].params().len() != fv.len() {
                 continue;
             }
             for perm in permutations(fv.len()) {
                 // type check the bijection: fam.param[k] ↦ fv[perm[k]]
-                if !(0..fv.len()).all(|k| self.families[g].params[k].ty() == fv[perm[k]].ty()) {
+                if !(0..fv.len()).all(|k| self.families[g].params()[k].ty() == fv[perm[k]].ty()) {
                     continue;
                 }
                 self.stats.equiv_checks += 1;
@@ -693,14 +450,14 @@ impl Deriver<'_> {
         });
         let name = self.pick_name(&formula, &params);
         let mutable_dep = formula_reads_mutable(self.spec, &formula);
-        self.families.push(Family {
+        self.families.push(Family::new(
             id,
             name,
             params,
             formula,
             mutable_dep,
-            origin: format!("from {origin}"),
-        });
+            format!("from {origin}"),
+        ));
         self.pending.push_back(id);
         let rule_args = fv.iter().map(|v| self.to_rule_var(v, binding, inst_vars)).collect();
         RuleRhs::Inst(id, rule_args)
@@ -727,7 +484,7 @@ impl Deriver<'_> {
         let base = nickname(formula, params).unwrap_or_else(|| format!("q{}", self.families.len()));
         let mut name = base.clone();
         let mut k = 2;
-        while self.families.iter().any(|f| f.name == name) {
+        while self.families.iter().any(|f| f.name() == name) {
             name = format!("{base}{k}");
             k += 1;
         }

@@ -36,10 +36,13 @@ mod derive;
 mod simplify;
 mod sym;
 
-pub use derive::{
-    derive_abstraction, derive_conservative, derive_with_budget, CheckInst, DerivationStats,
-    DeriveError, Derived, Family, FamilyId, RuleRhs, RuleVar, StmtAbstraction, StmtForm,
-    UpdateRule,
+// The data model lives in `canvas_abstraction::derived` (so the trusted
+// certificate checker can read abstractions without depending on this
+// crate); re-exported here so downstream code keeps one import path.
+pub use canvas_abstraction::{
+    CheckInst, DerivationStats, Derived, Family, FamilyId, RuleRhs, RuleVar, StmtAbstraction,
+    StmtForm, UpdateRule,
 };
+pub use derive::{derive_abstraction, derive_conservative, derive_with_budget, DeriveError};
 pub use simplify::Simplifier;
 pub use sym::{client_stmt_actions, wp_through_actions, Action, OperandBinding};

@@ -4,9 +4,12 @@
 //! canvas derive  --spec <cmp|grp|imp|aop|PATH.easl> [--metrics]
 //! canvas certify --spec <...> [--engine <name>] [--whole-program|--inline]
 //!                [--explain] [--trace-out PATH] [--metrics]
-//!                [--max-steps N] [--deadline-ms N] CLIENT.mj
+//!                [--max-steps N] [--deadline-ms N]
+//!                [--emit-cert PATH] CLIENT.mj
+//! canvas check   --spec <...> CERT CLIENT.mj
 //! canvas serve   [--threads N] [--cache-dir DIR | --no-cache]
 //! canvas engines
+//! canvas specs
 //! ```
 //!
 //! `--metrics` enables pipeline telemetry and prints a summary (counters,
@@ -19,6 +22,15 @@
 //! `--max-steps` and `--deadline-ms` bound the engine fixpoints through the
 //! resource governor (`canvas-faults`): when a budget trips, the engine
 //! degrades to an inconclusive verdict instead of running away.
+//!
+//! `certify --whole-program --emit-cert PATH` writes a proof-carrying
+//! certificate: the engine's fixpoint solution in the versioned
+//! `canvas-cert/1` byte-stable format, bound by digest to the exact client
+//! source, spec, and derived abstraction. `canvas check CERT CLIENT.mj`
+//! revalidates it with the engine-free `canvas-check` crate — single-pass
+//! post-fixpoint replay, no fixpoint iteration, no engine code trusted —
+//! and exits 0 (valid, certified), 1 (valid, violations confirmed), or
+//! 2 (rejected: mutated, truncated, or inconsistent).
 //!
 //! `certify --whole-program --cache-dir DIR` certifies through the
 //! content-addressed certificate cache: unchanged `(method, entry, engine)`
@@ -102,6 +114,10 @@ fn run(args: &[String]) -> Result<ExitCode, CanvasError> {
                 Certifier::from_spec(spec)?.with_explain(opts.explain).with_budget(opts.budget);
             let program = canvas_minijava::Program::parse(&source, certifier.spec())
                 .map_err(|e| CanvasError::client(&e))?;
+            if opts.emit_cert.is_some() && !opts.whole_program {
+                return Err(CanvasError::usage("--emit-cert requires --whole-program"));
+            }
+            let mut certificate: Option<canvas_abstraction::Certificate> = None;
             let report = if opts.inline {
                 certifier.certify_inlined(&program, opts.engine)?
             } else if let Some(dir) = &opts.cache_dir {
@@ -112,9 +128,16 @@ fn run(args: &[String]) -> Result<ExitCode, CanvasError> {
                     certifier,
                     CertCache::open(std::path::Path::new(dir)),
                 );
-                let (report, stats) = inc
-                    .certify_program_cached_with_stats(&program, opts.engine)
-                    .map_err(CanvasError::from)?;
+                let (report, stats) = if opts.emit_cert.is_some() {
+                    let (report, cert, stats) = inc
+                        .certify_program_certified(&source, &program, opts.engine)
+                        .map_err(CanvasError::from)?;
+                    certificate = Some(cert);
+                    (report, stats)
+                } else {
+                    inc.certify_program_cached_with_stats(&program, opts.engine)
+                        .map_err(CanvasError::from)?
+                };
                 inc.persist()?;
                 eprintln!(
                     "canvas: certificate cache: {} hit(s), {} miss(es)",
@@ -122,7 +145,14 @@ fn run(args: &[String]) -> Result<ExitCode, CanvasError> {
                 );
                 report
             } else if opts.whole_program {
-                certifier.certify_program(&program, opts.engine)?
+                if opts.emit_cert.is_some() {
+                    let (report, cert) =
+                        certifier.certify_with_certificate(&source, &program, opts.engine)?;
+                    certificate = Some(cert);
+                    report
+                } else {
+                    certifier.certify_program(&program, opts.engine)?
+                }
             } else {
                 certifier.certify(&program, opts.engine)?
             };
@@ -139,6 +169,18 @@ fn run(args: &[String]) -> Result<ExitCode, CanvasError> {
                 std::fs::write(path, &json).map_err(|e| CanvasError::io(Stage::Cli, path, &e))?;
                 eprintln!("canvas: wrote trace to {path}");
             }
+            if let Some(path) = &opts.emit_cert {
+                let cert = certificate
+                    .as_ref()
+                    .ok_or_else(|| CanvasError::usage("--emit-cert requires --whole-program"))?;
+                std::fs::write(path, cert.to_text())
+                    .map_err(|e| CanvasError::io(Stage::Cli, path, &e))?;
+                eprintln!(
+                    "canvas: wrote certificate to {path} ({}checkable, {} cell(s))",
+                    if cert.checkable() { "" } else { "not " },
+                    cert.cells.len()
+                );
+            }
             Ok(if report.is_inconclusive() {
                 ExitCode::from(3)
             } else if report.certified() {
@@ -146,6 +188,94 @@ fn run(args: &[String]) -> Result<ExitCode, CanvasError> {
             } else {
                 ExitCode::from(1)
             })
+        }
+        "check" => {
+            let mut spec_name = "cmp".to_string();
+            let mut positional: Vec<&str> = Vec::new();
+            let mut it = it.clone();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--spec" => {
+                        spec_name = it
+                            .next()
+                            .ok_or_else(|| CanvasError::usage("--spec needs a value"))?
+                            .clone();
+                    }
+                    other if other.starts_with("--") => {
+                        return Err(CanvasError::usage(format!("unknown check option {other:?}")));
+                    }
+                    other => positional.push(other),
+                }
+            }
+            let [cert_path, client_path] = positional[..] else {
+                return Err(CanvasError::usage("check needs CERT and CLIENT.mj arguments"));
+            };
+            let cert_text = std::fs::read_to_string(cert_path)
+                .map_err(|e| CanvasError::io(Stage::Cli, cert_path, &e))?;
+            let source = std::fs::read_to_string(client_path)
+                .map_err(|e| CanvasError::io(Stage::ClientFrontend, client_path, &e))?;
+            let spec = load_spec(&spec_name)?;
+            // Re-deriving the abstraction from the spec is part of the trusted
+            // recomputation: the certificate's digests are compared against
+            // what *this* binary derives, not against what the emitter claims.
+            let certifier = Certifier::from_spec(spec)?;
+            match canvas_check::check_text(
+                &source,
+                certifier.spec(),
+                certifier.derived(),
+                &cert_text,
+            ) {
+                Ok(outcome) => {
+                    let s = &outcome.stats;
+                    if outcome.certified {
+                        println!(
+                            "certificate valid: {client_path} certified conformant with {}",
+                            certifier.spec().name()
+                        );
+                    } else {
+                        println!(
+                            "certificate valid: {} potential violation(s) confirmed",
+                            outcome.violations.len()
+                        );
+                        for v in &outcome.violations {
+                            println!(
+                                "  {}:{}:{} {} in {}",
+                                client_path, v.line, v.col, v.what, v.method
+                            );
+                        }
+                    }
+                    eprintln!(
+                        "canvas: replayed {} cell(s), {} edge(s), {} transfer(s)",
+                        s.cells, s.edges_replayed, s.transfers
+                    );
+                    Ok(if outcome.certified { ExitCode::SUCCESS } else { ExitCode::from(1) })
+                }
+                Err(e) => {
+                    eprintln!("canvas: certificate rejected: {e}");
+                    Ok(ExitCode::from(2))
+                }
+            }
+        }
+        "specs" => {
+            let mut specs = canvas_easl::builtin::all();
+            specs.push(canvas_easl::builtin::unbounded());
+            println!("{:<12} {:<20} {:<8} {:<8} derivation", "name", "class", "classes", "methods");
+            for spec in &specs {
+                let class = canvas_easl::classify(spec);
+                println!(
+                    "{:<12} {:<20} {:<8} {:<8} {}",
+                    spec.name(),
+                    format!("{class:?}"),
+                    spec.classes().len(),
+                    spec.classes().iter().map(|c| c.methods().len()).sum::<usize>(),
+                    if class.derivation_terminates() {
+                        "guaranteed to terminate"
+                    } else {
+                        "budgeted (no termination guarantee)"
+                    }
+                );
+            }
+            Ok(ExitCode::SUCCESS)
         }
         "serve" => {
             let mut workers = canvas_suite::worker_count(usize::MAX);
@@ -188,9 +318,12 @@ fn run(args: &[String]) -> Result<ExitCode, CanvasError> {
                 "usage:\n  canvas derive  --spec <cmp|grp|imp|aop|PATH.easl> [--metrics]\n  \
                  canvas certify --spec <...> [--engine <name>] [--whole-program|--inline] \
                  [--explain] [--trace-out PATH] [--metrics] \
-                 [--max-steps N] [--deadline-ms N] [--cache-dir DIR] CLIENT.mj\n  \
+                 [--max-steps N] [--deadline-ms N] [--cache-dir DIR] \
+                 [--emit-cert PATH] CLIENT.mj\n  \
+                 canvas check   --spec <...> CERT CLIENT.mj\n  \
                  canvas serve   [--threads N] [--cache-dir DIR | --no-cache]\n  \
-                 canvas engines"
+                 canvas engines\n  \
+                 canvas specs"
             );
             Ok(ExitCode::from(2))
         }
@@ -207,6 +340,7 @@ struct Opts {
     trace_out: Option<String>,
     budget: Budget,
     cache_dir: Option<String>,
+    emit_cert: Option<String>,
     client: Option<String>,
 }
 
@@ -221,6 +355,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, CanvasError> {
         trace_out: None,
         budget: Budget::unlimited(),
         cache_dir: None,
+        emit_cert: None,
         client: None,
     };
     fn usage(m: impl Into<String>) -> CanvasError {
@@ -255,6 +390,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, CanvasError> {
             "--cache-dir" => {
                 opts.cache_dir =
                     Some(it.next().ok_or_else(|| usage("--cache-dir needs a path"))?.clone());
+            }
+            "--emit-cert" => {
+                opts.emit_cert =
+                    Some(it.next().ok_or_else(|| usage("--emit-cert needs a path"))?.clone());
             }
             "--deadline-ms" => {
                 let n = it.next().ok_or_else(|| usage("--deadline-ms needs a number"))?;

@@ -14,6 +14,8 @@
 //! * [`heap`] — the allocation-site baseline (§3);
 //! * [`faults`] — resource budgets, graceful degradation, fault injection;
 //! * [`core`] — the [`Certifier`] pipeline tying everything together;
+//! * [`check`] — the independent certificate checker (engine-free trusted
+//!   base) that revalidates proof-carrying certificates by replay;
 //! * [`suite`] — the evaluation corpus and generators (§7);
 //! * [`incr`] — incremental certification: the content-addressed
 //!   certificate cache and the `canvas serve` protocol.
@@ -37,6 +39,7 @@
 //! ```
 
 pub use canvas_abstraction as abstraction;
+pub use canvas_check as check;
 pub use canvas_core as core;
 pub use canvas_dataflow as dataflow;
 pub use canvas_easl as easl;

@@ -118,7 +118,7 @@ proptest! {
         inc.persist().expect("persist");
 
         // truncate the on-disk store at an arbitrary char boundary
-        let file = dir.join("certs.v1");
+        let file = dir.join("certs.v2");
         let text = std::fs::read_to_string(&file).expect("store written");
         let mut cut = text.len() as usize * cut_permille as usize / 1000;
         while cut > 0 && !text.is_char_boundary(cut) {
