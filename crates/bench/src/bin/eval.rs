@@ -6,6 +6,7 @@
 //! eval compare A.json B.json
 //! eval trace-check PATH
 //! eval oracle
+//! eval fixpoint [--json PATH] [--check-baseline PATH]
 //! ```
 //!
 //! `TABLE` is one of `derive|fig3|fig3-metrics|fig6|fig7|fig8|
@@ -79,6 +80,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("oracle") {
         return oracle_check();
+    }
+    if args.first().map(String::as_str) == Some("fixpoint") {
+        return fixpoint(&args[1..]);
     }
 
     let mut table: Option<String> = None;
@@ -213,6 +217,85 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
         println!("wrote trace to {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// `eval fixpoint [--json PATH] [--check-baseline PATH]`: E12 — the
+/// bit-parallel FDS kernel vs the per-bit reference on a scaling sweep,
+/// plus the within-method delta re-solve on the E10 edit workload.
+/// `--json` writes the `canvas-bench-eval/2` document (CI uploads it as
+/// `BENCH_fixpoint.json`); `--check-baseline` gates the deterministic
+/// work-unit counters against the `"fixpoint"` key of the committed
+/// baseline and exits 1 on drift (wall times are reported, never gated).
+fn fixpoint(args: &[String]) -> ExitCode {
+    use canvas_bench::fixpoint::{
+        collect_fixpoint_metrics, fixpoint_drift, fixpoint_to_json, render_fixpoint,
+    };
+    let mut json_out: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => json_out = Some(p.clone()),
+                    None => {
+                        eprintln!("--json needs a path");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--check-baseline" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => baseline = Some(p.clone()),
+                    None => {
+                        eprintln!("--check-baseline needs a path");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown fixpoint option {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    let m = collect_fixpoint_metrics();
+    print!("{}", render_fixpoint(&m));
+    let doc = fixpoint_to_json(&m);
+    if let Some(path) = &json_out {
+        if let Err(e) = std::fs::write(path, doc.render()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("wrote {path}");
+    }
+    if let Some(path) = &baseline {
+        let base = match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| Json::parse(&text).map_err(|e| format!("not a JSON document: {e}")))
+        {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot read baseline {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let drift = fixpoint_drift(&doc, &base);
+        if drift.is_empty() {
+            println!("baseline check: fixpoint counters match {path}");
+        } else {
+            eprintln!("fixpoint baseline drift against {path}:");
+            for d in &drift {
+                eprintln!("  {d}");
+            }
+            eprintln!("({} difference(s); wall times are never gated)", drift.len());
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

@@ -17,6 +17,8 @@ use canvas_suite::{corpus, generators, Benchmark};
 // keep working
 pub use canvas_incr::json;
 
+pub mod fixpoint;
+
 static SUITE_JOBS: canvas_telemetry::Counter = canvas_telemetry::Counter::new("suite.jobs");
 // Worker count follows the machine (or CANVAS_EVAL_THREADS), so it is
 // recorded but never baseline-gated.

@@ -398,6 +398,7 @@ impl Certifier {
             budget: self.budget,
             explain: self.explain,
             shared,
+            fds_seed: None,
         };
         // Isolation layer: a panicking engine must not take down the caller
         // (one method of one suite case, or one request of a service). The
@@ -432,6 +433,28 @@ impl Certifier {
         entry: EntryAssumption,
         shared: &SharedTransforms,
     ) -> Result<(Report, Option<CertCell>), CertifyError> {
+        self.certify_method_shared_certified_seeded(program, method, engine, entry, shared, None)
+    }
+
+    /// Like [`Certifier::certify_method_shared_certified`], but optionally
+    /// seeding the FDS engine's fixpoint from a cached solution of an
+    /// earlier version of the method (within-method delta re-solve — see
+    /// [`canvas_dataflow::delta`]). Engines other than FDS ignore the
+    /// seed; a seed that fails validation falls back to a cold solve, so
+    /// the result is always the same fixpoint a cold run computes.
+    ///
+    /// # Errors
+    ///
+    /// As [`Certifier::certify`].
+    pub fn certify_method_shared_certified_seeded(
+        &self,
+        program: &Program,
+        method: &MethodIr,
+        engine: Engine,
+        entry: EntryAssumption,
+        shared: &SharedTransforms,
+        fds_seed: Option<&canvas_dataflow::DeltaSeed>,
+    ) -> Result<(Report, Option<CertCell>), CertifyError> {
         let start = Instant::now();
         let cx = MethodContext {
             program,
@@ -444,6 +467,7 @@ impl Certifier {
             budget: self.budget,
             explain: self.explain,
             shared,
+            fds_seed,
         };
         let run = catch_unwind(AssertUnwindSafe(|| engine.info().run_certified(&cx)));
         let (mut report, solution) = match run {

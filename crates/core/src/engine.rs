@@ -43,6 +43,14 @@ impl SharedTransforms {
     pub fn new() -> SharedTransforms {
         SharedTransforms::default()
     }
+
+    /// The boolean program, if an engine already computed it. The
+    /// incremental layer uses this to capture the program's delta-diff
+    /// shape (see [`canvas_dataflow::delta`]) next to the solution it
+    /// caches, without forcing a transform of its own.
+    pub fn cached_boolprog(&self) -> Option<&BoolProgram> {
+        self.boolprog.get()
+    }
 }
 
 /// Per-program transform cache: one [`SharedTransforms`] per
@@ -99,6 +107,10 @@ pub struct MethodContext<'a> {
     pub explain: bool,
     /// Shared transform cache for this `(method, entry)` pair.
     pub shared: &'a SharedTransforms,
+    /// A cached FDS solution of an earlier version of this method, for
+    /// within-method delta re-solve ([`canvas_dataflow::delta`]). Only the
+    /// FDS engine consumes it; `None` means cold solve.
+    pub fds_seed: Option<&'a canvas_dataflow::DeltaSeed>,
 }
 
 impl MethodContext<'_> {
@@ -297,6 +309,11 @@ impl AnalysisEngine for ScmpFdsEngine {
             )
         };
         let (res, violations) = if cx.explain {
+            // a carried seed has no provenance, so explained runs always
+            // solve cold (witness traces must match the uncached path)
+            if cx.fds_seed.is_some() {
+                canvas_dataflow::delta::note_fallback();
+            }
             let (res, prov) = match canvas_dataflow::fds::analyze_traced_with(bp, &gov) {
                 Ok(pair) => pair,
                 Err(ex) => return Ok((inconclusive(ex), None)),
@@ -305,16 +322,35 @@ impl AnalysisEngine for ScmpFdsEngine {
                 canvas_dataflow::fds::violations_explained(bp, &res, &prov, cx.program, cx.derived);
             (res, violations)
         } else {
-            let res = match canvas_dataflow::fds::analyze_with(bp, &gov) {
-                Ok(res) => res,
-                Err(ex) => return Ok((inconclusive(ex), None)),
+            // within-method delta re-solve: seed from the cached solution
+            // when one is available and nothing can perturb the outcome (a
+            // constrained governor could trip at a different point than a
+            // cold solve, changing the exhaustion verdict)
+            let seeded = match cx.fds_seed {
+                Some(seed) if cx.budget.is_unlimited() => {
+                    match canvas_dataflow::delta::analyze_delta(bp, seed, &gov) {
+                        Ok(res) => res,
+                        Err(ex) => return Ok((inconclusive(ex), None)),
+                    }
+                }
+                Some(_) => {
+                    canvas_dataflow::delta::note_fallback();
+                    None
+                }
+                None => None,
+            };
+            let res = match seeded {
+                Some(res) => res,
+                None => match canvas_dataflow::fds::analyze_with(bp, &gov) {
+                    Ok(res) => res,
+                    Err(ex) => return Ok((inconclusive(ex), None)),
+                },
             };
             let violations = canvas_dataflow::fds::violations(bp, &res);
             (res, violations)
         };
-        let solution = CellSolution::MayOne {
-            nodes: res.may_one.iter().map(|bs| solution_bits(bs, bp.preds.len())).collect(),
-        };
+        let solution =
+            CellSolution::MayOne { nodes: (0..bp.node_count).map(|r| res.row_ones(r)).collect() };
         let report = Report {
             engine: self.id(),
             violations: violations.iter().map(|v| cx.violation_witnessed(v)).collect(),
@@ -748,6 +784,7 @@ mod tests {
             budget: Budget::unlimited(),
             explain: false,
             shared: &shared,
+            fds_seed: None,
         };
         let a = cx.boolprog() as *const BoolProgram;
         let b = cx.boolprog() as *const BoolProgram;

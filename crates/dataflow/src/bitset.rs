@@ -82,6 +82,30 @@ impl BitSet {
     pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
+
+    /// The backing words, least-significant bit first.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Builds a `len`-bit set from a word row (e.g. a [`crate::soa`]
+    /// arena row). Extra words beyond `len` bits are ignored and the top
+    /// word is masked, so padded rows convert cleanly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` holds fewer than `len` bits.
+    pub fn from_row(row: &[u64], len: usize) -> BitSet {
+        let need = len.div_ceil(64);
+        assert!(row.len() >= need, "row of {} words cannot hold {len} bits", row.len());
+        let mut words = row[..need].to_vec();
+        if !len.is_multiple_of(64) {
+            if let Some(top) = words.last_mut() {
+                *top &= (1u64 << (len % 64)) - 1;
+            }
+        }
+        BitSet { words, len }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,489 @@
+//! Within-method delta re-solve: seed the FDS fixpoint from a cached
+//! solution instead of bottom.
+//!
+//! When `canvas-incr` holds a completed [`crate::fds`] solution for an
+//! earlier version of a method, a cold re-solve throws that work away and
+//! restarts every node from ⊥. This module re-solves only the *changed
+//! region* instead:
+//!
+//! 1. The cached payload records the old boolean program's edge list as
+//!    `(from, to, assigns-digest)` triples. Diffing it against the new
+//!    program's edges (as multisets) yields the changed edges; the
+//!    **affected region** `A` is the forward closure, over the union of
+//!    the old and new control-flow graphs, of the changed edges' targets
+//!    (plus the entry node when the entry assumption's unknown set
+//!    changed).
+//! 2. Every node outside `A` has exactly the same multiset of entry paths
+//!    in both programs — no changed edge can reach it in either graph —
+//!    so its least-fixpoint value is *identical* and the cached row is
+//!    carried over verbatim. Because `A` is forward-closed there are no
+//!    edges from `A` back into its complement, so the carried rows can
+//!    never be grown by the re-solve: solving `A` alone from the carried
+//!    boundary is the exact least fixpoint of the new program.
+//! 3. Before trusting a carried row the seed is **validated as a
+//!    pre-fixpoint** of the new program: every new-program edge between
+//!    carried (reachable, unaffected) nodes must map the carried source
+//!    row inside the carried target row, and the entry row must cover the
+//!    entry-unknown seed. A cached solution that fails any check — a
+//!    corrupt store, a digest collision — is rejected and the caller
+//!    falls back to a cold solve. Validation costs one `O(E · W)` sweep,
+//!    which is also the floor for any solver, so the fallback is free.
+//!
+//! Reachability matters: facts must only flow out of nodes the *new*
+//! program actually reaches (an unreachable carried node could otherwise
+//! inject `Havoc`/constant-true facts), so the seed worklist holds only
+//! entry-reachable boundary nodes, computed by one `O(E)` sweep over the
+//! new graph.
+//!
+//! The result is byte-identical to a cold solve when the cached solution
+//! is the true least fixpoint of the recorded program (the only way
+//! `canvas-incr` produces one); a validated-but-imprecise seed (possible
+//! only under store corruption that happens to be transfer-closed) still
+//! yields a sound post-fixpoint, i.e. a conservative verdict.
+
+use canvas_abstraction::{BoolEdge, BoolProgram, Operand, Rhs};
+use canvas_faults::{Exhaustion, Meter};
+
+use crate::fds::{
+    apply_edge, FdsResult, TransferPlan, FDS_EDGE_VISITS, FDS_WORDS_TOUCHED, FDS_WORKLIST_POPS,
+};
+use crate::soa::{is_subset, word_get, word_set, WordArena};
+
+/// Deterministic count of FDS solves seeded from a cached solution.
+pub static DELTA_SEEDED: canvas_telemetry::Counter =
+    canvas_telemetry::Counter::new("incr.delta_seeded");
+/// Deterministic count of seeds rejected (shape mismatch, failed
+/// pre-fixpoint validation, or gating) that fell back to a cold solve.
+pub static DELTA_FALLBACK: canvas_telemetry::Counter =
+    canvas_telemetry::Counter::new("incr.delta_fallback");
+
+/// Records that a seed was available but the cold path ran instead.
+pub fn note_fallback() {
+    DELTA_FALLBACK.incr();
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(FNV_OFFSET)
+    }
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// A content digest of an edge's parallel assignment (destination,
+/// right-hand-side shape, operands), independent of the edge's endpoints.
+pub fn edge_digest(e: &BoolEdge) -> u64 {
+    let mut h = Fnv::new();
+    h.u64(e.assigns.len() as u64);
+    for (dst, rhs) in &e.assigns {
+        h.u64(*dst as u64);
+        match rhs {
+            Rhs::Havoc => h.u64(u64::MAX),
+            Rhs::Disj(ops) => {
+                h.u64(ops.len() as u64);
+                for op in ops {
+                    match op {
+                        Operand::Const(c) => h.u64(2 + u64::from(*c)),
+                        Operand::Var(v) => h.u64(4 + 8 * *v as u64),
+                    }
+                }
+            }
+        }
+    }
+    h.0
+}
+
+/// One edge of a cached boolean program: endpoints plus the assignment
+/// digest, enough to diff against a rebuilt program edge-by-edge.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DeltaEdge {
+    /// Source node.
+    pub from: u32,
+    /// Target node.
+    pub to: u32,
+    /// [`edge_digest`] of the parallel assignment.
+    pub digest: u64,
+}
+
+/// The cached shape of a method's boolean program: everything the delta
+/// diff needs, stored next to the cached solution.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct DeltaPayload {
+    /// Node count of the recorded program.
+    pub nodes: u32,
+    /// Entry node of the recorded program.
+    pub entry: u32,
+    /// Entry-unknown predicate indices, in transform order.
+    pub entry_unknown: Vec<u32>,
+    /// Edge list, index-aligned with the recorded program.
+    pub edges: Vec<DeltaEdge>,
+}
+
+impl DeltaPayload {
+    /// Captures the delta-diff shape of `bp`.
+    pub fn of(bp: &BoolProgram) -> DeltaPayload {
+        DeltaPayload {
+            nodes: bp.node_count as u32,
+            entry: bp.entry as u32,
+            entry_unknown: bp.entry_unknown.iter().map(|&k| k as u32).collect(),
+            edges: bp
+                .edges
+                .iter()
+                .map(|e| DeltaEdge { from: e.from as u32, to: e.to as u32, digest: edge_digest(e) })
+                .collect(),
+        }
+    }
+}
+
+/// A cached solution plus the shape of the program it solved, ready to
+/// seed [`analyze_delta`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DeltaSeed {
+    /// The recorded program shape.
+    pub payload: DeltaPayload,
+    /// Predicate count (bit width) of the recorded solution.
+    pub preds: u32,
+    /// Per-node may-be-1 solution rows, as sorted bit indices.
+    pub solution: Vec<Vec<u32>>,
+}
+
+/// Solves `bp` seeded from a cached solution of an earlier version of the
+/// same method. Returns `Ok(None)` when the seed is unusable (shape
+/// mismatch or failed pre-fixpoint validation) — the caller then runs the
+/// cold kernel. See the module docs for the soundness argument.
+///
+/// # Errors
+///
+/// Returns the [`Exhaustion`] when the shared governor trips mid-solve.
+pub fn analyze_delta(
+    bp: &BoolProgram,
+    seed: &DeltaSeed,
+    gov: &Meter,
+) -> Result<Option<FdsResult>, Exhaustion> {
+    canvas_faults::solver_abort();
+    let n = bp.node_count;
+    let width = bp.preds.len();
+    let p = &seed.payload;
+    let old_n = p.nodes as usize;
+    // shape gate: the predicate space must match bit-for-bit and the entry
+    // node must keep its id (edits may add or remove nodes — a node id
+    // beyond the old program is affected by construction, since every one
+    // of its in-edges is unmatched in the diff); the solution must be
+    // internally consistent with its own recorded program
+    if seed.preds as usize != width
+        || p.entry as usize != bp.entry
+        || seed.solution.len() != old_n
+        || seed.solution.iter().any(|row| row.iter().any(|&b| b as usize >= width))
+    {
+        DELTA_FALLBACK.incr();
+        return Ok(None);
+    }
+
+    // 1. multiset edge diff: +1 per old edge, -1 per new edge; any key
+    //    left unbalanced changed, and its target starts the affected set.
+    //    An old edge into a node the new program no longer has marks
+    //    nothing (there is no such node to solve); an old edge *out of* a
+    //    dropped node is itself unmatched, so its target is marked.
+    let mut counts: std::collections::HashMap<(u32, u32, u64), i64> =
+        std::collections::HashMap::new();
+    for e in &p.edges {
+        *counts.entry((e.from, e.to, e.digest)).or_insert(0) += 1;
+    }
+    for e in &bp.edges {
+        *counts.entry((e.from as u32, e.to as u32, edge_digest(e))).or_insert(0) -= 1;
+    }
+    let mut affected = vec![false; n];
+    let mut frontier: Vec<usize> = Vec::new();
+    for (&(_, to, _), &c) in &counts {
+        if c != 0 && (to as usize) < n && !affected[to as usize] {
+            affected[to as usize] = true;
+            frontier.push(to as usize);
+        }
+    }
+    let entry_unknown_new: Vec<u32> = bp.entry_unknown.iter().map(|&k| k as u32).collect();
+    if entry_unknown_new != p.entry_unknown && !affected[bp.entry] {
+        affected[bp.entry] = true;
+        frontier.push(bp.entry);
+    }
+
+    // 2. forward closure of the affected targets over the UNION graph
+    //    (old edges touching dropped node ids are skipped: an old path
+    //    through a dropped node re-enters the new id space only via an
+    //    unmatched edge, whose target was already marked in step 1)
+    let mut union_adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for e in &p.edges {
+        if (e.from as usize) < n && (e.to as usize) < n {
+            union_adj[e.from as usize].push(e.to);
+        }
+    }
+    for e in &bp.edges {
+        union_adj[e.from].push(e.to as u32);
+    }
+    while let Some(u) = frontier.pop() {
+        for &v in &union_adj[u] {
+            if !affected[v as usize] {
+                affected[v as usize] = true;
+                frontier.push(v as usize);
+            }
+        }
+    }
+
+    // 3. entry reachability over the NEW graph: facts may only flow out of
+    //    nodes the new program reaches
+    let mut new_adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for e in &bp.edges {
+        new_adj[e.from].push(e.to as u32);
+    }
+    let mut reachable = vec![false; n];
+    let mut stack = vec![bp.entry];
+    reachable[bp.entry] = true;
+    while let Some(u) = stack.pop() {
+        for &v in &new_adj[u] {
+            if !reachable[v as usize] {
+                reachable[v as usize] = true;
+                stack.push(v as usize);
+            }
+        }
+    }
+
+    // 4. load the carried rows; affected rows start at ⊥. A new node id
+    //    beyond the old program with no solution row is either affected
+    //    (any in-edge is unmatched) or unreachable, where ⊥ is its exact
+    //    fixpoint value.
+    let mut arena = WordArena::new(n, width);
+    for (node, row) in seed.solution.iter().enumerate().take(n) {
+        if !affected[node] {
+            arena.load_bits(node, row);
+        }
+    }
+    if affected[bp.entry] {
+        for &k in &bp.entry_unknown {
+            arena.set(bp.entry, k, true);
+        }
+    }
+
+    let stride = arena.stride();
+    let mut scratch = vec![0u64; stride];
+
+    // 5. pre-fixpoint validation of the carried region: every new edge
+    //    between carried reachable nodes must already be satisfied, and
+    //    the carried entry row must cover the entry seed
+    if !affected[bp.entry] && bp.entry_unknown.iter().any(|&k| !arena.get(bp.entry, k)) {
+        DELTA_FALLBACK.incr();
+        return Ok(None);
+    }
+    for e in &bp.edges {
+        if affected[e.from] || affected[e.to] || !reachable[e.from] {
+            continue;
+        }
+        scratch.copy_from_slice(arena.row(e.from));
+        for (dst, rhs) in &e.assigns {
+            let bit = match rhs {
+                Rhs::Havoc => true,
+                Rhs::Disj(ops) => ops.iter().any(|op| match op {
+                    Operand::Const(c) => *c,
+                    Operand::Var(v) => word_get(arena.row(e.from), *v),
+                }),
+            };
+            word_set(&mut scratch, *dst, bit);
+        }
+        if !is_subset(&scratch, arena.row(e.to)) {
+            DELTA_FALLBACK.incr();
+            return Ok(None);
+        }
+    }
+
+    // 6. seed the worklist: reachable carried nodes with an edge into the
+    //    affected region (ascending, for determinism), plus the entry when
+    //    it is itself affected
+    let (out_start, out_idx) = crate::fds::csr_out_edges(n, &bp.edges);
+    let out_of = |node: usize| &out_idx[out_start[node] as usize..out_start[node + 1] as usize];
+    let mut work: Vec<usize> = Vec::new();
+    let mut on_work = vec![false; n];
+    let mut reached = vec![false; n];
+    for node in 0..n {
+        if !affected[node] && reachable[node] {
+            reached[node] = true;
+            if out_of(node).iter().any(|&ek| affected[bp.edges[ek as usize].to]) {
+                on_work[node] = true;
+                work.push(node);
+            }
+        }
+    }
+    if affected[bp.entry] && !on_work[bp.entry] {
+        on_work[bp.entry] = true;
+        work.push(bp.entry);
+    }
+    if affected[bp.entry] {
+        reached[bp.entry] = true;
+    }
+
+    // 7. the bit-parallel kernel loop, verbatim — only the starting state
+    //    and worklist differ from a cold solve. Seeded nodes carry whole
+    //    rows their first pop must propagate, so their nonzero words start
+    //    dirty; everything after that is the same delta discipline as the
+    //    cold kernel.
+    let plan = TransferPlan::build(&bp.edges);
+    let mut vals: Vec<u64> = Vec::new();
+    let mw = stride.div_ceil(64).max(1);
+    let mut dirty: Vec<u64> = vec![0; n * mw];
+    let mut pop_mask: Vec<u64> = vec![0; mw];
+    for &node in &work {
+        crate::fds::mark_row_dirty(&arena, &mut dirty, mw, node);
+    }
+    let mut edge_visits = 0usize;
+    let mut pops = 0u64;
+    while let Some(node) = work.pop() {
+        pops += 1;
+        on_work[node] = false;
+        pop_mask.copy_from_slice(&dirty[node * mw..(node + 1) * mw]);
+        dirty[node * mw..(node + 1) * mw].fill(0);
+        for &ek in &out_idx[out_start[node] as usize..out_start[node + 1] as usize] {
+            let ek = ek as usize;
+            let e = &bp.edges[ek];
+            // carried-to-carried edges are already validated as closed;
+            // skipping them keeps the pop/visit tally proportional to the
+            // changed region
+            if !affected[e.to] && !affected[e.from] {
+                continue;
+            }
+            edge_visits += 1;
+            if let Err(ex) = gov.tick() {
+                FDS_WORKLIST_POPS.add(pops);
+                FDS_EDGE_VISITS.add(edge_visits as u64);
+                FDS_WORDS_TOUCHED.add(2 * stride as u64 * edge_visits as u64);
+                return Err(ex);
+            }
+            let grew = apply_edge(&mut arena, ek, e, &plan, &mut vals, &pop_mask, &mut dirty, mw);
+            let first_visit = !reached[e.to];
+            reached[e.to] = true;
+            if (grew || first_visit) && !on_work[e.to] {
+                on_work[e.to] = true;
+                work.push(e.to);
+            }
+        }
+    }
+    FDS_WORKLIST_POPS.add(pops);
+    FDS_EDGE_VISITS.add(edge_visits as u64);
+    FDS_WORDS_TOUCHED.add(2 * stride as u64 * edge_visits as u64);
+    DELTA_SEEDED.incr();
+    canvas_telemetry::trace::instant(
+        "fds.delta_fixpoint",
+        "solver",
+        &[("edge_visits", edge_visits as u64), ("worklist_pops", pops)],
+    );
+    Ok(Some(FdsResult::new(arena, edge_visits, pops as usize)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fds;
+    use canvas_abstraction::{transform_method, EntryAssumption};
+    use canvas_minijava::Program;
+    use canvas_wp::derive_abstraction;
+
+    fn boolprog(src: &str) -> BoolProgram {
+        let spec = canvas_easl::builtin::cmp();
+        let program = Program::parse(src, &spec).unwrap();
+        let derived = derive_abstraction(&spec).unwrap();
+        let main = program.main_method().expect("needs a main");
+        transform_method(&program, main, &spec, &derived, EntryAssumption::Clean)
+    }
+
+    fn seed_of(bp: &BoolProgram) -> DeltaSeed {
+        let res = fds::analyze(bp);
+        DeltaSeed {
+            payload: DeltaPayload::of(bp),
+            preds: bp.preds.len() as u32,
+            solution: (0..bp.node_count).map(|r| res.row_ones(r)).collect(),
+        }
+    }
+
+    const BASE: &str = r#"
+class Main {
+    static void main() {
+        Set s = new Set();
+        s.add("a");
+        Iterator i = s.iterator();
+        i.next();
+        s.add("b");
+        if (true) { i.next(); }
+    }
+    static boolean c() { return true; }
+}
+"#;
+
+    #[test]
+    fn identical_program_replays_the_cached_solution_with_zero_work() {
+        let bp = boolprog(BASE);
+        let seed = seed_of(&bp);
+        let gov = Meter::disarmed();
+        let res = analyze_delta(&bp, &seed, &gov).unwrap().expect("seed accepted");
+        let cold = fds::analyze(&bp);
+        assert!(res.same_solution(&cold));
+        assert_eq!(res.edge_visits, 0, "nothing changed, nothing re-solved");
+        assert!(res.worklist_pops < cold.worklist_pops);
+    }
+
+    #[test]
+    fn edited_tail_matches_cold_with_fewer_pops() {
+        let before = boolprog(BASE);
+        let after = boolprog(&BASE.replace("if (true) { i.next(); }", "i.next();"));
+        let seed = seed_of(&before);
+        let gov = Meter::disarmed();
+        let res = analyze_delta(&after, &seed, &gov).unwrap().expect("seed accepted");
+        let cold = fds::analyze(&after);
+        assert!(res.same_solution(&cold), "delta must reach the cold fixpoint");
+        assert!(
+            res.worklist_pops < cold.worklist_pops,
+            "delta {} pops vs cold {}",
+            res.worklist_pops,
+            cold.worklist_pops
+        );
+    }
+
+    #[test]
+    fn corrupt_solution_is_rejected() {
+        let bp = boolprog(BASE);
+        let mut seed = seed_of(&bp);
+        // truncate a solved row: no longer a pre-fixpoint (or, if the row
+        // was already empty, the shape gate still accepts and the result
+        // stays exact) — flip a mid-program row to something absurd instead
+        let width = bp.preds.len() as u32;
+        if width > 0 {
+            for row in &mut seed.solution {
+                row.clear();
+            }
+            // an all-bottom "solution" fails validation as soon as any
+            // reachable edge establishes a fact
+            let gov = Meter::disarmed();
+            let out = analyze_delta(&bp, &seed, &gov).unwrap();
+            let cold = fds::analyze(&bp);
+            match out {
+                None => {}
+                // degenerate programs establish no facts at all; then the
+                // bottom seed genuinely is the fixpoint
+                Some(res) => assert!(res.same_solution(&cold)),
+            }
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let bp = boolprog(BASE);
+        let mut seed = seed_of(&bp);
+        seed.preds += 1;
+        let gov = Meter::disarmed();
+        assert!(analyze_delta(&bp, &seed, &gov).unwrap().is_none());
+    }
+}

@@ -12,14 +12,22 @@
 //! * [`interproc`] — the context-sensitive interprocedural SCMP analysis of
 //!   paper §8 (IFDS-style tabulation with callee may-effect summaries).
 //! * [`bitset`] — the shared bit-set representation.
+//! * [`soa`] — the flat struct-of-arrays word arena and valuation interner
+//!   backing the bit-parallel kernels.
+//! * [`delta`] — within-method delta re-solve: seeding the FDS fixpoint
+//!   from a cached solution of an earlier version of the method.
 
 pub mod bitset;
+pub mod delta;
 pub mod fds;
 pub mod interproc;
 pub mod provenance;
 pub mod relational;
+pub mod soa;
 
 pub use bitset::BitSet;
+pub use delta::{DeltaPayload, DeltaSeed};
 pub use fds::{FdsResult, Violation};
 pub use provenance::{Provenance, TraceStep};
 pub use relational::{RelError, RelResult};
+pub use soa::WordArena;

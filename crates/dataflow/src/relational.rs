@@ -6,8 +6,14 @@
 //! proves — and our tests confirm — that the cheap may-be-1 analysis loses
 //! no precision on the certification question; this engine is the oracle
 //! that confirms it, and the baseline timed in the evaluation.
-
-use std::collections::HashSet;
+//!
+//! Representation: valuations are interned in a [`ValPool`] (each distinct
+//! valuation stored once, named by a dense `u32` id) and a node's state
+//! set is a sorted [`SmallIdVec`] of ids, so the inner loop hashes one
+//! scratch word-row per transfer instead of allocating and re-hashing a
+//! `BitSet` per valuation per insertion. The result surfaces each node's
+//! states as a canonically sorted `Vec<BitSet>`, which also makes
+//! downstream output (the fig. 8 state dumps) deterministic.
 
 use canvas_abstraction::{BoolProgram, Operand, Rhs};
 use canvas_faults::{Exhaustion, Meter};
@@ -17,6 +23,7 @@ use canvas_wp::Derived;
 use crate::bitset::BitSet;
 use crate::fds::Violation;
 use crate::provenance::{justify, Provenance};
+use crate::soa::{word_get, word_set, SmallIdVec, ValPool};
 
 static REL_WORKLIST_POPS: canvas_telemetry::Counter =
     canvas_telemetry::Counter::new("relational.worklist_pops");
@@ -62,11 +69,12 @@ impl std::fmt::Display for RelStop {
 
 impl std::error::Error for RelStop {}
 
-/// The relational fixpoint: per-node sets of valuations.
+/// The relational fixpoint: per-node sets of valuations, each node's list
+/// canonically sorted (by word value, i.e. lowest-bit-pattern first).
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct RelResult {
-    /// Reachable valuations per node.
-    pub states: Vec<HashSet<BitSet>>,
+    /// Reachable valuations per node, sorted canonically.
+    pub states: Vec<Vec<BitSet>>,
     /// Total number of valuation-transfer evaluations.
     pub transfers: usize,
 }
@@ -151,27 +159,31 @@ fn analyze_inner<const TRACE: bool>(
 
     let n = bp.node_count;
     let width = bp.preds.len();
-    let mut states: Vec<HashSet<BitSet>> = vec![HashSet::new(); n];
+    let mut pool = ValPool::new(width);
+    let stride = pool.stride();
+    let mut states: Vec<SmallIdVec> = vec![SmallIdVec::new(); n];
     // provenance over the may-union of each node's valuation set
     let mut prov = if TRACE { Provenance::new(n, width) } else { Provenance::empty() };
     let mut may: Vec<BitSet> = if TRACE { vec![BitSet::new(width); n] } else { Vec::new() };
 
     // entry states: all combinations of the unknown bits
-    let mut entry_states = vec![BitSet::new(width)];
+    let mut entry_rows: Vec<Vec<u64>> = vec![vec![0u64; stride]];
     for &k in &bp.entry_unknown {
-        let mut more = Vec::with_capacity(entry_states.len());
-        for s in &entry_states {
-            let mut t = s.clone();
-            t.set(k, true);
+        let mut more = Vec::with_capacity(entry_rows.len());
+        for row in &entry_rows {
+            let mut t = row.clone();
+            word_set(&mut t, k, true);
             more.push(t);
         }
-        entry_states.extend(more);
-        if entry_states.len() > budget {
+        entry_rows.extend(more);
+        if entry_rows.len() > budget {
             return Err(RelStop::States(RelError { node: bp.entry, budget }));
         }
-        gov.check_states(entry_states.len()).map_err(RelStop::Budget)?;
+        gov.check_states(entry_rows.len()).map_err(RelStop::Budget)?;
     }
-    states[bp.entry] = entry_states.into_iter().collect();
+    for row in &entry_rows {
+        states[bp.entry].insert_sorted(pool.intern(row));
+    }
     if TRACE {
         // entry facts carry no justification: witness chains stop there
         for &k in &bp.entry_unknown {
@@ -184,6 +196,9 @@ fn analyze_inner<const TRACE: bool>(
         out_edges[e.from].push(k);
     }
 
+    // scratch valuation rows, reused across transfers (Havoc forks append)
+    let mut outs: Vec<Vec<u64>> = Vec::new();
+    let mut new_ids: Vec<u32> = Vec::new();
     let mut work: Vec<usize> = vec![bp.entry];
     let mut on_work = vec![false; n];
     on_work[bp.entry] = true;
@@ -192,30 +207,32 @@ fn analyze_inner<const TRACE: bool>(
         on_work[node] = false;
         for &ek in &out_edges[node] {
             let e = &bp.edges[ek];
-            let mut new_states: Vec<BitSet> = Vec::new();
-            for s in &states[e.from] {
+            new_ids.clear();
+            for &sid in states[e.from].as_slice() {
                 tally.transfers += 1;
                 gov.tick().map_err(RelStop::Budget)?;
                 // apply parallel assignment; Havoc forks
-                let mut outs = vec![s.clone()];
+                outs.clear();
+                outs.push(pool.row(sid).to_vec());
                 for (dst, rhs) in &e.assigns {
                     match rhs {
                         Rhs::Disj(ops) => {
+                            let src_row = pool.row(sid);
                             let bit = ops.iter().any(|op| match op {
                                 Operand::Const(c) => *c,
-                                Operand::Var(v) => s.get(*v),
+                                Operand::Var(v) => word_get(src_row, *v),
                             });
                             for o in &mut outs {
-                                o.set(*dst, bit);
+                                word_set(o, *dst, bit);
                             }
                         }
                         Rhs::Havoc => {
                             let mut forked = Vec::with_capacity(outs.len() * 2);
-                            for o in outs {
+                            for o in std::mem::take(&mut outs) {
                                 let mut one = o.clone();
-                                one.set(*dst, true);
+                                word_set(&mut one, *dst, true);
                                 let mut zero = o;
-                                zero.set(*dst, false);
+                                word_set(&mut zero, *dst, false);
                                 forked.push(zero);
                                 forked.push(one);
                             }
@@ -228,21 +245,34 @@ fn analyze_inner<const TRACE: bool>(
                     }
                 }
                 if TRACE {
+                    let src_row = pool.row(sid).to_vec();
                     for o in &outs {
-                        for p in o.iter_ones() {
-                            if !may[e.to].get(p) {
-                                may[e.to].set(p, true);
-                                prov.record(e.to, p, ek, justify(e, p, |q| s.get(q)));
+                        for (w, &ow) in o.iter().enumerate().take(stride) {
+                            let mut bits = ow;
+                            while bits != 0 {
+                                let p = w * 64 + bits.trailing_zeros() as usize;
+                                bits &= bits - 1;
+                                if p < width && !may[e.to].get(p) {
+                                    may[e.to].set(p, true);
+                                    prov.record(
+                                        e.to,
+                                        p,
+                                        ek,
+                                        justify(e, p, |q| word_get(&src_row, q)),
+                                    );
+                                }
                             }
                         }
                     }
                 }
-                new_states.extend(outs);
+                for o in &outs {
+                    new_ids.push(pool.intern(o));
+                }
             }
             let target = &mut states[e.to];
             let mut changed = false;
-            for s in new_states {
-                changed |= target.insert(s);
+            for &id in &new_ids {
+                changed |= target.insert_sorted(id);
             }
             if target.len() > budget {
                 return Err(RelStop::States(RelError { node: e.to, budget }));
@@ -260,6 +290,16 @@ fn analyze_inner<const TRACE: bool>(
         "solver",
         &[("transfers", transfers as u64), ("worklist_pops", tally.pops)],
     );
+    // surface each node's states canonically sorted by word value, so the
+    // result (and everything printed from it) is deterministic
+    let states = states
+        .iter()
+        .map(|ids| {
+            let mut rows: Vec<&[u64]> = ids.as_slice().iter().map(|&id| pool.row(id)).collect();
+            rows.sort_unstable();
+            rows.into_iter().map(|row| BitSet::from_row(row, width)).collect()
+        })
+        .collect();
     Ok((RelResult { states, transfers }, prov))
 }
 
@@ -372,6 +412,17 @@ class Main {
             crate::fds::violations(&bp, &fds).iter().map(|v| v.site.line()).collect();
         assert_eq!(rel_sites, fds_sites);
         assert_eq!(rel_sites, vec![10, 13]);
+    }
+
+    #[test]
+    fn states_are_canonically_sorted_and_deduplicated() {
+        let bp = build(FIG3);
+        let rel = analyze(&bp, 1 << 16).unwrap();
+        for states in &rel.states {
+            for pair in states.windows(2) {
+                assert!(pair[0].words() < pair[1].words(), "states must be strictly ascending");
+            }
+        }
     }
 
     #[test]

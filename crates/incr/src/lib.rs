@@ -244,9 +244,9 @@ impl IncrementalCertifier {
             entry_unknown,
         );
         let engine_name = engine.to_string();
-        if let Some(hit) =
-            self.cache.lookup(key, &method.qualified_name(), entry_unknown, &engine_name)
-        {
+        let (hit, stale) =
+            self.cache.lookup_stale(key, &method.qualified_name(), entry_unknown, &engine_name);
+        if let Some(hit) = hit {
             if !want_cert || hit.cell.is_some() {
                 run.hits += 1;
                 let cell = hit.cell.as_ref().map(|c| CertCell {
@@ -260,15 +260,41 @@ impl IncrementalCertifier {
             }
         }
         run.misses += 1;
-        let (report, cell) = self.certifier.certify_method_shared_certified(
+        // Within-method delta re-solve: an edit invalidated this cell, but
+        // the stale entry still holds the pre-edit fixpoint. When it carries
+        // both a may-be-1 solution and the recorded program shape, seed the
+        // FDS re-solve from it — the changed region is re-solved, the rest
+        // is carried (validated) — instead of restarting from ⊥.
+        let seed = match (engine, stale) {
+            (Engine::ScmpFds, Some(stale)) => stale.delta.and_then(|payload| {
+                let cell = stale.cell?;
+                match cell.solution {
+                    CellSolution::MayOne { nodes } => Some(canvas_dataflow::DeltaSeed {
+                        payload,
+                        preds: cell.preds,
+                        solution: nodes,
+                    }),
+                    _ => None,
+                }
+            }),
+            _ => None,
+        };
+        let shared = prepared.shared(method, entry);
+        let (report, cell) = self.certifier.certify_method_shared_certified_seeded(
             program,
             method,
             engine,
             entry,
-            prepared.shared(method, entry),
+            shared,
+            seed.as_ref(),
         )?;
         // inconclusive verdicts are budget/wall-clock-dependent: never cached
-        if let Some(cached) = CachedReport::from_certified(&report, cell.as_ref()) {
+        if let Some(mut cached) = CachedReport::from_certified(&report, cell.as_ref()) {
+            // capture the program shape next to the solution, so the *next*
+            // edit of this method can delta-seed from this run
+            if engine == Engine::ScmpFds {
+                cached.delta = shared.cached_boolprog().map(canvas_dataflow::DeltaPayload::of);
+            }
             self.cache.store(key, cached);
         }
         Ok((report, cell))
@@ -380,14 +406,17 @@ impl IncrementalCertifier {
 
 /// A duration-independent digest of a report: everything the verdict,
 /// violations (including witnesses) and deterministic stats say, excluding
-/// wall-clock time. Two certifications agree semantically iff their digests
-/// are equal — the property the warm path is tested against.
+/// wall-clock time and the work counter. Two certifications agree
+/// semantically iff their digests are equal — the property the warm path
+/// is tested against. Work units are excluded deliberately: a delta-seeded
+/// re-solve reaches the same fixpoint, the same verdict, and the same
+/// violations as a cold solve with strictly less work, and that saving
+/// must not read as a semantic divergence.
 pub fn report_digest(report: &Report) -> Fingerprint {
     let mut h = Hasher64::new();
     h.write_str(&report.engine.to_string());
     h.write_str(&format!("{:?}", report.verdict));
     h.write_usize(report.stats.predicates);
-    h.write_usize(report.stats.work);
     h.write_usize(report.stats.max_states);
     h.write_bool(report.stats.exhausted);
     h.write_usize(report.violations.len());

@@ -82,6 +82,12 @@ pub struct CachedReport {
     pub violations: Vec<CachedViolation>,
     /// The replayable fixpoint solution, when the engine emitted one.
     pub cell: Option<CachedCell>,
+    /// The boolean program's delta-diff shape (node/edge structure), when
+    /// the run captured one: together with the solution it lets a later
+    /// edit of the same method seed its re-solve from this fixpoint
+    /// instead of ⊥ ([`canvas_dataflow::delta`]). Optional and absent in
+    /// pre-delta stores — a missing payload only disables seeding.
+    pub delta: Option<canvas_dataflow::DeltaPayload>,
 }
 
 /// The replayable solution of a cached cell: everything a
@@ -173,6 +179,7 @@ impl CachedReport {
             exhausted: report.stats.exhausted,
             violations,
             cell: None,
+            delta: None,
         })
     }
 
@@ -286,6 +293,29 @@ impl CachedReport {
                 ])
             }
         };
+        let delta = match &self.delta {
+            None => Json::Null,
+            Some(d) => obj(vec![
+                ("nodes", Json::Int(u64::from(d.nodes))),
+                ("entry", Json::Int(u64::from(d.entry))),
+                ("eu", indices(&d.entry_unknown)),
+                (
+                    "edges",
+                    Json::Arr(
+                        d.edges
+                            .iter()
+                            .map(|e| {
+                                Json::Arr(vec![
+                                    Json::Int(u64::from(e.from)),
+                                    Json::Int(u64::from(e.to)),
+                                    Json::Int(e.digest),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        };
         obj(vec![
             ("engine", Json::Str(self.engine.clone())),
             ("predicates", Json::Int(self.predicates)),
@@ -293,6 +323,7 @@ impl CachedReport {
             ("max_states", Json::Int(self.max_states)),
             ("exhausted", Json::Bool(self.exhausted)),
             ("cell", cell),
+            ("delta", delta),
             (
                 "violations",
                 Json::Arr(
@@ -413,6 +444,42 @@ impl CachedReport {
                 })
             }
         };
+        // optional: absent in pre-delta stores (only disables seeding), so
+        // `None`/`Null` is not corruption — but a *present* malformed
+        // payload is, like every other field
+        let delta = match json.get("delta") {
+            Some(Json::Null) | None => None,
+            Some(d) => {
+                let eu = match d.get("eu") {
+                    Some(row) => indices(row)?,
+                    None => return Err("delta without eu".to_string()),
+                };
+                let Some(Json::Arr(raw_edges)) = d.get("edges") else {
+                    return Err("delta without edges".to_string());
+                };
+                let mut edges = Vec::with_capacity(raw_edges.len());
+                for re in raw_edges {
+                    let Json::Arr(triple) = re else {
+                        return Err("delta edge is not an array".to_string());
+                    };
+                    let [Json::Int(from), Json::Int(to), Json::Int(digest)] = triple.as_slice()
+                    else {
+                        return Err("delta edge is not [from, to, digest]".to_string());
+                    };
+                    edges.push(canvas_dataflow::delta::DeltaEdge {
+                        from: line_col(*from, "delta edge from")?,
+                        to: line_col(*to, "delta edge to")?,
+                        digest: *digest,
+                    });
+                }
+                Some(canvas_dataflow::DeltaPayload {
+                    nodes: line_col(int_of(d, "nodes")?, "delta nodes")?,
+                    entry: line_col(int_of(d, "entry")?, "delta entry")?,
+                    entry_unknown: eu,
+                    edges,
+                })
+            }
+        };
         Ok(CachedReport {
             engine: str_of(json, "engine")?,
             predicates: int_of(json, "predicates")?,
@@ -421,6 +488,7 @@ impl CachedReport {
             exhausted: bool_of(json, "exhausted")?,
             violations,
             cell,
+            delta,
         })
     }
 }
@@ -578,10 +646,26 @@ impl CertCache {
         entry_unknown: bool,
         engine: &str,
     ) -> Option<CachedReport> {
+        self.lookup_stale(key, method, entry_unknown, engine).0
+    }
+
+    /// As [`CertCache::lookup`], additionally returning — on a miss — the
+    /// certificate the same logical cell was last answered from, under its
+    /// previous key. That *stale* entry is exactly the pre-edit fixpoint
+    /// the delta re-solve seeds from; entries are never evicted, so the
+    /// previous key still resolves. Accounting is identical to `lookup`.
+    pub fn lookup_stale(
+        &self,
+        key: Fingerprint,
+        method: &str,
+        entry_unknown: bool,
+        engine: &str,
+    ) -> (Option<CachedReport>, Option<CachedReport>) {
         let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let cell = (method.to_string(), entry_unknown, engine.to_string());
         let previous = inner.last_keys.insert(cell, key.0);
         let found = inner.entries.get(&key.0).cloned();
+        let mut stale = None;
         match &found {
             Some(_) => {
                 inner.stats.hits += 1;
@@ -593,10 +677,11 @@ impl CertCache {
                 if previous.is_some_and(|p| p != key.0) {
                     inner.stats.invalidations += 1;
                     CACHE_INVALIDATIONS.incr();
+                    stale = previous.and_then(|p| inner.entries.get(&p).cloned());
                 }
             }
         }
-        found
+        (found, stale)
     }
 
     /// Inserts a certificate under `key`.
@@ -716,6 +801,7 @@ mod tests {
                 },
             ],
             cell: None,
+            delta: None,
         }
     }
 

@@ -60,6 +60,43 @@ pub fn scmp_blocks(blocks: usize, iters: usize, error_rate: f64, seed: u64) -> G
     Generated { source: out, error_lines }
 }
 
+/// Generates a CMP client of `blocks` independent iterate-while-mutating
+/// loops: each block seeds a set and loops `{ next()s; add }` *without*
+/// refreshing the iterator, so the staleness facts grow around the back
+/// edge and the fixpoint kernel must re-sweep every loop body until they
+/// converge — the workload of choice for benchmarking the solver itself
+/// (the straight-line [`scmp_blocks`] visits every edge exactly once).
+/// `iters` scales the `next()` calls per body; every one of them is a
+/// genuine potential violation from the second iteration on, so the
+/// ground truth is "all of them". Deterministic: no randomness at all.
+pub fn scmp_loop_blocks(blocks: usize, iters: usize) -> Generated {
+    let mut out = String::from("class Main {\n    static void main() {\n");
+    let mut line: u32 = 2;
+    let mut error_lines = Vec::new();
+    let push = |out: &mut String, line: &mut u32, s: &str| {
+        out.push_str(s);
+        out.push('\n');
+        *line += 1;
+    };
+    for b in 0..blocks {
+        push(&mut out, &mut line, &format!("        Set s{b} = new Set();"));
+        push(&mut out, &mut line, &format!("        s{b}.add(\"seed\");"));
+        push(
+            &mut out,
+            &mut line,
+            &format!("        for (Iterator i{b} = s{b}.iterator(); i{b}.hasNext(); ) {{"),
+        );
+        for _ in 0..iters.max(1) {
+            push(&mut out, &mut line, &format!("            i{b}.next();"));
+            error_lines.push(line);
+        }
+        push(&mut out, &mut line, &format!("            s{b}.add(\"x\");"));
+        push(&mut out, &mut line, "        }");
+    }
+    out.push_str("    }\n}\n");
+    Generated { source: out, error_lines }
+}
+
 /// Generates a deep call chain of `depth` helper methods; the innermost one
 /// mutates the set iff `mutate`, making the caller's iterator use an error.
 pub fn interproc_chain(depth: usize, mutate: bool) -> Generated {
@@ -122,6 +159,19 @@ mod tests {
         let c = Certifier::from_spec(canvas_easl::builtin::cmp()).unwrap();
         let r = c.certify_source(&g.source, Engine::ScmpFds).unwrap();
         assert_eq!(r.lines(), g.error_lines, "\n{}", g.source);
+    }
+
+    #[test]
+    fn scmp_loop_blocks_truth_matches_fds() {
+        let g = scmp_loop_blocks(4, 2);
+        let c = Certifier::from_spec(canvas_easl::builtin::cmp()).unwrap();
+        let r = c.certify_source(&g.source, Engine::ScmpFds).unwrap();
+        assert_eq!(r.lines(), g.error_lines, "\n{}", g.source);
+        // and it is deterministic (no RNG at all)
+        let a = scmp_loop_blocks(4, 2);
+        let b = scmp_loop_blocks(4, 2);
+        assert_eq!(a.source, b.source);
+        assert_eq!(a.error_lines, b.error_lines);
     }
 
     #[test]

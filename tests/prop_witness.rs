@@ -29,7 +29,7 @@ proptest! {
         for c in &bp.checks {
             for op in &c.preds {
                 if let Operand::Var(p) = op {
-                    if res.may_one[c.node].get(*p) {
+                    if res.get(c.node, *p) {
                         let links = prov.chain(&bp, c.node, *p);
                         prop_assert!(
                             replay(&bp, &links, c.node, *p),
