@@ -160,6 +160,7 @@ pub fn transform_method_with(
     static TRANSFORM_TIME: canvas_telemetry::Timer =
         canvas_telemetry::Timer::new("abstraction.transform");
     let _span = TRANSFORM_TIME.span();
+    let _lower_phase = canvas_telemetry::phase::LOWER.span();
     let b = Builder::new(program, method, spec, derived, entry, policy);
     let bp = b.run();
     TRANSFORMS.incr();

@@ -18,6 +18,7 @@ use canvas_suite::{corpus, generators, Benchmark};
 pub use canvas_incr::json;
 
 pub mod fixpoint;
+pub mod obs;
 
 static SUITE_JOBS: canvas_telemetry::Counter = canvas_telemetry::Counter::new("suite.jobs");
 // Worker count follows the machine (or CANVAS_EVAL_THREADS), so it is
@@ -65,6 +66,11 @@ pub struct PrecisionCell {
     /// The engine panicked on this case; the panic was contained by the
     /// per-case isolation layer and the rest of the suite still ran.
     pub poisoned: bool,
+    /// Per-cell telemetry attribution captured by the parallel driver
+    /// (`None` when telemetry is disabled or the cell ran outside the
+    /// driver). A poisoned cell still carries whatever it counted before
+    /// the panic — the scope rollup is additive, never lost.
+    pub scope: Option<canvas_telemetry::ScopeSnapshot>,
 }
 
 /// Runs one engine on one benchmark, with whole-program coverage.
@@ -106,6 +112,7 @@ pub fn run_cell_prepared(
                 time: report.stats.duration,
                 failed: None,
                 poisoned: false,
+                scope: None,
             }
         }
         // an engine panic contained by the certifier's isolation layer is a
@@ -134,6 +141,7 @@ fn failed_cell(b: &Benchmark, engine: Engine, why: String) -> PrecisionCell {
         time: Duration::ZERO,
         failed: Some(why),
         poisoned: false,
+        scope: None,
     }
 }
 
@@ -214,9 +222,14 @@ pub fn precision_table() -> Vec<PrecisionCell> {
                     let certifier = &certifiers[cert_idx[bi]].1;
                     // isolate the case: a panicking engine poisons this one
                     // cell, the worker survives, and every other cell is
-                    // still computed and re-aggregated deterministically
-                    let cell = match &parsed[bi] {
+                    // still computed and re-aggregated deterministically.
+                    // The scope wraps the catch_unwind so a poisoned cell
+                    // still rolls up whatever it counted before the panic.
+                    let scope =
+                        canvas_telemetry::Scope::new(format!("{}::{}", b.name, engine.abbrev()));
+                    let mut cell = match &parsed[bi] {
                         Ok((program, prepared)) => {
+                            let _in_scope = scope.enter();
                             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                                 run_cell_prepared(certifier, b, program, prepared, engine)
                             }))
@@ -226,6 +239,9 @@ pub fn precision_table() -> Vec<PrecisionCell> {
                         }
                         Err(why) => failed_cell(b, engine, why.clone()),
                     };
+                    if canvas_telemetry::enabled() {
+                        cell.scope = Some(scope.snapshot());
+                    }
                     *slots[i].lock().expect("no panics while holding the slot lock") = Some(cell);
                     busy += started.elapsed();
                 }

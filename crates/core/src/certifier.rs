@@ -162,6 +162,7 @@ impl Certifier {
     /// Returns [`CertifyError::Derive`] if the derivation budget is
     /// exceeded (the spec is probably not mutation-restricted, §6).
     pub fn from_spec(spec: Spec) -> Result<Certifier, CertifyError> {
+        let _derive_phase = canvas_telemetry::phase::DERIVE.span();
         let derived = derive_abstraction(&spec)?;
         Ok(Certifier {
             spec,
@@ -403,6 +404,7 @@ impl Certifier {
         // Isolation layer: a panicking engine must not take down the caller
         // (one method of one suite case, or one request of a service). The
         // panic surfaces as a structured `CertifyError::Panicked` instead.
+        let _solve_phase = canvas_telemetry::phase::SOLVE.span();
         let run = catch_unwind(AssertUnwindSafe(|| engine.info().run(&cx)));
         let mut report = match run {
             Ok(result) => result?,
@@ -469,6 +471,7 @@ impl Certifier {
             shared,
             fds_seed,
         };
+        let _solve_phase = canvas_telemetry::phase::SOLVE.span();
         let run = catch_unwind(AssertUnwindSafe(|| engine.info().run_certified(&cx)));
         let (mut report, solution) = match run {
             Ok(result) => result?,

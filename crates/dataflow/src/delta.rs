@@ -60,6 +60,10 @@ pub static DELTA_FALLBACK: canvas_telemetry::Counter =
 /// Records that a seed was available but the cold path ran instead.
 pub fn note_fallback() {
     DELTA_FALLBACK.incr();
+    canvas_telemetry::events::info(
+        "incr.delta",
+        "delta seed rejected; falling back to a cold solve",
+    );
 }
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;

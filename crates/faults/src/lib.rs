@@ -348,9 +348,9 @@ fn env_fault() -> Option<Fault> {
             Some(f) => Some(f),
             None => {
                 let known: Vec<&str> = Fault::ALL.iter().map(|f| f.name()).collect();
-                eprintln!(
-                    "warning: unknown CANVAS_FAULT {raw:?} ignored (known: {})",
-                    known.join(", ")
+                canvas_telemetry::events::warn(
+                    "faults.env",
+                    format!("unknown CANVAS_FAULT {raw:?} ignored (known: {})", known.join(", ")),
                 );
                 None
             }

@@ -23,6 +23,7 @@ use canvas_minijava::{MethodIr, Program};
 
 pub mod fingerprint;
 pub mod json;
+pub mod obs;
 pub mod service;
 pub mod store;
 
@@ -40,6 +41,10 @@ pub struct RunCacheStats {
     pub hits: u64,
     /// Cells that ran fresh.
     pub misses: u64,
+    /// Of the misses, cells whose FDS re-solve was seeded from a stale
+    /// entry's pre-edit fixpoint (within-method delta re-solve) instead of
+    /// restarting from ⊥.
+    pub delta_seeded: u64,
 }
 
 /// A [`Certifier`] paired with a certificate cache: whole-program
@@ -279,6 +284,9 @@ impl IncrementalCertifier {
             }),
             _ => None,
         };
+        if seed.is_some() {
+            run.delta_seeded += 1;
+        }
         let shared = prepared.shared(method, entry);
         let (report, cell) = self.certifier.certify_method_shared_certified_seeded(
             program,

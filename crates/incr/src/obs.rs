@@ -1,0 +1,333 @@
+//! The live observability surface of `canvas serve`.
+//!
+//! [`ServeMetrics`] aggregates per-verb request counts, error counts, and
+//! latency histograms (instance [`Histogram`]s — they live with the daemon,
+//! not in the process-global telemetry registry), plus worker utilization,
+//! queue depth, and certification outcome counters. The `metrics` verb
+//! renders it all as Prometheus text exposition ([`ServeMetrics::prometheus`]),
+//! joined with the shared certificate store's hit/miss/occupancy counters
+//! and the structured-log drop counter; the `health` verb answers a cheap
+//! liveness probe from the same state.
+//!
+//! The exposition's *layout* is deterministic (every family and every verb
+//! row is always emitted, zero-valued or not, in a fixed order) so the CI
+//! obs-smoke job can golden-check it; the *values* for counters are exact
+//! and latency quantiles come from the log₂ histograms' rank-interpolated
+//! p50/p90/p99 estimates.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use canvas_telemetry::Histogram;
+
+use crate::store::CertCache;
+
+/// The request verbs tracked by the exposition, fixed order. `invalid`
+/// accounts for lines that failed to parse as any verb.
+pub const VERBS: [&str; 6] = ["certify", "stats", "metrics", "health", "shutdown", "invalid"];
+
+struct VerbMetrics {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    latency: Histogram,
+}
+
+impl VerbMetrics {
+    const fn new(name: &'static str) -> VerbMetrics {
+        VerbMetrics {
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            latency: Histogram::new(name),
+        }
+    }
+}
+
+/// Live counters of one serve loop (shared across its worker pool).
+pub struct ServeMetrics {
+    started: Instant,
+    workers: u64,
+    queue: AtomicU64,
+    busy: AtomicU64,
+    inconclusive: AtomicU64,
+    delta_seeded: AtomicU64,
+    verbs: [VerbMetrics; VERBS.len()],
+}
+
+impl ServeMetrics {
+    /// Fresh metrics for a serve loop with `workers` pool threads.
+    pub fn new(workers: usize) -> ServeMetrics {
+        ServeMetrics {
+            started: Instant::now(),
+            workers: workers as u64,
+            queue: AtomicU64::new(0),
+            busy: AtomicU64::new(0),
+            inconclusive: AtomicU64::new(0),
+            delta_seeded: AtomicU64::new(0),
+            verbs: [
+                VerbMetrics::new("serve.certify"),
+                VerbMetrics::new("serve.stats"),
+                VerbMetrics::new("serve.metrics"),
+                VerbMetrics::new("serve.health"),
+                VerbMetrics::new("serve.shutdown"),
+                VerbMetrics::new("serve.invalid"),
+            ],
+        }
+    }
+
+    /// The index of a verb name in [`VERBS`] (`invalid` for unknown names).
+    pub fn verb_index(verb: &str) -> usize {
+        VERBS.iter().position(|v| *v == verb).unwrap_or(VERBS.len() - 1)
+    }
+
+    /// A request was accepted off the input stream.
+    pub fn enqueued(&self) {
+        self.queue.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A worker picked a request up: counts it under its verb immediately,
+    /// so a `metrics` scrape sees itself and everything picked up before it.
+    pub fn begin(&self, verb: &str) {
+        self.busy.fetch_add(1, Ordering::Relaxed);
+        self.verbs[ServeMetrics::verb_index(verb)].requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A worker finished a request: records the error flag and latency, and
+    /// releases the queue/busy slots.
+    pub fn finish(&self, verb: &str, elapsed: Duration, is_error: bool) {
+        let v = &self.verbs[ServeMetrics::verb_index(verb)];
+        if is_error {
+            v.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        v.latency.record_value(elapsed.as_nanos().min(u128::from(u64::MAX)) as u64);
+        self.busy.fetch_sub(1, Ordering::Relaxed);
+        self.queue.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A certify request ended inconclusive (budget exhaustion, engine
+    /// panic degraded to a contained verdict, ...).
+    pub fn note_inconclusive(&self) {
+        self.inconclusive.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds delta-seeded cell count from one request's cache traffic.
+    pub fn add_delta_seeded(&self, n: u64) {
+        if n > 0 {
+            self.delta_seeded.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Milliseconds since the serve loop started.
+    pub fn uptime_ms(&self) -> u64 {
+        self.started.elapsed().as_millis().min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Configured worker-pool size.
+    pub fn workers(&self) -> u64 {
+        self.workers
+    }
+
+    /// Requests currently being handled by workers.
+    pub fn busy(&self) -> u64 {
+        self.busy.load(Ordering::Relaxed)
+    }
+
+    /// Requests accepted but not yet answered (includes the busy ones).
+    pub fn queue_depth(&self) -> u64 {
+        self.queue.load(Ordering::Relaxed)
+    }
+
+    /// Renders the full Prometheus text exposition, joining the verb/pool
+    /// counters with `cache`'s store-wide traffic and occupancy.
+    pub fn prometheus(&self, cache: &CertCache) -> String {
+        let mut out = String::with_capacity(4096);
+        let secs = |ns: u64| ns as f64 / 1e9;
+        let _ = writeln!(
+            out,
+            "# HELP canvas_serve_uptime_seconds Seconds since the serve loop started."
+        );
+        let _ = writeln!(out, "# TYPE canvas_serve_uptime_seconds gauge");
+        let _ = writeln!(
+            out,
+            "canvas_serve_uptime_seconds {:.3}",
+            self.started.elapsed().as_secs_f64()
+        );
+        let _ = writeln!(out, "# HELP canvas_serve_workers Configured worker-pool size.");
+        let _ = writeln!(out, "# TYPE canvas_serve_workers gauge");
+        let _ = writeln!(out, "canvas_serve_workers {}", self.workers);
+        let _ =
+            writeln!(out, "# HELP canvas_serve_workers_busy Workers currently handling a request.");
+        let _ = writeln!(out, "# TYPE canvas_serve_workers_busy gauge");
+        let _ = writeln!(out, "canvas_serve_workers_busy {}", self.busy());
+        let _ = writeln!(
+            out,
+            "# HELP canvas_serve_queue_depth Requests accepted but not yet answered."
+        );
+        let _ = writeln!(out, "# TYPE canvas_serve_queue_depth gauge");
+        let _ = writeln!(out, "canvas_serve_queue_depth {}", self.queue_depth());
+        let _ = writeln!(out, "# HELP canvas_serve_requests_total Requests handled, by verb.");
+        let _ = writeln!(out, "# TYPE canvas_serve_requests_total counter");
+        for (name, v) in VERBS.iter().zip(&self.verbs) {
+            let _ = writeln!(
+                out,
+                "canvas_serve_requests_total{{verb=\"{name}\"}} {}",
+                v.requests.load(Ordering::Relaxed)
+            );
+        }
+        let _ =
+            writeln!(out, "# HELP canvas_serve_errors_total Requests answered ok=false, by verb.");
+        let _ = writeln!(out, "# TYPE canvas_serve_errors_total counter");
+        for (name, v) in VERBS.iter().zip(&self.verbs) {
+            let _ = writeln!(
+                out,
+                "canvas_serve_errors_total{{verb=\"{name}\"}} {}",
+                v.errors.load(Ordering::Relaxed)
+            );
+        }
+        let _ = writeln!(out, "# HELP canvas_serve_request_latency_seconds Request latency summary, by verb (log2-histogram quantile estimates).");
+        let _ = writeln!(out, "# TYPE canvas_serve_request_latency_seconds summary");
+        for (name, v) in VERBS.iter().zip(&self.verbs) {
+            let s = v.latency.stat();
+            for (q, est) in [("0.5", s.p50), ("0.9", s.p90), ("0.99", s.p99)] {
+                let _ = writeln!(
+                    out,
+                    "canvas_serve_request_latency_seconds{{verb=\"{name}\",quantile=\"{q}\"}} {:.9}",
+                    secs(est)
+                );
+            }
+            let _ = writeln!(
+                out,
+                "canvas_serve_request_latency_seconds_sum{{verb=\"{name}\"}} {:.9}",
+                secs(s.sum)
+            );
+            let _ = writeln!(
+                out,
+                "canvas_serve_request_latency_seconds_count{{verb=\"{name}\"}} {}",
+                s.count
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP canvas_serve_inconclusive_total Certify requests that ended inconclusive."
+        );
+        let _ = writeln!(out, "# TYPE canvas_serve_inconclusive_total counter");
+        let _ = writeln!(
+            out,
+            "canvas_serve_inconclusive_total {}",
+            self.inconclusive.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "# HELP canvas_serve_delta_seeded_total Cells re-solved from a stale fixpoint seed."
+        );
+        let _ = writeln!(out, "# TYPE canvas_serve_delta_seeded_total counter");
+        let _ = writeln!(
+            out,
+            "canvas_serve_delta_seeded_total {}",
+            self.delta_seeded.load(Ordering::Relaxed)
+        );
+        let stats = cache.stats();
+        let _ = writeln!(
+            out,
+            "# HELP canvas_serve_cache_hits_total Cells answered from the certificate store."
+        );
+        let _ = writeln!(out, "# TYPE canvas_serve_cache_hits_total counter");
+        let _ = writeln!(out, "canvas_serve_cache_hits_total {}", stats.hits);
+        let _ = writeln!(out, "# HELP canvas_serve_cache_misses_total Cells that ran fresh.");
+        let _ = writeln!(out, "# TYPE canvas_serve_cache_misses_total counter");
+        let _ = writeln!(out, "canvas_serve_cache_misses_total {}", stats.misses);
+        let _ = writeln!(
+            out,
+            "# HELP canvas_serve_cache_stores_total Certificates written to the store."
+        );
+        let _ = writeln!(out, "# TYPE canvas_serve_cache_stores_total counter");
+        let _ = writeln!(out, "canvas_serve_cache_stores_total {}", stats.stores);
+        let _ = writeln!(out, "# HELP canvas_serve_cache_invalidations_total Stale entries displaced by a changed key.");
+        let _ = writeln!(out, "# TYPE canvas_serve_cache_invalidations_total counter");
+        let _ = writeln!(out, "canvas_serve_cache_invalidations_total {}", stats.invalidations);
+        let _ = writeln!(
+            out,
+            "# HELP canvas_serve_cache_entries Certificates currently resident in the store."
+        );
+        let _ = writeln!(out, "# TYPE canvas_serve_cache_entries gauge");
+        let _ = writeln!(out, "canvas_serve_cache_entries {}", cache.len());
+        let _ = writeln!(
+            out,
+            "# HELP canvas_serve_cache_hit_ratio Hits over lookups since the store opened."
+        );
+        let _ = writeln!(out, "# TYPE canvas_serve_cache_hit_ratio gauge");
+        let lookups = stats.hits + stats.misses;
+        let ratio = if lookups == 0 { 0.0 } else { stats.hits as f64 / lookups as f64 };
+        let _ = writeln!(out, "canvas_serve_cache_hit_ratio {ratio:.4}");
+        let _ = writeln!(out, "# HELP canvas_serve_log_events_dropped_total Structured-log records dropped from the ring buffer.");
+        let _ = writeln!(out, "# TYPE canvas_serve_log_events_dropped_total counter");
+        let _ = writeln!(
+            out,
+            "canvas_serve_log_events_dropped_total {}",
+            canvas_telemetry::events::dropped()
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposition_layout_is_complete_and_ordered() {
+        let m = ServeMetrics::new(3);
+        m.enqueued();
+        m.begin("certify");
+        m.finish("certify", Duration::from_micros(250), false);
+        m.enqueued();
+        m.begin("nonsense");
+        m.finish("nonsense", Duration::from_micros(10), true);
+        m.note_inconclusive();
+        m.add_delta_seeded(2);
+        let cache = CertCache::in_memory();
+        let text = m.prometheus(&cache);
+        assert!(text.contains("canvas_serve_workers 3\n"), "{text}");
+        assert!(text.contains("canvas_serve_requests_total{verb=\"certify\"} 1\n"), "{text}");
+        assert!(text.contains("canvas_serve_requests_total{verb=\"invalid\"} 1\n"), "{text}");
+        assert!(text.contains("canvas_serve_errors_total{verb=\"invalid\"} 1\n"), "{text}");
+        assert!(text.contains("canvas_serve_inconclusive_total 1\n"), "{text}");
+        assert!(text.contains("canvas_serve_delta_seeded_total 2\n"), "{text}");
+        assert!(text.contains("canvas_serve_cache_hit_ratio 0.0000\n"), "{text}");
+        // every verb gets all three quantiles plus sum and count
+        for verb in VERBS {
+            for q in ["0.5", "0.9", "0.99"] {
+                let line = format!(
+                    "canvas_serve_request_latency_seconds{{verb=\"{verb}\",quantile=\"{q}\"}} "
+                );
+                assert!(text.contains(&line), "missing {line} in {text}");
+            }
+            assert!(text.contains(&format!(
+                "canvas_serve_request_latency_seconds_count{{verb=\"{verb}\"}} "
+            )));
+        }
+        // quantile estimate for the one certify sample sits in its bucket
+        let p50 = text
+            .lines()
+            .find(|l| {
+                l.starts_with(
+                    "canvas_serve_request_latency_seconds{verb=\"certify\",quantile=\"0.5\"}",
+                )
+            })
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse::<f64>().ok())
+            .expect("p50 line parses");
+        assert!((125e-6..=500e-6).contains(&p50), "250µs sample, got {p50}");
+        // queue drained
+        assert!(text.contains("canvas_serve_queue_depth 0\n"), "{text}");
+        assert!(text.contains("canvas_serve_workers_busy 0\n"), "{text}");
+    }
+
+    #[test]
+    fn verb_index_maps_unknowns_to_invalid() {
+        assert_eq!(ServeMetrics::verb_index("certify"), 0);
+        assert_eq!(ServeMetrics::verb_index("health"), 3);
+        assert_eq!(ServeMetrics::verb_index("garbage"), VERBS.len() - 1);
+        assert_eq!(VERBS[ServeMetrics::verb_index("garbage")], "invalid");
+    }
+}

@@ -32,17 +32,33 @@
 //! store-wide counters; `shutdown` persists the store and ends the loop.
 //! Malformed lines produce an `{"ok":false,...}` response and the daemon
 //! keeps serving.
+//!
+//! The daemon is also a live observability surface ([`crate::obs`]): each
+//! certify request runs under its own telemetry [`Scope`], so the response
+//! carries an in-band `"stats"` object with the request's wall time and
+//! per-phase latency breakdown, and its cache object reports
+//! `{"hits","misses","delta_seeded"}`. A `metrics` request answers the
+//! Prometheus text exposition (per-verb request counts and latency
+//! quantiles, worker utilization, queue depth, cache hit-rate/occupancy)
+//! in the `"metrics"` field; a `health` request answers a cheap liveness
+//! probe. Serve-loop warnings go to the structured event log
+//! ([`canvas_telemetry::events`], surfaced by `--log-json`) instead of raw
+//! stderr.
 
 use std::collections::{BTreeMap, HashMap};
 use std::io::{BufRead, Write};
 use std::path::PathBuf;
 use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
 
 use canvas_core::{CanvasError, Certifier, Engine, Report, Stage, Verdict};
 use canvas_easl::Spec;
 use canvas_faults::Budget;
+use canvas_telemetry::events::{self, FieldValue};
+use canvas_telemetry::{phase, Scope, ScopeSnapshot};
 
 use crate::json::{obj, Json};
+use crate::obs::ServeMetrics;
 use crate::store::CertCache;
 use crate::{IncrementalCertifier, RunCacheStats};
 
@@ -94,7 +110,22 @@ enum Cmd {
         certificate: bool,
     },
     Stats,
+    Metrics,
+    Health,
     Shutdown,
+}
+
+impl Cmd {
+    /// The verb name used for per-verb metrics attribution.
+    fn verb(&self) -> &'static str {
+        match self {
+            Cmd::Certify { .. } => "certify",
+            Cmd::Stats => "stats",
+            Cmd::Metrics => "metrics",
+            Cmd::Health => "health",
+            Cmd::Shutdown => "shutdown",
+        }
+    }
 }
 
 enum Source {
@@ -116,6 +147,8 @@ fn parse_request(line: &str) -> Result<Request, CanvasError> {
     };
     let cmd = match str_field("cmd").as_deref() {
         Some("stats") => Cmd::Stats,
+        Some("metrics") => Cmd::Metrics,
+        Some("health") => Cmd::Health,
         Some("shutdown") => Cmd::Shutdown,
         Some("certify") => {
             let source = match (str_field("file"), str_field("source")) {
@@ -151,6 +184,7 @@ fn parse_request(line: &str) -> Result<Request, CanvasError> {
 struct ServeState {
     cache: Arc<CertCache>,
     certifiers: Mutex<HashMap<String, Arc<IncrementalCertifier>>>,
+    metrics: ServeMetrics,
 }
 
 impl ServeState {
@@ -186,11 +220,46 @@ impl ServeState {
                     )],
                 )
             }
+            Cmd::Metrics => ok_response(
+                &request.id,
+                vec![("metrics", Json::Str(self.metrics.prometheus(&self.cache)))],
+            ),
+            Cmd::Health => ok_response(
+                &request.id,
+                vec![
+                    ("status", Json::Str("ok".to_string())),
+                    ("uptime_ms", Json::Int(self.metrics.uptime_ms())),
+                    ("workers", Json::Int(self.metrics.workers())),
+                    ("busy", Json::Int(self.metrics.busy())),
+                    ("queue_depth", Json::Int(self.metrics.queue_depth())),
+                    ("cache_entries", Json::Int(self.cache.len() as u64)),
+                ],
+            ),
             Cmd::Shutdown => ok_response(&request.id, vec![("shutdown", Json::Bool(true))]),
             Cmd::Certify { source, spec, engine, budget_steps, budget_ms, certificate } => {
-                match self.certify(source, spec, *engine, *budget_steps, *budget_ms, *certificate) {
+                // the request's own scope: counters/timers recorded while it
+                // runs (including the phase.* breakdown) attribute here
+                let scope = Scope::new(format!("certify#{}", request.id.render_compact()));
+                let started = Instant::now();
+                let result = {
+                    let _in_scope = scope.enter();
+                    self.certify(source, spec, *engine, *budget_steps, *budget_ms, *certificate)
+                };
+                let total_ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                match result {
                     Ok((report, cert, stats)) => {
-                        certify_response(&request.id, &report, cert.as_deref(), stats)
+                        self.metrics.add_delta_seeded(stats.delta_seeded);
+                        if matches!(report.verdict, Verdict::Inconclusive { .. }) {
+                            self.metrics.note_inconclusive();
+                        }
+                        certify_response(
+                            &request.id,
+                            &report,
+                            cert.as_deref(),
+                            stats,
+                            &scope.snapshot(),
+                            total_ns,
+                        )
                     }
                     Err(e) => error_response(&request.id, &e),
                 }
@@ -229,8 +298,11 @@ impl ServeState {
         } else {
             &base
         };
-        let program = canvas_minijava::Program::parse(&text, inc.certifier().spec())
-            .map_err(|e| CanvasError::client(&e))?;
+        let program = {
+            let _parse = phase::PARSE.span();
+            canvas_minijava::Program::parse(&text, inc.certifier().spec())
+                .map_err(|e| CanvasError::client(&e))?
+        };
         let result = if certificate {
             let (report, cert, stats) = inc
                 .certify_program_certified(&text, &program, engine)
@@ -243,7 +315,7 @@ impl ServeState {
             (report, None, stats)
         };
         if let Err(e) = self.cache.persist() {
-            eprintln!("warning: {e}");
+            events::warn("incr.serve", e.to_string());
         }
         Ok(result)
     }
@@ -268,6 +340,8 @@ fn certify_response(
     report: &Report,
     certificate: Option<&str>,
     stats: RunCacheStats,
+    scope: &ScopeSnapshot,
+    total_ns: u64,
 ) -> Json {
     let (verdict, reason) = match &report.verdict {
         Verdict::Inconclusive { reason } => ("inconclusive", Some(reason.clone())),
@@ -303,7 +377,29 @@ fn certify_response(
     }
     fields.push((
         "cache",
-        obj(vec![("hits", Json::Int(stats.hits)), ("misses", Json::Int(stats.misses))]),
+        obj(vec![
+            ("hits", Json::Int(stats.hits)),
+            ("misses", Json::Int(stats.misses)),
+            ("delta_seeded", Json::Int(stats.delta_seeded)),
+        ]),
+    ));
+    // the request's own latency breakdown, from its scope's phase timers
+    // (a fully warm request reports 0 for the phases it skipped)
+    fields.push((
+        "stats",
+        obj(vec![
+            ("total_ns", Json::Int(total_ns)),
+            (
+                "phases",
+                obj(vec![
+                    ("parse_ns", Json::Int(scope.sample_sum("phase.parse"))),
+                    ("lower_ns", Json::Int(scope.sample_sum("phase.lower"))),
+                    ("derive_ns", Json::Int(scope.sample_sum("phase.derive"))),
+                    ("solve_ns", Json::Int(scope.sample_sum("phase.solve"))),
+                    ("check_replay_ns", Json::Int(scope.sample_sum("phase.check_replay"))),
+                ]),
+            ),
+        ]),
     ));
     ok_response(id, fields)
 }
@@ -341,24 +437,59 @@ pub fn serve(
     output: impl Write + Send,
     config: &ServeConfig,
 ) -> Result<(), CanvasError> {
+    // The daemon *is* an observability surface: request scopes and phase
+    // timers only attribute while the metrics switch is on.
+    canvas_telemetry::set_enabled(true);
     let cache = Arc::new(match &config.cache_dir {
         Some(dir) => CertCache::open(dir),
         None => CertCache::in_memory(),
     });
-    let state = ServeState { cache: Arc::clone(&cache), certifiers: Mutex::new(HashMap::new()) };
+    let workers = config.workers.max(1);
+    let state = ServeState {
+        cache: Arc::clone(&cache),
+        certifiers: Mutex::new(HashMap::new()),
+        metrics: ServeMetrics::new(workers),
+    };
     let sequencer = Mutex::new(Sequencer { next: 0, pending: BTreeMap::new(), out: output });
     let (tx, rx) = mpsc::channel::<(usize, String)>();
     let rx = Mutex::new(rx);
 
     std::thread::scope(|scope| {
-        for _ in 0..config.workers.max(1) {
+        for _ in 0..workers {
             scope.spawn(|| loop {
                 let received = rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner).recv();
                 let Ok((seq, line)) = received else { break };
-                let response = match parse_request(&line) {
+                let parsed = parse_request(&line);
+                let verb = match &parsed {
+                    Ok(request) => request.cmd.verb(),
+                    Err(_) => "invalid",
+                };
+                state.metrics.begin(verb);
+                let started = Instant::now();
+                let response = match parsed {
                     Ok(request) => state.handle(&request),
                     Err(e) => error_response(&Json::Null, &e),
                 };
+                let elapsed = started.elapsed();
+                let is_error = matches!(response.get("ok"), Some(Json::Bool(false)));
+                state.metrics.finish(verb, elapsed, is_error);
+                if events::would_log(events::Level::Info) {
+                    events::info_with(
+                        "incr.serve",
+                        format!("{verb} request handled"),
+                        vec![
+                            ("verb", FieldValue::Str(verb.to_string())),
+                            ("seq", FieldValue::U64(seq as u64)),
+                            (
+                                "us",
+                                FieldValue::U64(
+                                    elapsed.as_micros().min(u128::from(u64::MAX)) as u64
+                                ),
+                            ),
+                            ("ok", FieldValue::U64(u64::from(!is_error))),
+                        ],
+                    );
+                }
                 sequencer
                     .lock()
                     .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -378,6 +509,7 @@ pub fn serve(
             if tx.send((seq, line)).is_err() {
                 break;
             }
+            state.metrics.enqueued();
             seq += 1;
             if is_shutdown {
                 break;
@@ -430,6 +562,9 @@ mod tests {
         assert_eq!(cold.get("hits"), Some(&Json::Int(0)));
         assert_eq!(warm.get("misses"), Some(&Json::Int(0)));
         assert_eq!(warm.get("hits"), cold.get("misses"));
+        // no edits in this script: nothing delta-seeded
+        assert_eq!(cold.get("delta_seeded"), Some(&Json::Int(0)));
+        assert_eq!(warm.get("delta_seeded"), Some(&Json::Int(0)));
         // identical verdict payloads either way
         assert_eq!(responses[0].get("violations"), responses[1].get("violations"));
         let stats = responses[2].get("cache").expect("stats cache");
@@ -467,6 +602,63 @@ mod tests {
         assert!(parsed.checkable(), "fds run must carry a replayable solution");
         // requests that did not ask for one don't get one
         assert!(responses[1].get("certificate").is_none(), "{:?}", responses[1]);
+    }
+
+    #[test]
+    fn certify_responses_carry_in_band_phase_stats() {
+        let script = format!("{}\n{{\"id\":2,\"cmd\":\"shutdown\"}}\n", certify_line(1));
+        let responses = run_script(&script, 1);
+        let stats = responses[0].get("stats").expect("in-band stats");
+        let Some(Json::Int(total)) = stats.get("total_ns") else {
+            panic!("no total_ns in {stats:?}")
+        };
+        assert!(*total > 0);
+        let phases = stats.get("phases").expect("phase breakdown");
+        for key in ["parse_ns", "lower_ns", "derive_ns", "solve_ns", "check_replay_ns"] {
+            assert!(matches!(phases.get(key), Some(Json::Int(_))), "missing {key}: {phases:?}");
+        }
+        // a cold certify must actually parse and solve
+        assert_ne!(phases.get("parse_ns"), Some(&Json::Int(0)), "{phases:?}");
+        assert_ne!(phases.get("solve_ns"), Some(&Json::Int(0)), "{phases:?}");
+    }
+
+    #[test]
+    fn metrics_verb_answers_prometheus_exposition() {
+        let script = format!(
+            "{}\n{}\n{{\"id\":3,\"cmd\":\"metrics\"}}\n{{\"id\":4,\"cmd\":\"shutdown\"}}\n",
+            certify_line(1),
+            certify_line(2)
+        );
+        let responses = run_script(&script, 1);
+        let Some(Json::Str(text)) = responses[2].get("metrics") else {
+            panic!("no metrics text in {:?}", responses[2])
+        };
+        // with one worker the two certifies complete before the scrape
+        assert!(text.contains("canvas_serve_requests_total{verb=\"certify\"} 2\n"), "{text}");
+        assert!(text.contains("canvas_serve_requests_total{verb=\"metrics\"} 1\n"), "{text}");
+        assert!(
+            text.contains(
+                "canvas_serve_request_latency_seconds{verb=\"certify\",quantile=\"0.99\"}"
+            ),
+            "{text}"
+        );
+        assert!(text.contains("canvas_serve_cache_hit_ratio 0.5000\n"), "cold+warm: {text}");
+        assert!(text.contains("canvas_serve_workers 1\n"), "{text}");
+    }
+
+    #[test]
+    fn health_verb_reports_liveness() {
+        let script = "{\"id\":1,\"cmd\":\"health\"}\n{\"id\":2,\"cmd\":\"shutdown\"}\n";
+        let responses = run_script(script, 2);
+        let r = &responses[0];
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(r.get("status"), Some(&Json::Str("ok".to_string())));
+        assert_eq!(r.get("workers"), Some(&Json::Int(2)));
+        assert!(matches!(r.get("uptime_ms"), Some(Json::Int(_))), "{r:?}");
+        assert_eq!(r.get("cache_entries"), Some(&Json::Int(0)));
+        // the probe itself is in flight while it answers
+        let Some(Json::Int(busy)) = r.get("busy") else { panic!("{r:?}") };
+        assert!(*busy >= 1, "{r:?}");
     }
 
     #[test]

@@ -755,8 +755,11 @@ impl CertCache {
     }
 }
 
+/// Store corruption is tolerated, not hidden: every dropped entry or
+/// cold-start is a structured warn-level record (which the event log still
+/// echoes to stderr as `warning: error[cache/...]: ...` for TTY use).
 fn warn(e: &CanvasError) {
-    eprintln!("warning: {e}");
+    canvas_telemetry::events::warn("incr.store", e.to_string());
 }
 
 #[cfg(test)]

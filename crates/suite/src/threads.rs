@@ -36,9 +36,12 @@ fn parse_env(raw: Option<&str>) -> usize {
             Ok(n) if n > 0 => n,
             _ => {
                 let d = default();
-                eprintln!(
-                    "warning: CANVAS_EVAL_THREADS={v:?} is not a positive integer; \
-                     using the default of {d} worker(s)"
+                canvas_telemetry::events::warn(
+                    "suite.threads",
+                    format!(
+                        "CANVAS_EVAL_THREADS={v:?} is not a positive integer; \
+                         using the default of {d} worker(s)"
+                    ),
                 );
                 d
             }

@@ -16,7 +16,13 @@
 //!   on first update;
 //! * [`snapshot`] returns every registered metric sorted by name, so
 //!   renderings are deterministic; [`reset`] zeroes values for per-run
-//!   measurement windows.
+//!   measurement windows;
+//! * a [`Scope`] ([`scope`] module) attributes updates to the active
+//!   request/cell in addition to the globals, so concurrent serve workers
+//!   and suite cells stop smearing their work together;
+//! * the [`events`] module is a zero-dep structured event log
+//!   (`canvas-log/1` NDJSON) replacing ad-hoc stderr warnings, and
+//!   [`phase`] holds the standard pipeline-phase latency timers.
 //!
 //! # Determinism
 //!
@@ -52,7 +58,12 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, Once, OnceLock};
 use std::time::{Duration, Instant};
 
+pub mod events;
+pub mod phase;
+pub mod scope;
 pub mod trace;
+
+pub use scope::{Scope, ScopeGuard, ScopeSample, ScopeSnapshot};
 
 /// Number of log₂ buckets ([`Histogram`]); covers the full `u64` range.
 const BUCKETS: usize = 65;
@@ -82,7 +93,7 @@ fn registry() -> &'static Mutex<Vec<Metric>> {
 }
 
 fn register(m: Metric) {
-    registry().lock().expect("telemetry registry poisoned").push(m);
+    registry().lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(m);
 }
 
 /// A monotonically increasing event counter.
@@ -122,6 +133,7 @@ impl Counter {
         }
         self.registered.call_once(|| register(Metric::Counter(self)));
         self.value.fetch_add(n, Ordering::Relaxed);
+        scope::record_counter(self.name, n);
     }
 
     /// Adds one event.
@@ -172,6 +184,16 @@ impl Histogram {
         }
         self.registered.call_once(|| register(Metric::Histogram(self)));
         self.record_registered(v);
+        scope::record_sample(self.name, v);
+    }
+
+    /// Records one sample unconditionally, regardless of the global switch
+    /// and without registering into the global snapshot — for *instance*
+    /// histograms owned by a subsystem (e.g. the serve metrics surface)
+    /// that manages its own lifecycle. Not attributed to scopes.
+    #[inline]
+    pub fn record_value(&self, v: u64) {
+        self.record_registered(v);
     }
 
     fn record_registered(&self, v: u64) {
@@ -182,21 +204,39 @@ impl Histogram {
         self.max.fetch_max(v, Ordering::Relaxed);
     }
 
-    fn stat(&self) -> HistogramStat {
+    /// Summarises the histogram's current contents (count/sum/max exact,
+    /// quantiles estimated by rank interpolation within the log₂ bucket
+    /// where the cumulative count crosses the quantile — exact to within
+    /// one bucket width, i.e. a factor of 2).
+    pub fn stat(&self) -> HistogramStat {
         let count = self.count.load(Ordering::Relaxed);
         let buckets: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
-        // percentile estimate: the upper bound of the bucket where the
-        // cumulative count crosses q
         let quantile = |q: f64| -> u64 {
             if count == 0 {
                 return 0;
             }
-            let target = (q * count as f64).ceil() as u64;
-            let mut seen = 0;
-            for (k, n) in buckets.iter().enumerate() {
+            // 1-based rank of the requested order statistic.
+            let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (k, &n) in buckets.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                let before = seen;
                 seen += n;
                 if seen >= target {
-                    return if k == 0 { 0 } else { (1u64 << (k - 1)).saturating_mul(2) - 1 };
+                    // Bucket 0 holds exactly {0}; bucket k ≥ 1 covers
+                    // [2^(k-1), 2^k - 1]. Interpolate linearly by rank.
+                    let lo = if k == 0 { 0 } else { 1u64 << (k - 1) };
+                    let hi = if k == 0 {
+                        0
+                    } else if k >= 64 {
+                        u64::MAX
+                    } else {
+                        (1u64 << k) - 1
+                    };
+                    let frac = (target - before) as f64 / n as f64;
+                    return lo + ((hi - lo) as f64 * frac) as u64;
                 }
             }
             u64::MAX
@@ -208,6 +248,7 @@ impl Histogram {
             max: self.max.load(Ordering::Relaxed),
             p50: quantile(0.50),
             p90: quantile(0.90),
+            p99: quantile(0.99),
         }
     }
 
@@ -262,7 +303,9 @@ impl Timer {
             return;
         }
         self.registered.call_once(|| register(Metric::Timer(self)));
-        self.hist.record_registered(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+        let ns = d.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.hist.record_registered(ns);
+        scope::record_sample(self.name, ns);
     }
 }
 
@@ -304,10 +347,12 @@ pub struct HistogramStat {
     pub sum: u64,
     /// Exact maximum sample.
     pub max: u64,
-    /// Median estimate (bucket upper bound).
+    /// Median estimate (rank-interpolated within the log₂ bucket).
     pub p50: u64,
-    /// 90th-percentile estimate (bucket upper bound).
+    /// 90th-percentile estimate (rank-interpolated within the log₂ bucket).
     pub p90: u64,
+    /// 99th-percentile estimate (rank-interpolated within the log₂ bucket).
+    pub p99: u64,
 }
 
 /// A deterministic (name-sorted) snapshot of every registered metric.
@@ -335,7 +380,7 @@ impl Snapshot {
 
 /// Captures a [`Snapshot`] of every registered metric.
 pub fn snapshot() -> Snapshot {
-    let reg = registry().lock().expect("telemetry registry poisoned");
+    let reg = registry().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     let mut snap = Snapshot::default();
     for m in reg.iter() {
         match m {
@@ -356,7 +401,7 @@ pub fn snapshot() -> Snapshot {
 
 /// Zeroes every registered metric (registrations persist).
 pub fn reset() {
-    let reg = registry().lock().expect("telemetry registry poisoned");
+    let reg = registry().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     for m in reg.iter() {
         match m {
             Metric::Counter(c) => c.value.store(0, Ordering::Relaxed),
@@ -402,12 +447,13 @@ impl fmt::Display for Snapshot {
             for t in timers {
                 writeln!(
                     f,
-                    "  {:<34} count {:>8}  total {:>9}  p50 ~{:>9}  p90 ~{:>9}  max {:>9}",
+                    "  {:<34} count {:>8}  total {:>9}  p50 ~{:>9}  p90 ~{:>9}  p99 ~{:>9}  max {:>9}",
                     t.name,
                     t.count,
                     fmt_nanos(t.sum),
                     fmt_nanos(t.p50),
                     fmt_nanos(t.p90),
+                    fmt_nanos(t.p99),
                     fmt_nanos(t.max)
                 )?;
             }
@@ -418,8 +464,8 @@ impl fmt::Display for Snapshot {
             for h in hists {
                 writeln!(
                     f,
-                    "  {:<34} count {:>8}  sum {:>12}  p50 ~{:>8}  p90 ~{:>8}  max {:>8}",
-                    h.name, h.count, h.sum, h.p50, h.p90, h.max
+                    "  {:<34} count {:>8}  sum {:>12}  p50 ~{:>8}  p90 ~{:>8}  p99 ~{:>8}  max {:>8}",
+                    h.name, h.count, h.sum, h.p50, h.p90, h.p99, h.max
                 )?;
             }
         }
@@ -548,6 +594,43 @@ mod tests {
         assert!(h.p90 >= 100, "{h:?}");
         set_enabled(false);
         reset();
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let _x = exclusive();
+        set_enabled(true);
+        reset();
+        static H: Histogram = Histogram::new("test.interp");
+        for v in 1..=100u64 {
+            H.record(v);
+        }
+        let snap = snapshot();
+        let h = snap.histograms.iter().find(|h| h.name == "test.interp").unwrap();
+        // Exact percentiles are 50/90/99; the log₂-bucket contract is
+        // "within a factor of 2", and the median interpolates exactly here.
+        assert_eq!(h.p50, 50, "{h:?}");
+        assert!(h.p90 >= 90 && h.p90 <= 127, "{h:?}");
+        assert!(h.p99 >= 99 && h.p99 <= 127, "{h:?}");
+        assert!(h.p50 <= h.p90 && h.p90 <= h.p99 && h.p99 <= h.max.next_power_of_two());
+        set_enabled(false);
+        reset();
+    }
+
+    #[test]
+    fn instance_histograms_record_without_registering() {
+        let _x = exclusive();
+        set_enabled(false);
+        reset();
+        let h = Histogram::new("test.instance");
+        for v in [10u64, 20, 30] {
+            h.record_value(v);
+        }
+        let s = h.stat();
+        assert_eq!((s.count, s.sum, s.max), (3, 60, 30));
+        assert!(s.p50 >= 10 && s.p99 <= 31, "{s:?}");
+        // never registered: absent from the global snapshot
+        assert!(snapshot().histograms.iter().all(|g| g.name != "test.instance"));
     }
 
     #[test]

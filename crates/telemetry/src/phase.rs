@@ -1,0 +1,44 @@
+//! Pipeline-phase latency timers.
+//!
+//! The certification pipeline has five coarse phases — client parsing,
+//! boolean-program lowering, spec derivation, fixpoint solving, and
+//! certificate check/replay — instrumented at their single entry points
+//! (the CLI/serve frontier for parse and check-replay, `canvas-abstraction`
+//! for lowering, `canvas-core` for derivation and solving; the trusted
+//! `canvas-check` crate stays dependency-free, so its replay is timed at
+//! the call site).
+//!
+//! Each phase is an ordinary [`Timer`], so samples land in the global
+//! snapshot *and* attribute to the active [`crate::Scope`] — a serve
+//! request's scope snapshot carries its own per-phase breakdown, which the
+//! daemon echoes in-band as the response's `"stats"` object.
+
+use crate::Timer;
+
+/// Client-source parsing (MiniJava text → AST).
+pub static PARSE: Timer = Timer::new("phase.parse");
+/// Boolean-program lowering (AST + derived abstraction → boolean program).
+pub static LOWER: Timer = Timer::new("phase.lower");
+/// Spec derivation (EASL spec → specialized abstraction).
+pub static DERIVE: Timer = Timer::new("phase.derive");
+/// Fixpoint solving (per-(method, entry, engine) cell).
+pub static SOLVE: Timer = Timer::new("phase.solve");
+/// Certificate check/replay (independent revalidation).
+pub static CHECK_REPLAY: Timer = Timer::new("phase.check_replay");
+
+/// Registry names of all phases, pipeline order.
+pub const NAMES: [&str; 5] =
+    ["phase.parse", "phase.lower", "phase.derive", "phase.solve", "phase.check_replay"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_timers() {
+        let timers = [&PARSE, &LOWER, &DERIVE, &SOLVE, &CHECK_REPLAY];
+        for (t, n) in timers.iter().zip(NAMES) {
+            assert_eq!(t.name(), n);
+        }
+    }
+}

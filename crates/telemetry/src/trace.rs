@@ -51,6 +51,10 @@ pub struct TraceEvent {
     pub ts_us: u64,
     /// Emitting thread (stable small integer per thread).
     pub tid: u64,
+    /// Process-unique emission sequence number; assigned together with
+    /// `ts_us` under the buffer lock, so `(ts_us, seq)` totally orders
+    /// events even when serve workers emit concurrently.
+    pub seq: u64,
     /// Extra `args` key/value pairs.
     pub args: Vec<(&'static str, u64)>,
 }
@@ -66,10 +70,14 @@ fn events() -> &'static Mutex<Vec<TraceEvent>> {
 }
 
 fn emit(name: String, cat: &'static str, ph: char, args: Vec<(&'static str, u64)>) {
-    let ts_us = (epoch().elapsed().as_nanos() / 1_000) as u64;
+    static NEXT_SEQ: AtomicU64 = AtomicU64::new(1);
     let tid = TID.with(|t| *t);
-    let ev = TraceEvent { name, cat, ph, ts_us, tid, args };
-    events().lock().expect("trace buffer poisoned").push(ev);
+    // Timestamp and sequence are taken inside the critical section so the
+    // buffer order agrees with (ts_us, seq) across concurrent emitters.
+    let mut buf = events().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let ts_us = (epoch().elapsed().as_nanos() / 1_000) as u64;
+    let seq = NEXT_SEQ.fetch_add(1, Ordering::Relaxed);
+    buf.push(TraceEvent { name, cat, ph, ts_us, tid, seq, args });
 }
 
 /// Emits a begin event (no-op while tracing is off).
@@ -121,9 +129,14 @@ pub fn span(name: &str, cat: &'static str) -> TraceSpan {
     }
 }
 
-/// Drains and returns all buffered events, oldest first.
+/// Drains and returns all buffered events, stably ordered by
+/// `(ts_us, seq)` — deterministic for golden tests regardless of how
+/// worker-pool threads interleaved their emissions.
 pub fn take_events() -> Vec<TraceEvent> {
-    std::mem::take(&mut *events().lock().expect("trace buffer poisoned"))
+    let mut evs =
+        std::mem::take(&mut *events().lock().unwrap_or_else(std::sync::PoisonError::into_inner));
+    evs.sort_by_key(|e| (e.ts_us, e.seq));
+    evs
 }
 
 /// Discards all buffered events.
@@ -172,7 +185,7 @@ pub fn export_chrome_json() -> String {
     chrome_json(&take_events())
 }
 
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -254,6 +267,7 @@ mod tests {
                 ph: 'B',
                 ts_us: 12,
                 tid: 3,
+                seq: 1,
                 args: Vec::new(),
             },
             TraceEvent {
@@ -262,6 +276,7 @@ mod tests {
                 ph: 'i',
                 ts_us: 15,
                 tid: 3,
+                seq: 2,
                 args: vec![("work", 42)],
             },
         ];
@@ -271,6 +286,29 @@ mod tests {
         assert!(json.contains("\"ph\":\"i\",\"ts\":15,\"pid\":1,\"tid\":3,\"s\":\"t\""), "{json}");
         assert!(json.contains("\"args\":{\"work\":42}"), "{json}");
         assert!(json.ends_with("],\"displayTimeUnit\":\"ms\"}"), "{json}");
+    }
+
+    #[test]
+    fn concurrent_emitters_drain_in_stable_ts_seq_order() {
+        let _x = exclusive();
+        set_tracing(true);
+        clear();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for i in 0..100u64 {
+                        instant("tick", "t", &[("i", i)]);
+                    }
+                });
+            }
+        });
+        set_tracing(false);
+        let evs = take_events();
+        assert_eq!(evs.len(), 400);
+        for w in evs.windows(2) {
+            assert!((w[0].ts_us, w[0].seq) <= (w[1].ts_us, w[1].seq));
+            assert_ne!(w[0].seq, w[1].seq, "seq numbers are unique");
+        }
     }
 
     #[test]

@@ -1,13 +1,13 @@
 //! `canvas` — the command-line certifier.
 //!
 //! ```text
-//! canvas derive  --spec <cmp|grp|imp|aop|PATH.easl> [--metrics]
+//! canvas derive  --spec <cmp|grp|imp|aop|PATH.easl> [--metrics] [--log-json PATH]
 //! canvas certify --spec <...> [--engine <name>] [--whole-program|--inline]
-//!                [--explain] [--trace-out PATH] [--metrics]
+//!                [--explain] [--trace-out PATH] [--metrics] [--log-json PATH]
 //!                [--max-steps N] [--deadline-ms N]
 //!                [--emit-cert PATH] CLIENT.mj
-//! canvas check   --spec <...> CERT CLIENT.mj
-//! canvas serve   [--threads N] [--cache-dir DIR | --no-cache]
+//! canvas check   --spec <...> [--metrics] [--log-json PATH] CERT CLIENT.mj
+//! canvas serve   [--threads N] [--cache-dir DIR | --no-cache] [--log-json PATH]
 //! canvas engines
 //! canvas specs
 //! ```
@@ -18,6 +18,9 @@
 //! rustc-style labeled diagnostic with its witness trace. `--trace-out`
 //! records solver/certification trace events and writes them as Chrome
 //! Trace Format JSON (loadable in Perfetto / `chrome://tracing`).
+//! `--log-json` streams the structured event log as `canvas-log/1`
+//! newline-delimited JSON to a file (threshold lowered to `info`);
+//! warnings and errors keep their stderr rendering either way.
 //!
 //! `--max-steps` and `--deadline-ms` bound the engine fixpoints through the
 //! resource governor (`canvas-faults`): when a budget trips, the engine
@@ -80,6 +83,7 @@ fn run(args: &[String]) -> Result<ExitCode, CanvasError> {
         "derive" => {
             let opts = parse_opts(it.as_slice())?;
             canvas_telemetry::set_enabled(opts.metrics);
+            init_log_json(opts.log_json.as_deref())?;
             let spec = load_spec(&opts.spec)?;
             println!("specification {} ({:?})", spec.name(), canvas_easl::classify(&spec));
             let certifier = Certifier::from_spec(spec)?;
@@ -102,6 +106,7 @@ fn run(args: &[String]) -> Result<ExitCode, CanvasError> {
         "certify" => {
             let opts = parse_opts(it.as_slice())?;
             canvas_telemetry::set_enabled(opts.metrics);
+            init_log_json(opts.log_json.as_deref())?;
             canvas_telemetry::trace::set_tracing(opts.trace_out.is_some());
             let client_path = opts
                 .client
@@ -112,8 +117,11 @@ fn run(args: &[String]) -> Result<ExitCode, CanvasError> {
             let spec = load_spec(&opts.spec)?;
             let certifier =
                 Certifier::from_spec(spec)?.with_explain(opts.explain).with_budget(opts.budget);
-            let program = canvas_minijava::Program::parse(&source, certifier.spec())
-                .map_err(|e| CanvasError::client(&e))?;
+            let program = {
+                let _parse_phase = canvas_telemetry::phase::PARSE.span();
+                canvas_minijava::Program::parse(&source, certifier.spec())
+                    .map_err(|e| CanvasError::client(&e))?
+            };
             if opts.emit_cert.is_some() && !opts.whole_program {
                 return Err(CanvasError::usage("--emit-cert requires --whole-program"));
             }
@@ -191,6 +199,8 @@ fn run(args: &[String]) -> Result<ExitCode, CanvasError> {
         }
         "check" => {
             let mut spec_name = "cmp".to_string();
+            let mut metrics = false;
+            let mut log_json: Option<String> = None;
             let mut positional: Vec<&str> = Vec::new();
             let mut it = it.clone();
             while let Some(a) = it.next() {
@@ -201,12 +211,22 @@ fn run(args: &[String]) -> Result<ExitCode, CanvasError> {
                             .ok_or_else(|| CanvasError::usage("--spec needs a value"))?
                             .clone();
                     }
+                    "--metrics" => metrics = true,
+                    "--log-json" => {
+                        log_json = Some(
+                            it.next()
+                                .ok_or_else(|| CanvasError::usage("--log-json needs a path"))?
+                                .clone(),
+                        );
+                    }
                     other if other.starts_with("--") => {
                         return Err(CanvasError::usage(format!("unknown check option {other:?}")));
                     }
                     other => positional.push(other),
                 }
             }
+            canvas_telemetry::set_enabled(metrics);
+            init_log_json(log_json.as_deref())?;
             let [cert_path, client_path] = positional[..] else {
                 return Err(CanvasError::usage("check needs CERT and CLIENT.mj arguments"));
             };
@@ -219,12 +239,14 @@ fn run(args: &[String]) -> Result<ExitCode, CanvasError> {
             // recomputation: the certificate's digests are compared against
             // what *this* binary derives, not against what the emitter claims.
             let certifier = Certifier::from_spec(spec)?;
-            match canvas_check::check_text(
-                &source,
-                certifier.spec(),
-                certifier.derived(),
-                &cert_text,
-            ) {
+            // `canvas-check` is the engine-free trusted base and carries no
+            // telemetry dependency, so the replay phase is timed here at the
+            // call site instead.
+            let outcome = {
+                let _replay_phase = canvas_telemetry::phase::CHECK_REPLAY.span();
+                canvas_check::check_text(&source, certifier.spec(), certifier.derived(), &cert_text)
+            };
+            let code = match outcome {
                 Ok(outcome) => {
                     let s = &outcome.stats;
                     if outcome.certified {
@@ -248,13 +270,24 @@ fn run(args: &[String]) -> Result<ExitCode, CanvasError> {
                         "canvas: replayed {} cell(s), {} edge(s), {} transfer(s)",
                         s.cells, s.edges_replayed, s.transfers
                     );
-                    Ok(if outcome.certified { ExitCode::SUCCESS } else { ExitCode::from(1) })
+                    if outcome.certified {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::from(1)
+                    }
                 }
                 Err(e) => {
-                    eprintln!("canvas: certificate rejected: {e}");
-                    Ok(ExitCode::from(2))
+                    canvas_telemetry::events::error(
+                        "canvas.check",
+                        format!("certificate rejected: {e}"),
+                    );
+                    ExitCode::from(2)
                 }
+            };
+            if metrics {
+                print!("{}", canvas_telemetry::snapshot());
             }
+            Ok(code)
         }
         "specs" => {
             let mut specs = canvas_easl::builtin::all();
@@ -280,9 +313,17 @@ fn run(args: &[String]) -> Result<ExitCode, CanvasError> {
         "serve" => {
             let mut workers = canvas_suite::worker_count(usize::MAX);
             let mut cache_dir = Some(".canvas-cache".to_string());
+            let mut log_json: Option<String> = None;
             let mut it = it.clone();
             while let Some(a) = it.next() {
                 match a.as_str() {
+                    "--log-json" => {
+                        log_json = Some(
+                            it.next()
+                                .ok_or_else(|| CanvasError::usage("--log-json needs a path"))?
+                                .clone(),
+                        );
+                    }
                     "--threads" => {
                         let n = it
                             .next()
@@ -307,27 +348,43 @@ fn run(args: &[String]) -> Result<ExitCode, CanvasError> {
                     }
                 }
             }
+            init_log_json(log_json.as_deref())?;
             let config =
                 ServeConfig { workers, cache_dir: cache_dir.map(std::path::PathBuf::from) };
             let stdin = std::io::stdin();
             serve(stdin.lock(), std::io::stdout(), &config)?;
+            canvas_telemetry::events::close_file();
             Ok(ExitCode::SUCCESS)
         }
         _ => {
             println!(
-                "usage:\n  canvas derive  --spec <cmp|grp|imp|aop|PATH.easl> [--metrics]\n  \
+                "usage:\n  canvas derive  --spec <cmp|grp|imp|aop|PATH.easl> [--metrics] \
+                 [--log-json PATH]\n  \
                  canvas certify --spec <...> [--engine <name>] [--whole-program|--inline] \
-                 [--explain] [--trace-out PATH] [--metrics] \
+                 [--explain] [--trace-out PATH] [--metrics] [--log-json PATH] \
                  [--max-steps N] [--deadline-ms N] [--cache-dir DIR] \
                  [--emit-cert PATH] CLIENT.mj\n  \
-                 canvas check   --spec <...> CERT CLIENT.mj\n  \
-                 canvas serve   [--threads N] [--cache-dir DIR | --no-cache]\n  \
+                 canvas check   --spec <...> [--metrics] [--log-json PATH] CERT CLIENT.mj\n  \
+                 canvas serve   [--threads N] [--cache-dir DIR | --no-cache] \
+                 [--log-json PATH]\n  \
                  canvas engines\n  \
                  canvas specs"
             );
             Ok(ExitCode::from(2))
         }
     }
+}
+
+/// Arms the `canvas-log/1` NDJSON file sink and lowers the log threshold
+/// to `Info` so routine lifecycle records land in the file; stderr keeps
+/// echoing warnings and errors for TTY use.
+fn init_log_json(path: Option<&str>) -> Result<(), CanvasError> {
+    if let Some(path) = path {
+        canvas_telemetry::events::log_to_file(std::path::Path::new(path))
+            .map_err(|e| CanvasError::io(Stage::Cli, path, &e))?;
+        canvas_telemetry::events::set_min_level(canvas_telemetry::events::Level::Info);
+    }
+    Ok(())
 }
 
 struct Opts {
@@ -338,6 +395,7 @@ struct Opts {
     metrics: bool,
     explain: bool,
     trace_out: Option<String>,
+    log_json: Option<String>,
     budget: Budget,
     cache_dir: Option<String>,
     emit_cert: Option<String>,
@@ -353,6 +411,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, CanvasError> {
         metrics: false,
         explain: false,
         trace_out: None,
+        log_json: None,
         budget: Budget::unlimited(),
         cache_dir: None,
         emit_cert: None,
@@ -380,6 +439,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, CanvasError> {
             "--trace-out" => {
                 opts.trace_out =
                     Some(it.next().ok_or_else(|| usage("--trace-out needs a path"))?.clone());
+            }
+            "--log-json" => {
+                opts.log_json =
+                    Some(it.next().ok_or_else(|| usage("--log-json needs a path"))?.clone());
             }
             "--max-steps" => {
                 let n = it.next().ok_or_else(|| usage("--max-steps needs a number"))?;

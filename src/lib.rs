@@ -49,6 +49,7 @@ pub use canvas_incr as incr;
 pub use canvas_logic as logic;
 pub use canvas_minijava as minijava;
 pub use canvas_suite as suite;
+pub use canvas_telemetry as telemetry;
 pub use canvas_tvla as tvla;
 pub use canvas_wp as wp;
 

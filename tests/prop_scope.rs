@@ -1,0 +1,151 @@
+//! Property tests for request-scoped metric attribution: the rollup
+//! invariant `global total == Σ per-scope totals + unscoped updates` under
+//! `thread::scope` parallelism, through a mid-panic scope drop, and across
+//! the real parallel suite driver.
+//!
+//! This binary owns the process-global telemetry registry for its tests:
+//! every test serializes on one lock and resets the registry on the way
+//! out, so the assertions never race each other.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use canvas_conformance::telemetry;
+use proptest::prelude::*;
+
+static SCOPED_WORK: telemetry::Counter = telemetry::Counter::new("prop_scope.work");
+static UNSCOPED_WORK: telemetry::Counter = telemetry::Counter::new("prop_scope.unscoped");
+
+/// One test at a time: the counters and the enabled switch are process
+/// globals.
+fn exclusive() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn counter_value(snapshot: &telemetry::Snapshot, name: &str) -> u64 {
+    snapshot.counters.iter().find(|c| c.name == name).map_or(0, |c| c.value)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The rollup invariant under real parallelism: every worker thread
+    /// enters its own scope and adds its own amounts concurrently (plus
+    /// some unscoped updates); the global total must equal the sum of the
+    /// per-scope snapshots plus the unscoped updates, exactly.
+    #[test]
+    fn global_totals_equal_scope_sums_under_parallelism(
+        per_thread in prop::collection::vec(
+            prop::collection::vec(0u64..1_000, 1..12),
+            2..6,
+        ),
+        unscoped in prop::collection::vec(0u64..1_000, 0..4),
+    ) {
+        let _x = exclusive();
+        telemetry::set_enabled(true);
+        telemetry::reset();
+        let scopes: Vec<telemetry::Scope> = per_thread
+            .iter()
+            .enumerate()
+            .map(|(i, _)| telemetry::Scope::new(format!("worker-{i}")))
+            .collect();
+        std::thread::scope(|s| {
+            for (scope, amounts) in scopes.iter().zip(&per_thread) {
+                s.spawn(move || {
+                    let _g = scope.enter();
+                    for &n in amounts {
+                        SCOPED_WORK.add(n);
+                    }
+                });
+            }
+            for &n in &unscoped {
+                UNSCOPED_WORK.add(n);
+            }
+        });
+        let snapshot = telemetry::snapshot();
+        let global = counter_value(&snapshot, "prop_scope.work");
+        let scope_sum: u64 = scopes
+            .iter()
+            .map(|sc| sc.snapshot().counter("prop_scope.work").unwrap_or(0))
+            .sum();
+        let expected: u64 = per_thread.iter().flatten().sum();
+        telemetry::set_enabled(false);
+        telemetry::reset();
+        prop_assert_eq!(global, scope_sum, "rollup invariant broken");
+        prop_assert_eq!(global, expected, "updates lost");
+        // the unscoped additions land in the global registry only
+        prop_assert_eq!(
+            counter_value(&snapshot, "prop_scope.unscoped"),
+            unscoped.iter().sum::<u64>()
+        );
+    }
+
+    /// A scope dropped mid-panic (a poisoned cell) still rolls up: the
+    /// worker counts, panics, and both the scope snapshot and the global
+    /// registry keep everything counted before the panic.
+    #[test]
+    fn a_scope_dropped_mid_panic_still_rolls_up(
+        before_panic in prop::collection::vec(1u64..500, 1..8),
+    ) {
+        let _x = exclusive();
+        telemetry::set_enabled(true);
+        telemetry::reset();
+        let scope = telemetry::Scope::new("poisoned-cell");
+        let counted = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            let handle = s.spawn(|| {
+                let _g = scope.enter();
+                for &n in &before_panic {
+                    SCOPED_WORK.add(n);
+                    counted.fetch_add(n, Ordering::Relaxed);
+                }
+                panic!("cell dies mid-scope");
+            });
+            assert!(handle.join().is_err(), "the worker must have panicked");
+        });
+        let global = counter_value(&telemetry::snapshot(), "prop_scope.work");
+        let attributed = scope.snapshot().counter("prop_scope.work").unwrap_or(0);
+        telemetry::set_enabled(false);
+        telemetry::reset();
+        prop_assert_eq!(attributed, counted.load(Ordering::Relaxed));
+        prop_assert_eq!(global, attributed, "panic lost part of the rollup");
+    }
+}
+
+/// The acceptance pin: under the real parallel suite driver (the E4
+/// precision table — corpus × engines on scoped worker threads), every
+/// counter attributed to any cell scope sums to exactly the global total
+/// of that counter. Setup work (derivation, parsing) runs before the
+/// workers and outside every scope, so any counter that appears inside a
+/// scope is cell-only and must roll up without loss or double-counting.
+#[test]
+fn suite_driver_scope_rollup_equals_global_totals() {
+    let _x = exclusive();
+    telemetry::set_enabled(true);
+    telemetry::reset();
+    let cells = canvas_bench::precision_table();
+    let snapshot = telemetry::snapshot();
+    telemetry::set_enabled(false);
+    telemetry::reset();
+
+    let mut scoped_totals: std::collections::BTreeMap<String, u64> =
+        std::collections::BTreeMap::new();
+    let mut scoped_cells = 0;
+    for cell in &cells {
+        let scope = cell.scope.as_ref().expect("driver ran with telemetry enabled");
+        scoped_cells += 1;
+        for (name, value) in &scope.counters {
+            *scoped_totals.entry(name.clone()).or_insert(0) += value;
+        }
+    }
+    assert_eq!(scoped_cells, cells.len(), "every cell carries its attribution");
+    assert!(!scoped_totals.is_empty(), "the engines counted nothing inside the scopes");
+    for (name, scoped_sum) in &scoped_totals {
+        let global = counter_value(&snapshot, name);
+        assert_eq!(
+            global, *scoped_sum,
+            "counter {name}: global {global} != Σ per-cell {scoped_sum}"
+        );
+    }
+}
