@@ -9,6 +9,7 @@
 //! eval oracle
 //! eval fixpoint [--json PATH] [--check-baseline PATH]
 //! eval obs [--json PATH] [--gate]
+//! eval overload [--json PATH] [--gate]
 //! eval log-check FILE
 //! ```
 //!
@@ -94,6 +95,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("obs") {
         return obs(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("overload") {
+        return overload(&args[1..]);
     }
     if args.first().map(String::as_str) == Some("log-check") {
         return log_check(&args[1..]);
@@ -384,6 +388,70 @@ fn obs(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("observability gate: overheads within ceilings, quantiles within factor 2");
+    }
+    ExitCode::SUCCESS
+}
+
+/// `eval overload [--json PATH] [--gate]`: E14 — the open-loop overload
+/// sweep against an in-process `canvas serve` TCP daemon at 1x/4x/16x the
+/// calibrated capacity. `--gate` exits 1 when the robustness shape breaks:
+/// sheds at nominal load, nothing shed at 16x, an unbounded admitted-p99,
+/// a lost response, or hot-cache occupancy above its byte budget.
+fn overload(args: &[String]) -> ExitCode {
+    use canvas_bench::overload::{
+        collect_overload, gate_overload, overload_to_json, render_overload,
+    };
+    let mut json_out: Option<String> = None;
+    let mut gate = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => json_out = Some(p.clone()),
+                    None => {
+                        eprintln!("--json needs a path");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--gate" => gate = true,
+            other => {
+                eprintln!("unknown overload option {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    let report = match collect_overload() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("overload harness failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", render_overload(&report));
+    if let Some(path) = &json_out {
+        if let Err(e) = std::fs::write(path, overload_to_json(&report).render()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("wrote {path}");
+    }
+    if gate {
+        let fails = gate_overload(&report);
+        if !fails.is_empty() {
+            eprintln!("overload gate failed:");
+            for f in &fails {
+                eprintln!("  {f}");
+            }
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "overload gate: nominal load serves clean, 16x sheds in-band with bounded p99, \
+             cache within budget"
+        );
     }
     ExitCode::SUCCESS
 }

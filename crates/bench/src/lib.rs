@@ -19,6 +19,7 @@ pub use canvas_incr::json;
 
 pub mod fixpoint;
 pub mod obs;
+pub mod overload;
 
 static SUITE_JOBS: canvas_telemetry::Counter = canvas_telemetry::Counter::new("suite.jobs");
 // Worker count follows the machine (or CANVAS_EVAL_THREADS), so it is
@@ -465,9 +466,65 @@ pub fn collect_eval_metrics() -> EvalMetrics {
     let derivation = derivation_table();
     let cells = precision_table();
     let incremental = incremental_table();
+    serve_overload_exercise();
     let snapshot = canvas_telemetry::snapshot();
     canvas_telemetry::set_enabled(was);
     EvalMetrics { derivation, cells, incremental, snapshot }
+}
+
+/// Drives the serve front-end's shedding and cache-eviction counters to
+/// exact, scheduling-independent values so `serve.shed_total`,
+/// `serve.deadline_total`, `incr.cache_evictions` and `incr.cache_bytes`
+/// are baseline-gated alongside the analysis work counters. Everything
+/// runs on one worker over the stdio loop, so the shed decisions are a
+/// pure function of the scripted request order.
+fn serve_overload_exercise() {
+    use canvas_incr::service::{serve, ServeConfig};
+    // single-line, JSON-escaped Fig. 3 client for NDJSON embedding
+    const FIG3_JSON: &str = "class Main { static void main() { Set v = new Set(); \
+         Iterator i = v.iterator(); v.add(\\\"x\\\"); i.next(); } }";
+    let run = |script: String, config: &ServeConfig| {
+        let mut out = Vec::new();
+        serve(std::io::Cursor::new(script), &mut out, config)
+            .expect("the overload exercise serves");
+    };
+    // exactly 3 tenant sheds: burst 2, no refill, 5 certifies, one tenant
+    let mut script = String::new();
+    for id in 1..=5 {
+        script.push_str(&format!(
+            "{{\"id\":{id},\"cmd\":\"certify\",\"source\":\"{FIG3_JSON}\",\"tenant\":\"acme\"}}\n"
+        ));
+    }
+    script.push_str("{\"id\":6,\"cmd\":\"shutdown\"}\n");
+    run(
+        script,
+        &ServeConfig { workers: 1, tenant_burst: 2, tenant_rate: 0, ..ServeConfig::default() },
+    );
+    // exactly 1 deadline shed: a zero-millisecond budget has always
+    // expired by the time the worker picks the request up
+    run(
+        format!(
+            "{{\"id\":1,\"cmd\":\"certify\",\"source\":\"{FIG3_JSON}\",\"budget_ms\":0}}\n\
+             {{\"id\":2,\"cmd\":\"shutdown\"}}\n"
+        ),
+        &ServeConfig { workers: 1, ..ServeConfig::default() },
+    );
+    // deterministic evictions: 8 structurally distinct programs (cache
+    // keys fingerprint the canonical IR, so the *statement counts* must
+    // differ) through a hot tier too small to hold them; one worker, one
+    // connection, so the store (and therefore eviction) order is exactly
+    // the request order
+    let mut script = String::new();
+    for id in 1..=8u64 {
+        let nexts = "i.next(); ".repeat(id as usize);
+        let source = format!(
+            "class Main {{ static void main() {{ Set s = new Set(); \
+             Iterator i = s.iterator(); {nexts}}} }}"
+        );
+        script.push_str(&format!("{{\"id\":{id},\"cmd\":\"certify\",\"source\":\"{source}\"}}\n"));
+    }
+    script.push_str("{\"id\":9,\"cmd\":\"shutdown\"}\n");
+    run(script, &ServeConfig { workers: 1, cache_bytes: Some(1024), ..ServeConfig::default() });
 }
 
 /// Builds the stable `canvas-bench-eval/1` document. Everything under

@@ -13,7 +13,7 @@
 //!   The default budget is unlimited and costs one predictable branch per
 //!   fixpoint step.
 //! * **Named fault-injection points** — deterministic, env-toggled failures
-//!   (`CANVAS_FAULT=truncate-input|solver-abort|budget-trip|oracle-death|cache-corrupt`)
+//!   (`CANVAS_FAULT=truncate-input|solver-abort|budget-trip|oracle-death|cache-corrupt|conn-drop|slow-client|queue-full`)
 //!   that let CI prove each class of fault surfaces as a structured error or
 //!   inconclusive verdict, never a crash. Injection is off unless explicitly
 //!   requested, and each point fires identically on every run.
@@ -75,6 +75,17 @@ impl Budget {
     #[must_use]
     pub fn with_deadline_ms(mut self, ms: u64) -> Self {
         self.deadline = Some(Instant::now() + std::time::Duration::from_millis(ms));
+        self
+    }
+
+    /// Sets an absolute deadline at a pre-computed instant.
+    ///
+    /// The serve front-end anchors the deadline at *admission* time, so a
+    /// request that waited in the bounded queue inherits only whatever
+    /// allowance is left when a worker finally picks it up.
+    #[must_use]
+    pub fn with_deadline_at(mut self, at: Instant) -> Self {
+        self.deadline = Some(at);
         self
     }
 
@@ -285,16 +296,30 @@ pub enum Fault {
     /// truncated or bit-rotted cache file, proving the cache degrades to a
     /// cold miss instead of erroring out.
     CacheCorrupt,
+    /// The serve front-end's writer tears the connection mid-response:
+    /// models a client that vanished, proving a torn connection poisons
+    /// only itself.
+    ConnDrop,
+    /// The serve front-end's writer stalls past the write timeout: models a
+    /// client that stopped reading, proving slow readers cannot wedge a
+    /// worker.
+    SlowClient,
+    /// The serve admission queue reports full on every enqueue: models a
+    /// saturated daemon, proving admission rejection sheds in-band.
+    QueueFull,
 }
 
 impl Fault {
     /// Every injection point, in catalog order.
-    pub const ALL: [Fault; 5] = [
+    pub const ALL: [Fault; 8] = [
         Fault::TruncateInput,
         Fault::SolverAbort,
         Fault::BudgetTrip,
         Fault::OracleDeath,
         Fault::CacheCorrupt,
+        Fault::ConnDrop,
+        Fault::SlowClient,
+        Fault::QueueFull,
     ];
 
     /// The `CANVAS_FAULT` name of this point.
@@ -306,6 +331,9 @@ impl Fault {
             Fault::BudgetTrip => "budget-trip",
             Fault::OracleDeath => "oracle-death",
             Fault::CacheCorrupt => "cache-corrupt",
+            Fault::ConnDrop => "conn-drop",
+            Fault::SlowClient => "slow-client",
+            Fault::QueueFull => "queue-full",
         }
     }
 

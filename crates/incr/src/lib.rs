@@ -23,6 +23,8 @@ use canvas_minijava::{MethodIr, Program};
 
 pub mod fingerprint;
 pub mod json;
+pub mod lru;
+pub mod net;
 pub mod obs;
 pub mod service;
 pub mod store;

@@ -47,23 +47,38 @@ impl VerbMetrics {
 pub struct ServeMetrics {
     started: Instant,
     workers: u64,
+    queue_cap: u64,
     queue: AtomicU64,
     busy: AtomicU64,
     inconclusive: AtomicU64,
     delta_seeded: AtomicU64,
+    shed: AtomicU64,
+    deadline_shed: AtomicU64,
+    conns_opened: AtomicU64,
+    conns_closed: AtomicU64,
+    conns_poisoned: AtomicU64,
+    requests_poisoned: AtomicU64,
     verbs: [VerbMetrics; VERBS.len()],
 }
 
 impl ServeMetrics {
-    /// Fresh metrics for a serve loop with `workers` pool threads.
-    pub fn new(workers: usize) -> ServeMetrics {
+    /// Fresh metrics for a serve loop with `workers` pool threads over a
+    /// bounded queue of `queue_cap` slots.
+    pub fn new(workers: usize, queue_cap: usize) -> ServeMetrics {
         ServeMetrics {
             started: Instant::now(),
             workers: workers as u64,
+            queue_cap: queue_cap as u64,
             queue: AtomicU64::new(0),
             busy: AtomicU64::new(0),
             inconclusive: AtomicU64::new(0),
             delta_seeded: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            deadline_shed: AtomicU64::new(0),
+            conns_opened: AtomicU64::new(0),
+            conns_closed: AtomicU64::new(0),
+            conns_poisoned: AtomicU64::new(0),
+            requests_poisoned: AtomicU64::new(0),
             verbs: [
                 VerbMetrics::new("serve.certify"),
                 VerbMetrics::new("serve.stats"),
@@ -117,6 +132,63 @@ impl ServeMetrics {
         }
     }
 
+    /// A certify request was shed at admission (queue full / tenant budget).
+    pub fn note_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An admitted certify was shed at pickup: its deadline expired queued.
+    pub fn note_deadline_shed(&self) {
+        self.deadline_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A client connection was accepted (or the stdio session started).
+    pub fn conn_opened(&self) {
+        self.conns_opened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A client connection reader finished.
+    pub fn conn_closed(&self) {
+        self.conns_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A write failure poisoned one connection; everything else lives on.
+    pub fn note_conn_poisoned(&self) {
+        self.conns_poisoned.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A handler panic was contained to its request.
+    pub fn note_request_poisoned(&self) {
+        self.requests_poisoned.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total requests handled across every verb (including sheds).
+    pub fn requests_total(&self) -> u64 {
+        self.verbs.iter().map(|v| v.requests.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Certify requests shed at admission.
+    pub fn shed_total(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Admitted certify requests shed at pickup on an expired deadline.
+    pub fn deadline_shed_total(&self) -> u64 {
+        self.deadline_shed.load(Ordering::Relaxed)
+    }
+
+    /// Connections poisoned by a failed or timed-out write.
+    pub fn conns_poisoned(&self) -> u64 {
+        self.conns_poisoned.load(Ordering::Relaxed)
+    }
+
+    /// Connections currently open (opened minus closed).
+    pub fn conns_open(&self) -> u64 {
+        self.conns_opened
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.conns_closed.load(Ordering::Relaxed))
+    }
+
     /// Milliseconds since the serve loop started.
     pub fn uptime_ms(&self) -> u64 {
         self.started.elapsed().as_millis().min(u128::from(u64::MAX)) as u64
@@ -165,6 +237,10 @@ impl ServeMetrics {
         );
         let _ = writeln!(out, "# TYPE canvas_serve_queue_depth gauge");
         let _ = writeln!(out, "canvas_serve_queue_depth {}", self.queue_depth());
+        let _ =
+            writeln!(out, "# HELP canvas_serve_queue_capacity Bounded admission queue capacity.");
+        let _ = writeln!(out, "# TYPE canvas_serve_queue_capacity gauge");
+        let _ = writeln!(out, "canvas_serve_queue_capacity {}", self.queue_cap);
         let _ = writeln!(out, "# HELP canvas_serve_requests_total Requests handled, by verb.");
         let _ = writeln!(out, "# TYPE canvas_serve_requests_total counter");
         for (name, v) in VERBS.iter().zip(&self.verbs) {
@@ -226,6 +302,40 @@ impl ServeMetrics {
             "canvas_serve_delta_seeded_total {}",
             self.delta_seeded.load(Ordering::Relaxed)
         );
+        let _ = writeln!(
+            out,
+            "# HELP canvas_serve_shed_total Certify requests shed at admission (queue full or tenant budget exhausted)."
+        );
+        let _ = writeln!(out, "# TYPE canvas_serve_shed_total counter");
+        let _ = writeln!(out, "canvas_serve_shed_total {}", self.shed_total());
+        let _ = writeln!(
+            out,
+            "# HELP canvas_serve_deadline_total Admitted certify requests shed at pickup on an expired deadline."
+        );
+        let _ = writeln!(out, "# TYPE canvas_serve_deadline_total counter");
+        let _ = writeln!(out, "canvas_serve_deadline_total {}", self.deadline_shed_total());
+        let _ = writeln!(
+            out,
+            "# HELP canvas_serve_connections_open Client connections currently open."
+        );
+        let _ = writeln!(out, "# TYPE canvas_serve_connections_open gauge");
+        let _ = writeln!(out, "canvas_serve_connections_open {}", self.conns_open());
+        let _ = writeln!(
+            out,
+            "# HELP canvas_serve_connections_poisoned_total Connections poisoned by a failed or timed-out write."
+        );
+        let _ = writeln!(out, "# TYPE canvas_serve_connections_poisoned_total counter");
+        let _ = writeln!(out, "canvas_serve_connections_poisoned_total {}", self.conns_poisoned());
+        let _ = writeln!(
+            out,
+            "# HELP canvas_serve_requests_poisoned_total Handler panics contained to their request."
+        );
+        let _ = writeln!(out, "# TYPE canvas_serve_requests_poisoned_total counter");
+        let _ = writeln!(
+            out,
+            "canvas_serve_requests_poisoned_total {}",
+            self.requests_poisoned.load(Ordering::Relaxed)
+        );
         let stats = cache.stats();
         let _ = writeln!(
             out,
@@ -253,6 +363,31 @@ impl ServeMetrics {
         let _ = writeln!(out, "canvas_serve_cache_entries {}", cache.len());
         let _ = writeln!(
             out,
+            "# HELP canvas_serve_cache_evictions_total Hot-tier certificates evicted by the byte budget."
+        );
+        let _ = writeln!(out, "# TYPE canvas_serve_cache_evictions_total counter");
+        let _ = writeln!(out, "canvas_serve_cache_evictions_total {}", stats.evictions);
+        let _ = writeln!(
+            out,
+            "# HELP canvas_serve_cache_spill_hits_total Lookups answered from the spill tier after a hot-tier eviction."
+        );
+        let _ = writeln!(out, "# TYPE canvas_serve_cache_spill_hits_total counter");
+        let _ = writeln!(out, "canvas_serve_cache_spill_hits_total {}", stats.spill_hits);
+        let _ = writeln!(
+            out,
+            "# HELP canvas_serve_cache_bytes Byte occupancy of the hot in-memory certificate tier."
+        );
+        let _ = writeln!(out, "# TYPE canvas_serve_cache_bytes gauge");
+        let _ = writeln!(out, "canvas_serve_cache_bytes {}", cache.memory_bytes());
+        let _ = writeln!(
+            out,
+            "# HELP canvas_serve_cache_budget_bytes Configured hot-tier byte budget (0 = unbounded)."
+        );
+        let _ = writeln!(out, "# TYPE canvas_serve_cache_budget_bytes gauge");
+        let _ =
+            writeln!(out, "canvas_serve_cache_budget_bytes {}", cache.budget_bytes().unwrap_or(0));
+        let _ = writeln!(
+            out,
             "# HELP canvas_serve_cache_hit_ratio Hits over lookups since the store opened."
         );
         let _ = writeln!(out, "# TYPE canvas_serve_cache_hit_ratio gauge");
@@ -276,7 +411,7 @@ mod tests {
 
     #[test]
     fn exposition_layout_is_complete_and_ordered() {
-        let m = ServeMetrics::new(3);
+        let m = ServeMetrics::new(3, 64);
         m.enqueued();
         m.begin("certify");
         m.finish("certify", Duration::from_micros(250), false);
@@ -285,9 +420,21 @@ mod tests {
         m.finish("nonsense", Duration::from_micros(10), true);
         m.note_inconclusive();
         m.add_delta_seeded(2);
+        m.note_shed();
+        m.note_deadline_shed();
+        m.conn_opened();
         let cache = CertCache::in_memory();
         let text = m.prometheus(&cache);
         assert!(text.contains("canvas_serve_workers 3\n"), "{text}");
+        assert!(text.contains("canvas_serve_queue_capacity 64\n"), "{text}");
+        assert!(text.contains("canvas_serve_shed_total 1\n"), "{text}");
+        assert!(text.contains("canvas_serve_deadline_total 1\n"), "{text}");
+        assert!(text.contains("canvas_serve_connections_open 1\n"), "{text}");
+        assert!(text.contains("canvas_serve_connections_poisoned_total 0\n"), "{text}");
+        assert!(text.contains("canvas_serve_requests_poisoned_total 0\n"), "{text}");
+        assert!(text.contains("canvas_serve_cache_evictions_total 0\n"), "{text}");
+        assert!(text.contains("canvas_serve_cache_bytes 0\n"), "{text}");
+        assert!(text.contains("canvas_serve_cache_budget_bytes 0\n"), "{text}");
         assert!(text.contains("canvas_serve_requests_total{verb=\"certify\"} 1\n"), "{text}");
         assert!(text.contains("canvas_serve_requests_total{verb=\"invalid\"} 1\n"), "{text}");
         assert!(text.contains("canvas_serve_errors_total{verb=\"invalid\"} 1\n"), "{text}");

@@ -19,6 +19,16 @@
 //! serve proof-carrying certificates without re-running the engine; cells
 //! cached without a solution degrade to a miss when a certificate is
 //! requested.
+//!
+//! The in-memory tier is a sharded, size-budgeted LRU ([`crate::lru`]):
+//! each certificate is charged its byte-accurate store-line cost, and when
+//! the hot tier overflows its `--cache-bytes` budget the least-recently
+//! used certificates are *evicted*. Eviction is sound by construction —
+//! every resident entry is a complete verdict that any later request can
+//! recompute from scratch, so losing one can cost latency but never change
+//! an answer. On a disk-backed store the evicted line spills to a cold map
+//! that [`CertCache::persist`] still writes (the disk tier keeps everything);
+//! an in-memory store simply forgets it, and the next lookup is a cold miss.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -47,6 +57,12 @@ static CACHE_STORES: canvas_telemetry::Counter =
     canvas_telemetry::Counter::new("incr.cache_stores");
 static CACHE_INVALIDATIONS: canvas_telemetry::Counter =
     canvas_telemetry::Counter::new("incr.cache_invalidations");
+static CACHE_EVICTIONS: canvas_telemetry::Counter =
+    canvas_telemetry::Counter::new("incr.cache_evictions");
+/// Cumulative store-line bytes admitted to the hot tier (monotonic, so it
+/// stays a baseline-gated counter; *live* occupancy is the
+/// `canvas_serve_cache_bytes` gauge).
+static CACHE_BYTES: canvas_telemetry::Counter = canvas_telemetry::Counter::new("incr.cache_bytes");
 
 /// The engines' known static witness-unavailability reasons.
 /// `Witness::Unavailable` holds a `&'static str`, so a reason loaded from
@@ -506,35 +522,78 @@ pub struct CacheStats {
     /// Misses where the same `(method, entry, engine)` cell was previously
     /// cached under a different key — i.e. an edit invalidated it.
     pub invalidations: u64,
+    /// Certificates evicted from the hot tier by the byte budget.
+    pub evictions: u64,
+    /// Hits answered from the spill (evicted-but-disk-backed) tier.
+    pub spill_hits: u64,
     /// Certificates loaded from disk at open time.
     pub loaded: u64,
     /// Whether the on-disk file was corrupt (fully or partially dropped).
     pub recovered_from_corruption: bool,
 }
 
+/// One hot-tier entry: the decoded certificate plus the exact store line
+/// it serializes to. Keeping the line makes the byte accounting exact,
+/// persist allocation-free per entry, and the spill handoff a pointer copy.
+#[derive(Clone)]
+struct HotEntry {
+    report: CachedReport,
+    line: std::sync::Arc<str>,
+}
+
+/// The canvas-cert-cache/2 cost of one entry: `<16-hex-key> <line>\n`.
+fn line_cost(line: &str) -> usize {
+    16 + 1 + line.len() + 1
+}
+
+fn decode_line(line: &str) -> Result<CachedReport, String> {
+    let json = Json::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+    CachedReport::from_json(&json)
+}
+
+/// Default shard count for the hot tier; small budgets collapse to fewer
+/// shards inside [`crate::lru::ShardedLru`].
+const HOT_SHARDS: usize = 8;
+
 struct Inner {
-    entries: HashMap<u64, CachedReport>,
     /// Last key seen per `(method, entry_unknown, engine)` cell, for
     /// invalidation accounting.
     last_keys: HashMap<(String, bool, String), u64>,
+    /// Serialized lines of entries evicted from the hot tier. Only
+    /// disk-backed stores spill (the disk tier keeps everything); an
+    /// in-memory store forgets evictees. Disjoint from the hot tier by
+    /// construction.
+    spill: HashMap<u64, std::sync::Arc<str>>,
     stats: CacheStats,
     dirty: bool,
 }
 
 /// A thread-safe certificate store. Construction never fails: a missing,
 /// unreadable, or corrupt disk file is a cold (or partially warm) start.
+///
+/// Lock order is `inner` before any hot-tier shard, everywhere.
 pub struct CertCache {
+    hot: crate::lru::ShardedLru<HotEntry>,
     inner: Mutex<Inner>,
     path: Option<PathBuf>,
 }
 
 impl CertCache {
-    /// A purely in-memory store ([`CertCache::persist`] is a no-op).
+    /// A purely in-memory, unbounded store ([`CertCache::persist`] is a
+    /// no-op).
     pub fn in_memory() -> CertCache {
+        Self::in_memory_budgeted(None)
+    }
+
+    /// An in-memory store with a hot-tier byte budget. With no disk tier
+    /// behind it, an evicted certificate is simply gone and the next
+    /// lookup for it is a cold miss.
+    pub fn in_memory_budgeted(cache_bytes: Option<u64>) -> CertCache {
         CertCache {
+            hot: crate::lru::ShardedLru::new(cache_bytes, HOT_SHARDS),
             inner: Mutex::new(Inner {
-                entries: HashMap::new(),
                 last_keys: HashMap::new(),
+                spill: HashMap::new(),
                 stats: CacheStats::default(),
                 dirty: false,
             }),
@@ -542,11 +601,18 @@ impl CertCache {
         }
     }
 
-    /// Opens (or cold-starts) the store under `dir`. Any disk problem —
-    /// missing file, unreadable file, bad header, torn lines — degrades to
-    /// fewer warm entries, with a `warning: error[cache/...]` diagnostic on
-    /// stderr for anything that was actually dropped.
+    /// Opens (or cold-starts) the unbounded store under `dir`. Any disk
+    /// problem — missing file, unreadable file, bad header, torn lines —
+    /// degrades to fewer warm entries, with a `warning: error[cache/...]`
+    /// diagnostic on stderr for anything that was actually dropped.
     pub fn open(dir: &Path) -> CertCache {
+        Self::open_budgeted(dir, None)
+    }
+
+    /// As [`CertCache::open`], with a hot-tier byte budget. Certificates
+    /// beyond the budget live in the spill tier: still persisted, still
+    /// hit-able (at a decode cost), just not resident.
+    pub fn open_budgeted(dir: &Path, cache_bytes: Option<u64>) -> CertCache {
         let path = dir.join(FILE_NAME);
         let mut entries = HashMap::new();
         let mut stats = CacheStats::default();
@@ -597,8 +663,25 @@ impl CertCache {
                 }
             }
         }
+        // Deterministic placement: admit in sorted-key order, and let
+        // whatever overflows the budget start life in the spill tier (not
+        // counted as an eviction — nothing was lost, it just never became
+        // resident).
+        let hot = crate::lru::ShardedLru::new(cache_bytes, HOT_SHARDS);
+        let mut spill = HashMap::new();
+        let mut keys: Vec<u64> = entries.keys().copied().collect();
+        keys.sort_unstable();
+        for key in keys {
+            let Some(report) = entries.remove(&key) else { continue };
+            let line: std::sync::Arc<str> = std::sync::Arc::from(report.to_json().render_compact());
+            let cost = line_cost(&line);
+            for (k, e) in hot.insert(key, HotEntry { report, line }, cost) {
+                spill.insert(k, e.line);
+            }
+        }
         CertCache {
-            inner: Mutex::new(Inner { entries, last_keys: HashMap::new(), stats, dirty: false }),
+            hot,
+            inner: Mutex::new(Inner { last_keys: HashMap::new(), spill, stats, dirty: false }),
             path: Some(path),
         }
     }
@@ -652,8 +735,10 @@ impl CertCache {
     /// As [`CertCache::lookup`], additionally returning — on a miss — the
     /// certificate the same logical cell was last answered from, under its
     /// previous key. That *stale* entry is exactly the pre-edit fixpoint
-    /// the delta re-solve seeds from; entries are never evicted, so the
-    /// previous key still resolves. Accounting is identical to `lookup`.
+    /// the delta re-solve seeds from. Since the hot tier became evictable
+    /// the previous key may no longer resolve; a lost seed only means the
+    /// re-solve starts cold, which is sound. Accounting is identical to
+    /// `lookup`.
     pub fn lookup_stale(
         &self,
         key: Fingerprint,
@@ -664,12 +749,35 @@ impl CertCache {
         let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let cell = (method.to_string(), entry_unknown, engine.to_string());
         let previous = inner.last_keys.insert(cell, key.0);
-        let found = inner.entries.get(&key.0).cloned();
+        let mut found = self.hot.get(key.0).map(|e| e.report);
+        let mut from_spill = false;
+        if found.is_none() {
+            if let Some(line) = inner.spill.remove(&key.0) {
+                // a decode failure is unreachable short of in-process
+                // memory corruption (we wrote that line ourselves), and
+                // degrades to a miss all the same
+                if let Ok(report) = decode_line(&line) {
+                    // promote back into the hot tier; whatever that
+                    // displaces takes its place in the spill
+                    from_spill = true;
+                    let entry = HotEntry { report: report.clone(), line: line.clone() };
+                    for (k, e) in self.hot.insert(key.0, entry, line_cost(&line)) {
+                        inner.stats.evictions += 1;
+                        CACHE_EVICTIONS.incr();
+                        inner.spill.insert(k, e.line);
+                    }
+                    found = Some(report);
+                }
+            }
+        }
         let mut stale = None;
         match &found {
             Some(_) => {
                 inner.stats.hits += 1;
                 CACHE_HITS.incr();
+                if from_spill {
+                    inner.stats.spill_hits += 1;
+                }
             }
             None => {
                 inner.stats.misses += 1;
@@ -677,25 +785,58 @@ impl CertCache {
                 if previous.is_some_and(|p| p != key.0) {
                     inner.stats.invalidations += 1;
                     CACHE_INVALIDATIONS.incr();
-                    stale = previous.and_then(|p| inner.entries.get(&p).cloned());
+                    stale = previous.and_then(|p| {
+                        self.hot
+                            .peek(p)
+                            .map(|e| e.report)
+                            .or_else(|| inner.spill.get(&p).and_then(|line| decode_line(line).ok()))
+                    });
                 }
             }
         }
         (found, stale)
     }
 
-    /// Inserts a certificate under `key`.
+    /// Inserts a certificate under `key`, evicting least-recently-used
+    /// entries if the hot tier outgrows its byte budget.
     pub fn store(&self, key: Fingerprint, report: CachedReport) {
+        let line: std::sync::Arc<str> = std::sync::Arc::from(report.to_json().render_compact());
+        let cost = line_cost(&line);
         let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        inner.entries.insert(key.0, report);
+        inner.spill.remove(&key.0);
         inner.stats.stores += 1;
-        inner.dirty = true;
         CACHE_STORES.incr();
+        CACHE_BYTES.add(cost as u64);
+        for (k, e) in self.hot.insert(key.0, HotEntry { report, line }, cost) {
+            inner.stats.evictions += 1;
+            CACHE_EVICTIONS.incr();
+            if self.path.is_some() {
+                inner.spill.insert(k, e.line);
+            }
+        }
+        inner.dirty = true;
     }
 
-    /// Number of certificates currently held.
+    /// Number of certificates currently held (hot tier plus spill).
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner).entries.len()
+        let spill =
+            self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner).spill.len();
+        self.hot.len() + spill
+    }
+
+    /// Number of certificates resident in the hot tier.
+    pub fn memory_entries(&self) -> usize {
+        self.hot.len()
+    }
+
+    /// Hot-tier occupancy in store-line bytes.
+    pub fn memory_bytes(&self) -> u64 {
+        self.hot.bytes()
+    }
+
+    /// The configured hot-tier byte budget (`None` = unbounded).
+    pub fn budget_bytes(&self) -> Option<u64> {
+        self.hot.budget_bytes()
     }
 
     /// Whether the store holds no certificates.
@@ -731,18 +872,20 @@ impl CertCache {
         if !inner.dirty {
             return Ok(());
         }
-        let mut keys: Vec<u64> = inner.entries.keys().copied().collect();
-        keys.sort_unstable();
-        let mut out = String::with_capacity(64 * keys.len());
+        // the disk tier is the union of both in-memory tiers: eviction
+        // never loses a disk-backed certificate
+        let mut lines: Vec<(u64, std::sync::Arc<str>)> =
+            inner.spill.iter().map(|(k, l)| (*k, l.clone())).collect();
+        lines.extend(self.hot.entries().into_iter().map(|(k, e)| (k, e.line)));
+        lines.sort_unstable_by_key(|(k, _)| *k);
+        let mut out = String::with_capacity(64 * lines.len());
         out.push_str(STORE_FORMAT);
         out.push('\n');
-        for key in keys {
-            if let Some(report) = inner.entries.get(&key) {
-                out.push_str(&Fingerprint(key).to_string());
-                out.push(' ');
-                out.push_str(&report.to_json().render_compact());
-                out.push('\n');
-            }
+        for (key, line) in lines {
+            out.push_str(&Fingerprint(key).to_string());
+            out.push(' ');
+            out.push_str(&line);
+            out.push('\n');
         }
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir)
@@ -934,6 +1077,77 @@ mod tests {
         let cache = CertCache::open(&dir);
         assert_eq!(cache.len(), 1);
         assert!(cache.stats().recovered_from_corruption);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn budgeted_in_memory_store_evicts_and_stays_within_budget() {
+        let line = sample().to_json().render_compact();
+        let cost = (line.len() + 18) as u64;
+        // room for two entries, not three
+        let budget = cost * 2 + cost / 2;
+        let cache = CertCache::in_memory_budgeted(Some(budget));
+        for k in 1..=3 {
+            cache.store(Fingerprint(k), sample());
+        }
+        assert!(cache.memory_bytes() <= budget, "occupancy within budget");
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.memory_entries(), 2);
+        // no disk tier: the evicted certificate is a cold miss
+        assert!(cache.lookup(Fingerprint(1), "Main.main", false, "scmp-fds").is_none());
+        assert!(cache.lookup(Fingerprint(3), "Main.x3", false, "scmp-fds").is_some());
+        assert_eq!(cache.stats().spill_hits, 0);
+    }
+
+    #[test]
+    fn disk_backed_eviction_spills_and_refetches_byte_identically() {
+        let dir = std::env::temp_dir().join(format!("canvas-incr-spill-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let line = sample().to_json().render_compact();
+        let cost = (line.len() + 18) as u64;
+        let budget = cost * 2 + cost / 2;
+        {
+            let cache = CertCache::open_budgeted(&dir, Some(budget));
+            for k in 1..=3 {
+                cache.store(Fingerprint(k), sample());
+            }
+            assert_eq!(cache.stats().evictions, 1);
+            assert_eq!((cache.memory_entries(), cache.len()), (2, 3));
+            // the evicted key still answers, from the spill tier, with a
+            // byte-identical certificate
+            let back = cache.lookup(Fingerprint(1), "Main.main", false, "scmp-fds");
+            assert_eq!(back.as_ref().map(|r| r.to_json().render_compact()), Some(line.clone()));
+            let stats = cache.stats();
+            assert_eq!((stats.hits, stats.spill_hits), (1, 1));
+            // the promotion displaced another entry, so occupancy still fits
+            assert!(cache.memory_bytes() <= budget);
+            cache.persist().expect("writes");
+        }
+        // eviction never loses a disk-backed certificate
+        let reopened = CertCache::open(&dir);
+        assert_eq!(reopened.len(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn budgeted_open_places_overflow_in_spill_without_counting_evictions() {
+        let dir = std::env::temp_dir().join(format!("canvas-incr-load-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let cache = CertCache::open(&dir);
+            for k in 1..=4 {
+                cache.store(Fingerprint(k), sample());
+            }
+            cache.persist().expect("writes");
+        }
+        let line = sample().to_json().render_compact();
+        let cost = (line.len() + 18) as u64;
+        let budget = cost * 2 + cost / 2;
+        let cache = CertCache::open_budgeted(&dir, Some(budget));
+        assert_eq!(cache.len(), 4, "all four certificates are addressable");
+        assert_eq!(cache.memory_entries(), 2, "only two fit the hot tier");
+        assert_eq!(cache.stats().evictions, 0, "load placement is not an eviction");
+        assert!(cache.memory_bytes() <= budget);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

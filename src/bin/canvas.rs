@@ -314,7 +314,12 @@ fn run(args: &[String]) -> Result<ExitCode, CanvasError> {
             let mut workers = canvas_suite::worker_count(usize::MAX);
             let mut cache_dir = Some(".canvas-cache".to_string());
             let mut log_json: Option<String> = None;
+            let mut listen: Option<String> = None;
+            let mut config = ServeConfig::default();
             let mut it = it.clone();
+            let parse_u64 = |flag: &str, n: &String| -> Result<u64, CanvasError> {
+                n.parse().map_err(|_| CanvasError::usage(format!("{flag}: not a number: {n:?}")))
+            };
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--log-json" => {
@@ -343,16 +348,68 @@ fn run(args: &[String]) -> Result<ExitCode, CanvasError> {
                         );
                     }
                     "--no-cache" => cache_dir = None,
+                    "--listen" => {
+                        listen = Some(
+                            it.next()
+                                .ok_or_else(|| CanvasError::usage("--listen needs HOST:PORT"))?
+                                .clone(),
+                        );
+                    }
+                    "--cache-bytes" => {
+                        let n = it
+                            .next()
+                            .ok_or_else(|| CanvasError::usage("--cache-bytes needs a size"))?;
+                        config.cache_bytes = Some(parse_byte_size(n)?);
+                    }
+                    "--queue" => {
+                        let n =
+                            it.next().ok_or_else(|| CanvasError::usage("--queue needs a size"))?;
+                        config.queue_cap = parse_u64("--queue", n)?.max(1) as usize;
+                    }
+                    "--tenant-burst" => {
+                        let n = it
+                            .next()
+                            .ok_or_else(|| CanvasError::usage("--tenant-burst needs a count"))?;
+                        config.tenant_burst = parse_u64("--tenant-burst", n)?;
+                    }
+                    "--tenant-rate" => {
+                        let n = it
+                            .next()
+                            .ok_or_else(|| CanvasError::usage("--tenant-rate needs a rate"))?;
+                        config.tenant_rate = parse_u64("--tenant-rate", n)?;
+                    }
+                    "--deadline-ms" => {
+                        let n = it
+                            .next()
+                            .ok_or_else(|| CanvasError::usage("--deadline-ms needs a number"))?;
+                        config.default_deadline_ms = Some(parse_u64("--deadline-ms", n)?);
+                    }
+                    "--write-timeout-ms" => {
+                        let n = it.next().ok_or_else(|| {
+                            CanvasError::usage("--write-timeout-ms needs a number")
+                        })?;
+                        config.write_timeout_ms = parse_u64("--write-timeout-ms", n)?.max(1);
+                    }
+                    "--max-line-bytes" => {
+                        let n = it
+                            .next()
+                            .ok_or_else(|| CanvasError::usage("--max-line-bytes needs a size"))?;
+                        config.max_line_bytes = parse_byte_size(n)?.max(1) as usize;
+                    }
                     other => {
                         return Err(CanvasError::usage(format!("unknown serve option {other:?}")))
                     }
                 }
             }
             init_log_json(log_json.as_deref())?;
-            let config =
-                ServeConfig { workers, cache_dir: cache_dir.map(std::path::PathBuf::from) };
-            let stdin = std::io::stdin();
-            serve(stdin.lock(), std::io::stdout(), &config)?;
+            config.workers = workers;
+            config.cache_dir = cache_dir.map(std::path::PathBuf::from);
+            if let Some(addr) = listen {
+                canvas_conformance::incr::net::serve_listen(addr.as_str(), &config)?;
+            } else {
+                let stdin = std::io::stdin();
+                serve(stdin.lock(), std::io::stdout(), &config)?;
+            }
             canvas_telemetry::events::close_file();
             Ok(ExitCode::SUCCESS)
         }
@@ -365,7 +422,10 @@ fn run(args: &[String]) -> Result<ExitCode, CanvasError> {
                  [--max-steps N] [--deadline-ms N] [--cache-dir DIR] \
                  [--emit-cert PATH] CLIENT.mj\n  \
                  canvas check   --spec <...> [--metrics] [--log-json PATH] CERT CLIENT.mj\n  \
-                 canvas serve   [--threads N] [--cache-dir DIR | --no-cache] \
+                 canvas serve   [--listen HOST:PORT] [--threads N] [--queue N] \
+                 [--cache-dir DIR | --no-cache] [--cache-bytes N[k|m|g]] \
+                 [--tenant-burst N] [--tenant-rate N] [--deadline-ms N] \
+                 [--write-timeout-ms N] [--max-line-bytes N[k|m|g]] \
                  [--log-json PATH]\n  \
                  canvas engines\n  \
                  canvas specs"
@@ -373,6 +433,20 @@ fn run(args: &[String]) -> Result<ExitCode, CanvasError> {
             Ok(ExitCode::from(2))
         }
     }
+}
+
+/// Parses a byte size with an optional `k`/`m`/`g` suffix (powers of 1024).
+fn parse_byte_size(s: &str) -> Result<u64, CanvasError> {
+    let (digits, mult) = match s.as_bytes().last() {
+        Some(b'k' | b'K') => (&s[..s.len() - 1], 1u64 << 10),
+        Some(b'm' | b'M') => (&s[..s.len() - 1], 1u64 << 20),
+        Some(b'g' | b'G') => (&s[..s.len() - 1], 1u64 << 30),
+        _ => (s, 1),
+    };
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| CanvasError::usage(format!("not a byte size: {s:?} (try 512k, 64m, 1g)")))?;
+    n.checked_mul(mult).ok_or_else(|| CanvasError::usage(format!("byte size overflows: {s:?}")))
 }
 
 /// Arms the `canvas-log/1` NDJSON file sink and lowers the log threshold

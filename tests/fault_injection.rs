@@ -9,6 +9,7 @@
 //! global, so the faults must be injected sequentially.
 
 use canvas_conformance::faults::{force, unforce, Fault};
+use canvas_conformance::incr::service::{serve, ServeConfig};
 use canvas_conformance::incr::store::CertCache;
 use canvas_conformance::incr::{report_digest, IncrementalCertifier};
 use canvas_conformance::suite::oracle::{explore, OracleConfig, OracleError};
@@ -144,4 +145,52 @@ fn every_injected_fault_is_contained() {
         "recovery must never change the verdict"
     );
     std::fs::remove_dir_all(&dir).ok();
+
+    // the serve front-end faults: a single-line JSON-safe client script
+    const FIG3_JSON: &str = "class Main { static void main() { Set v = new Set(); \
+         Iterator i = v.iterator(); v.add(\\\"x\\\"); i.next(); } }";
+    let script = format!(
+        "{{\"id\":1,\"cmd\":\"certify\",\"source\":\"{FIG3_JSON}\"}}\n\
+         {{\"id\":2,\"cmd\":\"shutdown\"}}\n"
+    );
+    let run_serve = |script: &str| -> (Result<(), canvas_core::CanvasError>, String) {
+        let mut out = Vec::new();
+        let result = serve(
+            std::io::Cursor::new(script.to_string()),
+            &mut out,
+            &ServeConfig { workers: 1, ..ServeConfig::default() },
+        );
+        (result, String::from_utf8_lossy(&out).into_owned())
+    };
+
+    // queue-full: every certify is shed deterministically in-band; control
+    // verbs bypass admission, the loop drains cleanly
+    force(Some(Fault::QueueFull));
+    let (result, out) = run_serve(&script);
+    unforce();
+    assert!(result.is_ok(), "{result:?}");
+    assert!(out.contains("\"reason\":\"overloaded: queue full\""), "{out}");
+    assert!(out.contains("\"shed\":true"), "{out}");
+    assert!(out.contains("\"shutdown\":true"), "{out}");
+
+    // conn-drop: the response write tears mid-line; only that connection
+    // is poisoned and the daemon still drains with a clean exit
+    force(Some(Fault::ConnDrop));
+    let (result, out) = run_serve(&script);
+    unforce();
+    assert!(result.is_ok(), "{result:?}");
+    assert!(!out.contains('\n'), "no complete line escapes a torn connection: {out}");
+
+    // slow-client: the stalled write times out; same containment
+    force(Some(Fault::SlowClient));
+    let (result, out) = run_serve(&script);
+    unforce();
+    assert!(result.is_ok(), "{result:?}");
+    assert!(out.is_empty(), "a timed-out write sends nothing: {out}");
+
+    // with every fault gone, the same script round-trips normally
+    let (result, out) = run_serve(&script);
+    assert!(result.is_ok(), "{result:?}");
+    assert!(out.contains("\"verdict\":\"violations\""), "{out}");
+    assert!(out.contains("\"shutdown\":true"), "{out}");
 }
