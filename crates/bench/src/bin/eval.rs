@@ -8,6 +8,7 @@
 //! eval trace-check PATH
 //! eval oracle
 //! eval fixpoint [--json PATH] [--check-baseline PATH]
+//! eval fleet [--json PATH] [--check-baseline PATH]
 //! eval obs [--json PATH] [--gate]
 //! eval overload [--json PATH] [--gate]
 //! eval log-check FILE
@@ -92,6 +93,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("fixpoint") {
         return fixpoint(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("fleet") {
+        return fleet(&args[1..]);
     }
     if args.first().map(String::as_str) == Some("obs") {
         return obs(&args[1..]);
@@ -328,6 +332,81 @@ fn fixpoint(args: &[String]) -> ExitCode {
             println!("baseline check: fixpoint counters match {path}");
         } else {
             eprintln!("fixpoint baseline drift against {path}:");
+            for d in &drift {
+                eprintln!("  {d}");
+            }
+            eprintln!("({} difference(s); wall times are never gated)", drift.len());
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `eval fleet [--json PATH] [--check-baseline PATH]`: the E15 fleet
+/// benchmark — shard sweep (1/2/4/8) over a fixed synthetic corpus plus a
+/// cold->warm certificate-store pair. `--check-baseline` gates the
+/// deterministic section (verdicts, digests, warm-run misses) against the
+/// committed baseline's `"fleet"` key and exits 1 on drift.
+fn fleet(args: &[String]) -> ExitCode {
+    use canvas_bench::fleet::{collect_fleet_metrics, fleet_drift, fleet_to_json, render_fleet};
+    let mut json_out: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => json_out = Some(p.clone()),
+                    None => {
+                        eprintln!("--json needs a path");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--check-baseline" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => baseline = Some(p.clone()),
+                    None => {
+                        eprintln!("--check-baseline needs a path");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown fleet option {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    let m = collect_fleet_metrics();
+    print!("{}", render_fleet(&m));
+    let doc = fleet_to_json(&m);
+    if let Some(path) = &json_out {
+        if let Err(e) = std::fs::write(path, doc.render()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("wrote {path}");
+    }
+    if let Some(path) = &baseline {
+        let base = match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| Json::parse(&text).map_err(|e| format!("not a JSON document: {e}")))
+        {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot read baseline {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let drift = fleet_drift(&doc, &base);
+        if drift.is_empty() {
+            println!("baseline check: fleet counters match {path}");
+        } else {
+            eprintln!("fleet baseline drift against {path}:");
             for d in &drift {
                 eprintln!("  {d}");
             }

@@ -18,6 +18,7 @@ use canvas_suite::{corpus, generators, Benchmark};
 pub use canvas_incr::json;
 
 pub mod fixpoint;
+pub mod fleet;
 pub mod obs;
 pub mod overload;
 

@@ -307,11 +307,15 @@ pub enum Fault {
     /// The serve admission queue reports full on every enqueue: models a
     /// saturated daemon, proving admission rejection sheds in-band.
     QueueFull,
+    /// One fleet worker dies mid-corpus: models a crashed shard in a
+    /// corpus-scale run, proving shard death poisons only that shard (its
+    /// in-flight program is lost; the rest of its partition is stolen).
+    ShardDeath,
 }
 
 impl Fault {
     /// Every injection point, in catalog order.
-    pub const ALL: [Fault; 8] = [
+    pub const ALL: [Fault; 9] = [
         Fault::TruncateInput,
         Fault::SolverAbort,
         Fault::BudgetTrip,
@@ -320,6 +324,7 @@ impl Fault {
         Fault::ConnDrop,
         Fault::SlowClient,
         Fault::QueueFull,
+        Fault::ShardDeath,
     ];
 
     /// The `CANVAS_FAULT` name of this point.
@@ -334,6 +339,7 @@ impl Fault {
             Fault::ConnDrop => "conn-drop",
             Fault::SlowClient => "slow-client",
             Fault::QueueFull => "queue-full",
+            Fault::ShardDeath => "shard-death",
         }
     }
 

@@ -1,0 +1,316 @@
+//! The corpus manifest: `canvas-fleet-manifest/1`.
+//!
+//! A corpus on disk is a directory of `.mj` clients plus one
+//! `manifest.json` recording, per entry, the file's byte length, its
+//! source fingerprint, its generator family, and its ground-truth
+//! violation lines — and, over all entries, an order- and
+//! content-sensitive corpus digest (see
+//! `canvas_incr::fingerprint::fingerprint_manifest`). Loading verifies
+//! every file against its recorded fingerprint, so a tampered or
+//! half-written corpus fails closed instead of skewing a fleet report.
+
+use std::path::Path;
+
+use canvas_core::{CanvasError, ErrorKind, Stage};
+use canvas_incr::fingerprint::{fingerprint_manifest, fingerprint_source, Fingerprint};
+use canvas_incr::json::{obj, Json};
+
+use crate::gen::{GenParams, GeneratedProgram};
+
+/// The manifest format tag.
+pub const MANIFEST_FORMAT: &str = "canvas-fleet-manifest/1";
+/// The manifest file name inside a corpus directory.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// One corpus entry.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ManifestEntry {
+    /// Corpus-relative file name.
+    pub name: String,
+    /// Generator family (informational).
+    pub family: String,
+    /// Source length in bytes.
+    pub bytes: u64,
+    /// Fingerprint of the source text.
+    pub fp: Fingerprint,
+    /// Ground-truth `scmp-fds` violation lines, ascending.
+    pub expected: Vec<u32>,
+}
+
+/// The corpus manifest.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Manifest {
+    /// Spec the corpus targets (generator emits CMP clients).
+    pub spec: String,
+    /// Generator seed.
+    pub seed: u64,
+    /// Generator shape parameters (echoed for reproduction).
+    pub params: GenParams,
+    /// Per-program entries, in generation order.
+    pub entries: Vec<ManifestEntry>,
+    /// `fingerprint_manifest` over `(name, source fingerprint)` pairs.
+    pub digest: Fingerprint,
+}
+
+/// A corpus program as the driver consumes it.
+#[derive(Clone, Debug)]
+pub struct FleetItem {
+    /// Display name (corpus-relative file name).
+    pub name: String,
+    /// The mini-Java source.
+    pub source: String,
+    /// Ground truth for `scmp-fds`, when the corpus records it.
+    pub expected: Option<Vec<u32>>,
+}
+
+fn cache_err(message: impl Into<String>) -> CanvasError {
+    CanvasError::new(Stage::Cache, ErrorKind::Parse, message)
+}
+
+impl Manifest {
+    /// Builds the manifest of a freshly generated corpus.
+    pub fn from_programs(params: &GenParams, programs: &[GeneratedProgram]) -> Manifest {
+        let entries: Vec<ManifestEntry> = programs
+            .iter()
+            .map(|p| ManifestEntry {
+                name: p.name.clone(),
+                family: p.family.to_string(),
+                bytes: p.source.len() as u64,
+                fp: fingerprint_source(&p.source),
+                expected: p.expected.clone(),
+            })
+            .collect();
+        let digest = fingerprint_manifest(entries.iter().map(|e| (e.name.as_str(), e.fp)));
+        Manifest { spec: "cmp".to_string(), seed: params.seed, params: *params, entries, digest }
+    }
+
+    /// Renders the manifest as its JSON document.
+    pub fn to_json(&self) -> Json {
+        obj(vec![
+            ("format", Json::Str(MANIFEST_FORMAT.to_string())),
+            ("spec", Json::Str(self.spec.clone())),
+            ("seed", Json::Int(self.seed)),
+            (
+                "params",
+                obj(vec![
+                    ("programs", Json::Int(self.params.programs as u64)),
+                    ("max_methods", Json::Int(self.params.max_methods as u64)),
+                    ("max_loop_depth", Json::Int(self.params.max_loop_depth as u64)),
+                    // the schema has no floats; the rate is stored in permille
+                    (
+                        "violation_permille",
+                        Json::Int((self.params.violation_rate * 1000.0).round() as u64),
+                    ),
+                ]),
+            ),
+            ("digest", Json::Str(self.digest.to_string())),
+            (
+                "entries",
+                Json::Arr(
+                    self.entries
+                        .iter()
+                        .map(|e| {
+                            obj(vec![
+                                ("name", Json::Str(e.name.clone())),
+                                ("family", Json::Str(e.family.clone())),
+                                ("bytes", Json::Int(e.bytes)),
+                                ("fp", Json::Str(e.fp.to_string())),
+                                (
+                                    "expected",
+                                    Json::Arr(
+                                        e.expected
+                                            .iter()
+                                            .map(|&l| Json::Int(u64::from(l)))
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses a manifest document and re-verifies its digest.
+    ///
+    /// # Errors
+    ///
+    /// A `cache`-stage error for an unknown format tag, a malformed
+    /// document, or a digest that does not match the entries.
+    pub fn from_json(json: &Json) -> Result<Manifest, CanvasError> {
+        let str_of = |j: Option<&Json>, what: &str| match j {
+            Some(Json::Str(s)) => Ok(s.clone()),
+            _ => Err(cache_err(format!("manifest: missing or non-string {what}"))),
+        };
+        let int_of = |j: Option<&Json>, what: &str| match j {
+            Some(Json::Int(n)) => Ok(*n),
+            _ => Err(cache_err(format!("manifest: missing or non-integer {what}"))),
+        };
+        let format = str_of(json.get("format"), "format")?;
+        if format != MANIFEST_FORMAT {
+            return Err(cache_err(format!(
+                "manifest: format {format:?} is not {MANIFEST_FORMAT:?}"
+            )));
+        }
+        let spec = str_of(json.get("spec"), "spec")?;
+        let seed = int_of(json.get("seed"), "seed")?;
+        let params_json =
+            json.get("params").ok_or_else(|| cache_err("manifest: missing params"))?;
+        let params = GenParams {
+            programs: int_of(params_json.get("programs"), "params.programs")? as usize,
+            seed,
+            max_methods: int_of(params_json.get("max_methods"), "params.max_methods")? as usize,
+            max_loop_depth: int_of(params_json.get("max_loop_depth"), "params.max_loop_depth")?
+                as usize,
+            violation_rate: int_of(
+                params_json.get("violation_permille"),
+                "params.violation_permille",
+            )? as f64
+                / 1000.0,
+        };
+        let digest = Fingerprint::parse(&str_of(json.get("digest"), "digest")?)
+            .ok_or_else(|| cache_err("manifest: malformed digest"))?;
+        let Some(Json::Arr(raw_entries)) = json.get("entries") else {
+            return Err(cache_err("manifest: missing entries array"));
+        };
+        let mut entries = Vec::with_capacity(raw_entries.len());
+        for e in raw_entries {
+            let fp = Fingerprint::parse(&str_of(e.get("fp"), "entry fp")?)
+                .ok_or_else(|| cache_err("manifest: malformed entry fp"))?;
+            let mut expected = Vec::new();
+            if let Some(Json::Arr(lines)) = e.get("expected") {
+                for l in lines {
+                    match l {
+                        Json::Int(n) => expected.push(*n as u32),
+                        _ => return Err(cache_err("manifest: non-integer expected line")),
+                    }
+                }
+            }
+            entries.push(ManifestEntry {
+                name: str_of(e.get("name"), "entry name")?,
+                family: str_of(e.get("family"), "entry family")?,
+                bytes: int_of(e.get("bytes"), "entry bytes")?,
+                fp,
+                expected,
+            });
+        }
+        let recomputed = fingerprint_manifest(entries.iter().map(|e| (e.name.as_str(), e.fp)));
+        if recomputed != digest {
+            return Err(cache_err(format!(
+                "manifest: digest {digest} does not match entries (recomputed {recomputed})"
+            )));
+        }
+        Ok(Manifest { spec, seed, params, entries, digest })
+    }
+}
+
+/// Writes a corpus directory: every program file plus the manifest.
+/// Refuses an existing `dir` unless `force` (a fleet run must never
+/// silently clobber a corpus someone else is certifying).
+///
+/// # Errors
+///
+/// A `cache`-stage error when `dir` exists without `force`, or on I/O.
+pub fn write_corpus(
+    dir: &Path,
+    manifest: &Manifest,
+    programs: &[GeneratedProgram],
+    force: bool,
+) -> Result<(), CanvasError> {
+    if dir.exists() && !force {
+        return Err(CanvasError::new(
+            Stage::Cache,
+            ErrorKind::Io,
+            format!("output directory {} exists; pass --force to overwrite", dir.display()),
+        ));
+    }
+    std::fs::create_dir_all(dir)
+        .map_err(|e| CanvasError::io(Stage::Cache, &dir.display().to_string(), &e))?;
+    for p in programs {
+        let path = dir.join(&p.name);
+        std::fs::write(&path, &p.source)
+            .map_err(|e| CanvasError::io(Stage::Cache, &path.display().to_string(), &e))?;
+    }
+    let path = dir.join(MANIFEST_FILE);
+    std::fs::write(&path, manifest.to_json().render())
+        .map_err(|e| CanvasError::io(Stage::Cache, &path.display().to_string(), &e))?;
+    Ok(())
+}
+
+/// Loads a corpus directory, verifying every file against its manifest
+/// fingerprint.
+///
+/// # Errors
+///
+/// A `cache`-stage error for a missing/malformed manifest, a missing
+/// program file, or a file whose content no longer matches its recorded
+/// fingerprint.
+pub fn load_corpus(dir: &Path) -> Result<(Manifest, Vec<FleetItem>), CanvasError> {
+    let path = dir.join(MANIFEST_FILE);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| CanvasError::io(Stage::Cache, &path.display().to_string(), &e))?;
+    let json = Json::parse(&text)
+        .map_err(|e| cache_err(format!("{}: not valid JSON: {e}", path.display())))?;
+    let manifest = Manifest::from_json(&json)?;
+    let mut items = Vec::with_capacity(manifest.entries.len());
+    for entry in &manifest.entries {
+        let file = dir.join(&entry.name);
+        let source = std::fs::read_to_string(&file)
+            .map_err(|e| CanvasError::io(Stage::Cache, &file.display().to_string(), &e))?;
+        let fp = fingerprint_source(&source);
+        if fp != entry.fp {
+            return Err(cache_err(format!(
+                "{}: content fingerprint {fp} does not match manifest ({})",
+                file.display(),
+                entry.fp
+            )));
+        }
+        items.push(FleetItem {
+            name: entry.name.clone(),
+            source,
+            expected: Some(entry.expected.clone()),
+        });
+    }
+    Ok((manifest, items))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate_with_threads;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "canvas-fleet-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn manifest_round_trips_and_verifies() {
+        let params = GenParams { programs: 6, seed: 11, ..Default::default() };
+        let programs = generate_with_threads(&params, 1).expect("generation succeeds");
+        let manifest = Manifest::from_programs(&params, &programs);
+        let back = Manifest::from_json(&manifest.to_json()).expect("round trip");
+        assert_eq!(back, manifest);
+
+        let dir = tmpdir("roundtrip");
+        write_corpus(&dir, &manifest, &programs, false).expect("write");
+        // refuses to clobber without force
+        assert!(write_corpus(&dir, &manifest, &programs, false).is_err());
+        write_corpus(&dir, &manifest, &programs, true).expect("force overwrites");
+        let (loaded, items) = load_corpus(&dir).expect("load");
+        assert_eq!(loaded.digest, manifest.digest);
+        assert_eq!(items.len(), programs.len());
+        assert_eq!(items[0].source, programs[0].source);
+
+        // tampering with a program file fails closed
+        std::fs::write(dir.join(&programs[0].name), "class P { }\n").expect("tamper");
+        assert!(load_corpus(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

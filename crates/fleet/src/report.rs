@@ -1,0 +1,330 @@
+//! The aggregated fleet report: table rendering and the
+//! `canvas-bench-fleet/1` JSON document.
+//!
+//! The document is split the same way the evaluation metrics are: a
+//! `deterministic` section (verdict counts, ground-truth mismatches, the
+//! corpus outcome digest — schedule-independent, baseline-gateable) and a
+//! `measured` section (wall clock, cache traffic, steals, per-shard
+//! latency — all schedule- or machine-dependent, recorded but never
+//! gated). Work stealing moves *where* a program runs, never *what* its
+//! report says, which is what keeps the first section deterministic.
+
+use std::time::Duration;
+
+use canvas_incr::fingerprint::Fingerprint;
+use canvas_incr::json::{obj, Json};
+
+/// The `canvas fleet` JSON format tag.
+pub const REPORT_FORMAT: &str = "canvas-bench-fleet/1";
+
+/// A small log2-bucketed latency histogram (nanosecond samples).
+///
+/// The telemetry crate's histograms are process-global statics; per-shard
+/// latency needs a value type, so the fleet keeps its own.
+#[derive(Clone, Debug)]
+pub struct LatencyHist {
+    buckets: [u64; 64],
+    count: u64,
+    total_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHist {
+    fn default() -> LatencyHist {
+        LatencyHist { buckets: [0; 64], count: 0, total_ns: 0, max_ns: 0 }
+    }
+}
+
+impl LatencyHist {
+    /// Records one nanosecond sample.
+    pub fn record(&mut self, ns: u64) {
+        let bucket = (64 - ns.leading_zeros() as usize).min(63);
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Upper bound (ns) of the bucket containing quantile `q` in `[0,1]`.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return if i >= 63 { u64::MAX } else { (1u64 << i) - 1 };
+            }
+        }
+        self.max_ns
+    }
+
+    /// Mean sample (ns).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Largest sample (ns).
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+}
+
+/// Per-shard outcome row.
+#[derive(Clone, Debug, Default)]
+pub struct ShardRow {
+    /// Shard index.
+    pub shard: usize,
+    /// Programs this shard's worker completed (own partition + stolen).
+    pub processed: u64,
+    /// Of those, programs stolen from other shards' partitions.
+    pub stolen: u64,
+    /// Programs that panicked inside this worker (contained per-program).
+    pub poisoned_programs: u64,
+    /// Whether the worker itself died (shard poisoned; its in-flight
+    /// program is lost, the rest of its partition was stolen).
+    pub dead: bool,
+    /// Certificate-cache hits by this worker.
+    pub hits: u64,
+    /// Certificate-cache misses (fresh solves) by this worker.
+    pub misses: u64,
+    /// Misses seeded from a stale entry's fixpoint (delta re-solve).
+    pub delta_seeded: u64,
+    /// Per-program latency distribution.
+    pub latency: LatencyHist,
+}
+
+/// Certificate-cache traffic over the whole fleet run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FleetCacheTraffic {
+    /// Cells answered from a shard cache.
+    pub hits: u64,
+    /// Cells solved fresh.
+    pub misses: u64,
+    /// Misses seeded by within-method delta re-solve.
+    pub delta_seeded: u64,
+    /// Entries copied from the warm store into shard caches at startup.
+    pub seeded: u64,
+    /// New entries merged from shard caches into the final store.
+    pub merged: u64,
+    /// Entries already present (byte-identical) at merge time.
+    pub duplicates: u64,
+    /// Same-key different-bytes merge collisions (receiver kept).
+    pub conflicts: u64,
+}
+
+/// The aggregated result of one fleet run.
+#[derive(Clone, Debug)]
+pub struct FleetReport {
+    /// Engine name (e.g. `scmp-fds`).
+    pub engine: String,
+    /// Spec name (e.g. `cmp`).
+    pub spec: String,
+    /// `local` or `serve` (remote backends).
+    pub mode: String,
+    /// Shard count.
+    pub shards_requested: usize,
+    /// Corpus size.
+    pub programs: usize,
+    /// Programs certified conformant.
+    pub certified: usize,
+    /// Programs with at least one potential violation.
+    pub violating: usize,
+    /// Total violation sites.
+    pub violation_sites: usize,
+    /// Programs with an inconclusive verdict.
+    pub inconclusive: usize,
+    /// Programs whose worker panicked, errored, or died mid-flight.
+    pub poisoned_programs: usize,
+    /// Workers that died (shards poisoned).
+    pub dead_shards: usize,
+    /// Programs checked against manifest ground truth.
+    pub truth_checked: usize,
+    /// Ground-truth disagreements (must be 0 for `scmp-fds` corpora).
+    pub truth_mismatches: usize,
+    /// Index-ordered digest over per-program outcomes
+    /// (schedule-independent; a warm re-run must reproduce it exactly).
+    pub corpus_digest: Fingerprint,
+    /// The corpus manifest digest, when the run had a manifest.
+    pub manifest_digest: Option<Fingerprint>,
+    /// Aggregated cache traffic.
+    pub cache: FleetCacheTraffic,
+    /// Work-stealing moves.
+    pub steals: u64,
+    /// Per-shard rows.
+    pub shard_rows: Vec<ShardRow>,
+    /// End-to-end wall clock.
+    pub wall: Duration,
+    /// Of which, final cache merge.
+    pub merge_wall: Duration,
+}
+
+impl FleetReport {
+    /// Renders the human-readable table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "fleet: {} programs, engine {}, spec {}, {} shards ({})\n",
+            self.programs, self.engine, self.spec, self.shards_requested, self.mode
+        ));
+        out.push_str(&format!(
+            "  verdicts: {} certified, {} violating ({} sites), {} inconclusive\n",
+            self.certified, self.violating, self.violation_sites, self.inconclusive
+        ));
+        out.push_str(&format!(
+            "  failures: {} poisoned programs, {} dead shards, {} truth mismatches ({} checked)\n",
+            self.poisoned_programs, self.dead_shards, self.truth_mismatches, self.truth_checked
+        ));
+        out.push_str(&format!("  corpus digest: {}", self.corpus_digest));
+        if let Some(m) = self.manifest_digest {
+            out.push_str(&format!("  (manifest {m})"));
+        }
+        out.push('\n');
+        out.push_str(&format!(
+            "  cache: {} hits, {} misses, {} delta-seeded, {} seeded, merged {} (+{} duplicate, {} conflicts)\n",
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.delta_seeded,
+            self.cache.seeded,
+            self.cache.merged,
+            self.cache.duplicates,
+            self.cache.conflicts
+        ));
+        out.push_str(&format!(
+            "  wall: {} ms (merge {} ms), {} steals\n",
+            self.wall.as_millis(),
+            self.merge_wall.as_millis(),
+            self.steals
+        ));
+        out.push_str(
+            "  shard  programs  stolen  poisoned  hits  misses  p50us  p99us  maxus  dead\n",
+        );
+        for r in &self.shard_rows {
+            out.push_str(&format!(
+                "  {:>5}  {:>8}  {:>6}  {:>8}  {:>4}  {:>6}  {:>5}  {:>5}  {:>5}  {}\n",
+                r.shard,
+                r.processed,
+                r.stolen,
+                r.poisoned_programs,
+                r.hits,
+                r.misses,
+                r.latency.quantile_ns(0.50) / 1_000,
+                r.latency.quantile_ns(0.99) / 1_000,
+                r.latency.max_ns() / 1_000,
+                if r.dead { "yes" } else { "no" }
+            ));
+        }
+        out
+    }
+
+    /// Renders the `canvas-bench-fleet/1` JSON document.
+    pub fn to_json(&self) -> Json {
+        obj(vec![
+            ("format", Json::Str(REPORT_FORMAT.to_string())),
+            (
+                "deterministic",
+                obj(vec![
+                    ("programs", Json::Int(self.programs as u64)),
+                    ("certified", Json::Int(self.certified as u64)),
+                    ("violating", Json::Int(self.violating as u64)),
+                    ("violation_sites", Json::Int(self.violation_sites as u64)),
+                    ("inconclusive", Json::Int(self.inconclusive as u64)),
+                    ("truth_checked", Json::Int(self.truth_checked as u64)),
+                    ("truth_mismatches", Json::Int(self.truth_mismatches as u64)),
+                    ("corpus_digest", Json::Str(self.corpus_digest.to_string())),
+                    (
+                        "manifest_digest",
+                        match self.manifest_digest {
+                            Some(m) => Json::Str(m.to_string()),
+                            None => Json::Null,
+                        },
+                    ),
+                    ("engine", Json::Str(self.engine.clone())),
+                    ("spec", Json::Str(self.spec.clone())),
+                ]),
+            ),
+            (
+                "measured",
+                obj(vec![
+                    ("mode", Json::Str(self.mode.clone())),
+                    ("shards", Json::Int(self.shards_requested as u64)),
+                    ("wall_ms", Json::Int(self.wall.as_millis() as u64)),
+                    ("merge_ms", Json::Int(self.merge_wall.as_millis() as u64)),
+                    ("steals", Json::Int(self.steals)),
+                    ("poisoned_programs", Json::Int(self.poisoned_programs as u64)),
+                    ("dead_shards", Json::Int(self.dead_shards as u64)),
+                    (
+                        "cache",
+                        obj(vec![
+                            ("hits", Json::Int(self.cache.hits)),
+                            ("misses", Json::Int(self.cache.misses)),
+                            ("delta_seeded", Json::Int(self.cache.delta_seeded)),
+                            ("seeded", Json::Int(self.cache.seeded)),
+                            ("merged", Json::Int(self.cache.merged)),
+                            ("duplicates", Json::Int(self.cache.duplicates)),
+                            ("conflicts", Json::Int(self.cache.conflicts)),
+                        ]),
+                    ),
+                    (
+                        "shard_rows",
+                        Json::Arr(
+                            self.shard_rows
+                                .iter()
+                                .map(|r| {
+                                    obj(vec![
+                                        ("shard", Json::Int(r.shard as u64)),
+                                        ("processed", Json::Int(r.processed)),
+                                        ("stolen", Json::Int(r.stolen)),
+                                        ("poisoned_programs", Json::Int(r.poisoned_programs)),
+                                        ("dead", Json::Bool(r.dead)),
+                                        ("hits", Json::Int(r.hits)),
+                                        ("misses", Json::Int(r.misses)),
+                                        ("delta_seeded", Json::Int(r.delta_seeded)),
+                                        ("p50_us", Json::Int(r.latency.quantile_ns(0.50) / 1_000)),
+                                        ("p90_us", Json::Int(r.latency.quantile_ns(0.90) / 1_000)),
+                                        ("p99_us", Json::Int(r.latency.quantile_ns(0.99) / 1_000)),
+                                        ("max_us", Json::Int(r.latency.max_ns() / 1_000)),
+                                        ("mean_us", Json::Int(r.latency.mean_ns() / 1_000)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_hist_quantiles_are_monotone() {
+        let mut h = LatencyHist::default();
+        for ns in [100u64, 200, 400, 800, 1_600, 3_200, 640_000] {
+            h.record(ns);
+        }
+        assert_eq!(h.count(), 7);
+        let p50 = h.quantile_ns(0.50);
+        let p99 = h.quantile_ns(0.99);
+        assert!(p50 <= p99, "{p50} <= {p99}");
+        assert!(h.max_ns() >= 640_000);
+        assert!(h.mean_ns() > 0);
+    }
+
+    #[test]
+    fn empty_hist_is_all_zero() {
+        let h = LatencyHist::default();
+        assert_eq!(h.quantile_ns(0.99), 0);
+        assert_eq!(h.mean_ns(), 0);
+    }
+}

@@ -424,6 +424,35 @@ impl ProgramFingerprints {
     }
 }
 
+/// Fingerprint of a raw source text (length-prefixed, so it composes into
+/// manifests without aliasing). This is the per-program digest recorded in
+/// a fleet corpus manifest: it identifies the *bytes* handed to the
+/// frontend, not the parsed IR, so a manifest can be checked without
+/// parsing anything.
+pub fn fingerprint_source(source: &str) -> Fingerprint {
+    let mut h = Hasher64::new();
+    h.write_str(source);
+    h.finish()
+}
+
+/// Fingerprint of a corpus manifest: the ordered sequence of
+/// `(program name, source fingerprint)` entries. Order is part of the
+/// digest — a manifest is a concrete file listing, and two listings that
+/// disagree on order are different artifacts.
+pub fn fingerprint_manifest<'a>(
+    entries: impl IntoIterator<Item = (&'a str, Fingerprint)>,
+) -> Fingerprint {
+    let mut h = Hasher64::new();
+    let mut n: u64 = 0;
+    for (name, fp) in entries {
+        h.write_str(name);
+        h.write_fp(fp);
+        n += 1;
+    }
+    h.write_u64(n);
+    h.finish()
+}
+
 /// The cache key of one `(method, entry, engine)` cell: the method body,
 /// its dependency set, the spec + derived abstraction, the entry
 /// assumption, and the engine/budget configuration.
@@ -570,6 +599,19 @@ class Main {
             .expect("cmp derives")
             .with_explain(true);
         assert_ne!(fds, fingerprint_config(&explaining, Engine::ScmpFds));
+    }
+
+    #[test]
+    fn manifest_fingerprints_see_content_order_and_length() {
+        let a = fingerprint_source("class A {}");
+        let b = fingerprint_source("class B {}");
+        assert_ne!(a, b);
+        assert_eq!(a, fingerprint_source("class A {}"));
+        let m1 = fingerprint_manifest([("p0.mj", a), ("p1.mj", b)]);
+        assert_eq!(m1, fingerprint_manifest([("p0.mj", a), ("p1.mj", b)]));
+        assert_ne!(m1, fingerprint_manifest([("p1.mj", b), ("p0.mj", a)]), "order matters");
+        assert_ne!(m1, fingerprint_manifest([("p0.mj", a)]), "length matters");
+        assert_ne!(m1, fingerprint_manifest([("p0.mj", b), ("p1.mj", a)]), "contents matter");
     }
 
     #[test]

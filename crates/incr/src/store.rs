@@ -63,6 +63,12 @@ static CACHE_EVICTIONS: canvas_telemetry::Counter =
 /// stays a baseline-gated counter; *live* occupancy is the
 /// `canvas_serve_cache_bytes` gauge).
 static CACHE_BYTES: canvas_telemetry::Counter = canvas_telemetry::Counter::new("incr.cache_bytes");
+/// Certificates copied in by [`CertCache::merge_from`]. Which shard of a
+/// fleet run computed (and therefore donates) a given cell depends on
+/// work-stealing order, so the split between merged and duplicate entries
+/// is schedule-dependent: recorded, never gated.
+static CACHE_MERGED: canvas_telemetry::Counter =
+    canvas_telemetry::Counter::non_deterministic("incr.cache_merged");
 
 /// The engines' known static witness-unavailability reasons.
 /// `Witness::Unavailable` holds a `&'static str`, so a reason loaded from
@@ -528,8 +534,22 @@ pub struct CacheStats {
     pub spill_hits: u64,
     /// Certificates loaded from disk at open time.
     pub loaded: u64,
+    /// Certificates copied in from other stores by [`CertCache::merge_from`].
+    pub merged: u64,
     /// Whether the on-disk file was corrupt (fully or partially dropped).
     pub recovered_from_corruption: bool,
+}
+
+/// Outcome of one [`CertCache::merge_from`] call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct MergeStats {
+    /// Entries the donor held that the receiver did not: copied over.
+    pub merged: u64,
+    /// Entries both stores already held byte-identically: skipped.
+    pub duplicates: u64,
+    /// Keys held by both stores under *different* bytes (a fingerprint
+    /// collision or corruption): the receiver's entry wins.
+    pub conflicts: u64,
 }
 
 /// One hot-tier entry: the decoded certificate plus the exact store line
@@ -815,6 +835,99 @@ impl CertCache {
             }
         }
         inner.dirty = true;
+    }
+
+    /// Every certificate line currently held (hot tier plus spill), in
+    /// sorted key order — exactly the lines [`CertCache::persist`] would
+    /// write. The export is the store's merge interchange format: entries
+    /// are content-addressed, so a line is a self-contained certificate.
+    pub fn export_lines(&self) -> Vec<(Fingerprint, std::sync::Arc<str>)> {
+        let inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut lines: Vec<(u64, std::sync::Arc<str>)> =
+            inner.spill.iter().map(|(k, l)| (*k, l.clone())).collect();
+        lines.extend(self.hot.entries().into_iter().map(|(k, e)| (k, e.line)));
+        drop(inner);
+        lines.sort_unstable_by_key(|(k, _)| *k);
+        lines.into_iter().map(|(k, l)| (Fingerprint(k), l)).collect()
+    }
+
+    /// Copies every certificate of `other` that this store does not
+    /// already hold. The merge is *lossless* — no entry of either store is
+    /// dropped — and *order-independent*: entries are content-addressed,
+    /// so a key present in both stores names the same certificate and the
+    /// duplicate is skipped, whichever store donated first. A key present
+    /// in both under *different* bytes is counted as a conflict (it can
+    /// be benign: a delta-seeded re-solve records different `work` for
+    /// the same verdict) and resolved deterministically in favor of the
+    /// lexicographically smaller line, keeping the merge commutative.
+    pub fn merge_from(&self, other: &CertCache) -> MergeStats {
+        // snapshot before taking our own lock: two stores merging into
+        // each other concurrently must not deadlock on crossed inner locks
+        let donor = other.export_lines();
+        let mut out = MergeStats::default();
+        let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        for (key, line) in donor {
+            let in_hot = self.hot.peek(key.0).map(|e| e.line);
+            let existing = in_hot.clone().or_else(|| inner.spill.get(&key.0).cloned());
+            if let Some(mine) = existing {
+                if *mine == *line {
+                    out.duplicates += 1;
+                } else {
+                    // Same key, different bytes. This is benign when two
+                    // runs solved the same cell along different paths (a
+                    // delta-seeded re-solve records different `work` than a
+                    // from-⊥ solve). Resolve deterministically — keep the
+                    // lexicographically smaller line — so merge is
+                    // commutative: merge(a, b) and merge(b, a) persist
+                    // byte-identical stores even under conflicts.
+                    out.conflicts += 1;
+                    if *line < *mine {
+                        if let Ok(report) = decode_line(&line) {
+                            if in_hot.is_some() {
+                                let cost = line_cost(&line);
+                                CACHE_BYTES.add(cost as u64);
+                                for (k, e) in self.hot.insert(
+                                    key.0,
+                                    HotEntry { report, line: line.clone() },
+                                    cost,
+                                ) {
+                                    inner.stats.evictions += 1;
+                                    CACHE_EVICTIONS.incr();
+                                    if self.path.is_some() {
+                                        inner.spill.insert(k, e.line);
+                                    }
+                                }
+                            }
+                            if inner.spill.contains_key(&key.0) {
+                                inner.spill.insert(key.0, line.clone());
+                            }
+                            inner.dirty = true;
+                        }
+                    }
+                }
+                continue;
+            }
+            // a decode failure is unreachable (the donor wrote that line
+            // itself); counted as a conflict rather than admitted blindly
+            let Ok(report) = decode_line(&line) else {
+                out.conflicts += 1;
+                continue;
+            };
+            let cost = line_cost(&line);
+            CACHE_MERGED.incr();
+            CACHE_BYTES.add(cost as u64);
+            for (k, e) in self.hot.insert(key.0, HotEntry { report, line: line.clone() }, cost) {
+                inner.stats.evictions += 1;
+                CACHE_EVICTIONS.incr();
+                if self.path.is_some() {
+                    inner.spill.insert(k, e.line);
+                }
+            }
+            inner.stats.merged += 1;
+            out.merged += 1;
+            inner.dirty = true;
+        }
+        out
     }
 
     /// Number of certificates currently held (hot tier plus spill).
@@ -1149,6 +1262,56 @@ mod tests {
         assert_eq!(cache.stats().evictions, 0, "load placement is not an eviction");
         assert!(cache.memory_bytes() <= budget);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn merge_is_lossless_and_order_independent() {
+        let sample2 = CachedReport { work: 999, ..sample() };
+        let build = |keys: &[(u64, &CachedReport)]| {
+            let c = CertCache::in_memory();
+            for (k, r) in keys {
+                c.store(Fingerprint(*k), (*r).clone());
+            }
+            c
+        };
+        let render = |c: &CertCache| {
+            c.export_lines()
+                .into_iter()
+                .map(|(k, l)| format!("{k} {l}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        // overlapping stores: 1,2 vs 2,3 (key 2 identical in both)
+        let ab = build(&[(1, &sample()), (2, &sample2)]);
+        let stats = ab.merge_from(&build(&[(2, &sample2), (3, &sample())]));
+        assert_eq!(stats, MergeStats { merged: 1, duplicates: 1, conflicts: 0 });
+        let ba = build(&[(2, &sample2), (3, &sample())]);
+        ba.merge_from(&build(&[(1, &sample()), (2, &sample2)]));
+        assert_eq!(render(&ab), render(&ba), "merge must be order-independent");
+        assert_eq!(ab.len(), 3);
+        // every cell answerable from either input is answerable post-merge
+        for k in [1, 2, 3] {
+            assert!(ab.lookup(Fingerprint(k), &format!("M.m{k}"), false, "scmp-fds").is_some());
+        }
+        assert_eq!(ab.stats().merged, 1);
+        // a colliding key under different bytes: counted as a conflict and
+        // resolved to the lexicographically smaller line on both merge
+        // orders, so even conflicted merges stay commutative
+        let x = build(&[(7, &sample())]);
+        let conflict = x.merge_from(&build(&[(7, &sample2)]));
+        assert_eq!(conflict, MergeStats { merged: 0, duplicates: 0, conflicts: 1 });
+        let y = build(&[(7, &sample2)]);
+        let conflict = y.merge_from(&build(&[(7, &sample())]));
+        assert_eq!(conflict, MergeStats { merged: 0, duplicates: 0, conflicts: 1 });
+        assert_eq!(render(&x), render(&y), "conflict resolution must be order-independent");
+        // `sample()`'s line happens to be the smaller one ("work":345 <
+        // "work":999), so both stores converge on it
+        for c in [&x, &y] {
+            assert_eq!(
+                c.lookup(Fingerprint(7), "M.c", false, "scmp-fds").map(|r| r.work),
+                Some(sample().work)
+            );
+        }
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub mod inline;
 mod ir;
 mod lower;
 mod parser;
+pub mod synth;
 
 pub use ast::{ClassDecl, Expr, FieldDecl, LValue, MethodDecl, Stmt};
 pub use ir::{

@@ -8,6 +8,9 @@
 //!                [--emit-cert PATH] CLIENT.mj
 //! canvas check   --spec <...> [--metrics] [--log-json PATH] CERT CLIENT.mj
 //! canvas serve   [--threads N] [--cache-dir DIR | --no-cache] [--log-json PATH]
+//! canvas fleet gen --out DIR [--programs N] [--seed N] [--violation-rate R] [--force]
+//! canvas fleet run --corpus DIR [--shards N] [--cache-dir DIR] [--report PATH]
+//!                [--backend HOST:PORT]...
 //! canvas engines
 //! canvas specs
 //! ```
@@ -43,9 +46,20 @@
 //! `canvas_incr::service`), sharing one warm cache across concurrent
 //! requests (default `.canvas-cache/`; `--no-cache` keeps it in memory).
 //!
+//! `canvas fleet gen` materializes a deterministic, seed-parameterized
+//! synthetic corpus (with a `canvas-fleet-manifest/1` manifest recording
+//! per-file fingerprints and ground truth); it refuses an existing output
+//! directory without `--force`. `canvas fleet run` certifies a corpus
+//! across sharded, work-stealing workers — in-process by default, or
+//! against `canvas serve --listen` backends with `--backend` — merging the
+//! per-shard certificate caches losslessly into `--cache-dir` at the end,
+//! and prints the aggregated fleet report (`--report` also writes it as
+//! `canvas-bench-fleet/1` JSON).
+//!
 //! Exit status: 0 = certified conformant, 1 = potential violations found,
 //! 2 = usage/spec/client/engine error, 3 = analysis inconclusive (resource
-//! budget exhausted before a verdict was reached).
+//! budget exhausted before a verdict was reached; for `fleet run`, also any
+//! poisoned program or dead shard).
 
 use std::process::ExitCode;
 
@@ -413,6 +427,7 @@ fn run(args: &[String]) -> Result<ExitCode, CanvasError> {
             canvas_telemetry::events::close_file();
             Ok(ExitCode::SUCCESS)
         }
+        "fleet" => fleet(it.as_slice()),
         _ => {
             println!(
                 "usage:\n  canvas derive  --spec <cmp|grp|imp|aop|PATH.easl> [--metrics] \
@@ -427,10 +442,148 @@ fn run(args: &[String]) -> Result<ExitCode, CanvasError> {
                  [--tenant-burst N] [--tenant-rate N] [--deadline-ms N] \
                  [--write-timeout-ms N] [--max-line-bytes N[k|m|g]] \
                  [--log-json PATH]\n  \
+                 canvas fleet gen --out DIR [--programs N] [--seed N] [--max-methods N] \
+                 [--max-loop-depth N] [--violation-rate R] [--threads N] [--force]\n  \
+                 canvas fleet run --corpus DIR [--shards N] [--engine <name>] [--spec <name>] \
+                 [--cache-dir DIR] [--report PATH] [--backend HOST:PORT]...\n  \
                  canvas engines\n  \
                  canvas specs"
             );
             Ok(ExitCode::from(2))
+        }
+    }
+}
+
+/// The `canvas fleet` verb: `gen` materializes a seeded synthetic corpus,
+/// `run` certifies a corpus across sharded workers (local process pool or
+/// `canvas serve --listen` backends) with merged certificate caches.
+fn fleet(args: &[String]) -> Result<ExitCode, CanvasError> {
+    use canvas_fleet::{driver, gen, manifest};
+    let mut it = args.iter();
+    let sub = it.next().map(String::as_str).unwrap_or("");
+    let need = |flag: &str, v: Option<&String>| -> Result<String, CanvasError> {
+        v.cloned().ok_or_else(|| CanvasError::usage(format!("{flag} needs a value")))
+    };
+    let parse_usize = |flag: &str, n: &str| -> Result<usize, CanvasError> {
+        n.parse().map_err(|_| CanvasError::usage(format!("{flag}: not a number: {n:?}")))
+    };
+    match sub {
+        "gen" => {
+            let mut out: Option<String> = None;
+            let mut params = gen::GenParams::default();
+            let mut threads: Option<usize> = None;
+            let mut force = false;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--out" => out = Some(need("--out", it.next())?),
+                    "--programs" => {
+                        params.programs =
+                            parse_usize("--programs", &need("--programs", it.next())?)?;
+                    }
+                    "--seed" => {
+                        let n = need("--seed", it.next())?;
+                        params.seed = n.parse().map_err(|_| {
+                            CanvasError::usage(format!("--seed: not a number: {n:?}"))
+                        })?;
+                    }
+                    "--max-methods" => {
+                        params.max_methods =
+                            parse_usize("--max-methods", &need("--max-methods", it.next())?)?;
+                    }
+                    "--max-loop-depth" => {
+                        params.max_loop_depth =
+                            parse_usize("--max-loop-depth", &need("--max-loop-depth", it.next())?)?;
+                    }
+                    "--violation-rate" => {
+                        let n = need("--violation-rate", it.next())?;
+                        params.violation_rate = n.parse().map_err(|_| {
+                            CanvasError::usage(format!("--violation-rate: not a number: {n:?}"))
+                        })?;
+                        if !(0.0..=1.0).contains(&params.violation_rate) {
+                            return Err(CanvasError::usage("--violation-rate must be in [0, 1]"));
+                        }
+                    }
+                    "--threads" => {
+                        threads =
+                            Some(parse_usize("--threads", &need("--threads", it.next())?)?.max(1));
+                    }
+                    "--force" => force = true,
+                    other => {
+                        return Err(CanvasError::usage(format!(
+                            "unknown fleet gen option {other:?}"
+                        )))
+                    }
+                }
+            }
+            let out = out.ok_or_else(|| CanvasError::usage("fleet gen needs --out DIR"))?;
+            let programs = match threads {
+                Some(t) => gen::generate_with_threads(&params, t)?,
+                None => gen::generate(&params)?,
+            };
+            let m = manifest::Manifest::from_programs(&params, &programs);
+            manifest::write_corpus(std::path::Path::new(&out), &m, &programs, force)?;
+            println!("fleet gen: {} programs (seed {}) -> {out}", programs.len(), params.seed);
+            println!("  manifest digest: {}", m.digest);
+            Ok(ExitCode::SUCCESS)
+        }
+        "run" => {
+            let mut corpus: Option<String> = None;
+            let mut shards = canvas_suite::worker_count(usize::MAX);
+            let mut engine = Engine::ScmpFds;
+            let mut spec_name: Option<String> = None;
+            let mut cache_dir: Option<String> = None;
+            let mut report_path: Option<String> = None;
+            let mut backends: Vec<String> = Vec::new();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--corpus" => corpus = Some(need("--corpus", it.next())?),
+                    "--shards" => {
+                        shards = parse_usize("--shards", &need("--shards", it.next())?)?.max(1);
+                    }
+                    "--engine" => {
+                        let name = need("--engine", it.next())?;
+                        engine = Engine::by_name(&name).ok_or_else(|| {
+                            CanvasError::usage(format!(
+                                "unknown engine {name:?} (see `canvas engines`)"
+                            ))
+                        })?;
+                    }
+                    "--spec" => spec_name = Some(need("--spec", it.next())?),
+                    "--cache-dir" => cache_dir = Some(need("--cache-dir", it.next())?),
+                    "--report" => report_path = Some(need("--report", it.next())?),
+                    "--backend" => backends.push(need("--backend", it.next())?),
+                    other => {
+                        return Err(CanvasError::usage(format!(
+                            "unknown fleet run option {other:?}"
+                        )))
+                    }
+                }
+            }
+            let corpus =
+                corpus.ok_or_else(|| CanvasError::usage("fleet run needs --corpus DIR"))?;
+            let (m, items) = manifest::load_corpus(std::path::Path::new(&corpus))?;
+            let spec_name = spec_name.unwrap_or_else(|| m.spec.clone());
+            let spec = load_spec(&spec_name)?;
+            let cfg = driver::FleetConfig {
+                shards,
+                engine,
+                spec,
+                spec_name,
+                cache_dir: cache_dir.map(std::path::PathBuf::from),
+                backends,
+                manifest_digest: Some(m.digest),
+            };
+            let report = driver::run_fleet(&items, &cfg)?;
+            print!("{}", report.render());
+            if let Some(path) = report_path {
+                std::fs::write(&path, report.to_json().render())
+                    .map_err(|e| CanvasError::io(Stage::Cli, &path, &e))?;
+                eprintln!("canvas: fleet report written to {path}");
+            }
+            Ok(ExitCode::from(canvas_fleet::exit_code(&report)))
+        }
+        other => {
+            Err(CanvasError::usage(format!("fleet needs a subcommand: gen or run (got {other:?})")))
         }
     }
 }

@@ -18,7 +18,10 @@
 //!   base) that revalidates proof-carrying certificates by replay;
 //! * [`suite`] — the evaluation corpus and generators (§7);
 //! * [`incr`] — incremental certification: the content-addressed
-//!   certificate cache and the `canvas serve` protocol.
+//!   certificate cache and the `canvas serve` protocol;
+//! * [`fleet`] — fleet-scale corpus certification: the synthetic corpus
+//!   generator, the sharded work-stealing driver, and merged certificate
+//!   caches (`canvas fleet`).
 //!
 //! Start with [`Certifier`]:
 //!
@@ -44,6 +47,7 @@ pub use canvas_core as core;
 pub use canvas_dataflow as dataflow;
 pub use canvas_easl as easl;
 pub use canvas_faults as faults;
+pub use canvas_fleet as fleet;
 pub use canvas_heap as heap;
 pub use canvas_incr as incr;
 pub use canvas_logic as logic;

@@ -193,4 +193,43 @@ fn every_injected_fault_is_contained() {
     assert!(result.is_ok(), "{result:?}");
     assert!(out.contains("\"verdict\":\"violations\""), "{out}");
     assert!(out.contains("\"shutdown\":true"), "{out}");
+
+    // shard-death: a fleet worker dies mid-corpus; only its shard is
+    // poisoned (its one in-flight program lost), the survivors steal and
+    // finish the rest, and the run maps to exit code 3
+    use canvas_conformance::fleet::{
+        exit_code, generate_with_threads, run_fleet, FleetConfig, FleetItem, GenParams,
+    };
+    let corpus =
+        generate_with_threads(&GenParams { programs: 20, seed: 13, ..GenParams::default() }, 1)
+            .expect("corpus generates");
+    let items: Vec<FleetItem> = corpus
+        .iter()
+        .map(|p| FleetItem {
+            name: p.name.clone(),
+            source: p.source.clone(),
+            expected: Some(p.expected.clone()),
+        })
+        .collect();
+    let cfg = FleetConfig::local(spec.clone(), "cmp", Engine::ScmpFds, 4);
+
+    force(Some(Fault::ShardDeath));
+    let poisoned = quiet_panics(|| run_fleet(&items, &cfg)).expect("fleet survives the death");
+    unforce();
+    assert_eq!(poisoned.dead_shards, 1, "exactly one worker dies");
+    assert_eq!(poisoned.poisoned_programs, 1, "only its in-flight program is lost");
+    assert_eq!(
+        poisoned.certified + poisoned.violating + poisoned.inconclusive,
+        items.len() - 1,
+        "the survivors complete every other program"
+    );
+    assert_eq!(poisoned.truth_mismatches, 0, "completed verdicts stay correct");
+    assert_eq!(exit_code(&poisoned), 3, "a poisoned fleet run is inconclusive");
+
+    // and with the fault gone, the same corpus certifies completely
+    let clean = run_fleet(&items, &cfg).expect("clean fleet run");
+    assert_eq!(clean.dead_shards, 0);
+    assert_eq!(clean.poisoned_programs, 0);
+    assert_eq!(clean.certified + clean.violating + clean.inconclusive, items.len());
+    assert_ne!(exit_code(&clean), 3, "no poisoning at defaults");
 }
